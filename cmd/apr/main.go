@@ -1,0 +1,255 @@
+// apr is a miniature automatic place-and-route tool built on JRoute,
+// demonstrating §1's point that "Since JRoute is an API, it allows users to
+// build tools based on it". It takes a pipeline specification, places one
+// core per stage left to right, wires consecutive stages port-to-port with
+// bus routes (greedy or negotiated), and reports the floorplan, congestion,
+// resource usage and worst-case stage delays. With -cycles it also
+// simulates the design and prints the last stage's output per clock.
+//
+// Pipeline grammar: stages separated by '|', each TYPE[:ARG[:ARG]]:
+//
+//	counter:BITS[:STEP]   free-running counter (§4)
+//	mul:K[:KBITS]         constant multiplier (4-bit input)
+//	addc:BITS:K           constant adder
+//	reg:BITS              register
+//	shift:BITS            shift register (serial in <- bit 0 of prior stage)
+//	mac:K[:KBITS]         multiply-accumulate
+//
+// Examples:
+//
+//	apr -spec "counter:4 | mul:5 | reg:8"
+//	apr -spec "counter:4 | mul:3:4 | reg:8" -batch -cycles 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/cores"
+	"repro/internal/debug"
+	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/timing"
+)
+
+// stage wraps a placed core with its pipeline-facing groups.
+type stage struct {
+	core cores.Core
+	in   string // input group name ("" = source stage)
+	out  string // output group name
+}
+
+func parseStage(idx int, s string) (*stage, error) {
+	parts := strings.Split(strings.TrimSpace(s), ":")
+	name := fmt.Sprintf("s%d.%s", idx, parts[0])
+	argN := func(i, def int) (int, error) {
+		if len(parts) <= i {
+			return def, nil
+		}
+		return strconv.Atoi(parts[i])
+	}
+	switch parts[0] {
+	case "counter":
+		bits, err := argN(1, 4)
+		if err != nil {
+			return nil, err
+		}
+		step, err := argN(2, 1)
+		if err != nil {
+			return nil, err
+		}
+		c, err := cores.NewCounter(name, bits, uint64(step))
+		if err != nil {
+			return nil, err
+		}
+		return &stage{core: c, in: "", out: "q"}, nil
+	case "mul":
+		k, err := argN(1, 3)
+		if err != nil {
+			return nil, err
+		}
+		kbits, err := argN(2, 4)
+		if err != nil {
+			return nil, err
+		}
+		c, err := cores.NewConstMul(name, uint64(k), kbits)
+		if err != nil {
+			return nil, err
+		}
+		return &stage{core: c, in: "x", out: "p"}, nil
+	case "addc":
+		bits, err := argN(1, 8)
+		if err != nil {
+			return nil, err
+		}
+		k, err := argN(2, 1)
+		if err != nil {
+			return nil, err
+		}
+		c, err := cores.NewConstAdder(name, bits, uint64(k), false)
+		if err != nil {
+			return nil, err
+		}
+		return &stage{core: c, in: "x", out: "sum"}, nil
+	case "reg":
+		bits, err := argN(1, 8)
+		if err != nil {
+			return nil, err
+		}
+		c, err := cores.NewRegister(name, bits)
+		if err != nil {
+			return nil, err
+		}
+		return &stage{core: c, in: "d", out: "q"}, nil
+	case "shift":
+		bits, err := argN(1, 8)
+		if err != nil {
+			return nil, err
+		}
+		c, err := cores.NewShiftRegister(name, bits)
+		if err != nil {
+			return nil, err
+		}
+		return &stage{core: c, in: "sin", out: "q"}, nil
+	case "mac":
+		k, err := argN(1, 3)
+		if err != nil {
+			return nil, err
+		}
+		kbits, err := argN(2, 4)
+		if err != nil {
+			return nil, err
+		}
+		c, err := cores.NewMAC(name, uint64(k), kbits)
+		if err != nil {
+			return nil, err
+		}
+		return &stage{core: c, in: "x", out: "acc"}, nil
+	default:
+		return nil, fmt.Errorf("unknown stage type %q", parts[0])
+	}
+}
+
+func main() {
+	spec := flag.String("spec", "counter:4 | mul:5 | reg:8", "pipeline specification")
+	rows := flag.Int("rows", 16, "device rows")
+	cols := flag.Int("cols", 24, "device cols")
+	baseRow := flag.Int("row", 2, "placement base row")
+	gap := flag.Int("gap", 3, "column gap between stages")
+	batch := flag.Bool("batch", false, "wire stages with the negotiated batch router")
+	cycles := flag.Int("cycles", 0, "simulate this many clock cycles")
+	flag.Parse()
+
+	dev, err := device.New(arch.NewVirtex(), *rows, *cols)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := core.NewRouter(dev, core.Options{})
+
+	// Parse and place.
+	var stages []*stage
+	col := 2
+	for i, part := range strings.Split(*spec, "|") {
+		st, err := parseStage(i, part)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stage %d: %v\n", i, err)
+			os.Exit(2)
+		}
+		if err := st.core.Place(*baseRow, col); err != nil {
+			log.Fatal(err)
+		}
+		if err := st.core.Implement(r); err != nil {
+			log.Fatalf("implementing %s: %v", st.core.Name(), err)
+		}
+		_, _, w, _ := boundsOf(st.core)
+		col += w + *gap
+		stages = append(stages, st)
+	}
+	fmt.Printf("placed %d stages, %d CLBs, %d PIPs of internal routing\n",
+		len(stages), len(dev.ActiveCLBs()), dev.OnPIPCount())
+
+	// Wire consecutive stages.
+	for i := 0; i+1 < len(stages); i++ {
+		up, down := stages[i], stages[i+1]
+		srcs := up.core.Group(up.out).EndPoints()
+		dsts := down.core.Group(down.in).EndPoints()
+		n := len(srcs)
+		if len(dsts) < n {
+			n = len(dsts)
+		}
+		if n == 0 {
+			log.Fatalf("stages %d->%d: nothing to connect", i, i+1)
+		}
+		var err error
+		if *batch {
+			err = r.RouteBusBatch(srcs[:n], dsts[:n])
+		} else {
+			err = r.RouteBus(srcs[:n], dsts[:n])
+		}
+		if err != nil {
+			log.Fatalf("wiring stage %d -> %d: %v", i, i+1, err)
+		}
+		fmt.Printf("stage %d -> %d: %d-bit bus routed\n", i, i+1, n)
+	}
+
+	fmt.Println("\nfloorplan:")
+	fmt.Print(debug.Floorplan(dev))
+	fmt.Println("congestion:")
+	fmt.Print(debug.Heatmap(dev))
+	fmt.Println(debug.ResourceUsage(dev))
+
+	// Worst-case delays per inter-stage net.
+	model := timing.Default()
+	for i := 0; i+1 < len(stages); i++ {
+		up := stages[i]
+		worst := 0.0
+		for _, p := range up.core.Ports(up.out) {
+			net, err := r.Trace(p)
+			if err != nil || len(net.Sinks) == 0 {
+				continue
+			}
+			if _, d, err := model.Critical(dev, net); err == nil && d > worst {
+				worst = d
+			}
+		}
+		fmt.Printf("stage %d -> %d worst sink delay: %.1f ns\n", i, i+1, worst)
+	}
+
+	if *cycles > 0 {
+		last := stages[len(stages)-1]
+		var probes []sim.Probe
+		for _, p := range last.core.Ports(last.out) {
+			pin := p.Pins()[0]
+			probes = append(probes, sim.Probe{Row: pin.Row, Col: pin.Col, W: pin.W})
+		}
+		s := sim.New(dev)
+		fmt.Printf("\nsimulating %d cycles (output = %s of %s):\n",
+			*cycles, last.out, last.core.Name())
+		for cyc := 0; cyc < *cycles; cyc++ {
+			if err := s.Step(); err != nil {
+				log.Fatal(err)
+			}
+			v, err := s.ReadWord(probes)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  cycle %2d: out = %d\n", cyc+1, v)
+		}
+	}
+}
+
+func boundsOf(c cores.Core) (row, col, w, h int) {
+	type bounded interface {
+		Bounds() (int, int, int, int)
+	}
+	if b, ok := c.(bounded); ok {
+		return b.Bounds()
+	}
+	return 0, 0, 1, 1
+}

@@ -1,0 +1,123 @@
+// boardscope is the BoardScope-equivalent debug viewer (§3.5, [2]): it
+// builds a demo design on a simulated board, then shows its floorplan,
+// routing-resource usage, a traced net, and the live register state cycle
+// by cycle via readback-style probing.
+//
+//	boardscope -design counter -cycles 8
+//	boardscope -design dataflow -x 11
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/cores"
+	"repro/internal/debug"
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+func main() {
+	design := flag.String("design", "counter", "demo design: counter or dataflow")
+	cycles := flag.Int("cycles", 8, "clock cycles to run")
+	x := flag.Uint64("x", 11, "input value (dataflow design)")
+	flag.Parse()
+
+	dev, err := device.New(arch.NewVirtex(), 16, 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := core.NewRouter(dev, core.Options{})
+
+	var probes []sim.Probe
+	var traceSrc core.EndPoint
+	var s *sim.Simulator
+
+	switch *design {
+	case "counter":
+		ctr, err := cores.NewCounter("ctr", 8, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ctr.Place(4, 10); err != nil {
+			log.Fatal(err)
+		}
+		if err := ctr.Implement(r); err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range ctr.Ports("q") {
+			pin := p.Pins()[0]
+			probes = append(probes, sim.Probe{Row: pin.Row, Col: pin.Col, W: pin.W})
+		}
+		traceSrc = ctr.Ports("q")[0]
+		s = sim.New(dev)
+	case "dataflow":
+		mul, err := cores.NewConstMul("mul5", 5, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mul.Place(3, 8)
+		if err := mul.Implement(r); err != nil {
+			log.Fatal(err)
+		}
+		reg, err := cores.NewRegister("reg", mul.OutBits())
+		if err != nil {
+			log.Fatal(err)
+		}
+		reg.Place(3, 15)
+		if err := reg.Implement(r); err != nil {
+			log.Fatal(err)
+		}
+		if err := r.RouteBus(mul.Group("p").EndPoints(), reg.Group("d").EndPoints()); err != nil {
+			log.Fatal(err)
+		}
+		s = sim.New(dev)
+		for i, p := range mul.Ports("x") {
+			if err := r.RouteNet(core.NewPin(3, 3, arch.OutPin(i)), p); err != nil {
+				log.Fatal(err)
+			}
+			if err := s.Force(3, 3, arch.OutPin(i), *x>>uint(i)&1 != 0); err != nil {
+				log.Fatal(err)
+			}
+		}
+		for _, p := range reg.Ports("q") {
+			pin := p.Pins()[0]
+			probes = append(probes, sim.Probe{Row: pin.Row, Col: pin.Col, W: pin.W})
+		}
+		traceSrc = mul.Ports("p")[0]
+	default:
+		log.Fatalf("unknown design %q", *design)
+	}
+
+	fmt.Println("== floorplan ==")
+	fmt.Print(debug.Floorplan(dev))
+	fmt.Println("\n== routing resources ==")
+	fmt.Println(debug.ResourceUsage(dev))
+
+	net, err := r.Trace(traceSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== example net (trace) ==")
+	fmt.Print(debug.NetReport(dev, net))
+
+	fmt.Println("\n== state over time ==")
+	for cyc := 0; cyc <= *cycles; cyc++ {
+		if err := s.Eval(); err != nil {
+			log.Fatal(err)
+		}
+		w, err := s.ReadWord(probes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("cycle %2d: word = %d\n", cyc, w)
+		if cyc < *cycles {
+			if err := s.Step(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}

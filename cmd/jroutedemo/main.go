@@ -1,0 +1,103 @@
+// jroutedemo routes one connection on a fresh device at a chosen level of
+// control, prints the resulting net and an ASCII rendering, and optionally
+// unroutes it again — a command-line tour of the JRoute API.
+//
+// Examples:
+//
+//	jroutedemo                                        # the §3.1 example, auto
+//	jroutedemo -level template -template OUTMUX,EAST1,NORTH1,CLBIN
+//	jroutedemo -src 2,2,S0X -sink 12,20,S1G3 -longs
+//	jroutedemo -level lee -src 2,2,S0X -sink 12,20,S0F1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/debug"
+	"repro/internal/device"
+	"repro/internal/timing"
+)
+
+func main() {
+	srcFlag := flag.String("src", "5,7,S1YQ", "source pin as row,col,wire")
+	sinkFlag := flag.String("sink", "6,8,S0F3", "sink pin as row,col,wire")
+	level := flag.String("level", "auto", "routing level: auto, astar, lee, template")
+	tmplFlag := flag.String("template", "", "template values (for -level template), e.g. OUTMUX,EAST1,NORTH1,CLBIN")
+	rows := flag.Int("rows", 16, "device rows")
+	cols := flag.Int("cols", 24, "device cols")
+	longs := flag.Bool("longs", false, "allow long lines (§6 extension)")
+	render := flag.Bool("render", true, "draw the route on the array")
+	unroute := flag.Bool("unroute", false, "unroute afterwards and report")
+	flag.Parse()
+
+	a := arch.NewVirtex()
+	dev, err := device.New(a, *rows, *cols)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sr, sc, sw, err := a.ParsePin(*srcFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, tc, tw, err := a.ParsePin(*sinkFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := core.NewPin(sr, sc, sw)
+	sink := core.NewPin(tr, tc, tw)
+
+	opt := core.Options{UseLongLines: *longs}
+	switch *level {
+	case "auto":
+		opt.Algorithm = core.TemplateFirst
+	case "astar":
+		opt.Algorithm = core.AStar
+	case "lee":
+		opt.Algorithm = core.Lee
+	case "template":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown level %q\n", *level)
+		os.Exit(2)
+	}
+	r := core.NewRouter(dev, opt)
+
+	if *level == "template" {
+		tmpl, err := core.ParseTemplate(*tmplFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := r.RouteTemplate(src, sink.W, tmpl); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		if err := r.RouteNet(src, sink); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	net, err := r.Trace(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(debug.NetReport(dev, net))
+	if *render {
+		fmt.Println(debug.RenderNet(dev, net))
+	}
+	st := r.Stats()
+	fmt.Printf("stats: %d PIPs set, %d search states, template hits %d, maze fallbacks %d\n",
+		st.PIPsSet, st.NodesExplored, st.TemplateHits, st.MazeFallbacks)
+	if d, err := timing.Default().SinkDelay(dev, sink); err == nil {
+		fmt.Printf("estimated sink delay: %.1f ns\n", d)
+	}
+	if *unroute {
+		if err := r.Unroute(src); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("unrouted: %d PIPs remain on device\n", dev.OnPIPCount())
+	}
+}

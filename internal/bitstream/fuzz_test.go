@@ -1,0 +1,32 @@
+package bitstream
+
+import "testing"
+
+// FuzzApplyConfig feeds arbitrary byte streams to the configuration
+// parser: it must never panic or write out of bounds, only return errors.
+func FuzzApplyConfig(f *testing.F) {
+	src, err := New(Layout{Rows: 4, Cols: 4, BytesPerTile: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	src.SetBit(1, 1, 3, true)
+	good, err := src.FullConfig()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:len(good)-1])
+	f.Add([]byte{})
+	f.Add([]byte{0xAA, 0x99, 0x55, 0x66})
+	corrupt := append([]byte(nil), good...)
+	corrupt[len(corrupt)/2] ^= 0xFF
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		dst, err := New(Layout{Rows: 4, Cols: 4, BytesPerTile: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = dst.ApplyConfig(stream) // must not panic
+	})
+}

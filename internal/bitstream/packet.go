@@ -1,0 +1,240 @@
+package bitstream
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Configuration packet stream. The real Virtex configuration port consumes
+// a word stream of sync word, register writes (FAR = frame address, FDRI =
+// frame data input), CRC checks and a desync command; we reproduce that
+// structure so that full and partial configuration have genuinely different
+// costs and so that corrupt streams are rejected, which the RTR experiments
+// (B5) measure.
+//
+// Stream format (all integers big-endian):
+//
+//	u32 syncWord
+//	u32 layout: rows
+//	u32 layout: cols
+//	u32 layout: bytesPerTile
+//	repeated:
+//	  u8 opcode
+//	  opWriteFAR:  u32 col, u32 plane
+//	  opWriteFDRI: u32 length, bytes   (writes at current FAR, auto-increments plane)
+//	  opCRC:       u16 crc over all bytes since last CRC (or start)
+//	  opDesync:    end of stream
+const (
+	syncWord = 0xAA995566 // Virtex's actual sync word, kept as a nod
+
+	opWriteFAR  = 0x01
+	opWriteFDRI = 0x02
+	opCRC       = 0x03
+	opDesync    = 0x04
+)
+
+// crc16 implements CRC-16/XMODEM (CCITT polynomial 0x1021, init 0),
+// byte at a time.
+func crc16(crc uint16, data []byte) uint16 {
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+type streamWriter struct {
+	buf []byte
+	crc uint16
+}
+
+func (w *streamWriter) raw(p []byte) { w.buf = append(w.buf, p...) } // not CRC'd (header)
+
+func (w *streamWriter) bytes(p []byte) {
+	w.buf = append(w.buf, p...)
+	w.crc = crc16(w.crc, p)
+}
+
+func (w *streamWriter) u8(v uint8) { w.bytes([]byte{v}) }
+
+func (w *streamWriter) u16(v uint16) {
+	var tmp [2]byte
+	binary.BigEndian.PutUint16(tmp[:], v)
+	w.bytes(tmp[:])
+}
+
+func (w *streamWriter) u32(v uint32) {
+	var tmp [4]byte
+	binary.BigEndian.PutUint32(tmp[:], v)
+	w.bytes(tmp[:])
+}
+
+func (w *streamWriter) emitCRC() {
+	w.buf = append(w.buf, opCRC)
+	var tmp [2]byte
+	binary.BigEndian.PutUint16(tmp[:], w.crc)
+	w.buf = append(w.buf, tmp[:]...)
+	w.crc = 0
+}
+
+func (b *Bitstream) header() *streamWriter {
+	w := &streamWriter{}
+	var tmp [4]byte
+	for _, v := range []uint32{syncWord, uint32(b.layout.Rows), uint32(b.layout.Cols), uint32(b.layout.BytesPerTile)} {
+		binary.BigEndian.PutUint32(tmp[:], v)
+		w.raw(tmp[:])
+	}
+	return w
+}
+
+func (b *Bitstream) emitFrames(w *streamWriter, frames []FrameAddr) error {
+	// Consecutive planes of a column are coalesced into one FDRI burst,
+	// as the real device auto-increments the frame address.
+	for i := 0; i < len(frames); {
+		fa := frames[i]
+		run := 1
+		for i+run < len(frames) &&
+			frames[i+run].Col == fa.Col &&
+			frames[i+run].Plane == fa.Plane+run {
+			run++
+		}
+		w.u8(opWriteFAR)
+		w.u32(uint32(fa.Col))
+		w.u32(uint32(fa.Plane))
+		w.u8(opWriteFDRI)
+		w.u32(uint32(run * b.layout.Rows))
+		for k := 0; k < run; k++ {
+			frame, err := b.Frame(FrameAddr{Col: fa.Col, Plane: fa.Plane + k})
+			if err != nil {
+				return err
+			}
+			w.bytes(frame)
+		}
+		i += run
+	}
+	return nil
+}
+
+// FullConfig serializes every frame into a configuration stream.
+func (b *Bitstream) FullConfig() ([]byte, error) {
+	all := make([]FrameAddr, 0, b.FrameCount())
+	for c := 0; c < b.layout.Cols; c++ {
+		for p := 0; p < b.layout.BytesPerTile; p++ {
+			all = append(all, FrameAddr{Col: c, Plane: p})
+		}
+	}
+	return b.config(all)
+}
+
+// PartialConfig serializes only the dirty frames ("partial bitstream").
+// The dirty set is not cleared; call ClearDirty once the stream has been
+// applied to its target.
+func (b *Bitstream) PartialConfig() ([]byte, error) {
+	return b.config(b.DirtyFrames())
+}
+
+// ConfigFor serializes an explicit frame set.
+func (b *Bitstream) ConfigFor(frames []FrameAddr) ([]byte, error) {
+	return b.config(frames)
+}
+
+func (b *Bitstream) config(frames []FrameAddr) ([]byte, error) {
+	w := b.header()
+	if err := b.emitFrames(w, frames); err != nil {
+		return nil, err
+	}
+	w.emitCRC()
+	w.buf = append(w.buf, opDesync)
+	return w.buf, nil
+}
+
+// ApplyConfig parses a configuration stream and writes its frames into b,
+// verifying the layout and CRC. It returns the number of frames written.
+// Like real hardware, frames are written as they stream in, so a CRC error
+// aborts configuration mid-way with an error; callers should then treat the
+// device as corrupt and reconfigure fully.
+func (b *Bitstream) ApplyConfig(stream []byte) (int, error) {
+	if len(stream) < 16 {
+		return 0, fmt.Errorf("bitstream: stream too short (%d bytes)", len(stream))
+	}
+	if binary.BigEndian.Uint32(stream[0:4]) != syncWord {
+		return 0, fmt.Errorf("bitstream: missing sync word")
+	}
+	rows := int(binary.BigEndian.Uint32(stream[4:8]))
+	cols := int(binary.BigEndian.Uint32(stream[8:12]))
+	bpt := int(binary.BigEndian.Uint32(stream[12:16]))
+	if rows != b.layout.Rows || cols != b.layout.Cols || bpt != b.layout.BytesPerTile {
+		return 0, fmt.Errorf("bitstream: stream is for a %dx%dx%d device, this is %dx%dx%d",
+			rows, cols, bpt, b.layout.Rows, b.layout.Cols, b.layout.BytesPerTile)
+	}
+	pos := 16
+	var crc uint16
+	written := 0
+	far := FrameAddr{Col: -1}
+	need := func(n int) error {
+		if pos+n > len(stream) {
+			return fmt.Errorf("bitstream: truncated stream at byte %d", pos)
+		}
+		return nil
+	}
+	for {
+		if err := need(1); err != nil {
+			return written, err
+		}
+		op := stream[pos]
+		switch op {
+		case opWriteFAR:
+			if err := need(9); err != nil {
+				return written, err
+			}
+			crc = crc16(crc, stream[pos:pos+9])
+			far.Col = int(binary.BigEndian.Uint32(stream[pos+1 : pos+5]))
+			far.Plane = int(binary.BigEndian.Uint32(stream[pos+5 : pos+9]))
+			pos += 9
+		case opWriteFDRI:
+			if err := need(5); err != nil {
+				return written, err
+			}
+			n := int(binary.BigEndian.Uint32(stream[pos+1 : pos+5]))
+			if n%b.layout.Rows != 0 {
+				return written, fmt.Errorf("bitstream: FDRI length %d not a frame multiple", n)
+			}
+			if err := need(5 + n); err != nil {
+				return written, err
+			}
+			crc = crc16(crc, stream[pos:pos+5+n])
+			if far.Col < 0 {
+				return written, fmt.Errorf("bitstream: FDRI before FAR")
+			}
+			data := stream[pos+5 : pos+5+n]
+			for k := 0; k*b.layout.Rows < n; k++ {
+				fa := FrameAddr{Col: far.Col, Plane: far.Plane + k}
+				if err := b.LoadFrame(fa, data[k*b.layout.Rows:(k+1)*b.layout.Rows]); err != nil {
+					return written, err
+				}
+				written++
+			}
+			pos += 5 + n
+		case opCRC:
+			if err := need(3); err != nil {
+				return written, err
+			}
+			got := binary.BigEndian.Uint16(stream[pos+1 : pos+3])
+			if got != crc {
+				return written, fmt.Errorf("bitstream: CRC mismatch: stream %04x, computed %04x", got, crc)
+			}
+			crc = 0
+			pos += 3
+		case opDesync:
+			return written, nil
+		default:
+			return written, fmt.Errorf("bitstream: unknown opcode %#x at byte %d", op, pos)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/maze"
+)
+
+// BatchNet is one net of a batch-routing request.
+type BatchNet struct {
+	Source EndPoint
+	Sinks  []EndPoint
+}
+
+// RouteBatch routes a set of nets together under negotiated congestion —
+// the §6 "different algorithms" extension (after Swartz/Betz/Rose's
+// routability-driven router). Unlike the greedy sequential calls, the
+// batch router may trade wires between nets: every net is ripped up and
+// re-routed with congestion-inflated costs until no track is shared, and
+// only the converged solution is committed to the device. Either all nets
+// route or none do.
+//
+// Connection records are created for every net, so port memory and
+// unrouting behave exactly as with the sequential calls.
+func (r *Router) RouteBatch(nets []BatchNet) error {
+	specs := make([]maze.NetSpec, len(nets))
+	for i, n := range nets {
+		src, err := sourcePin(n.Source)
+		if err != nil {
+			return fmt.Errorf("core: batch net %d: %w", i, err)
+		}
+		srcTrack, err := r.Dev.Canon(src.Row, src.Col, src.W)
+		if err != nil {
+			return fmt.Errorf("core: batch net %d: %w", i, err)
+		}
+		specs[i].Source = srcTrack
+		if len(n.Sinks) == 0 {
+			return fmt.Errorf("core: batch net %d has no sinks", i)
+		}
+		for _, s := range n.Sinks {
+			pins := s.Pins()
+			if len(pins) == 0 {
+				return fmt.Errorf("core: batch net %d: sink resolves to no pins", i)
+			}
+			for _, p := range pins {
+				t, err := r.Dev.Canon(p.Row, p.Col, p.W)
+				if err != nil {
+					return fmt.Errorf("core: batch net %d: %w", i, err)
+				}
+				specs[i].Sinks = append(specs[i].Sinks, t)
+			}
+		}
+	}
+	res, err := maze.NegotiatedRoute(r.Dev, specs, maze.NegotiationOptions{
+		Options: r.Opt.mazeOptions(),
+	})
+	if err != nil {
+		return err
+	}
+	r.stats.NodesExplored += res.Explored
+	// Commit. The negotiation guarantees disjoint tracks, so this cannot
+	// contend; roll back everything if a commit fails anyway.
+	var applied []device.PIP
+	for _, pips := range res.Nets {
+		for _, p := range pips {
+			if err := r.Dev.SetPIP(p.Row, p.Col, p.From, p.To); err != nil {
+				for i := len(applied) - 1; i >= 0; i-- {
+					q := applied[i]
+					if cerr := r.Dev.ClearPIP(q.Row, q.Col, q.From, q.To); cerr == nil {
+						r.stats.PIPsCleared++
+					}
+				}
+				return fmt.Errorf("core: committing batch: %w", err)
+			}
+			applied = append(applied, p)
+			r.stats.PIPsSet++
+		}
+	}
+	for _, n := range nets {
+		r.stats.Routes += len(n.Sinks)
+		r.record(n.Source, n.Sinks...)
+	}
+	return nil
+}
+
+// RouteBusBatch is RouteBus via the negotiated batch router: each bit
+// becomes one single-sink net, routed together.
+func (r *Router) RouteBusBatch(sources, sinks []EndPoint) error {
+	if len(sources) != len(sinks) {
+		return fmt.Errorf("core: bus width mismatch: %d sources, %d sinks", len(sources), len(sinks))
+	}
+	if len(sources) == 0 {
+		return fmt.Errorf("core: empty bus")
+	}
+	nets := make([]BatchNet, len(sources))
+	for i := range sources {
+		nets[i] = BatchNet{Source: sources[i], Sinks: []EndPoint{sinks[i]}}
+	}
+	return r.RouteBatch(nets)
+}

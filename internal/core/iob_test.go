@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/device"
+)
+
+// IOB support is the §6 future-work item "Virtex features such as IOBs ...
+// will be supported in a future release", implemented here: boundary tiles
+// carry input pads (signal sources) and output pads (sinks) that the
+// router treats like pins.
+
+func TestIOBOnlyAtBoundary(t *testing.T) {
+	r := newTestRouter(t, Options{})
+	d := r.Dev
+	boundary := [][2]int{{0, 5}, {15, 5}, {5, 0}, {5, 23}, {0, 0}, {15, 23}}
+	interior := [][2]int{{5, 5}, {8, 12}, {1, 1}, {14, 22}}
+	for _, c := range boundary {
+		if _, err := d.Canon(c[0], c[1], arch.IOBIn(0)); err != nil {
+			t.Errorf("IOBIn rejected at boundary (%d,%d): %v", c[0], c[1], err)
+		}
+		if _, err := d.Canon(c[0], c[1], arch.IOBOut(1)); err != nil {
+			t.Errorf("IOBOut rejected at boundary (%d,%d): %v", c[0], c[1], err)
+		}
+	}
+	for _, c := range interior {
+		if _, err := d.Canon(c[0], c[1], arch.IOBIn(0)); err == nil {
+			t.Errorf("IOBIn accepted at interior (%d,%d)", c[0], c[1])
+		}
+		if _, err := d.Canon(c[0], c[1], arch.IOBOut(0)); err == nil {
+			t.Errorf("IOBOut accepted at interior (%d,%d)", c[0], c[1])
+		}
+	}
+}
+
+func TestIOBManualPIPs(t *testing.T) {
+	r := newTestRouter(t, Options{})
+	d := r.Dev
+	a := d.A
+	// Pad input onto a single at the west edge.
+	if err := d.SetPIP(5, 0, arch.IOBIn(0), a.Single(arch.East, 0)); err != nil {
+		t.Fatalf("IOBIn drive: %v", err)
+	}
+	// Single into an output pad at the east edge.
+	if err := d.SetPIP(8, 23, a.Single(arch.West, 1), arch.IOBOut(1)); err != nil {
+		t.Fatalf("IOBOut drive: %v", err)
+	}
+	// IOB PIPs at interior tiles are rejected.
+	if err := d.SetPIP(5, 5, arch.IOBIn(0), a.Single(arch.East, 0)); err == nil {
+		t.Error("interior IOBIn accepted")
+	}
+	if err := d.SetPIP(5, 5, a.Single(arch.West, 1), arch.IOBOut(1)); err == nil {
+		t.Error("interior IOBOut accepted")
+	}
+	// Pads cannot be thoroughfares: IOBOut drives nothing, IOBIn is
+	// undrivable.
+	if fan := d.A.LocalFanout(arch.IOBOut(0)); len(fan) != 0 {
+		t.Errorf("IOBOut has fanout %v", fan)
+	}
+	if drv := d.A.LocalDrivers(arch.IOBIn(0)); len(drv) != 0 {
+		t.Errorf("IOBIn has drivers %v", drv)
+	}
+}
+
+// TestIOBAutoRoute routes pad-to-pin, pin-to-pad and pad-to-pad with the
+// automatic router.
+func TestIOBAutoRoute(t *testing.T) {
+	cases := []struct {
+		name      string
+		src, sink Pin
+	}{
+		{"pad to pin", NewPin(5, 0, arch.IOBIn(0)), NewPin(8, 9, arch.S0F1)},
+		{"pin to pad", NewPin(8, 9, arch.S0X), NewPin(15, 14, arch.IOBOut(0))},
+		{"pad to pad", NewPin(5, 0, arch.IOBIn(1)), NewPin(5, 23, arch.IOBOut(1))},
+		{"corner pads", NewPin(0, 0, arch.IOBIn(0)), NewPin(15, 23, arch.IOBOut(0))},
+	}
+	for _, c := range cases {
+		r := newTestRouter(t, Options{})
+		if err := r.RouteNet(c.src, c.sink); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		assertConnected(t, r, c.src, c.sink)
+		net, err := r.Trace(c.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(net.Sinks) != 1 || net.Sinks[0] != c.sink {
+			t.Errorf("%s: sinks %v", c.name, net.Sinks)
+		}
+		if err := r.Unroute(c.src); err != nil {
+			t.Fatalf("%s unroute: %v", c.name, err)
+		}
+	}
+}
+
+// TestIOBBus wires a whole input bus from edge pads into a core column.
+func TestIOBBus(t *testing.T) {
+	r := newTestRouter(t, Options{})
+	var srcs, dsts []EndPoint
+	for i := 0; i < 4; i++ {
+		srcs = append(srcs, NewPin(4+i, 0, arch.IOBIn(0)))
+		dsts = append(dsts, NewPin(4+i, 9, arch.S0F1))
+	}
+	if err := r.RouteBus(srcs, dsts); err != nil {
+		t.Fatal(err)
+	}
+	for i := range srcs {
+		assertConnected(t, r, srcs[i].Pins()[0], dsts[i].Pins()[0])
+	}
+}
+
+func TestIOBBitstreamRoundTrip(t *testing.T) {
+	r := newTestRouter(t, Options{})
+	d := r.Dev
+	if err := r.RouteNet(NewPin(5, 0, arch.IOBIn(0)), NewPin(5, 23, arch.IOBOut(0))); err != nil {
+		t.Fatal(err)
+	}
+	stream, err := d.FullConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := device.New(arch.NewVirtex(), 16, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.ApplyConfig(stream); err != nil {
+		t.Fatal(err)
+	}
+	if d2.OnPIPCount() != d.OnPIPCount() {
+		t.Errorf("PIP counts differ after transfer: %d vs %d", d2.OnPIPCount(), d.OnPIPCount())
+	}
+	if err := d2.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/arch"
+)
+
+// Path is "an array of specific resources ... that are to be connected. The
+// path also requires a starting location, defined by a row and column"
+// (§3.1). The first wire is the net source at (Row, Col); each later wire
+// is driven from its predecessor, with the router resolving at which tile
+// each connection is made as the path travels across the array.
+type Path struct {
+	Row, Col int
+	Wires    []arch.Wire
+}
+
+// NewPath mirrors the paper's new Path(5, 7, p).
+func NewPath(row, col int, wires []arch.Wire) Path {
+	return Path{Row: row, Col: col, Wires: append([]arch.Wire(nil), wires...)}
+}
+
+// Validate performs the static checks that need no device: at least two
+// wires, and each adjacent pair permitted by the architecture's
+// connectivity rules under some naming (the tile-level feasibility is
+// checked by RoutePath itself).
+func (p Path) Validate(a *arch.Arch) error {
+	if len(p.Wires) < 2 {
+		return fmt.Errorf("core: path needs at least a source and a target wire, got %d", len(p.Wires))
+	}
+	for _, w := range p.Wires {
+		if a.ClassOf(w).Kind == arch.KindInvalid {
+			return fmt.Errorf("core: path contains invalid wire %d", w)
+		}
+	}
+	return nil
+}
+
+// String renders the path with wire numbers.
+func (p Path) String() string {
+	parts := make([]string, len(p.Wires))
+	for i, w := range p.Wires {
+		parts[i] = fmt.Sprintf("w%d", w)
+	}
+	return fmt.Sprintf("(%d,%d):%s", p.Row, p.Col, strings.Join(parts, "->"))
+}
+
+// Template is "an array of template values" (§3.1), e.g.
+// {OUTMUX, EAST1, NORTH1, CLBIN}.
+type Template struct {
+	Values []arch.TemplateValue
+}
+
+// NewTemplate mirrors the paper's new Template(t).
+func NewTemplate(values []arch.TemplateValue) Template {
+	return Template{Values: append([]arch.TemplateValue(nil), values...)}
+}
+
+// ParseTemplate builds a template from paper-style names, e.g.
+// "OUTMUX,EAST1,NORTH1,CLBIN".
+func ParseTemplate(s string) (Template, error) {
+	var t Template
+	for _, part := range strings.Split(s, ",") {
+		v, err := arch.ParseTemplateValue(part)
+		if err != nil {
+			return Template{}, err
+		}
+		t.Values = append(t.Values, v)
+	}
+	return t, nil
+}
+
+// String renders the template with paper-style names.
+func (t Template) String() string {
+	parts := make([]string, len(t.Values))
+	for i, v := range t.Values {
+		parts[i] = v.String()
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

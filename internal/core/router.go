@@ -1,0 +1,415 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/device"
+	"repro/internal/maze"
+)
+
+// Algorithm selects how the automatic calls search. The paper stresses that
+// "the JRoute API is independent of the algorithms used to implement it";
+// these are the implementations offered.
+type Algorithm uint8
+
+// Algorithms. TemplateFirst is the paper's suggestion for route(src, sink):
+// "define a set of unique and predefined templates that would get from the
+// source to the sink and try each one. If all of them fail then the router
+// could fall back on a maze algorithm." AStar is maze-only; Lee is the
+// classical breadth-first baseline.
+const (
+	TemplateFirst Algorithm = iota
+	AStar
+	Lee
+)
+
+// Options tune the Router.
+type Options struct {
+	// Algorithm for the automatic calls (default TemplateFirst).
+	Algorithm Algorithm
+	// UseLongLines enables long lines in automatic routing. Off by
+	// default, matching the paper ("Currently long lines are not
+	// supported; only hexes and singles are used").
+	UseLongLines bool
+	// TimingDriven makes the maze search minimize estimated delay
+	// instead of wire count — the §6 extension for critical nets, which
+	// the paper's shipping router leaves to manual routing.
+	TimingDriven bool
+	// MaxNodes caps maze search effort (0 = default).
+	MaxNodes int
+}
+
+func (o Options) mazeOptions() maze.Options {
+	return maze.Options{
+		UseLongLines: o.UseLongLines,
+		TimingDriven: o.TimingDriven,
+		MaxNodes:     o.MaxNodes,
+	}
+}
+
+// Stats counts router work, feeding the B1/B2 experiments.
+type Stats struct {
+	Routes        int // automatic route calls completed
+	TemplateHits  int // routes satisfied by a predefined template
+	MazeFallbacks int // routes that needed maze search
+	NodesExplored int // total search states expanded
+	PIPsSet       int
+	PIPsCleared   int
+}
+
+// Connection records one routed net at the endpoint level, which is what
+// port memory restores after a core swap (§3.3).
+type Connection struct {
+	Source EndPoint
+	Sinks  []EndPoint
+}
+
+// Router is the JRoute router over one device.
+type Router struct {
+	Dev *device.Device
+	Opt Options
+
+	stats      Stats
+	conns      []*Connection
+	remembered map[*Port][]*Connection
+}
+
+// NewRouter creates a router for a device.
+func NewRouter(dev *device.Device, opt Options) *Router {
+	return &Router{Dev: dev, Opt: opt, remembered: make(map[*Port][]*Connection)}
+}
+
+// Stats returns a copy of the counters.
+func (r *Router) Stats() Stats { return r.stats }
+
+// ResetStats zeroes the counters.
+func (r *Router) ResetStats() { r.stats = Stats{} }
+
+// Connections returns the live endpoint-level connection records.
+func (r *Router) Connections() []*Connection { return append([]*Connection(nil), r.conns...) }
+
+// IsOn is the paper's ison(row, col, wire): whether the wire is in use.
+func (r *Router) IsOn(row, col int, w arch.Wire) bool { return r.Dev.IsOn(row, col, w) }
+
+// Route turns on a single connection: "This call allows the user to make a
+// single connection (i.e. the user decides the path). This can be useful in
+// cases where there is a real time constraint on the amount of time spent
+// configuring the device." (§3.1)
+func (r *Router) Route(row, col int, from, to arch.Wire) error {
+	if err := r.Dev.SetPIP(row, col, from, to); err != nil {
+		return err
+	}
+	r.stats.PIPsSet++
+	return nil
+}
+
+// RoutePath turns on all connections of a user-defined path (§3.1). The
+// path names each wire once; the router resolves at which tile each
+// consecutive connection is made as the signal travels (the paper's
+// example names SingleEast[5] at (5,7), whose continuation happens at
+// (5,8) where the same track is SingleWest[5]). On failure, any
+// connections already made by this call are turned off again.
+func (r *Router) RoutePath(p Path) error {
+	if err := p.Validate(r.Dev.A); err != nil {
+		return err
+	}
+	cur, err := r.Dev.Canon(p.Row, p.Col, p.Wires[0])
+	if err != nil {
+		return err
+	}
+	entry := device.Coord{Row: p.Row, Col: p.Col}
+	var applied []device.PIP
+	rollback := func() {
+		for i := len(applied) - 1; i >= 0; i-- {
+			q := applied[i]
+			if cerr := r.Dev.ClearPIP(q.Row, q.Col, q.From, q.To); cerr == nil {
+				r.stats.PIPsCleared++
+			}
+		}
+	}
+	for _, w := range p.Wires[1:] {
+		taps := forwardFirst(r.Dev.Taps(cur), entry)
+		done := false
+		var lastErr error
+		for _, tp := range taps {
+			fromName := r.Dev.LocalName(cur, tp)
+			if fromName == arch.Invalid {
+				continue
+			}
+			if !r.Dev.A.PIPLegalLocal(fromName, w) {
+				continue
+			}
+			if err := r.Dev.SetPIP(tp.Row, tp.Col, fromName, w); err != nil {
+				lastErr = err
+				continue
+			}
+			q := device.PIP{Row: tp.Row, Col: tp.Col, From: fromName, To: w}
+			applied = append(applied, q)
+			r.stats.PIPsSet++
+			cur, err = r.Dev.Canon(tp.Row, tp.Col, w)
+			if err != nil {
+				rollback()
+				return err
+			}
+			entry = tp
+			done = true
+			break
+		}
+		if !done {
+			rollback()
+			if lastErr != nil {
+				return fmt.Errorf("core: path step onto %s: %w", r.Dev.A.WireName(w), lastErr)
+			}
+			return fmt.Errorf("core: path step onto %s has no legal connection from %s",
+				r.Dev.A.WireName(w), r.Dev.A.WireName(cur.W))
+		}
+	}
+	return nil
+}
+
+// forwardFirst orders tap tiles so the ones farthest from the entry tile
+// come first: a path normally travels forward along each wire.
+func forwardFirst(taps []device.Coord, entry device.Coord) []device.Coord {
+	out := append([]device.Coord(nil), taps...)
+	dist := func(c device.Coord) int {
+		return abs(c.Row-entry.Row) + abs(c.Col-entry.Col)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return dist(out[i]) > dist(out[j]) })
+	return out
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// RouteTemplate routes from a start pin to an end wire following a
+// template: "the user ... specify a template and the router picks the
+// wires" (§3.1).
+func (r *Router) RouteTemplate(src Pin, endWire arch.Wire, t Template) error {
+	start, err := r.Dev.Canon(src.Row, src.Col, src.W)
+	if err != nil {
+		return err
+	}
+	route, err := maze.TemplateRoute(r.Dev, start, endWire, t.Values)
+	if err != nil {
+		return err
+	}
+	r.stats.NodesExplored += route.Explored
+	return r.apply(route)
+}
+
+func (r *Router) apply(route *maze.Route) error {
+	for i, p := range route.PIPs {
+		if err := r.Dev.SetPIP(p.Row, p.Col, p.From, p.To); err != nil {
+			for j := i - 1; j >= 0; j-- {
+				q := route.PIPs[j]
+				if cerr := r.Dev.ClearPIP(q.Row, q.Col, q.From, q.To); cerr == nil {
+					r.stats.PIPsCleared++
+				}
+			}
+			return err
+		}
+		r.stats.PIPsSet++
+	}
+	return nil
+}
+
+// sourcePin resolves a source endpoint, which must name exactly one pin.
+func sourcePin(source EndPoint) (Pin, error) {
+	pins := source.Pins()
+	if len(pins) != 1 {
+		return Pin{}, fmt.Errorf("core: source endpoint must resolve to exactly one pin, got %d", len(pins))
+	}
+	return pins[0], nil
+}
+
+// netTracks returns every track of the net sourced at `src` (the source and
+// all driven non-pin tracks), for path reuse in fanout routing.
+func (r *Router) netTracks(src device.Track) []device.Track {
+	out := []device.Track{src}
+	seen := map[device.Key]bool{src.Key(): true}
+	queue := []device.Track{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, p := range r.Dev.FanoutOf(cur) {
+			t, err := r.Dev.Canon(p.Row, p.Col, p.To)
+			if err != nil || seen[t.Key()] {
+				continue
+			}
+			seen[t.Key()] = true
+			k := r.Dev.A.ClassOf(t.W).Kind
+			if k != arch.KindInput && k != arch.KindCtrl && k != arch.KindIOBOut && k != arch.KindBRAMIn && k != arch.KindBRAMClk {
+				out = append(out, t)
+				queue = append(queue, t)
+			}
+		}
+	}
+	return out
+}
+
+// routeOne routes srcTrack (plus the rest of its net) to one sink pin.
+func (r *Router) routeOne(srcTrack device.Track, sink Pin) error {
+	sinkTrack, err := r.Dev.Canon(sink.Row, sink.Col, sink.W)
+	if err != nil {
+		return err
+	}
+	sources := r.netTracks(srcTrack)
+	freshNet := len(sources) == 1
+	mo := r.Opt.mazeOptions()
+
+	// Timing-driven routing always searches: template candidates optimize
+	// convenience, not delay.
+	if r.Opt.Algorithm == TemplateFirst && freshNet && !r.Opt.TimingDriven {
+		cands := maze.CandidateTemplates(r.Dev.A, srcTrack,
+			device.Coord{Row: sink.Row, Col: sink.Col}, sink.W, mo)
+		// Template attempts are meant to be cheap prefilters before the
+		// maze fallback, so they get a tight exploration budget.
+		tmo := mo
+		if tmo.MaxNodes <= 0 || tmo.MaxNodes > 2000 {
+			tmo.MaxNodes = 2000
+		}
+		sinkTile := device.Coord{Row: sink.Row, Col: sink.Col}
+		for _, tmpl := range cands {
+			route, terr := maze.TemplateRouteTo(r.Dev, srcTrack, sink.W, sinkTile, tmpl, tmo)
+			if terr != nil {
+				continue
+			}
+			r.stats.NodesExplored += route.Explored
+			if err := r.apply(route); err != nil {
+				continue
+			}
+			r.stats.Routes++
+			r.stats.TemplateHits++
+			return nil
+		}
+	}
+
+	var route *maze.Route
+	if r.Opt.Algorithm == Lee {
+		route, err = maze.Lee(r.Dev, sources, sinkTrack, mo)
+	} else {
+		route, err = maze.AStar(r.Dev, sources, sinkTrack, mo)
+	}
+	if err != nil {
+		return err
+	}
+	r.stats.NodesExplored += route.Explored
+	if err := r.apply(route); err != nil {
+		return err
+	}
+	r.stats.Routes++
+	r.stats.MazeFallbacks++
+	return nil
+}
+
+// RouteNet is route(EndPoint source, EndPoint sink): "auto-routing of point
+// to point connections" (§3.1). A sink port may resolve to several pins, in
+// which case all of them are connected (reusing the net).
+func (r *Router) RouteNet(source, sink EndPoint) error {
+	src, err := sourcePin(source)
+	if err != nil {
+		return err
+	}
+	srcTrack, err := r.Dev.Canon(src.Row, src.Col, src.W)
+	if err != nil {
+		return err
+	}
+	sinkPins := sink.Pins()
+	if len(sinkPins) == 0 {
+		return fmt.Errorf("core: sink endpoint resolves to no pins (unbound port?)")
+	}
+	for _, sp := range sinkPins {
+		if err := r.routeOne(srcTrack, sp); err != nil {
+			return err
+		}
+	}
+	r.record(source, sink)
+	return nil
+}
+
+// RouteFanout is route(EndPoint source, EndPoint[] sinks): "It decides the
+// best path for the entire collection of sinks ... Each sink gets routed in
+// order of increasing distance from the source. For each sink, the router
+// attempts to reuse the previous paths as much as possible." (§3.1)
+func (r *Router) RouteFanout(source EndPoint, sinks []EndPoint) error {
+	if len(sinks) == 0 {
+		return fmt.Errorf("core: fanout with no sinks")
+	}
+	src, err := sourcePin(source)
+	if err != nil {
+		return err
+	}
+	srcTrack, err := r.Dev.Canon(src.Row, src.Col, src.W)
+	if err != nil {
+		return err
+	}
+	var pins []Pin
+	for _, s := range sinks {
+		ps := s.Pins()
+		if len(ps) == 0 {
+			return fmt.Errorf("core: fanout sink resolves to no pins (unbound port?)")
+		}
+		pins = append(pins, ps...)
+	}
+	sort.SliceStable(pins, func(i, j int) bool {
+		di := abs(pins[i].Row-src.Row) + abs(pins[i].Col-src.Col)
+		dj := abs(pins[j].Row-src.Row) + abs(pins[j].Col-src.Col)
+		return di < dj
+	})
+	for _, sp := range pins {
+		if err := r.routeOne(srcTrack, sp); err != nil {
+			return err
+		}
+	}
+	r.record(source, sinks...)
+	return nil
+}
+
+// RouteBus is route(EndPoint[] source, EndPoint[] sink): "a call for bus
+// connections. In a data flow design, the outputs of one stage go to the
+// inputs of the next stage. As a convenience, the user does not need to
+// write a Java loop to connect each one." (§3.1)
+func (r *Router) RouteBus(sources, sinks []EndPoint) error {
+	if len(sources) != len(sinks) {
+		return fmt.Errorf("core: bus width mismatch: %d sources, %d sinks", len(sources), len(sinks))
+	}
+	if len(sources) == 0 {
+		return fmt.Errorf("core: empty bus")
+	}
+	for i := range sources {
+		if err := r.RouteNet(sources[i], sinks[i]); err != nil {
+			return fmt.Errorf("core: bus bit %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// RouteClock connects a dedicated global clock net to the clock pins of the
+// given endpoints using the dedicated low-skew resources (§2's global
+// routing; clock distribution does not consume general routing).
+func (r *Router) RouteClock(g int, sinks ...EndPoint) error {
+	gw := arch.GClk(g)
+	if gw == arch.Invalid {
+		return fmt.Errorf("core: no global clock %d", g)
+	}
+	for _, s := range sinks {
+		for _, p := range s.Pins() {
+			if err := r.Dev.SetPIP(p.Row, p.Col, gw, p.W); err != nil {
+				return err
+			}
+			r.stats.PIPsSet++
+		}
+	}
+	return nil
+}
+
+// record stores the endpoint-level connection for port memory.
+func (r *Router) record(source EndPoint, sinks ...EndPoint) {
+	r.conns = append(r.conns, &Connection{Source: source, Sinks: append([]EndPoint(nil), sinks...)})
+}

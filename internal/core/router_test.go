@@ -1,0 +1,526 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/device"
+	"repro/internal/maze"
+)
+
+func newTestRouter(t testing.TB, opt Options) *Router {
+	t.Helper()
+	d, err := device.New(arch.NewVirtex(), 16, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewRouter(d, opt)
+}
+
+// assertConnected verifies via reverse trace that sink's net roots at src.
+func assertConnected(t *testing.T, r *Router, src, sink Pin) {
+	t.Helper()
+	net, err := r.ReverseTrace(sink)
+	if err != nil {
+		t.Fatalf("reverse trace from %v: %v", sink, err)
+	}
+	if net.Source != src {
+		t.Fatalf("net source = %v, want %v", net.Source, src)
+	}
+}
+
+// The §3.1 example, level 1: four explicit route calls.
+func TestRouteLevel1PaperExample(t *testing.T) {
+	r := newTestRouter(t, Options{})
+	a := r.Dev.A
+	calls := []struct {
+		row, col int
+		from, to arch.Wire
+	}{
+		{5, 7, arch.S1YQ, arch.Out(1)},
+		{5, 7, arch.Out(1), a.Single(arch.East, 5)},
+		{5, 8, a.Single(arch.West, 5), a.Single(arch.North, 0)},
+		{6, 8, a.Single(arch.South, 0), arch.S0F3},
+	}
+	for _, c := range calls {
+		if err := r.Route(c.row, c.col, c.from, c.to); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertConnected(t, r, NewPin(5, 7, arch.S1YQ), NewPin(6, 8, arch.S0F3))
+	if r.Stats().PIPsSet != 4 {
+		t.Errorf("PIPsSet = %d, want 4", r.Stats().PIPsSet)
+	}
+}
+
+// Level 2: the same route as a Path:
+//
+//	int[] p = {S1_YQ, Out[1], SingleEast[5], SingleNorth[0], S0F3};
+//	Path path = new Path(5,7,p);
+func TestRoutePathPaperExample(t *testing.T) {
+	r := newTestRouter(t, Options{})
+	a := r.Dev.A
+	p := NewPath(5, 7, []arch.Wire{
+		arch.S1YQ, arch.Out(1), a.Single(arch.East, 5), a.Single(arch.North, 0), arch.S0F3,
+	})
+	if err := r.RoutePath(p); err != nil {
+		t.Fatal(err)
+	}
+	assertConnected(t, r, NewPin(5, 7, arch.S1YQ), NewPin(6, 8, arch.S0F3))
+	// Exactly the same four PIPs as level 1.
+	if n := r.Dev.OnPIPCount(); n != 4 {
+		t.Errorf("path route used %d PIPs, want 4", n)
+	}
+	if !r.IsOn(5, 8, a.Single(arch.West, 5)) {
+		t.Error("path did not use the east single")
+	}
+}
+
+// Level 3: the same route by template:
+//
+//	int[] t = {OUTMUX, EAST1, NORTH1, CLBIN};
+func TestRouteTemplatePaperExample(t *testing.T) {
+	r := newTestRouter(t, Options{})
+	tmpl := NewTemplate([]arch.TemplateValue{arch.TVOutMux, arch.TVEast1, arch.TVNorth1, arch.TVClbIn})
+	if err := r.RouteTemplate(NewPin(5, 7, arch.S1YQ), arch.S0F3, tmpl); err != nil {
+		t.Fatal(err)
+	}
+	assertConnected(t, r, NewPin(5, 7, arch.S1YQ), NewPin(6, 8, arch.S0F3))
+	if n := r.Dev.OnPIPCount(); n != 4 {
+		t.Errorf("template route used %d PIPs, want 4", n)
+	}
+}
+
+// Level 4: full auto-routing:
+//
+//	Pin src = new Pin(5, 7, S1_YQ);
+//	Pin sink = new Pin(6, 8, S0F3);
+//	router.route(src, sink);
+func TestRouteNetPaperExample(t *testing.T) {
+	r := newTestRouter(t, Options{})
+	if err := r.RouteNet(NewPin(5, 7, arch.S1YQ), NewPin(6, 8, arch.S0F3)); err != nil {
+		t.Fatal(err)
+	}
+	assertConnected(t, r, NewPin(5, 7, arch.S1YQ), NewPin(6, 8, arch.S0F3))
+	st := r.Stats()
+	if st.Routes != 1 || st.TemplateHits != 1 {
+		t.Errorf("stats = %+v, want one template-hit route", st)
+	}
+}
+
+func TestParseTemplate(t *testing.T) {
+	tmpl, err := ParseTemplate("OUTMUX, EAST1, NORTH1, CLBIN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmpl.Values) != 4 || tmpl.Values[1] != arch.TVEast1 {
+		t.Errorf("parsed %v", tmpl)
+	}
+	if tmpl.String() != "{OUTMUX,EAST1,NORTH1,CLBIN}" {
+		t.Errorf("String = %s", tmpl)
+	}
+	if _, err := ParseTemplate("OUTMUX,BOGUS"); err == nil {
+		t.Error("bad template accepted")
+	}
+}
+
+func TestRoutePathRollbackOnFailure(t *testing.T) {
+	r := newTestRouter(t, Options{})
+	a := r.Dev.A
+	// Last step is illegal: a hex cannot drive an input.
+	p := NewPath(5, 7, []arch.Wire{
+		arch.S1YQ, arch.Out(1), a.Hex(arch.East, 1), arch.S0F3,
+	})
+	if err := r.RoutePath(p); err == nil {
+		t.Fatal("illegal path accepted")
+	}
+	if n := r.Dev.OnPIPCount(); n != 0 {
+		t.Errorf("device has %d PIPs after failed path", n)
+	}
+	// Short and invalid-wire paths rejected statically.
+	if err := r.RoutePath(NewPath(5, 7, []arch.Wire{arch.S1YQ})); err == nil {
+		t.Error("one-wire path accepted")
+	}
+	if err := r.RoutePath(NewPath(5, 7, []arch.Wire{arch.S1YQ, arch.Invalid})); err == nil {
+		t.Error("invalid wire accepted")
+	}
+}
+
+func TestRouteNetDistancesAndAlgorithms(t *testing.T) {
+	for _, alg := range []Algorithm{TemplateFirst, AStar, Lee} {
+		r := newTestRouter(t, Options{Algorithm: alg})
+		cases := []struct{ sr, sc, tr, tc int }{
+			{3, 3, 3, 3}, {3, 3, 3, 4}, {3, 3, 4, 3}, {2, 2, 9, 17}, {14, 22, 1, 1},
+		}
+		for _, c := range cases {
+			src := NewPin(c.sr, c.sc, arch.S0X)
+			sink := NewPin(c.tr, c.tc, arch.S1F2)
+			if err := r.RouteNet(src, sink); err != nil {
+				t.Fatalf("alg %d (%d,%d)->(%d,%d): %v", alg, c.sr, c.sc, c.tr, c.tc, err)
+			}
+			assertConnected(t, r, src, sink)
+		}
+		st := r.Stats()
+		if alg == TemplateFirst && st.TemplateHits == 0 {
+			t.Errorf("template-first made no template hits: %+v", st)
+		}
+		if alg != TemplateFirst && st.TemplateHits != 0 {
+			t.Errorf("alg %d used templates: %+v", alg, st)
+		}
+	}
+}
+
+func TestRouteFanoutSharesResources(t *testing.T) {
+	// Route 1 source to 6 sinks with RouteFanout, and the same pattern
+	// as 6 independent nets from separate sources; shared fanout must
+	// use fewer wires per sink (§3.1: "it minimizes the routing
+	// resources used").
+	rShared := newTestRouter(t, Options{})
+	src := NewPin(8, 4, arch.S0X)
+	var sinks []EndPoint
+	for i := 0; i < 6; i++ {
+		sinks = append(sinks, NewPin(6+i, 14+i, arch.S0F1))
+	}
+	if err := rShared.RouteFanout(src, sinks); err != nil {
+		t.Fatal(err)
+	}
+	net, err := rShared.Trace(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Sinks) != 6 {
+		t.Fatalf("fanout net has %d sinks, want 6", len(net.Sinks))
+	}
+	sharedWires := net.WireCount(rShared.Dev)
+
+	rIndep := newTestRouter(t, Options{})
+	indepWires := 0
+	for i := 0; i < 6; i++ {
+		s := NewPin(8, 4, arch.OutPin(i%arch.NumOutPins))
+		if err := rIndep.RouteNet(s, sinks[i]); err != nil {
+			t.Fatal(err)
+		}
+		n, err := rIndep.Trace(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		indepWires += n.WireCount(rIndep.Dev)
+	}
+	if sharedWires >= indepWires {
+		t.Errorf("shared fanout uses %d wires, independent %d: no sharing", sharedWires, indepWires)
+	}
+}
+
+func TestRouteBus(t *testing.T) {
+	r := newTestRouter(t, Options{})
+	// An output group at (4,4) and an input group at (9,15).
+	og := NewGroup("mult.out")
+	ig := NewGroup("add.in")
+	var srcs, dsts []EndPoint
+	for i := 0; i < 4; i++ {
+		op := og.NewPort(portName("o", i), Out)
+		if err := op.Bind(NewPin(4, 4+i, arch.S0X)); err != nil {
+			t.Fatal(err)
+		}
+		ip := ig.NewPort(portName("i", i), In)
+		if err := ip.Bind(NewPin(9, 15+i, arch.S0F1)); err != nil {
+			t.Fatal(err)
+		}
+		srcs = append(srcs, op)
+		dsts = append(dsts, ip)
+	}
+	if err := r.RouteBus(srcs, dsts); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		assertConnected(t, r, NewPin(4, 4+i, arch.S0X), NewPin(9, 15+i, arch.S0F1))
+	}
+	if err := r.RouteBus(srcs[:2], dsts); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	if err := r.RouteBus(nil, nil); err == nil {
+		t.Error("empty bus accepted")
+	}
+}
+
+func portName(prefix string, i int) string {
+	return prefix + string(rune('0'+i))
+}
+
+func TestPortBindingRules(t *testing.T) {
+	g := NewGroup("g")
+	out := g.NewPort("out", Out)
+	if err := out.Bind(NewPin(1, 1, arch.S0X), NewPin(1, 2, arch.S0X)); err == nil {
+		t.Error("out port bound to two pins")
+	}
+	in := g.NewPort("in", In)
+	if err := in.Bind(); err == nil {
+		t.Error("in port bound to zero pins")
+	}
+	if err := in.Bind(NewPin(1, 1, arch.S0F1), NewPin(1, 1, arch.S0G1)); err != nil {
+		t.Errorf("multi-pin in port rejected: %v", err)
+	}
+	if err := out.BindPort(in); err == nil {
+		t.Error("direction mismatch accepted")
+	}
+	// Forwarding: outer re-exports inner.
+	inner := NewGroup("inner").NewPort("o", Out)
+	if err := inner.Bind(NewPin(2, 2, arch.S0Y)); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.BindPort(inner); err != nil {
+		t.Fatal(err)
+	}
+	pins := out.Pins()
+	if len(pins) != 1 || pins[0] != NewPin(2, 2, arch.S0Y) {
+		t.Errorf("forwarded pins = %v", pins)
+	}
+	// Cycles rejected.
+	x := NewGroup("x").NewPort("a", Out)
+	y := NewGroup("y").NewPort("b", Out)
+	if err := x.BindPort(y); err != nil {
+		t.Fatal(err)
+	}
+	if err := y.BindPort(x); err == nil {
+		t.Error("binding cycle accepted")
+	}
+	if err := x.BindPort(nil); err == nil {
+		t.Error("nil binding accepted")
+	}
+	if g.Size() != 2 || g.Name() != "g" {
+		t.Errorf("group bookkeeping wrong: %d %s", g.Size(), g.Name())
+	}
+	if out.Group() != g || in.Dir() != In || out.Dir() != Out {
+		t.Error("port accessors wrong")
+	}
+}
+
+func TestTraceAndReverseTrace(t *testing.T) {
+	r := newTestRouter(t, Options{})
+	src := NewPin(5, 5, arch.S0X)
+	sinkA := NewPin(9, 9, arch.S0F1)
+	sinkB := NewPin(9, 11, arch.S1F1)
+	if err := r.RouteFanout(src, []EndPoint{sinkA, sinkB}); err != nil {
+		t.Fatal(err)
+	}
+	net, err := r.Trace(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Sinks) != 2 {
+		t.Fatalf("trace found %d sinks, want 2", len(net.Sinks))
+	}
+	// Reverse trace from each sink returns only its branch and the
+	// common spine — strictly fewer PIPs than the whole net.
+	ra, err := r.ReverseTrace(sinkA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Source != src {
+		t.Errorf("reverse trace source %v, want %v", ra.Source, src)
+	}
+	if len(ra.PIPs) >= len(net.PIPs) {
+		t.Errorf("branch trace (%d PIPs) not smaller than net (%d PIPs)", len(ra.PIPs), len(net.PIPs))
+	}
+	// Reverse trace of something unrouted fails.
+	if _, err := r.ReverseTrace(NewPin(1, 1, arch.S0F1)); err == nil {
+		t.Error("reverse trace of unrouted pin succeeded")
+	}
+	// Trace of an unrouted source yields an empty net.
+	empty, err := r.Trace(NewPin(1, 1, arch.S0X))
+	if err != nil || len(empty.PIPs) != 0 {
+		t.Errorf("trace of unrouted source: %v, %v", empty, err)
+	}
+}
+
+func TestUnroute(t *testing.T) {
+	r := newTestRouter(t, Options{})
+	src := NewPin(5, 5, arch.S0X)
+	sinks := []EndPoint{NewPin(9, 9, arch.S0F1), NewPin(3, 12, arch.S0F2)}
+	if err := r.RouteFanout(src, sinks); err != nil {
+		t.Fatal(err)
+	}
+	if r.UsedTracks() == 0 {
+		t.Fatal("nothing routed")
+	}
+	if err := r.Unroute(src); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.UsedTracks(); n != 0 {
+		t.Errorf("%d tracks still used after unroute", n)
+	}
+	if err := r.Unroute(src); err == nil {
+		t.Error("double unroute accepted")
+	}
+	if len(r.Connections()) != 0 {
+		t.Error("connection records survive unroute")
+	}
+}
+
+func TestReverseUnrouteRemovesOnlyBranch(t *testing.T) {
+	r := newTestRouter(t, Options{})
+	src := NewPin(5, 5, arch.S0X)
+	sinkA := NewPin(9, 9, arch.S0F1)
+	sinkB := NewPin(9, 11, arch.S1F1)
+	if err := r.RouteFanout(src, []EndPoint{sinkA, sinkB}); err != nil {
+		t.Fatal(err)
+	}
+	before := r.Dev.OnPIPCount()
+	if err := r.ReverseUnroute(sinkA); err != nil {
+		t.Fatal(err)
+	}
+	after := r.Dev.OnPIPCount()
+	if after >= before {
+		t.Errorf("reverse unroute freed nothing (%d -> %d)", before, after)
+	}
+	// The other branch is intact.
+	assertConnected(t, r, src, sinkB)
+	// sinkA is free for reuse.
+	if r.IsOn(sinkA.Row, sinkA.Col, sinkA.W) {
+		t.Error("sink A still driven")
+	}
+	// Re-routing sink A works again.
+	if err := r.RouteNet(src, sinkA); err != nil {
+		t.Fatal(err)
+	}
+	assertConnected(t, r, src, sinkA)
+	if err := r.ReverseUnroute(NewPin(1, 1, arch.S0F1)); err == nil {
+		t.Error("reverse unroute of unrouted pin accepted")
+	}
+}
+
+// TestPortMemoryReplacement reproduces §3.3's constant-multiplier story at
+// the routing level: connections to a port are unrouted, the port rebinds
+// to new pins (the replacement core), and Reconnect restores the wiring
+// without the user re-specifying it.
+func TestPortMemoryReplacement(t *testing.T) {
+	r := newTestRouter(t, Options{})
+	g := NewGroup("cm")
+	out := g.NewPort("q", Out)
+	if err := out.Bind(NewPin(4, 4, arch.S0X)); err != nil {
+		t.Fatal(err)
+	}
+	userIn := NewPin(10, 16, arch.S0F3)
+	if err := r.RouteNet(out, userIn); err != nil {
+		t.Fatal(err)
+	}
+	assertConnected(t, r, NewPin(4, 4, arch.S0X), userIn)
+
+	// Remove the core's net; the connection is remembered.
+	if err := r.Unroute(out); err != nil {
+		t.Fatal(err)
+	}
+	if r.UsedTracks() != 0 {
+		t.Fatal("tracks leak after unroute")
+	}
+	if len(r.RememberedConnections(out)) != 1 {
+		t.Fatalf("remembered = %v", r.RememberedConnections(out))
+	}
+
+	// "Core relocation is handled in a similar way": rebind the port to
+	// the replacement core's pin at a new location.
+	if err := out.Bind(NewPin(6, 6, arch.S1X)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Reconnect(out); err != nil {
+		t.Fatal(err)
+	}
+	assertConnected(t, r, NewPin(6, 6, arch.S1X), userIn)
+	if len(r.RememberedConnections(out)) != 0 {
+		t.Error("remembered connection not consumed")
+	}
+	// Reconnect with nothing remembered is a no-op.
+	if err := r.Reconnect(out); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouteClock(t *testing.T) {
+	r := newTestRouter(t, Options{})
+	sinks := []EndPoint{NewPin(2, 3, arch.S0CLK), NewPin(11, 19, arch.S1CLK)}
+	if err := r.RouteClock(0, sinks...); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sinks {
+		p := s.Pins()[0]
+		if !r.IsOn(p.Row, p.Col, p.W) {
+			t.Errorf("clock pin %v not driven", p)
+		}
+	}
+	if err := r.RouteClock(99); err == nil {
+		t.Error("bad clock index accepted")
+	}
+	if err := r.RouteClock(0, NewPin(2, 3, arch.S0F1)); err == nil {
+		t.Error("clock onto LUT input accepted")
+	}
+}
+
+// TestAutoRouteNeverContends is the B6 invariant: whatever the workload,
+// the automatic router must never produce contention — it fails cleanly
+// instead (§3.4 "In the auto-routing calls, the router checks to see if a
+// wire is already used, which avoids contention").
+func TestAutoRouteNeverContends(t *testing.T) {
+	r := newTestRouter(t, Options{})
+	rng := rand.New(rand.NewSource(42))
+	routed := 0
+	for i := 0; i < 300; i++ {
+		src := NewPin(rng.Intn(16), rng.Intn(24), arch.OutPin(rng.Intn(arch.NumOutPins)))
+		sink := NewPin(rng.Intn(16), rng.Intn(24), arch.Input(rng.Intn(arch.NumInputs)))
+		err := r.RouteNet(src, sink)
+		var ce *device.ContentionError
+		if errors.As(err, &ce) {
+			t.Fatalf("route %d created contention: %v", i, err)
+		}
+		if err == nil {
+			routed++
+		} else if !errors.Is(err, maze.ErrUnroutable) {
+			t.Fatalf("route %d unexpected error: %v", i, err)
+		}
+	}
+	if routed < 100 {
+		t.Errorf("only %d/300 random nets routed; fabric too congested", routed)
+	}
+}
+
+// TestKestrelPortability is the §5 claim at unit level: the same router
+// code routes an entirely different architecture.
+func TestKestrelPortability(t *testing.T) {
+	d, err := device.New(arch.NewKestrel(), 12, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(d, Options{})
+	cases := []struct{ sr, sc, tr, tc int }{
+		{2, 2, 2, 2}, {2, 2, 9, 13}, {10, 14, 1, 1},
+	}
+	for _, c := range cases {
+		src := NewPin(c.sr, c.sc, arch.S0X)
+		sink := NewPin(c.tr, c.tc, arch.S0F1)
+		if err := r.RouteNet(src, sink); err != nil {
+			t.Fatalf("kestrel (%d,%d)->(%d,%d): %v", c.sr, c.sc, c.tr, c.tc, err)
+		}
+		assertConnected(t, r, src, sink)
+	}
+}
+
+func TestSourceEndpointValidation(t *testing.T) {
+	r := newTestRouter(t, Options{})
+	g := NewGroup("g")
+	unbound := g.NewPort("u", Out)
+	if err := r.RouteNet(unbound, NewPin(1, 1, arch.S0F1)); err == nil {
+		t.Error("unbound source port accepted")
+	}
+	src := NewPin(1, 1, arch.S0X)
+	unboundIn := g.NewPort("ui", In)
+	if err := r.RouteNet(src, unboundIn); err == nil {
+		t.Error("unbound sink port accepted")
+	}
+	if err := r.RouteFanout(src, nil); err == nil {
+		t.Error("empty fanout accepted")
+	}
+	if err := r.RouteFanout(src, []EndPoint{unboundIn}); err == nil {
+		t.Error("fanout to unbound port accepted")
+	}
+}

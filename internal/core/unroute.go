@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Unroute is the paper's unroute(EndPoint source): "In the forward
+// direction a source pin is specified. The unrouter then follows each of
+// the wires the pin drives and turns it off. This continues until all of
+// the sinks are found." (§3.3)
+//
+// Endpoint-level connection records whose source matches are removed; if
+// any port is involved, the connection is remembered so that re-routing the
+// port (after a core swap or relocation) can restore it (§3.3: "The port
+// connections are removed, but are remembered").
+func (r *Router) Unroute(source EndPoint) error {
+	net, err := r.Trace(source)
+	if err != nil {
+		return err
+	}
+	if len(net.PIPs) == 0 {
+		return fmt.Errorf("core: %s at (%d,%d) is not routed",
+			r.Dev.A.WireName(net.Source.W), net.Source.Row, net.Source.Col)
+	}
+	// Clear leaves-first (reverse BFS order) so every ClearPIP removes a
+	// PIP whose target has no remaining dependants.
+	for i := len(net.PIPs) - 1; i >= 0; i-- {
+		p := net.PIPs[i]
+		if err := r.Dev.ClearPIP(p.Row, p.Col, p.From, p.To); err != nil {
+			return err
+		}
+		r.stats.PIPsCleared++
+	}
+	r.retireConnections(func(c *Connection) bool { return endPointEqual(c.Source, source) })
+	return nil
+}
+
+// ReverseUnroute is the paper's reverseunroute(EndPoint sink): "The entire
+// net, starting from the source, is not removed. Only the branch that leads
+// to the specified pin is turned off, and freed up for reuse. The unrouter
+// starts at the sink pin and works backwards, turning off wires along the
+// way, until it comes to a point where a wire is driving multiple wires."
+// (§3.3)
+func (r *Router) ReverseUnroute(sink EndPoint) error {
+	pins := sink.Pins()
+	if len(pins) != 1 {
+		return fmt.Errorf("core: reverse unroute needs exactly one sink pin, got %d", len(pins))
+	}
+	sp := pins[0]
+	cur, err := r.Dev.Canon(sp.Row, sp.Col, sp.W)
+	if err != nil {
+		return err
+	}
+	removed := 0
+	for {
+		p, ok := r.Dev.DriverOf(cur)
+		if !ok {
+			break
+		}
+		prev, err := r.Dev.Canon(p.Row, p.Col, p.From)
+		if err != nil {
+			return err
+		}
+		if err := r.Dev.ClearPIP(p.Row, p.Col, p.From, p.To); err != nil {
+			return err
+		}
+		r.stats.PIPsCleared++
+		removed++
+		// Stop at a branch point: the predecessor still drives others.
+		if len(r.Dev.FanoutOf(prev)) > 0 {
+			break
+		}
+		cur = prev
+	}
+	if removed == 0 {
+		return fmt.Errorf("core: %s at (%d,%d) is not routed",
+			r.Dev.A.WireName(sp.W), sp.Row, sp.Col)
+	}
+	// Split the sink out of any connection records: the removed part is
+	// remembered (under every port it touches, including the source's)
+	// so Reconnect can restore exactly this branch; the remaining sinks
+	// stay live.
+	kept := r.conns[:0]
+	for _, c := range r.conns {
+		var stay, gone []EndPoint
+		for _, s := range c.Sinks {
+			if endPointCoversPin(s, sp) {
+				gone = append(gone, s)
+			} else {
+				stay = append(stay, s)
+			}
+		}
+		if len(gone) > 0 {
+			mem := &Connection{Source: c.Source, Sinks: gone}
+			for _, port := range connectionPorts(mem) {
+				r.remembered[port] = append(r.remembered[port], mem)
+			}
+		}
+		c.Sinks = stay
+		if len(c.Sinks) > 0 {
+			kept = append(kept, c)
+		}
+	}
+	r.conns = kept
+	return nil
+}
+
+// UnrouteAll removes every routed net on the device (used when tearing a
+// whole design down).
+func (r *Router) UnrouteAll() error {
+	for {
+		pips := r.Dev.AllOnPIPs()
+		if len(pips) == 0 {
+			return nil
+		}
+		progress := false
+		for _, p := range pips {
+			t, err := r.Dev.Canon(p.Row, p.Col, p.To)
+			if err != nil {
+				return err
+			}
+			// Only clear PIPs whose target drives nothing (leaves).
+			if len(r.Dev.FanoutOf(t)) > 0 {
+				continue
+			}
+			if err := r.Dev.ClearPIP(p.Row, p.Col, p.From, p.To); err != nil {
+				return err
+			}
+			r.stats.PIPsCleared++
+			progress = true
+		}
+		if !progress {
+			return fmt.Errorf("core: unroute-all stuck with %d PIPs (routing cycle?)", len(pips))
+		}
+	}
+}
+
+// retireConnections removes matching records from the live list; records
+// that involve ports are remembered for later Reconnect.
+func (r *Router) retireConnections(match func(*Connection) bool) {
+	kept := r.conns[:0]
+	for _, c := range r.conns {
+		if !match(c) {
+			kept = append(kept, c)
+			continue
+		}
+		for _, port := range connectionPorts(c) {
+			r.remembered[port] = append(r.remembered[port], c)
+		}
+	}
+	r.conns = kept
+}
+
+// connectionPorts lists the distinct ports an endpoint-level connection
+// touches.
+func connectionPorts(c *Connection) []*Port {
+	var out []*Port
+	add := func(e EndPoint) {
+		if p, ok := e.(*Port); ok {
+			for _, q := range out {
+				if q == p {
+					return
+				}
+			}
+			out = append(out, p)
+		}
+	}
+	add(c.Source)
+	for _, s := range c.Sinks {
+		add(s)
+	}
+	return out
+}
+
+// RememberedConnections returns the unrouted connections remembered for a
+// port.
+func (r *Router) RememberedConnections(port *Port) []*Connection {
+	return append([]*Connection(nil), r.remembered[port]...)
+}
+
+// Reconnect re-routes every remembered connection involving the port,
+// resolving ports to their *current* pins — this is what makes §3.3's core
+// replacement work: "If the ports are reused, then they will be
+// automatically connected to the new core ... The core can be removed,
+// unrouted, and replaced with a new constant multiplier without having to
+// specify connections again."
+func (r *Router) Reconnect(port *Port) error {
+	conns := r.remembered[port]
+	if len(conns) == 0 {
+		return nil
+	}
+	for _, c := range conns {
+		var err error
+		if len(c.Sinks) == 1 {
+			err = r.RouteNet(c.Source, c.Sinks[0])
+		} else {
+			err = r.RouteFanout(c.Source, c.Sinks)
+		}
+		if err != nil {
+			return fmt.Errorf("core: reconnecting %v: %w", port, err)
+		}
+		// Drop the record everywhere it was remembered.
+		for _, q := range connectionPorts(c) {
+			list := r.remembered[q]
+			kept := list[:0]
+			for _, x := range list {
+				if x != c {
+					kept = append(kept, x)
+				}
+			}
+			if len(kept) == 0 {
+				delete(r.remembered, q)
+			} else {
+				r.remembered[q] = kept
+			}
+		}
+	}
+	return nil
+}
+
+// endPointEqual compares endpoints: pins by value, ports by identity.
+func endPointEqual(a, b EndPoint) bool {
+	switch x := a.(type) {
+	case Pin:
+		y, ok := b.(Pin)
+		return ok && x == y
+	case *Port:
+		y, ok := b.(*Port)
+		return ok && x == y
+	default:
+		return false
+	}
+}
+
+// endPointCoversPin reports whether endpoint e currently resolves to pin p.
+func endPointCoversPin(e EndPoint, p Pin) bool {
+	for _, q := range e.Pins() {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// UsedTracks returns the number of tracks currently in use on the device
+// (driven tracks), a global resource metric.
+func (r *Router) UsedTracks() int { return r.Dev.OnPIPCount() }

@@ -1,0 +1,274 @@
+package cores
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+)
+
+// Adder2 computes sum = a + b (+ cin) with two run-time operands — the
+// general ripple adder the MAC composes with. One bit per slice, two bits
+// per CLB, stacked northward. Groups:
+//
+//	"a", "b" In  — operands (LSB first)
+//	"sum"   Out  — result (registered when Registered)
+//	"cin"   In   — optional carry in
+//	"cout"  Out  — carry out
+type Adder2 struct {
+	Base
+	Bits       int
+	Registered bool
+	Clock      int
+}
+
+// NewAdder2 creates an unplaced two-operand adder.
+func NewAdder2(name string, bits int, registered bool) (*Adder2, error) {
+	if bits < 1 || bits > 64 {
+		return nil, fmt.Errorf("cores: adder width %d out of range", bits)
+	}
+	a := &Adder2{Bits: bits, Registered: registered}
+	a.init(name, 1, (bits+1)/2)
+	return a, nil
+}
+
+func (a *Adder2) bitSite(i int) (row, col, slice int) {
+	return a.row + i/2, a.col, i % 2
+}
+
+func (a *Adder2) sumPin(i int) core.Pin {
+	r, c, s := a.bitSite(i)
+	p := s * 4
+	if a.Registered {
+		p += 2
+	}
+	return core.NewPin(r, c, arch.OutPin(p))
+}
+
+// Full-adder truth tables over inputs 1 = a, 2 = carry, 3 = b.
+var (
+	truthSum3 = TruthFromFunc(func(x, c, b, _ bool) bool { return x != c != b })
+	truthMaj3 = TruthFromFunc(func(x, c, b, _ bool) bool {
+		n := 0
+		for _, v := range []bool{x, c, b} {
+			if v {
+				n++
+			}
+		}
+		return n >= 2
+	})
+)
+
+// Implement configures the adder, routes its carry chain, and binds all
+// ports.
+func (a *Adder2) Implement(r *core.Router) error {
+	if err := a.checkPlacement(r.Dev); err != nil {
+		return err
+	}
+	for i := 0; i < a.Bits; i++ {
+		row, col, s := a.bitSite(i)
+		if err := a.setLUT(r.Dev, row, col, s*2+0, truthSum3); err != nil {
+			return err
+		}
+		if err := a.setLUT(r.Dev, row, col, s*2+1, truthMaj3); err != nil {
+			return err
+		}
+		if err := a.port("a", i, core.In).Bind(
+			core.NewPin(row, col, arch.LUTInput(s, 0, 1)),
+			core.NewPin(row, col, arch.LUTInput(s, 1, 1)),
+		); err != nil {
+			return err
+		}
+		if err := a.port("b", i, core.In).Bind(
+			core.NewPin(row, col, arch.LUTInput(s, 0, 3)),
+			core.NewPin(row, col, arch.LUTInput(s, 1, 3)),
+		); err != nil {
+			return err
+		}
+		if err := a.port("sum", i, core.Out).Bind(a.sumPin(i)); err != nil {
+			return err
+		}
+	}
+	// Carry chain on inputs 2 (F2/G2), exactly as in ConstAdder.
+	for i := 0; i+1 < a.Bits; i++ {
+		row, col, s := a.bitSite(i)
+		if s == 0 {
+			if err := a.routePIP(r, row, col, arch.S0Y, arch.S1F2); err != nil {
+				return err
+			}
+			if err := a.routePIP(r, row, col, arch.S0Y, arch.S1G2); err != nil {
+				return err
+			}
+		} else {
+			src := core.NewPin(row, col, arch.S1Y)
+			sinks := []core.EndPoint{
+				core.NewPin(row+1, col, arch.S0F2),
+				core.NewPin(row+1, col, arch.S0G2),
+			}
+			if err := a.routeInternal(r, src, sinks...); err != nil {
+				return err
+			}
+		}
+	}
+	if err := a.port("cin", 0, core.In).Bind(
+		core.NewPin(a.row, a.col, arch.S0F2),
+		core.NewPin(a.row, a.col, arch.S0G2),
+	); err != nil {
+		return err
+	}
+	topRow, topCol, topSlice := a.bitSite(a.Bits - 1)
+	coutPin := arch.S0Y
+	if topSlice == 1 {
+		coutPin = arch.S1Y
+	}
+	if err := a.port("cout", 0, core.Out).Bind(core.NewPin(topRow, topCol, coutPin)); err != nil {
+		return err
+	}
+	if a.Registered {
+		var clkPins []core.Pin
+		for i := 0; i < a.Bits; i++ {
+			row, col, s := a.bitSite(i)
+			clk := arch.S0CLK
+			if s == 1 {
+				clk = arch.S1CLK
+			}
+			clkPins = append(clkPins, core.NewPin(row, col, clk))
+		}
+		if err := a.routeClock(r, a.Clock, clkPins...); err != nil {
+			return err
+		}
+	}
+	a.implemented = true
+	return nil
+}
+
+// MAC is a multiply-accumulate core, acc' = acc + K*x, composed
+// hierarchically from a ConstMul, an Adder2 and a Register and wired
+// port-to-port with bus routes — the §3.2 pattern of a core that "can
+// specify connections from ports of internal cores to its own ports".
+// Groups:
+//
+//	"x"   In  — the 4 multiplier input bits (re-exported from the ConstMul)
+//	"acc" Out — the accumulator state (re-exported from the Register)
+type MAC struct {
+	Base
+	K     uint64
+	KBits int
+	Clock int
+
+	mul *ConstMul
+	add *Adder2
+	reg *Register
+}
+
+// AccExtra is the accumulator headroom beyond the product width.
+const AccExtra = 4
+
+// NewMAC creates an unplaced multiply-accumulate core.
+func NewMAC(name string, k uint64, kBits int) (*MAC, error) {
+	mul, err := NewConstMul(name+".mul", k, kBits)
+	if err != nil {
+		return nil, err
+	}
+	accBits := mul.OutBits() + AccExtra
+	add, err := NewAdder2(name+".add", accBits, false)
+	if err != nil {
+		return nil, err
+	}
+	reg, err := NewRegister(name+".reg", accBits)
+	if err != nil {
+		return nil, err
+	}
+	m := &MAC{K: k, KBits: kBits, mul: mul, add: add, reg: reg}
+	// Footprint: three columns of subcores with a routing gap.
+	h := (accBits+1)/2 + 1
+	m.init(name, 9, h)
+	return m, nil
+}
+
+// AccBits returns the accumulator width.
+func (m *MAC) AccBits() int { return m.mul.OutBits() + AccExtra }
+
+// Implement places and implements the subcores, buses them together, and
+// re-exports the outer ports.
+func (m *MAC) Implement(r *core.Router) error {
+	if err := m.checkPlacement(r.Dev); err != nil {
+		return err
+	}
+	m.add.Clock = m.Clock
+	m.reg.Clock = m.Clock
+	if err := m.mul.Place(m.row, m.col); err != nil {
+		return err
+	}
+	if err := m.mul.Implement(r); err != nil {
+		return err
+	}
+	if err := m.add.Place(m.row, m.col+4); err != nil {
+		return err
+	}
+	if err := m.add.Implement(r); err != nil {
+		return err
+	}
+	if err := m.reg.Place(m.row, m.col+8); err != nil {
+		return err
+	}
+	if err := m.reg.Implement(r); err != nil {
+		return err
+	}
+	// product -> adder.a (low bits; high bits read 0 unconnected).
+	pPorts := m.mul.Group("p").Ports()
+	aPorts := m.add.Group("a").Ports()
+	for i := range pPorts {
+		if err := m.routeInternal(r, pPorts[i], aPorts[i]); err != nil {
+			return err
+		}
+	}
+	// register.q -> adder.b and adder.sum -> register.d, the accumulate
+	// loop (broken by the register).
+	qPorts := m.reg.Group("q").Ports()
+	bPorts := m.add.Group("b").Ports()
+	dPorts := m.reg.Group("d").Ports()
+	sPorts := m.add.Group("sum").Ports()
+	for i := 0; i < m.AccBits(); i++ {
+		if err := m.routeInternal(r, qPorts[i], bPorts[i]); err != nil {
+			return err
+		}
+		if err := m.routeInternal(r, sPorts[i], dPorts[i]); err != nil {
+			return err
+		}
+	}
+	// Re-export the outer ports (§3.2).
+	for i, p := range m.mul.Group("x").Ports() {
+		if err := m.port("x", i, core.In).BindPort(p); err != nil {
+			return err
+		}
+	}
+	for i, p := range qPorts {
+		if err := m.port("acc", i, core.Out).BindPort(p); err != nil {
+			return err
+		}
+	}
+	m.implemented = true
+	return nil
+}
+
+// SetConstant retunes K at run time (LUT rewrite in the inner multiplier).
+func (m *MAC) SetConstant(r *core.Router, k uint64) error {
+	m.K = k
+	return m.mul.SetConstant(r, k)
+}
+
+// Remove unroutes the internal buses and removes the subcores.
+func (m *MAC) Remove(r *core.Router) error {
+	if err := m.Base.Remove(r); err != nil {
+		return err
+	}
+	for _, sub := range []interface {
+		Remove(*core.Router) error
+	}{m.mul, m.add, m.reg} {
+		if err := sub.Remove(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

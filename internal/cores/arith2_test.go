@@ -1,0 +1,165 @@
+package cores
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+func TestAdder2Combinational(t *testing.T) {
+	r := newRig(t)
+	add, err := NewAdder2("add", 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add.Place(4, 12)
+	if err := add.Implement(r); err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(r.Dev)
+	forceA := padDrive(t, r, s, 4, 4, add.Ports("a"))
+	forceB := padDrive(t, r, s, 9, 4, add.Ports("b"))
+	for _, c := range []struct{ a, b uint64 }{
+		{0, 0}, {1, 1}, {7, 8}, {15, 15}, {9, 3}, {5, 10},
+	} {
+		forceA(c.a)
+		forceB(c.b)
+		if err := s.Eval(); err != nil {
+			t.Fatal(err)
+		}
+		got := readPorts(t, s, add.Ports("sum"))
+		if got != (c.a+c.b)&0xF {
+			t.Errorf("%d+%d = %d, want %d", c.a, c.b, got, (c.a+c.b)&0xF)
+		}
+		coutPin := add.Ports("cout")[0].Pins()[0]
+		cout, _ := s.Value(coutPin.Row, coutPin.Col, coutPin.W)
+		if cout != (c.a+c.b > 15) {
+			t.Errorf("%d+%d: cout=%v", c.a, c.b, cout)
+		}
+	}
+}
+
+func TestAdder2CarryIn(t *testing.T) {
+	r := newRig(t)
+	add, err := NewAdder2("add", 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add.Place(4, 12)
+	if err := add.Implement(r); err != nil {
+		t.Fatal(err)
+	}
+	// Drive cin from a pad.
+	if err := r.RouteNet(core.NewPin(12, 4, arch.S0X), add.Ports("cin")[0]); err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(r.Dev)
+	forceA := padDrive(t, r, s, 4, 4, add.Ports("a"))
+	forceB := padDrive(t, r, s, 9, 4, add.Ports("b"))
+	forceA(5)
+	forceB(3)
+	if err := s.Force(12, 4, arch.S0X, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Eval(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readPorts(t, s, add.Ports("sum")); got != 9 {
+		t.Errorf("5+3+1 = %d", got)
+	}
+}
+
+// TestMACAccumulates proves the hierarchical composition: acc += K*x per
+// clock, with the outer ports re-exported from the inner cores.
+func TestMACAccumulates(t *testing.T) {
+	d, err := device.New(arch.NewVirtex(), 16, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := core.NewRouter(d, core.Options{})
+	mac, err := NewMAC("mac", 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mac.Place(2, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := mac.Implement(r); err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(r.Dev)
+	force := padDrive(t, r, s, 2, 2, mac.Ports("x"))
+	want := uint64(0)
+	mask := uint64(1)<<uint(mac.AccBits()) - 1
+	for cyc, x := range []uint64{5, 2, 7, 0, 15, 9} {
+		force(x)
+		if got := readPorts(t, s, mac.Ports("acc")); got != want {
+			t.Fatalf("cycle %d: acc=%d, want %d", cyc, got, want)
+		}
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		want = (want + 3*x) & mask
+	}
+}
+
+func TestMACRetuneAndRemove(t *testing.T) {
+	d, err := device.New(arch.NewVirtex(), 16, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := core.NewRouter(d, core.Options{})
+	mac, err := NewMAC("mac", 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mac.Place(2, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := mac.Implement(r); err != nil {
+		t.Fatal(err)
+	}
+	pips := r.Dev.OnPIPCount()
+	if err := mac.SetConstant(r, 5); err != nil {
+		t.Fatal(err)
+	}
+	if r.Dev.OnPIPCount() != pips {
+		t.Error("SetConstant changed routing")
+	}
+	s := sim.New(r.Dev)
+	force := padDrive(t, r, s, 2, 2, mac.Ports("x"))
+	force(4)
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readPorts(t, s, mac.Ports("acc")); got != 20 {
+		t.Errorf("acc=%d after one 5*4 step", got)
+	}
+	// Tear down the pads first, then the core; the device must be clean.
+	for i := 0; i < 4; i++ {
+		if err := r.Unroute(core.NewPin(2, 2, arch.OutPin(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mac.Remove(r); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Dev.OnPIPCount(); n != 0 {
+		t.Errorf("%d PIPs left after MAC removal", n)
+	}
+	if n := len(r.Dev.ActiveCLBs()); n != 0 {
+		t.Errorf("%d active CLBs left after MAC removal", n)
+	}
+}
+
+func TestAdder2Validation(t *testing.T) {
+	if _, err := NewAdder2("a", 0, false); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := NewMAC("m", 99, 3); err == nil {
+		t.Error("oversized constant accepted")
+	}
+}

@@ -1,0 +1,232 @@
+// Package cores is the run-time parameterizable (RTP) core library built on
+// JRoute, reproducing §3.2's core model: each core occupies a rectangle of
+// CLBs, configures LUTs, routes its internal nets through the router, and
+// exports Ports in named Groups so users connect cores port-to-port without
+// knowing the device ("Using cores and the JRoute API, a user can create
+// designs without knowledge of the routing architecture").
+//
+// The §3.2 routing guidelines are honoured: every port is in a group, the
+// router is called for each port's internal connections during Implement,
+// and Ports(group) is the required getports() accessor.
+//
+// Cores support the §3.3 RTR lifecycle: Implement (configure + route
+// internals), Remove (unroute internals, clear logic), run-time parameter
+// changes (e.g. ConstMul.SetConstant rewrites truth tables only), and
+// relocation by Place + Implement at new coordinates with the router's port
+// memory restoring external connections.
+package cores
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+// Base carries the bookkeeping shared by all cores.
+type Base struct {
+	name          string
+	row, col      int // placement: south-west CLB
+	width, height int // footprint in CLBs (cols, rows)
+	placed        bool
+	implemented   bool
+
+	groups map[string]*core.Group
+
+	lutCells  []lutCell
+	clockPIPs []device.PIP
+	internal  []core.EndPoint // sources of internally routed nets
+}
+
+type lutCell struct {
+	row, col, n int
+}
+
+// Name returns the core's instance name.
+func (b *Base) Name() string { return b.name }
+
+// Bounds returns the placement and footprint; valid once placed.
+func (b *Base) Bounds() (row, col, width, height int) {
+	return b.row, b.col, b.width, b.height
+}
+
+// Placed reports whether the core has coordinates.
+func (b *Base) Placed() bool { return b.placed }
+
+// Implemented reports whether the core's logic is on the device.
+func (b *Base) Implemented() bool { return b.implemented }
+
+func (b *Base) init(name string, width, height int) {
+	b.name = name
+	b.width = width
+	b.height = height
+	b.groups = make(map[string]*core.Group)
+}
+
+// Place assigns the core's south-west corner. The core must be implemented
+// afterwards; re-placing an implemented core requires Remove first.
+func (b *Base) Place(row, col int) error {
+	if b.implemented {
+		return fmt.Errorf("cores: %s is implemented; Remove before re-placing", b.name)
+	}
+	b.row, b.col = row, col
+	b.placed = true
+	return nil
+}
+
+// Group returns (creating on first use) the named port group — the §3.2
+// getports() accessor is Group(name).Ports().
+func (b *Base) Group(name string) *core.Group {
+	g, ok := b.groups[name]
+	if !ok {
+		g = core.NewGroup(b.name + "." + name)
+		b.groups[name] = g
+	}
+	return g
+}
+
+// Ports returns the ports of a group, or nil if the group does not exist.
+func (b *Base) Ports(group string) []*core.Port {
+	g, ok := b.groups[group]
+	if !ok {
+		return nil
+	}
+	return g.Ports()
+}
+
+// port returns the i'th port of a group, creating ports up to i with the
+// given direction as needed (used by Implement bodies).
+func (b *Base) port(group string, i int, dir core.PortDir) *core.Port {
+	g := b.Group(group)
+	for g.Size() <= i {
+		g.NewPort(fmt.Sprintf("%s%d", group, g.Size()), dir)
+	}
+	return g.Ports()[i]
+}
+
+func (b *Base) checkPlacement(dev *device.Device) error {
+	if !b.placed {
+		return fmt.Errorf("cores: %s is not placed", b.name)
+	}
+	if b.row < 0 || b.col < 0 || b.row+b.height > dev.Rows || b.col+b.width > dev.Cols {
+		return fmt.Errorf("cores: %s at (%d,%d) size %dx%d does not fit the %dx%d array",
+			b.name, b.row, b.col, b.width, b.height, dev.Rows, dev.Cols)
+	}
+	for r := b.row; r < b.row+b.height; r++ {
+		for c := b.col; c < b.col+b.width; c++ {
+			if dev.CLBActive(r, c) {
+				return fmt.Errorf("cores: %s overlaps configured CLB (%d,%d)", b.name, r, c)
+			}
+		}
+	}
+	return nil
+}
+
+// setLUT configures a LUT and records it for Remove.
+func (b *Base) setLUT(dev *device.Device, row, col, n int, truth uint16) error {
+	if err := dev.SetLUT(row, col, n, truth); err != nil {
+		return err
+	}
+	b.lutCells = append(b.lutCells, lutCell{row, col, n})
+	return nil
+}
+
+// routeInternal routes an internal net and records its source for Remove.
+func (b *Base) routeInternal(r *core.Router, src core.EndPoint, sinks ...core.EndPoint) error {
+	var err error
+	if len(sinks) == 1 {
+		err = r.RouteNet(src, sinks[0])
+	} else {
+		err = r.RouteFanout(src, sinks)
+	}
+	if err != nil {
+		return err
+	}
+	b.internal = append(b.internal, src)
+	return nil
+}
+
+// routePIP turns on a single internal PIP (used for carry chains and other
+// local connections) and records it via an implicit net source.
+func (b *Base) routePIP(r *core.Router, row, col int, from, to arch.Wire) error {
+	if err := r.Route(row, col, from, to); err != nil {
+		return err
+	}
+	src, err := r.Dev.Canon(row, col, from)
+	if err != nil {
+		return err
+	}
+	b.internal = append(b.internal, core.NewPin(src.Row, src.Col, src.W))
+	return nil
+}
+
+// routeClock distributes a global clock to the core's clock pins.
+func (b *Base) routeClock(r *core.Router, g int, pins ...core.Pin) error {
+	for _, p := range pins {
+		if err := r.RouteClock(g, p); err != nil {
+			return err
+		}
+		b.clockPIPs = append(b.clockPIPs, device.PIP{Row: p.Row, Col: p.Col, From: arch.GClk(g), To: p.W})
+	}
+	return nil
+}
+
+// Remove takes the core off the device: internal nets are unrouted, clock
+// taps cleared, LUTs and FF inits wiped. External connections to the
+// core's ports must be unrouted by the caller first (they are the user's
+// nets); the router remembers them for Reconnect (§3.3).
+func (b *Base) Remove(r *core.Router) error {
+	if !b.implemented {
+		return fmt.Errorf("cores: %s is not implemented", b.name)
+	}
+	// Unroute internal nets, deduplicated by source.
+	seen := map[core.Pin]bool{}
+	for _, src := range b.internal {
+		pins := src.Pins()
+		if len(pins) == 1 && seen[pins[0]] {
+			continue
+		}
+		if len(pins) == 1 {
+			seen[pins[0]] = true
+		}
+		if err := r.Unroute(src); err != nil {
+			// The net may already be gone if several internal
+			// records shared a source; tolerate only that case.
+			if sourceStillDrives(r, pins) {
+				return fmt.Errorf("cores: removing %s: %w", b.name, err)
+			}
+		}
+	}
+	for _, p := range b.clockPIPs {
+		if err := r.Dev.ClearPIP(p.Row, p.Col, p.From, p.To); err != nil {
+			return err
+		}
+	}
+	for _, lc := range b.lutCells {
+		if err := r.Dev.ClearLUT(lc.row, lc.col, lc.n); err != nil {
+			return err
+		}
+		for n := 0; n < device.NumFFs; n++ {
+			if err := r.Dev.SetFFInit(lc.row, lc.col, n, false); err != nil {
+				return err
+			}
+		}
+	}
+	b.lutCells = nil
+	b.clockPIPs = nil
+	b.internal = nil
+	b.implemented = false
+	return nil
+}
+
+// sourceStillDrives reports whether any of the pins still sources an
+// on-PIP.
+func sourceStillDrives(r *core.Router, pins []core.Pin) bool {
+	for _, p := range pins {
+		if t, ok := r.Dev.CanonOK(p.Row, p.Col, p.W); ok && len(r.Dev.FanoutOf(t)) > 0 {
+			return true
+		}
+	}
+	return false
+}

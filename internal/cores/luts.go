@@ -1,0 +1,73 @@
+package cores
+
+// LUT truth-table builders. A 4-input LUT's truth table has bit i giving
+// the output when the inputs F1..F4 (or G1..G4) spell the value i with F1
+// as bit 0.
+
+// TruthFromFunc builds a truth table from a boolean function of the four
+// inputs.
+func TruthFromFunc(f func(i1, i2, i3, i4 bool) bool) uint16 {
+	var t uint16
+	for i := 0; i < 16; i++ {
+		if f(i&1 != 0, i&2 != 0, i&4 != 0, i&8 != 0) {
+			t |= 1 << i
+		}
+	}
+	return t
+}
+
+// Common single- and two-input tables (higher inputs ignored).
+var (
+	// TruthBuf passes input 1 through.
+	TruthBuf = TruthFromFunc(func(a, _, _, _ bool) bool { return a })
+	// TruthNot inverts input 1.
+	TruthNot = TruthFromFunc(func(a, _, _, _ bool) bool { return !a })
+	// TruthXor2 is input1 XOR input2.
+	TruthXor2 = TruthFromFunc(func(a, b, _, _ bool) bool { return a != b })
+	// TruthXnor2 is input1 XNOR input2.
+	TruthXnor2 = TruthFromFunc(func(a, b, _, _ bool) bool { return a == b })
+	// TruthAnd2 is input1 AND input2.
+	TruthAnd2 = TruthFromFunc(func(a, b, _, _ bool) bool { return a && b })
+	// TruthOr2 is input1 OR input2.
+	TruthOr2 = TruthFromFunc(func(a, b, _, _ bool) bool { return a || b })
+	// TruthMux is input3 ? input2 : input1.
+	TruthMux = TruthFromFunc(func(a, b, s, _ bool) bool {
+		if s {
+			return b
+		}
+		return a
+	})
+	// TruthEq2 is (input1 == input2) AND (input3 == input4): a 2-bit
+	// equality comparator slice.
+	TruthEq2 = TruthFromFunc(func(a0, b0, a1, b1 bool) bool { return a0 == b0 && a1 == b1 })
+	// TruthZero and TruthOne are constants.
+	TruthZero uint16 = 0x0000
+	TruthOne  uint16 = 0xFFFF
+)
+
+// Adder-bit tables parameterized by the constant bit k (inputs: 1 = x,
+// 2 = carry-in).
+func sumTruth(k bool) uint16 {
+	return TruthFromFunc(func(x, c, _, _ bool) bool { return x != c != k })
+}
+
+func carryTruth(k bool) uint16 {
+	return TruthFromFunc(func(x, c, _, _ bool) bool {
+		if k {
+			return x || c
+		}
+		return x && c
+	})
+}
+
+// mulTruth returns the truth table computing bit `bit` of K*x for a 4-bit
+// input x on inputs 1..4.
+func mulTruth(k uint64, bit int) uint16 {
+	var t uint16
+	for x := 0; x < 16; x++ {
+		if (k*uint64(x))>>bit&1 != 0 {
+			t |= 1 << x
+		}
+	}
+	return t
+}

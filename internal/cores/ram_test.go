@@ -1,0 +1,188 @@
+package cores
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Virtex BRAM columns on a 16x24 device sit at cols 6 and 18
+// (BRAMColumnPeriod 12).
+
+func TestRAMPlacementValidation(t *testing.T) {
+	r := newRig(t)
+	m := NewRAM16x8("ram", [arch.BRAMWords]byte{})
+	if err := m.Implement(r); err == nil {
+		t.Error("unplaced RAM implemented")
+	}
+	m.Place(4, 7) // not a BRAM column
+	if err := m.Implement(r); err == nil {
+		t.Error("RAM accepted outside a BRAM column")
+	}
+	m.Place(4, 6)
+	if err := m.Implement(r); err != nil {
+		t.Fatal(err)
+	}
+	// Site exclusivity.
+	other := NewRAM16x8("ram2", [arch.BRAMWords]byte{})
+	other.Place(4, 6)
+	if err := other.Implement(r); err == nil {
+		t.Error("double-booked BRAM site accepted")
+	}
+	if err := m.Remove(r); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Dev.ActiveBRAMs()) != 0 {
+		t.Error("site still active after Remove")
+	}
+	if r.Dev.OnPIPCount() != 0 {
+		t.Error("clock tap leaked after Remove")
+	}
+}
+
+// TestROMFunctionGenerator wires a counter to a ROM holding a lookup table:
+// each clock the ROM's registered output delivers table[count-1] — the
+// classic function-generator idiom the Block RAM enables.
+func TestROMFunctionGenerator(t *testing.T) {
+	r := newRig(t)
+	var table [arch.BRAMWords]byte
+	for i := range table {
+		table[i] = byte(i*i + 3)
+	}
+	rom := NewROM16x8("rom", table)
+	rom.Place(8, 6)
+	if err := rom.Implement(r); err != nil {
+		t.Fatal(err)
+	}
+	ctr, err := NewCounter("ctr", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr.Place(7, 2)
+	if err := ctr.Implement(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RouteBus(ctr.Group("q").EndPoints(), rom.Group("addr").EndPoints()); err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(r.Dev)
+	for cyc := 1; cyc <= 10; cyc++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		// After the edge the counter shows cyc; the ROM's registered
+		// output shows the word addressed *before* the edge (cyc-1).
+		got := readPorts(t, s, rom.Ports("dout"))
+		want := uint64(table[(cyc-1)%arch.BRAMWords])
+		if got != want {
+			t.Fatalf("cycle %d: dout=%d, want %d", cyc, got, want)
+		}
+	}
+	// Run-time content swap (like a constant swap): routing untouched.
+	pips := r.Dev.OnPIPCount()
+	var table2 [arch.BRAMWords]byte
+	for i := range table2 {
+		table2[i] = byte(0x80 | i)
+	}
+	if err := rom.SetContents(r, table2); err != nil {
+		t.Fatal(err)
+	}
+	if r.Dev.OnPIPCount() != pips {
+		t.Error("SetContents changed routing")
+	}
+	s.Refresh()
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	got := readPorts(t, s, rom.Ports("dout"))
+	if got != uint64(table2[0]) {
+		t.Errorf("after content swap dout=%d, want %d", got, table2[0])
+	}
+}
+
+// TestRAMWriteRead drives the write port: write a word, then read it back.
+func TestRAMWriteRead(t *testing.T) {
+	r := newRig(t)
+	ram := NewRAM16x8("ram", [arch.BRAMWords]byte{})
+	ram.Place(8, 6)
+	if err := ram.Implement(r); err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(r.Dev)
+	// Pads: addr from (8,2), din from (4,2), we from (12,2).
+	forceAddr := padDrive(t, r, s, 8, 2, ram.Ports("addr"))
+	forceDin := padDrive(t, r, s, 4, 2, ram.Ports("din"))
+	if err := r.RouteNet(core.NewPin(12, 2, arch.S0X), ram.Ports("we")[0]); err != nil {
+		t.Fatal(err)
+	}
+	we := func(v bool) {
+		if err := s.Force(12, 2, arch.S0X, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Write 0xA5 at address 9.
+	forceAddr(9)
+	forceDin(0xA5)
+	we(true)
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := s.BRAMWord(8, 6, 9); !ok || w != 0xA5 {
+		t.Fatalf("mem[9] = %#x, %v", w, ok)
+	}
+	// The read port is read-after-write: dout already shows the word.
+	if got := readPorts(t, s, ram.Ports("dout")); got != 0xA5 {
+		t.Errorf("dout after write = %#x", got)
+	}
+	// Disable writes, read another address then back.
+	we(false)
+	forceAddr(3)
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readPorts(t, s, ram.Ports("dout")); got != 0 {
+		t.Errorf("dout at empty address = %#x", got)
+	}
+	forceAddr(9)
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readPorts(t, s, ram.Ports("dout")); got != 0xA5 {
+		t.Errorf("dout re-read = %#x", got)
+	}
+	// Unclocked RAM holds: remove clock tap and verify no updates.
+	if w, _ := s.BRAMWord(8, 6, 3); w != 0 {
+		t.Error("spurious write")
+	}
+}
+
+// TestRAMBitstreamRoundTrip ships a configured RAM through a bitstream.
+func TestRAMBitstreamRoundTrip(t *testing.T) {
+	r := newRig(t)
+	var table [arch.BRAMWords]byte
+	for i := range table {
+		table[i] = byte(0xF0 + i)
+	}
+	rom := NewROM16x8("rom", table)
+	rom.Place(3, 18)
+	if err := rom.Implement(r); err != nil {
+		t.Fatal(err)
+	}
+	stream, err := r.Dev.FullConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := newRig(t).Dev
+	if err := d2.ApplyConfig(stream); err != nil {
+		t.Fatal(err)
+	}
+	got, used := d2.GetBRAMInit(3, 18)
+	if !used || got != table {
+		t.Errorf("BRAM contents lost in transfer: %v %v", got, used)
+	}
+	if len(d2.ActiveBRAMs()) != 1 {
+		t.Errorf("ActiveBRAMs = %v", d2.ActiveBRAMs())
+	}
+}

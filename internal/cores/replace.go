@@ -1,0 +1,105 @@
+package cores
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Core is the common surface of every library core: placement, port
+// groups, implementation and removal. It is what the §3.3 Replace flow
+// operates on.
+type Core interface {
+	Name() string
+	Place(row, col int) error
+	Placed() bool
+	Implemented() bool
+	Implement(r *core.Router) error
+	Remove(r *core.Router) error
+	Ports(group string) []*core.Port
+	Group(name string) *core.Group
+}
+
+// Compile-time checks that every library core satisfies Core.
+var (
+	_ Core = (*ConstAdder)(nil)
+	_ Core = (*Counter)(nil)
+	_ Core = (*ConstMul)(nil)
+	_ Core = (*Adder2)(nil)
+	_ Core = (*MAC)(nil)
+	_ Core = (*Register)(nil)
+	_ Core = (*LFSR)(nil)
+	_ Core = (*Comparator4)(nil)
+	_ Core = (*Mux2)(nil)
+	_ Core = (*ShiftRegister)(nil)
+	_ Core = (*RAM16x8)(nil)
+)
+
+// Replace performs the full §3.3 run-time replacement flow for a core:
+// every net touching one of the core's ports is unrouted (and remembered
+// by the router), the core is removed, optionally mutated by `retune`,
+// re-placed at (row, col), re-implemented, and finally every port's
+// remembered connections are restored — "the core can be removed,
+// unrouted, and replaced ... without having to specify connections again.
+// Core relocation is handled in a similar way."
+//
+// Ports that were never externally routed are skipped. The port *objects*
+// survive the swap, which is what lets the router's memory re-resolve them
+// against the new implementation.
+func Replace(r *core.Router, c Core, row, col int, groups []string, retune func() error) error {
+	if !c.Implemented() {
+		return fmt.Errorf("cores: %s is not implemented", c.Name())
+	}
+	// 1. Unroute external nets on the named port groups. Out-ports are
+	// net sources (unroute forward); in-ports are sinks (reverse
+	// unroute their branch).
+	for _, g := range groups {
+		for _, p := range c.Ports(g) {
+			switch p.Dir() {
+			case core.Out:
+				if len(p.Pins()) == 1 {
+					pin := p.Pins()[0]
+					if t, ok := r.Dev.CanonOK(pin.Row, pin.Col, pin.W); !ok || len(r.Dev.FanoutOf(t)) == 0 {
+						continue // never routed externally
+					}
+				}
+				if err := r.Unroute(p); err != nil {
+					return fmt.Errorf("cores: replacing %s: %w", c.Name(), err)
+				}
+			case core.In:
+				for _, pin := range p.Pins() {
+					if !r.Dev.IsOn(pin.Row, pin.Col, pin.W) {
+						continue
+					}
+					if err := r.ReverseUnroute(pin); err != nil {
+						return fmt.Errorf("cores: replacing %s: %w", c.Name(), err)
+					}
+				}
+			}
+		}
+	}
+	// 2. Remove, retune, re-place, re-implement.
+	if err := c.Remove(r); err != nil {
+		return err
+	}
+	if retune != nil {
+		if err := retune(); err != nil {
+			return err
+		}
+	}
+	if err := c.Place(row, col); err != nil {
+		return err
+	}
+	if err := c.Implement(r); err != nil {
+		return err
+	}
+	// 3. Reconnect remembered nets against the new pins.
+	for _, g := range groups {
+		for _, p := range c.Ports(g) {
+			if err := r.Reconnect(p); err != nil {
+				return fmt.Errorf("cores: reconnecting %s.%s: %w", c.Name(), p.Name(), err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package cores
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// TestShiftRegister shifts a known bit pattern through and reads the
+// parallel output each cycle.
+func TestShiftRegister(t *testing.T) {
+	r := newRig(t)
+	sh, err := NewShiftRegister("sh", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.Place(6, 12)
+	if err := sh.Implement(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RouteNet(core.NewPin(6, 6, arch.S0X), sh.Ports("sin")[0]); err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(r.Dev)
+	pattern := []bool{true, false, true, true, false, false}
+	state := uint64(0) // bit i of the word is q[i]; q[0] is the newest bit
+	for cyc, bit := range pattern {
+		if got := readPorts(t, s, sh.Ports("q")); got != state {
+			t.Fatalf("cycle %d: q=%#x, want %#x", cyc, got, state)
+		}
+		if err := s.Force(6, 6, arch.S0X, bit); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		state = state << 1 & 0xF
+		if bit {
+			state |= 1
+		}
+	}
+}
+
+func TestShiftRegisterValidation(t *testing.T) {
+	if _, err := NewShiftRegister("s", 1); err == nil {
+		t.Error("width 1 accepted")
+	}
+	if _, err := NewShiftRegister("s", 99); err == nil {
+		t.Error("width 99 accepted")
+	}
+}
+
+// TestReplaceFlow exercises the packaged §3.3 Replace helper: a constant
+// multiplier wired to a register is retuned and relocated in one call, and
+// the user's nets survive.
+func TestReplaceFlow(t *testing.T) {
+	r := newRig(t)
+	mul, err := NewConstMul("mul", 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mul.Place(4, 10)
+	if err := mul.Implement(r); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := NewRegister("reg", mul.OutBits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Place(4, 16)
+	if err := reg.Implement(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RouteBus(mul.Group("p").EndPoints(), reg.Group("d").EndPoints()); err != nil {
+		t.Fatal(err)
+	}
+
+	// One call does the whole §3.3 dance: unroute ports, remove, retune
+	// to constant 2, relocate to (9,10), reimplement, reconnect.
+	err = Replace(r, mul, 9, 10, []string{"p", "x"}, func() error {
+		return mul.SetConstant(r, 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row, col, _, _ := mul.Bounds(); row != 9 || col != 10 {
+		t.Errorf("core at (%d,%d)", row, col)
+	}
+
+	// The relocated, retuned design computes 2*x into the register.
+	s := sim.New(r.Dev)
+	force := padDrive(t, r, s, 4, 4, mul.Ports("x"))
+	force(7)
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readPorts(t, s, reg.Ports("q")); got != 2*7 {
+		t.Errorf("after Replace: q=%d, want 14", got)
+	}
+}
+
+// TestReplaceInPortBranch: replacing the *downstream* core (whose ports
+// are sinks) uses reverse unroute on each in-pin branch.
+func TestReplaceDownstreamCore(t *testing.T) {
+	r := newRig(t)
+	mul, err := NewConstMul("mul", 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mul.Place(4, 10)
+	if err := mul.Implement(r); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := NewRegister("reg", mul.OutBits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Place(4, 16)
+	if err := reg.Implement(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RouteBus(mul.Group("p").EndPoints(), reg.Group("d").EndPoints()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Replace(r, reg, 9, 16, []string{"d", "q"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Note: reverse unroute removes only branches; the upstream sources
+	// stay live, and reconnect restores the d-port sinks at the new
+	// location. Verify with simulation.
+	s := sim.New(r.Dev)
+	force := padDrive(t, r, s, 4, 4, mul.Ports("x"))
+	force(5)
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readPorts(t, s, reg.Ports("q")); got != 3*5 {
+		t.Errorf("after downstream Replace: q=%d, want 15", got)
+	}
+}
+
+func TestReplaceValidation(t *testing.T) {
+	r := newRig(t)
+	mul, _ := NewConstMul("mul", 3, 2)
+	if err := Replace(r, mul, 2, 2, nil, nil); err == nil {
+		t.Error("replacing an unimplemented core accepted")
+	}
+}

@@ -1,0 +1,170 @@
+package cores
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+)
+
+// Register is an n-bit clocked register: four bits per CLB (one per LUT,
+// output on the corresponding XQ/YQ flip-flop). Groups:
+//
+//	"d" In  — data inputs
+//	"q" Out — registered outputs
+type Register struct {
+	Base
+	Bits  int
+	Clock int
+}
+
+// NewRegister creates an unplaced register.
+func NewRegister(name string, bits int) (*Register, error) {
+	if bits < 1 || bits > 64 {
+		return nil, fmt.Errorf("cores: register width %d out of range", bits)
+	}
+	reg := &Register{Bits: bits}
+	reg.init(name, 1, (bits+3)/4)
+	return reg, nil
+}
+
+func (reg *Register) bitSite(i int) (row, col, n int) {
+	return reg.row + i/4, reg.col, i % 4
+}
+
+// ffOutPin returns the registered output pin of LUT n (XQ for F, YQ for G).
+func ffOutPin(n int) arch.Wire { return arch.OutPin((n/2)*4 + 2 + n%2) }
+
+// Implement configures buffer LUTs in front of the flip-flops, binds the
+// ports, and routes the clock.
+func (reg *Register) Implement(r *core.Router) error {
+	if err := reg.checkPlacement(r.Dev); err != nil {
+		return err
+	}
+	clkSeen := map[core.Pin]bool{}
+	var clkPins []core.Pin
+	for i := 0; i < reg.Bits; i++ {
+		row, col, n := reg.bitSite(i)
+		if err := reg.setLUT(r.Dev, row, col, n, TruthBuf); err != nil {
+			return err
+		}
+		if err := reg.port("d", i, core.In).Bind(core.NewPin(row, col, arch.LUTInput(n/2, n%2, 1))); err != nil {
+			return err
+		}
+		if err := reg.port("q", i, core.Out).Bind(core.NewPin(row, col, ffOutPin(n))); err != nil {
+			return err
+		}
+		clk := arch.S0CLK
+		if n/2 == 1 {
+			clk = arch.S1CLK
+		}
+		cp := core.NewPin(row, col, clk)
+		if !clkSeen[cp] {
+			clkSeen[cp] = true
+			clkPins = append(clkPins, cp)
+		}
+	}
+	if err := reg.routeClock(r, reg.Clock, clkPins...); err != nil {
+		return err
+	}
+	reg.implemented = true
+	return nil
+}
+
+// LFSR is a Fibonacci linear-feedback shift register: bit 0's next state is
+// the XOR of two tap bits, every other bit shifts from its predecessor.
+// Groups:
+//
+//	"q" Out — the register state (bit 0 is the feedback end)
+type LFSR struct {
+	Base
+	Bits       int
+	TapA, TapB int
+	Clock      int
+	Seed       uint64
+}
+
+// NewLFSR creates an unplaced LFSR with taps tapA and tapB (bit indices)
+// and a non-zero seed.
+func NewLFSR(name string, bits, tapA, tapB int, seed uint64) (*LFSR, error) {
+	if bits < 2 || bits > 64 {
+		return nil, fmt.Errorf("cores: LFSR width %d out of range", bits)
+	}
+	if tapA < 0 || tapA >= bits || tapB < 0 || tapB >= bits || tapA == tapB {
+		return nil, fmt.Errorf("cores: bad LFSR taps %d,%d for width %d", tapA, tapB, bits)
+	}
+	if seed == 0 || seed >= 1<<uint(bits) {
+		return nil, fmt.Errorf("cores: LFSR seed %#x invalid for width %d", seed, bits)
+	}
+	l := &LFSR{Bits: bits, TapA: tapA, TapB: tapB, Seed: seed}
+	l.init(name, 1, (bits+3)/4)
+	return l, nil
+}
+
+func (l *LFSR) bitSite(i int) (row, col, n int) {
+	return l.row + i/4, l.col, i % 4
+}
+
+// qPin returns the registered output pin of state bit i.
+func (l *LFSR) qPin(i int) core.Pin {
+	row, col, n := l.bitSite(i)
+	return core.NewPin(row, col, ffOutPin(n))
+}
+
+// Implement configures the shift and feedback logic, seeds the state via
+// flip-flop init values, binds "q", and routes the clock.
+func (l *LFSR) Implement(r *core.Router) error {
+	if err := l.checkPlacement(r.Dev); err != nil {
+		return err
+	}
+	clkSeen := map[core.Pin]bool{}
+	var clkPins []core.Pin
+	for i := 0; i < l.Bits; i++ {
+		row, col, n := l.bitSite(i)
+		truth := TruthBuf
+		if i == 0 {
+			truth = TruthXor2
+		}
+		if err := l.setLUT(r.Dev, row, col, n, truth); err != nil {
+			return err
+		}
+		if err := r.Dev.SetFFInit(row, col, n, l.Seed>>uint(i)&1 != 0); err != nil {
+			return err
+		}
+		if err := l.port("q", i, core.Out).Bind(l.qPin(i)); err != nil {
+			return err
+		}
+		clk := arch.S0CLK
+		if n/2 == 1 {
+			clk = arch.S1CLK
+		}
+		cp := core.NewPin(row, col, clk)
+		if !clkSeen[cp] {
+			clkSeen[cp] = true
+			clkPins = append(clkPins, cp)
+		}
+	}
+	// Shift connections: q[i-1] -> d[i] (input 1 of LUT i).
+	for i := 1; i < l.Bits; i++ {
+		row, col, n := l.bitSite(i)
+		d := core.NewPin(row, col, arch.LUTInput(n/2, n%2, 1))
+		if err := l.routeInternal(r, l.qPin(i-1), d); err != nil {
+			return err
+		}
+	}
+	// Feedback: q[tapA] XOR q[tapB] -> bit 0.
+	row0, col0, n0 := l.bitSite(0)
+	fa := core.NewPin(row0, col0, arch.LUTInput(n0/2, n0%2, 1))
+	fb := core.NewPin(row0, col0, arch.LUTInput(n0/2, n0%2, 2))
+	if err := l.routeInternal(r, l.qPin(l.TapA), fa); err != nil {
+		return err
+	}
+	if err := l.routeInternal(r, l.qPin(l.TapB), fb); err != nil {
+		return err
+	}
+	if err := l.routeClock(r, l.Clock, clkPins...); err != nil {
+		return err
+	}
+	l.implemented = true
+	return nil
+}

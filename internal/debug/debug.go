@@ -1,0 +1,209 @@
+// Package debug is the BoardScope-equivalent debugging layer (§3.5 and
+// reference [2]): it renders nets, floorplans and resource usage from
+// device state and simulator probes, consuming exactly the trace and
+// reverse-trace primitives the paper exposes for debug tools.
+package debug
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+// NetReport formats a traced net as one PIP per line with paper-style wire
+// names, source first.
+func NetReport(dev *device.Device, net *core.Net) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "net %s@(%d,%d): %d PIPs, %d sinks\n",
+		dev.A.WireName(net.Source.W), net.Source.Row, net.Source.Col,
+		len(net.PIPs), len(net.Sinks))
+	for _, p := range net.PIPs {
+		fmt.Fprintf(&b, "  (%d,%d) %s -> %s\n", p.Row, p.Col,
+			dev.A.WireName(p.From), dev.A.WireName(p.To))
+	}
+	for _, s := range net.Sinks {
+		fmt.Fprintf(&b, "  sink %s@(%d,%d)\n", dev.A.WireName(s.W), s.Row, s.Col)
+	}
+	return b.String()
+}
+
+// RenderNet draws the array with the net's tiles marked: S for the source
+// tile, T for sink tiles, * for tiles the route passes through. Row 0 is
+// printed at the bottom, matching the row-grows-north convention.
+func RenderNet(dev *device.Device, net *core.Net) string {
+	mark := make(map[device.Coord]byte)
+	for _, p := range net.PIPs {
+		c := device.Coord{Row: p.Row, Col: p.Col}
+		if mark[c] == 0 {
+			mark[c] = '*'
+		}
+	}
+	for _, s := range net.Sinks {
+		mark[device.Coord{Row: s.Row, Col: s.Col}] = 'T'
+	}
+	mark[device.Coord{Row: net.Source.Row, Col: net.Source.Col}] = 'S'
+	return renderGrid(dev, mark)
+}
+
+// Floorplan draws the array with active (logic-configured) CLBs marked '#'.
+func Floorplan(dev *device.Device) string {
+	mark := make(map[device.Coord]byte)
+	for _, c := range dev.ActiveCLBs() {
+		mark[c] = '#'
+	}
+	return renderGrid(dev, mark)
+}
+
+func renderGrid(dev *device.Device, mark map[device.Coord]byte) string {
+	var b strings.Builder
+	for row := dev.Rows - 1; row >= 0; row-- {
+		fmt.Fprintf(&b, "%3d ", row)
+		for col := 0; col < dev.Cols; col++ {
+			ch := mark[device.Coord{Row: row, Col: col}]
+			if ch == 0 {
+				ch = '.'
+			}
+			b.WriteByte(ch)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("    ")
+	for col := 0; col < dev.Cols; col++ {
+		b.WriteByte("0123456789"[col%10])
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Heatmap draws per-tile routing congestion: the count of on-PIPs at each
+// tile rendered as '.', '1'..'9', and '#' for ten or more — the view a
+// floorplanner uses to spot hot channels.
+func Heatmap(dev *device.Device) string {
+	counts := make(map[device.Coord]int)
+	for _, p := range dev.AllOnPIPs() {
+		counts[device.Coord{Row: p.Row, Col: p.Col}]++
+	}
+	var b strings.Builder
+	for row := dev.Rows - 1; row >= 0; row-- {
+		fmt.Fprintf(&b, "%3d ", row)
+		for col := 0; col < dev.Cols; col++ {
+			n := counts[device.Coord{Row: row, Col: col}]
+			switch {
+			case n == 0:
+				b.WriteByte('.')
+			case n < 10:
+				b.WriteByte(byte('0' + n))
+			default:
+				b.WriteByte('#')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("    ")
+	for col := 0; col < dev.Cols; col++ {
+		b.WriteByte("0123456789"[col%10])
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Usage summarizes routing-resource occupancy by kind.
+type Usage struct {
+	ByKind map[arch.Kind]int
+	Total  int
+}
+
+// ResourceUsage counts the driven tracks on the device by resource kind.
+func ResourceUsage(dev *device.Device) Usage {
+	u := Usage{ByKind: make(map[arch.Kind]int)}
+	for _, p := range dev.AllOnPIPs() {
+		t, err := dev.Canon(p.Row, p.Col, p.To)
+		if err != nil {
+			continue
+		}
+		u.ByKind[dev.A.ClassOf(t.W).Kind]++
+		u.Total++
+	}
+	return u
+}
+
+// String renders usage in a fixed kind order.
+func (u Usage) String() string {
+	kinds := make([]arch.Kind, 0, len(u.ByKind))
+	for k := range u.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d driven tracks:", u.Total)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, " %s=%d", k, u.ByKind[k])
+	}
+	return b.String()
+}
+
+// ArchAudit prints the E1 architecture audit: the resource counts the paper
+// gives for Virtex in §2, as instantiated by an architecture and device.
+func ArchAudit(dev *device.Device) string {
+	a := dev.A
+	var b strings.Builder
+	fmt.Fprintf(&b, "architecture %q on a %dx%d CLB array\n", a.Name, dev.Rows, dev.Cols)
+	fmt.Fprintf(&b, "  local:   %d outputs, %d OUT muxes, %d LUT inputs + %d control pins per CLB\n",
+		arch.NumOutPins, arch.NumOutMux, arch.NumInputs, arch.NumCtrl)
+	fmt.Fprintf(&b, "           direct connects to the east neighbour; output feedback to own inputs\n")
+	fmt.Fprintf(&b, "  general: %d singles per direction; %d CLB-accessible length-%d lines per direction",
+		a.SinglesPerDir, a.HexesPerDir, a.HexLen)
+	if a.BidiHexPeriod > 0 {
+		fmt.Fprintf(&b, " (every %s bidirectional)", ordinal(a.BidiHexPeriod))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "  long:    %d horizontal + %d vertical long lines, accessible every %d blocks\n",
+		a.NumLong, a.NumLong, a.LongAccessPeriod)
+	fmt.Fprintf(&b, "  global:  %d dedicated clock nets with dedicated pins\n", arch.NumGClk)
+	fmt.Fprintf(&b, "  io:      %d input + %d output pads per boundary tile (§6 ext.)\n",
+		arch.NumIOBIn, arch.NumIOBOut)
+	if a.BRAMColumnPeriod > 0 {
+		fmt.Fprintf(&b, "  bram:    %dx%d-bit RAM per tile of every %dth column (§6 ext.)\n",
+			arch.BRAMWords, arch.BRAMWidth, a.BRAMColumnPeriod)
+	}
+	fmt.Fprintf(&b, "  config:  %d PIP bits per tile, %d frames total\n",
+		dev.PIPBitCount(), dev.FrameCount())
+	fmt.Fprintf(&b, "  rules:   outputs drive all length interconnects; longs drive hexes only;\n")
+	fmt.Fprintf(&b, "           hexes drive singles and hexes; singles drive inputs, vertical longs, singles\n")
+	return b.String()
+}
+
+func ordinal(n int) string {
+	switch n {
+	case 1:
+		return "1st"
+	case 2:
+		return "2nd"
+	case 3:
+		return "3rd"
+	default:
+		return fmt.Sprintf("%dth", n)
+	}
+}
+
+// StateDump reads simulator probes and formats name=value pairs.
+func StateDump(dev *device.Device, s *sim.Simulator, probes []sim.Probe) (string, error) {
+	var b strings.Builder
+	for _, p := range probes {
+		v, err := s.Value(p.Row, p.Col, p.W)
+		if err != nil {
+			return "", err
+		}
+		bit := 0
+		if v {
+			bit = 1
+		}
+		fmt.Fprintf(&b, "%s@(%d,%d)=%d\n", dev.A.WireName(p.W), p.Row, p.Col, bit)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,147 @@
+package debug
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/cores"
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+func rig(t *testing.T) *core.Router {
+	t.Helper()
+	d, err := device.New(arch.NewVirtex(), 16, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewRouter(d, core.Options{})
+}
+
+func TestNetReportAndRender(t *testing.T) {
+	r := rig(t)
+	src := core.NewPin(5, 7, arch.S1YQ)
+	sink := core.NewPin(6, 8, arch.S0F3)
+	if err := r.RouteNet(src, sink); err != nil {
+		t.Fatal(err)
+	}
+	net, err := r.Trace(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NetReport(r.Dev, net)
+	for _, want := range []string{"S1YQ", "S0F3", "sink", "PIPs"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	grid := RenderNet(r.Dev, net)
+	if !strings.Contains(grid, "S") || !strings.Contains(grid, "T") {
+		t.Errorf("render missing source/sink markers:\n%s", grid)
+	}
+	if lines := strings.Count(grid, "\n"); lines != 17 { // 16 rows + axis
+		t.Errorf("render has %d lines", lines)
+	}
+}
+
+func TestFloorplan(t *testing.T) {
+	r := rig(t)
+	ctr, err := cores.NewCounter("ctr", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr.Place(3, 8)
+	if err := ctr.Implement(r); err != nil {
+		t.Fatal(err)
+	}
+	fp := Floorplan(r.Dev)
+	if strings.Count(fp, "#") != 2 { // 4-bit counter = 2 CLBs
+		t.Errorf("floorplan:\n%s", fp)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	r := rig(t)
+	fresh := Heatmap(r.Dev)
+	if err := r.RouteNet(core.NewPin(5, 7, arch.S1YQ), core.NewPin(6, 8, arch.S0F3)); err != nil {
+		t.Fatal(err)
+	}
+	hm := Heatmap(r.Dev)
+	if hm == fresh {
+		t.Errorf("routed device heatmap unchanged:\n%s", hm)
+	}
+	// Saturate one tile to reach the '#' bucket.
+	for k := 0; k < arch.NumInputs; k++ {
+		if err := r.Route(3, 3, arch.OutPin(k%4), arch.Input(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !strings.Contains(Heatmap(r.Dev), "#") {
+		t.Error("saturated tile not rendered as #")
+	}
+}
+
+func TestResourceUsage(t *testing.T) {
+	r := rig(t)
+	if u := ResourceUsage(r.Dev); u.Total != 0 {
+		t.Errorf("fresh device usage %v", u)
+	}
+	if err := r.RouteNet(core.NewPin(2, 2, arch.S0X), core.NewPin(9, 17, arch.S0F1)); err != nil {
+		t.Fatal(err)
+	}
+	u := ResourceUsage(r.Dev)
+	if u.Total == 0 || u.ByKind[arch.KindOutMux] != 1 || u.ByKind[arch.KindInput] != 1 {
+		t.Errorf("usage = %v", u)
+	}
+	s := u.String()
+	if !strings.Contains(s, "OutMux=1") || !strings.Contains(s, "driven tracks") {
+		t.Errorf("usage string %q", s)
+	}
+}
+
+func TestArchAudit(t *testing.T) {
+	r := rig(t)
+	audit := ArchAudit(r.Dev)
+	// The §2 numbers must appear.
+	for _, want := range []string{
+		"24 singles per direction",
+		"12 CLB-accessible length-6 lines",
+		"12 horizontal + 12 vertical long lines",
+		"every 6 blocks",
+		"4 dedicated clock nets",
+		"longs drive hexes only",
+	} {
+		if !strings.Contains(audit, want) {
+			t.Errorf("audit missing %q:\n%s", want, audit)
+		}
+	}
+}
+
+func TestStateDump(t *testing.T) {
+	r := rig(t)
+	if err := r.RouteNet(core.NewPin(2, 2, arch.S0X), core.NewPin(4, 4, arch.S0F1)); err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(r.Dev)
+	if err := s.Force(2, 2, arch.S0X, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Eval(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := StateDump(r.Dev, s, []sim.Probe{
+		{Row: 2, Col: 2, W: arch.S0X},
+		{Row: 4, Col: 4, W: arch.S0F1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "S0X@(2,2)=1") || !strings.Contains(out, "S0F1@(4,4)=1") {
+		t.Errorf("dump = %q", out)
+	}
+	if _, err := StateDump(r.Dev, s, []sim.Probe{{Row: 99, Col: 0, W: arch.S0X}}); err == nil {
+		t.Error("bad probe accepted")
+	}
+}

@@ -1,0 +1,103 @@
+package debug
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+// Waveform records named probe values over clock cycles and renders them
+// as ASCII traces — the BoardScope-style state-over-time view.
+type Waveform struct {
+	dev    *device.Device
+	s      *sim.Simulator
+	names  []string
+	probes []sim.Probe
+	trace  [][]bool
+}
+
+// NewWaveform creates an empty recorder over a simulator.
+func NewWaveform(dev *device.Device, s *sim.Simulator) *Waveform {
+	return &Waveform{dev: dev, s: s}
+}
+
+// ProbePin registers a named wire reference as a trace. All probes must be
+// registered before the first Sample.
+func (w *Waveform) ProbePin(name string, p sim.Probe) error {
+	if len(w.trace) > 0 {
+		return fmt.Errorf("debug: probes must be registered before sampling")
+	}
+	w.names = append(w.names, name)
+	w.probes = append(w.probes, p)
+	return nil
+}
+
+// Sample evaluates the simulator and records one column of values.
+func (w *Waveform) Sample() error {
+	if err := w.s.Eval(); err != nil {
+		return err
+	}
+	col := make([]bool, len(w.probes))
+	for i, p := range w.probes {
+		v, err := w.s.Value(p.Row, p.Col, p.W)
+		if err != nil {
+			return err
+		}
+		col[i] = v
+	}
+	w.trace = append(w.trace, col)
+	return nil
+}
+
+// Step samples, then advances the clock: one call per displayed cycle.
+func (w *Waveform) Step() error {
+	if err := w.Sample(); err != nil {
+		return err
+	}
+	return w.s.Step()
+}
+
+// Cycles returns the number of samples recorded.
+func (w *Waveform) Cycles() int { return len(w.trace) }
+
+// String renders the traces with one row per probe: '_' low, '#' high.
+func (w *Waveform) String() string {
+	width := 0
+	for _, n := range w.names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	var b strings.Builder
+	for i, n := range w.names {
+		fmt.Fprintf(&b, "%-*s ", width, n)
+		for _, col := range w.trace {
+			if col[i] {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte('_')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Word interprets the first n probes (little-endian) at a recorded cycle.
+func (w *Waveform) Word(cycle, n int) (uint64, error) {
+	if cycle < 0 || cycle >= len(w.trace) {
+		return 0, fmt.Errorf("debug: cycle %d not recorded", cycle)
+	}
+	if n < 0 || n > len(w.probes) {
+		return 0, fmt.Errorf("debug: word width %d with %d probes", n, len(w.probes))
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		if w.trace[cycle][i] {
+			v |= 1 << i
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,80 @@
+package debug
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/cores"
+	"repro/internal/sim"
+)
+
+func TestWaveformCounter(t *testing.T) {
+	r := rig(t)
+	ctr, err := cores.NewCounter("ctr", 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr.Place(3, 8)
+	if err := ctr.Implement(r); err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(r.Dev)
+	w := NewWaveform(r.Dev, s)
+	for i, p := range ctr.Ports("q") {
+		pin := p.Pins()[0]
+		name := []string{"q0", "q1", "q2"}[i]
+		if err := w.ProbePin(name, sim.Probe{Row: pin.Row, Col: pin.Col, W: pin.W}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for cyc := 0; cyc < 8; cyc++ {
+		if err := w.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Cycles() != 8 {
+		t.Fatalf("Cycles = %d", w.Cycles())
+	}
+	// The recorded words must count 0..7.
+	for cyc := 0; cyc < 8; cyc++ {
+		v, err := w.Word(cyc, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != uint64(cyc) {
+			t.Errorf("cycle %d: word = %d", cyc, v)
+		}
+	}
+	out := w.String()
+	// q0 toggles every cycle: _#_#_#_#.
+	if !strings.Contains(out, "q0 _#_#_#_#") {
+		t.Errorf("waveform:\n%s", out)
+	}
+	if !strings.Contains(out, "q1 __##__##") {
+		t.Errorf("waveform:\n%s", out)
+	}
+	// Late probe registration is rejected.
+	if err := w.ProbePin("late", sim.Probe{Row: 0, Col: 0, W: arch.S0X}); err == nil {
+		t.Error("late probe accepted")
+	}
+	// Word bounds.
+	if _, err := w.Word(99, 3); err == nil {
+		t.Error("bad cycle accepted")
+	}
+	if _, err := w.Word(0, 99); err == nil {
+		t.Error("bad width accepted")
+	}
+}
+
+func TestWaveformSampleErrors(t *testing.T) {
+	r := rig(t)
+	s := sim.New(r.Dev)
+	w := NewWaveform(r.Dev, s)
+	if err := w.ProbePin("x", sim.Probe{Row: 99, Col: 0, W: arch.S0X}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sample(); err == nil {
+		t.Error("bad probe sampled successfully")
+	}
+}

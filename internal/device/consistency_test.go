@@ -1,0 +1,105 @@
+package device
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestCheckConsistencyEmpty(t *testing.T) {
+	d := virtexDev(t)
+	if err := d.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckConsistencyAfterRandomOps drives a long random sequence of
+// SetPIP/ClearPIP operations and verifies the invariants throughout.
+func TestCheckConsistencyAfterRandomOps(t *testing.T) {
+	d := virtexDev(t)
+	rng := rand.New(rand.NewSource(9))
+	var on []PIP
+	for step := 0; step < 2000; step++ {
+		if len(on) > 0 && rng.Intn(3) == 0 {
+			// Clear a random on-PIP.
+			j := rng.Intn(len(on))
+			p := on[j]
+			if err := d.ClearPIP(p.Row, p.Col, p.From, p.To); err != nil {
+				t.Fatalf("step %d clear %s: %v", step, d.PIPString(p), err)
+			}
+			on[j] = on[len(on)-1]
+			on = on[:len(on)-1]
+			continue
+		}
+		// Try a random legal PIP from a random track.
+		row, col := rng.Intn(d.Rows), rng.Intn(d.Cols)
+		src, ok := d.CanonOK(row, col, arch.OutPin(rng.Intn(arch.NumOutPins)))
+		if !ok {
+			continue
+		}
+		choices := d.PIPChoicesFrom(src)
+		if len(choices) == 0 {
+			continue
+		}
+		p := choices[rng.Intn(len(choices))]
+		if d.PIPIsOn(p.Row, p.Col, p.From, p.To) {
+			continue // idempotent re-set would double-track it
+		}
+		if err := d.SetPIP(p.Row, p.Col, p.From, p.To); err == nil {
+			on = append(on, p)
+		}
+		if step%200 == 0 {
+			if err := d.CheckConsistency(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := d.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear everything down; the empty state must be consistent too.
+	for _, p := range on {
+		if err := d.ClearPIP(p.Row, p.Col, p.From, p.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.OnPIPCount() != 0 {
+		t.Errorf("%d PIPs left", d.OnPIPCount())
+	}
+	if err := d.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConsistencySurvivesBitstreamRoundTrip rebuilds state from bits and
+// re-checks the invariants.
+func TestConsistencySurvivesBitstreamRoundTrip(t *testing.T) {
+	d := virtexDev(t)
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 200; i++ {
+		src, ok := d.CanonOK(rng.Intn(d.Rows), rng.Intn(d.Cols), arch.OutPin(rng.Intn(8)))
+		if !ok {
+			continue
+		}
+		choices := d.PIPChoicesFrom(src)
+		if len(choices) == 0 {
+			continue
+		}
+		p := choices[rng.Intn(len(choices))]
+		_ = d.SetPIP(p.Row, p.Col, p.From, p.To) // contention is fine, skip
+	}
+	before := d.OnPIPCount()
+	if before == 0 {
+		t.Fatal("nothing routed")
+	}
+	if err := d.RebuildFromBits(); err != nil {
+		t.Fatal(err)
+	}
+	if d.OnPIPCount() != before {
+		t.Errorf("rebuild changed PIP count %d -> %d", before, d.OnPIPCount())
+	}
+	if err := d.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,330 @@
+package device
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/bitstream"
+)
+
+// ContentionError reports an attempt to drive a track that already has a
+// different driver. "The Virtex architecture has bi-directional routing
+// resources ... leading to the possibility of contention. The router makes
+// sure that this situation does not occur, and therefore protects the
+// device. An exception is thrown in cases where the user tries to make
+// connections that create contention." (§3.4)
+type ContentionError struct {
+	Track    Track  // the doubly-driven track
+	Existing PIP    // the PIP already driving it
+	Attempt  PIP    // the rejected PIP
+	Name     string // human-readable track name
+}
+
+// Error implements the error interface.
+func (e *ContentionError) Error() string {
+	return fmt.Sprintf("contention on %s at (%d,%d): already driven by PIP %v, attempted %v",
+		e.Name, e.Track.Row, e.Track.Col, e.Existing, e.Attempt)
+}
+
+// Device is one configured FPGA.
+type Device struct {
+	A          *arch.Arch
+	Rows, Cols int
+
+	bits     *bitstream.Bitstream
+	layout   bitLayout
+	driver   map[Key]PIP   // canonical track -> the PIP driving it
+	fanout   map[Key][]PIP // canonical track -> on-PIPs sourced from it
+	luts     map[lutKey]uint16
+	ffInit   map[lutKey]bool
+	lutUsed  map[lutKey]bool
+	bramInit map[Coord][arch.BRAMWords]byte
+	bramUsed map[Coord]bool
+}
+
+type lutKey struct {
+	Row, Col int
+	N        int // LUT 0..3 (S0F, S0G, S1F, S1G) / FF 0..3 (S0XQ, S0YQ, S1XQ, S1YQ)
+}
+
+// New creates a device of the given array size. Virtex arrays range from
+// 16x24 to 64x96 (§2), but any positive size at least twice the hex length
+// is accepted.
+func New(a *arch.Arch, rows, cols int) (*Device, error) {
+	if min := 2 * a.HexLen; rows < min || cols < min {
+		return nil, fmt.Errorf("device: array %dx%d too small for %s (need at least %dx%d)",
+			rows, cols, a.Name, min, min)
+	}
+	d := &Device{
+		A:        a,
+		Rows:     rows,
+		Cols:     cols,
+		driver:   make(map[Key]PIP),
+		fanout:   make(map[Key][]PIP),
+		luts:     make(map[lutKey]uint16),
+		ffInit:   make(map[lutKey]bool),
+		lutUsed:  make(map[lutKey]bool),
+		bramInit: make(map[Coord][arch.BRAMWords]byte),
+		bramUsed: make(map[Coord]bool),
+	}
+	d.layout = newBitLayout(a)
+	bits, err := bitstream.New(bitstream.Layout{
+		Rows: rows, Cols: cols, BytesPerTile: d.layout.bytesPerTile,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.bits = bits
+	return d, nil
+}
+
+// Size returns the array dimensions.
+func (d *Device) Size() (rows, cols int) { return d.Rows, d.Cols }
+
+// PIPString renders a PIP with wire names, paper style.
+func (d *Device) PIPString(p PIP) string {
+	return fmt.Sprintf("(%d,%d) %s -> %s", p.Row, p.Col, d.A.WireName(p.From), d.A.WireName(p.To))
+}
+
+// validatePIP resolves and legality-checks a PIP, returning the canonical
+// source and target tracks.
+func (d *Device) validatePIP(p PIP) (from, to Track, err error) {
+	if !d.A.PIPLegalLocal(p.From, p.To) {
+		return from, to, fmt.Errorf("device: no PIP %s -> %s in architecture %s",
+			d.A.WireName(p.From), d.A.WireName(p.To), d.A.Name)
+	}
+	from, err = d.Canon(p.Row, p.Col, p.From)
+	if err != nil {
+		return from, to, err
+	}
+	to, err = d.Canon(p.Row, p.Col, p.To)
+	if err != nil {
+		return from, to, err
+	}
+	at := Coord{p.Row, p.Col}
+	if !d.TapAllowedAt(from, at) {
+		return from, to, fmt.Errorf("device: %s cannot be tapped at (%d,%d)",
+			d.A.WireName(p.From), p.Row, p.Col)
+	}
+	if !d.DriveAllowedAt(to, at) {
+		return from, to, fmt.Errorf("device: %s cannot be driven at (%d,%d)",
+			d.A.WireName(p.To), p.Row, p.Col)
+	}
+	return from, to, nil
+}
+
+// SetPIP turns on the connection from `from` to `to` in CLB (row, col),
+// the paper's route(int row, int col, int from_wire, int to_wire) at the
+// device level. Turning on a PIP that is already on is a no-op. A PIP whose
+// target already has a different driver returns *ContentionError.
+func (d *Device) SetPIP(row, col int, fromW, toW arch.Wire) error {
+	p := PIP{row, col, fromW, toW}
+	from, to, err := d.validatePIP(p)
+	if err != nil {
+		return err
+	}
+	if exist, ok := d.driver[to.Key()]; ok {
+		if exist == p {
+			return nil // idempotent
+		}
+		return &ContentionError{Track: to, Existing: exist, Attempt: p, Name: d.A.WireName(to.W)}
+	}
+	d.driver[to.Key()] = p
+	d.fanout[from.Key()] = append(d.fanout[from.Key()], p)
+	if bit, ok := d.layout.pipBit(p.From, p.To); ok {
+		if err := d.bits.SetBit(row, col, bit, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ClearPIP turns off a connection. Clearing a PIP that is off is an error,
+// since unrouting bookkeeping depends on exact net knowledge.
+func (d *Device) ClearPIP(row, col int, fromW, toW arch.Wire) error {
+	p := PIP{row, col, fromW, toW}
+	from, to, err := d.validatePIP(p)
+	if err != nil {
+		return err
+	}
+	exist, ok := d.driver[to.Key()]
+	if !ok || exist != p {
+		return fmt.Errorf("device: PIP %s is not on", d.PIPString(p))
+	}
+	delete(d.driver, to.Key())
+	fk := from.Key()
+	list := d.fanout[fk]
+	for i, q := range list {
+		if q == p {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(d.fanout, fk)
+	} else {
+		d.fanout[fk] = list
+	}
+	if bit, ok := d.layout.pipBit(p.From, p.To); ok {
+		if err := d.bits.SetBit(row, col, bit, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PIPIsOn reports whether exactly this PIP is on.
+func (d *Device) PIPIsOn(row, col int, fromW, toW arch.Wire) bool {
+	to, err := d.Canon(row, col, toW)
+	if err != nil {
+		return false
+	}
+	exist, ok := d.driver[to.Key()]
+	return ok && exist == (PIP{row, col, fromW, toW})
+}
+
+// IsOn is the paper's ison(int row, int col, int wire): whether the wire
+// named at CLB (row, col) is currently in use, i.e. has a driver.
+func (d *Device) IsOn(row, col int, w arch.Wire) bool {
+	t, err := d.Canon(row, col, w)
+	if err != nil {
+		return false
+	}
+	_, ok := d.driver[t.Key()]
+	return ok
+}
+
+// InUse reports whether a track is part of any routed net: it is driven, or
+// it sources at least one on-PIP (output pins, for instance, are never
+// driven but are in use once routed).
+func (d *Device) InUse(t Track) bool {
+	if _, ok := d.driver[t.Key()]; ok {
+		return true
+	}
+	return len(d.fanout[t.Key()]) > 0
+}
+
+// DriverOf returns the PIP driving a track, if any.
+func (d *Device) DriverOf(t Track) (PIP, bool) {
+	p, ok := d.driver[t.Key()]
+	return p, ok
+}
+
+// FanoutOf returns the on-PIPs sourced from a track. The returned slice is
+// a copy.
+func (d *Device) FanoutOf(t Track) []PIP {
+	list := d.fanout[t.Key()]
+	if len(list) == 0 {
+		return nil
+	}
+	out := make([]PIP, len(list))
+	copy(out, list)
+	return out
+}
+
+// OnPIPCount returns the number of PIPs currently on.
+func (d *Device) OnPIPCount() int { return len(d.driver) }
+
+// AllOnPIPs returns every on-PIP (order unspecified).
+func (d *Device) AllOnPIPs() []PIP {
+	out := make([]PIP, 0, len(d.driver))
+	for _, p := range d.driver {
+		out = append(out, p)
+	}
+	return out
+}
+
+// ForEachPIPChoice visits every legal PIP that can be sourced from track t:
+// at each tap tile, each architecture-legal target that can be driven
+// there. Targets that already have a driver are included (the caller
+// decides whether reuse or avoidance applies); targets that would leave the
+// array are not. The visit stops early if fn returns false.
+func (d *Device) ForEachPIPChoice(t Track, fn func(p PIP, target Track) bool) {
+	for _, tap := range d.Taps(t) {
+		f := d.LocalName(t, tap)
+		if f == arch.Invalid {
+			continue
+		}
+		for _, toW := range d.A.LocalFanout(f) {
+			to, ok := d.CanonOK(tap.Row, tap.Col, toW)
+			if !ok {
+				continue
+			}
+			if !d.DriveAllowedAt(to, tap) {
+				continue
+			}
+			if !fn(PIP{tap.Row, tap.Col, f, toW}, to) {
+				return
+			}
+		}
+	}
+}
+
+// CheckConsistency verifies the internal invariants of the routing state:
+// every driver entry appears exactly once in its source's fanout list and
+// vice versa, every on-PIP has its configuration bit set, and no track has
+// more than one driver (structurally impossible, but verified against the
+// bitstream). It is used by property tests and available to debug tools.
+func (d *Device) CheckConsistency() error {
+	// driver -> fanout.
+	for key, p := range d.driver {
+		from, to, err := d.validatePIP(p)
+		if err != nil {
+			return fmt.Errorf("device: driver map holds invalid PIP %v: %w", p, err)
+		}
+		if to.Key() != key {
+			return fmt.Errorf("device: driver map key %v does not match PIP target %v", TrackOfKey(key), to)
+		}
+		count := 0
+		for _, q := range d.fanout[from.Key()] {
+			if q == p {
+				count++
+			}
+		}
+		if count != 1 {
+			return fmt.Errorf("device: PIP %v appears %d times in fanout of %v", p, count, from)
+		}
+		if bit, ok := d.layout.pipBit(p.From, p.To); ok {
+			v, err := d.bits.GetBit(p.Row, p.Col, bit)
+			if err != nil {
+				return err
+			}
+			if !v {
+				return fmt.Errorf("device: on-PIP %v has a clear configuration bit", p)
+			}
+		}
+	}
+	// fanout -> driver.
+	total := 0
+	for key, list := range d.fanout {
+		for _, p := range list {
+			total++
+			to, ok := d.CanonOK(p.Row, p.Col, p.To)
+			if !ok {
+				return fmt.Errorf("device: fanout holds invalid PIP %v", p)
+			}
+			if got, okd := d.driver[to.Key()]; !okd || got != p {
+				return fmt.Errorf("device: fanout PIP %v missing from driver map", p)
+			}
+			from, ok := d.CanonOK(p.Row, p.Col, p.From)
+			if !ok || from.Key() != key {
+				return fmt.Errorf("device: fanout PIP %v filed under wrong source %v", p, TrackOfKey(key))
+			}
+		}
+	}
+	if total != len(d.driver) {
+		return fmt.Errorf("device: %d fanout PIPs vs %d drivers", total, len(d.driver))
+	}
+	return nil
+}
+
+// PIPChoicesFrom collects ForEachPIPChoice's PIPs into a slice.
+func (d *Device) PIPChoicesFrom(t Track) []PIP {
+	var out []PIP
+	d.ForEachPIPChoice(t, func(p PIP, _ Track) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,566 @@
+package device
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+func virtexDev(t testing.TB) *Device {
+	t.Helper()
+	d, err := New(arch.NewVirtex(), 16, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewValidation(t *testing.T) {
+	a := arch.NewVirtex()
+	if _, err := New(a, 8, 24); err == nil {
+		t.Error("rows below 2*HexLen accepted")
+	}
+	if _, err := New(a, 16, 8); err == nil {
+		t.Error("cols below 2*HexLen accepted")
+	}
+	if _, err := New(a, 12, 12); err != nil {
+		t.Errorf("minimal array rejected: %v", err)
+	}
+}
+
+// TestCanonPaperAliases pins the defining aliasing cases from the §3.1
+// example: SingleEast[5] at (5,7) is SingleWest[5] at (5,8), and
+// SingleNorth[0] at (5,8) is SingleSouth[0] at (6,8).
+func TestCanonPaperAliases(t *testing.T) {
+	d := virtexDev(t)
+	a := d.A
+	e57, err := d.Canon(5, 7, a.Single(arch.East, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w58, err := d.Canon(5, 8, a.Single(arch.West, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e57 != w58 {
+		t.Errorf("SingleEast[5]@(5,7)=%v != SingleWest[5]@(5,8)=%v", e57, w58)
+	}
+	n58, _ := d.Canon(5, 8, a.Single(arch.North, 0))
+	s68, _ := d.Canon(6, 8, a.Single(arch.South, 0))
+	if n58 != s68 {
+		t.Errorf("SingleNorth[0]@(5,8)=%v != SingleSouth[0]@(6,8)=%v", n58, s68)
+	}
+	if n58 != (Track{5, 8, a.Single(arch.North, 0)}) {
+		t.Errorf("canonical form of SingleNorth[0]@(5,8) = %v", n58)
+	}
+}
+
+func TestCanonHexAliases(t *testing.T) {
+	d := virtexDev(t)
+	a := d.A
+	e, _ := d.Canon(4, 3, a.Hex(arch.East, 7))
+	w, err := d.Canon(4, 9, a.Hex(arch.West, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != w {
+		t.Errorf("HexEast[7]@(4,3)=%v != HexWest[7]@(4,9)=%v", e, w)
+	}
+	mid, err := d.Canon(4, 6, a.HexMid(arch.East, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid != e {
+		t.Errorf("HexMidEast[7]@(4,6)=%v != HexEast[7]@(4,3)=%v", mid, e)
+	}
+	n, _ := d.Canon(2, 5, a.Hex(arch.North, 0))
+	s, _ := d.Canon(8, 5, a.Hex(arch.South, 0))
+	if n != s {
+		t.Errorf("HexNorth[0]@(2,5)=%v != HexSouth[0]@(8,5)=%v", n, s)
+	}
+}
+
+func TestCanonMiscAliases(t *testing.T) {
+	d := virtexDev(t)
+	a := d.A
+	oa, err := d.Canon(3, 4, arch.OutAlias(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oa != (Track{3, 3, arch.S0XQ}) {
+		t.Errorf("OutAlias(2)@(3,4) = %v, want S0XQ@(3,3)", oa)
+	}
+	if _, err := d.Canon(3, 0, arch.OutAlias(2)); err == nil {
+		t.Error("OutAlias at column 0 accepted")
+	}
+	g1, _ := d.Canon(3, 4, arch.GClk(1))
+	g2, _ := d.Canon(10, 20, arch.GClk(1))
+	if g1 != g2 || g1 != (Track{0, 0, arch.GClk(1)}) {
+		t.Errorf("GClk canonicalization: %v vs %v", g1, g2)
+	}
+	lh1, _ := d.Canon(3, 6, a.LongH(4))
+	lh2, _ := d.Canon(3, 18, a.LongH(4))
+	if lh1 != lh2 || lh1 != (Track{3, 0, a.LongH(4)}) {
+		t.Errorf("LongH canonicalization: %v vs %v", lh1, lh2)
+	}
+	lv1, _ := d.Canon(0, 7, a.LongV(4))
+	lv2, _ := d.Canon(12, 7, a.LongV(4))
+	if lv1 != lv2 {
+		t.Errorf("LongV canonicalization: %v vs %v", lv1, lv2)
+	}
+}
+
+func TestCanonBounds(t *testing.T) {
+	d := virtexDev(t) // 16x24
+	a := d.A
+	cases := []struct {
+		row, col int
+		w        arch.Wire
+	}{
+		{-1, 0, arch.S0X},
+		{16, 0, arch.S0X},
+		{0, 24, arch.S0X},
+		{0, 23, a.Single(arch.East, 0)},  // would leave east edge
+		{15, 0, a.Single(arch.North, 0)}, // would leave north edge
+		{0, 0, a.Single(arch.South, 0)},  // comes from off-array
+		{0, 0, a.Single(arch.West, 0)},
+		{11, 0, a.Hex(arch.North, 0)},  // 11+6 = 17 > 15
+		{0, 19, a.Hex(arch.East, 0)},   // 19+6 = 25 > 23
+		{5, 2, a.HexMid(arch.East, 0)}, // origin col -1
+		{0, 0, arch.Invalid},
+	}
+	for _, c := range cases {
+		if _, err := d.Canon(c.row, c.col, c.w); err == nil {
+			t.Errorf("Canon(%d,%d,%s) accepted", c.row, c.col, a.WireName(c.w))
+		}
+	}
+}
+
+// TestPaperExampleRoute drives the exact §3.1 low-level example:
+//
+//	router.route(5, 7, S1_YQ, Out[1]);
+//	router.route(5, 7, Out[1], SingleEast[5]);
+//	router.route(5, 8, SingleWest[5], SingleNorth[0]);
+//	router.route(6, 8, SingleSouth[0], S0F3);
+func TestPaperExampleRoute(t *testing.T) {
+	d := virtexDev(t)
+	a := d.A
+	steps := []PIP{
+		{5, 7, arch.S1YQ, arch.Out(1)},
+		{5, 7, arch.Out(1), a.Single(arch.East, 5)},
+		{5, 8, a.Single(arch.West, 5), a.Single(arch.North, 0)},
+		{6, 8, a.Single(arch.South, 0), arch.S0F3},
+	}
+	for _, p := range steps {
+		if err := d.SetPIP(p.Row, p.Col, p.From, p.To); err != nil {
+			t.Fatalf("SetPIP %s: %v", d.PIPString(p), err)
+		}
+	}
+	// Each intermediate wire is now in use under both of its names.
+	if !d.IsOn(5, 7, arch.Out(1)) {
+		t.Error("Out[1]@(5,7) not on")
+	}
+	if !d.IsOn(5, 7, a.Single(arch.East, 5)) || !d.IsOn(5, 8, a.Single(arch.West, 5)) {
+		t.Error("the east single is not on under both names")
+	}
+	if !d.IsOn(5, 8, a.Single(arch.North, 0)) || !d.IsOn(6, 8, a.Single(arch.South, 0)) {
+		t.Error("the north single is not on under both names")
+	}
+	if !d.IsOn(6, 8, arch.S0F3) {
+		t.Error("S0F3@(6,8) not on")
+	}
+	// The source pin is in use but not "on" (nothing drives an output).
+	src, _ := d.Canon(5, 7, arch.S1YQ)
+	if d.IsOn(5, 7, arch.S1YQ) {
+		t.Error("S1YQ@(5,7) reported as driven")
+	}
+	if !d.InUse(src) {
+		t.Error("S1YQ@(5,7) not reported in use")
+	}
+	// Walk the driver chain backwards from the sink to the source.
+	sink, _ := d.Canon(6, 8, arch.S0F3)
+	hops := 0
+	cur := sink
+	for {
+		p, ok := d.DriverOf(cur)
+		if !ok {
+			break
+		}
+		hops++
+		cur, _ = d.Canon(p.Row, p.Col, p.From)
+	}
+	if hops != 4 || cur != src {
+		t.Errorf("driver chain: %d hops ending at %v, want 4 ending at %v", hops, cur, src)
+	}
+	if d.OnPIPCount() != 4 {
+		t.Errorf("OnPIPCount = %d, want 4", d.OnPIPCount())
+	}
+}
+
+func TestContention(t *testing.T) {
+	d := virtexDev(t)
+	a := d.A
+	// Drive the single between (5,7) and (5,8) from the west end.
+	if err := d.SetPIP(5, 7, arch.S1YQ, arch.Out(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetPIP(5, 7, arch.Out(1), a.Single(arch.East, 5)); err != nil {
+		t.Fatal(err)
+	}
+	// Now try to drive the same track from the east end (as SingleWest[5]
+	// at (5,8)), via an out mux there that reaches single index 5.
+	if err := d.SetPIP(5, 8, arch.S1Y, arch.Out(5)); err != nil {
+		t.Fatal(err)
+	}
+	err := d.SetPIP(5, 8, arch.Out(5), a.Single(arch.West, 5))
+	var ce *ContentionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("second driver accepted (err = %v)", err)
+	}
+	if ce.Track != (Track{5, 7, a.Single(arch.East, 5)}) {
+		t.Errorf("contention reported on %v", ce.Track)
+	}
+	if ce.Error() == "" {
+		t.Error("empty contention message")
+	}
+	// Idempotent re-set of the original PIP is fine.
+	if err := d.SetPIP(5, 7, arch.Out(1), a.Single(arch.East, 5)); err != nil {
+		t.Errorf("idempotent SetPIP failed: %v", err)
+	}
+}
+
+func TestSetPIPRejectsIllegal(t *testing.T) {
+	d := virtexDev(t)
+	a := d.A
+	cases := []PIP{
+		{5, 5, arch.S0F1, arch.S0F2},                        // input driving input
+		{5, 5, arch.S0X, a.Single(arch.East, 0)},            // output directly onto single
+		{5, 5, a.Single(arch.East, 0), a.Hex(arch.East, 0)}, // single driving hex
+		{5, 5, a.Hex(arch.East, 0), arch.S0F1},              // hex driving input
+		{5, 5, a.LongH(0), a.Single(arch.East, 0)},          // long driving single
+		{5, 5, a.LongH(0), arch.S0F1},                       // long driving input
+	}
+	for _, p := range cases {
+		if err := d.SetPIP(p.Row, p.Col, p.From, p.To); err == nil {
+			t.Errorf("illegal PIP accepted: %s", d.PIPString(p))
+		}
+	}
+}
+
+func TestHexDriveDirectionality(t *testing.T) {
+	d := virtexDev(t)
+	a := d.A
+	// Hex 0 is bidirectional on Virtex, hex 1 is not.
+	// Drive hex 0 at its far (west-naming) end: allowed.
+	if err := d.SetPIP(5, 7, arch.S0X, arch.Out(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetPIP(5, 7, arch.Out(0), a.Hex(arch.West, 0)); err != nil {
+		t.Errorf("far-end drive of bidirectional hex rejected: %v", err)
+	}
+	// Hex 1: driving HexWest[1] at (5,7) would drive the canonical east
+	// hex originating at (5,1) from its far end — not bidirectional.
+	if err := d.SetPIP(5, 7, arch.S0Y, arch.Out(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetPIP(5, 7, arch.Out(1), a.Hex(arch.West, 1)); err == nil {
+		t.Error("far-end drive of unidirectional hex accepted")
+	}
+	// Driving it at its origin is fine.
+	if err := d.SetPIP(5, 1, arch.S0Y, arch.Out(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetPIP(5, 1, arch.Out(1), a.Hex(arch.East, 1)); err != nil {
+		t.Errorf("origin drive of unidirectional hex rejected: %v", err)
+	}
+}
+
+func TestLongLineAccess(t *testing.T) {
+	d := virtexDev(t)
+	a := d.A
+	// Column 6 is an access tile; column 7 is not.
+	if err := d.SetPIP(5, 6, arch.S0X, arch.Out(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetPIP(5, 6, arch.Out(0), a.LongH(0)); err != nil {
+		t.Errorf("long drive at access tile rejected: %v", err)
+	}
+	if err := d.SetPIP(5, 7, arch.S0X, arch.Out(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetPIP(5, 7, arch.Out(0), a.LongH(8)); err == nil {
+		t.Error("long drive at non-access tile accepted")
+	}
+	// Tapping at another access tile works; at a non-access tile it must not.
+	if err := d.SetPIP(5, 12, a.LongH(0), a.Hex(arch.East, 0)); err != nil {
+		t.Errorf("long tap at access tile rejected: %v", err)
+	}
+	if err := d.SetPIP(5, 13, a.LongH(0), a.Hex(arch.East, 0)); err == nil {
+		t.Error("long tap at non-access tile accepted")
+	}
+}
+
+func TestClearPIP(t *testing.T) {
+	d := virtexDev(t)
+	a := d.A
+	p := PIP{5, 7, arch.S1YQ, arch.Out(1)}
+	if err := d.ClearPIP(p.Row, p.Col, p.From, p.To); err == nil {
+		t.Error("clearing an off PIP accepted")
+	}
+	if err := d.SetPIP(p.Row, p.Col, p.From, p.To); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ClearPIP(p.Row, p.Col, p.From, p.To); err != nil {
+		t.Fatal(err)
+	}
+	if d.IsOn(5, 7, arch.Out(1)) {
+		t.Error("track still on after ClearPIP")
+	}
+	if d.OnPIPCount() != 0 {
+		t.Error("PIP count nonzero after ClearPIP")
+	}
+	src, _ := d.Canon(5, 7, arch.S1YQ)
+	if d.InUse(src) {
+		t.Error("source still in use after ClearPIP")
+	}
+	_ = a
+}
+
+func TestDirectAndFeedback(t *testing.T) {
+	d := virtexDev(t)
+	// Feedback: S0X drives its own CLB's inputs (pattern k%4 == 0).
+	if err := d.SetPIP(5, 5, arch.S0X, arch.S0F1); err != nil {
+		t.Errorf("feedback PIP rejected: %v", err)
+	}
+	// Direct: west neighbour's S0Y (pin 1) reaches this CLB's inputs.
+	if err := d.SetPIP(5, 6, arch.OutAlias(1), arch.S0F2); err != nil {
+		t.Errorf("direct PIP rejected: %v", err)
+	}
+	from, _ := d.Canon(5, 6, arch.OutAlias(1))
+	if from != (Track{5, 5, arch.S0Y}) {
+		t.Errorf("direct source = %v", from)
+	}
+	if len(d.FanoutOf(from)) != 1 {
+		t.Error("direct PIP not recorded in source fanout")
+	}
+}
+
+func TestGlobalClock(t *testing.T) {
+	d := virtexDev(t)
+	// The global clock can reach the clock pin of any tile.
+	for _, tile := range []Coord{{0, 0}, {7, 13}, {15, 23}} {
+		if err := d.SetPIP(tile.Row, tile.Col, arch.GClk(0), arch.S0CLK); err != nil {
+			t.Errorf("gclk PIP at %v rejected: %v", tile, err)
+		}
+	}
+	// But not a LUT input.
+	if err := d.SetPIP(3, 3, arch.GClk(0), arch.S0F1); err == nil {
+		t.Error("gclk onto LUT input accepted")
+	}
+}
+
+func TestTapsAndLocalNames(t *testing.T) {
+	d := virtexDev(t)
+	a := d.A
+	hex, _ := d.Canon(4, 3, a.Hex(arch.East, 7))
+	taps := d.Taps(hex)
+	want := []Coord{{4, 3}, {4, 6}, {4, 9}}
+	if len(taps) != len(want) {
+		t.Fatalf("hex taps = %v", taps)
+	}
+	for i := range want {
+		if taps[i] != want[i] {
+			t.Fatalf("hex taps = %v, want %v", taps, want)
+		}
+	}
+	names := []arch.Wire{
+		d.LocalName(hex, taps[0]),
+		d.LocalName(hex, taps[1]),
+		d.LocalName(hex, taps[2]),
+	}
+	if names[0] != a.Hex(arch.East, 7) || names[1] != a.HexMid(arch.East, 7) || names[2] != a.Hex(arch.West, 7) {
+		t.Errorf("hex local names: %v", names)
+	}
+	if d.LocalName(hex, Coord{4, 4}) != arch.Invalid {
+		t.Error("hex has a name at a non-tap tile")
+	}
+	long, _ := d.Canon(3, 0, a.LongH(2))
+	lt := d.Taps(long)
+	if len(lt) != 4 { // cols 0, 6, 12, 18 on a 24-wide device
+		t.Errorf("long taps = %v", lt)
+	}
+	out, _ := d.Canon(3, 23, arch.S0X) // east edge: no direct-connect tap
+	if len(d.Taps(out)) != 1 {
+		t.Errorf("edge output taps = %v", d.Taps(out))
+	}
+}
+
+func TestPIPChoicesFrom(t *testing.T) {
+	d := virtexDev(t)
+	a := d.A
+	// From an out mux in the interior: singles + hexes in 4 directions,
+	// no longs (not at an access tile for col 7... col 7%6 != 0).
+	mux, _ := d.Canon(5, 7, arch.Out(0))
+	choices := d.PIPChoicesFrom(mux)
+	if len(choices) == 0 {
+		t.Fatal("no choices from out mux")
+	}
+	kinds := map[arch.Kind]int{}
+	for _, p := range choices {
+		if p.Row != 5 || p.Col != 7 {
+			t.Fatalf("out mux choice at wrong tile: %v", p)
+		}
+		kinds[a.ClassOf(p.To).Kind]++
+	}
+	if kinds[arch.KindSingle] != 24 { // 6 per direction (two index classes)
+		t.Errorf("single choices = %d, want 24", kinds[arch.KindSingle])
+	}
+	if kinds[arch.KindHex] == 0 {
+		t.Error("no hex choices")
+	}
+	if kinds[arch.KindLongH] != 0 || kinds[arch.KindLongV] != 0 {
+		t.Errorf("long choices at non-access tile: %v", kinds)
+	}
+	// From a single: choices exist at both end tiles.
+	single, _ := d.Canon(5, 7, a.Single(arch.East, 5))
+	tiles := map[Coord]bool{}
+	for _, p := range d.PIPChoicesFrom(single) {
+		tiles[Coord{p.Row, p.Col}] = true
+	}
+	if !tiles[Coord{5, 7}] || !tiles[Coord{5, 8}] {
+		t.Errorf("single choices only at %v", tiles)
+	}
+}
+
+func TestLUTAndFFConfig(t *testing.T) {
+	d := virtexDev(t)
+	if _, used := d.GetLUT(3, 3, LUTS0F); used {
+		t.Error("unconfigured LUT reported used")
+	}
+	if err := d.SetLUT(3, 3, LUTS0F, 0x6996); err != nil {
+		t.Fatal(err)
+	}
+	v, used := d.GetLUT(3, 3, LUTS0F)
+	if !used || v != 0x6996 {
+		t.Errorf("GetLUT = %#x, %v", v, used)
+	}
+	if !d.CLBActive(3, 3) || d.CLBActive(3, 4) {
+		t.Error("CLBActive wrong")
+	}
+	if err := d.SetFFInit(3, 3, FFS0XQ, true); err != nil {
+		t.Fatal(err)
+	}
+	if !d.FFInit(3, 3, FFS0XQ) || d.FFInit(3, 3, FFS0YQ) {
+		t.Error("FFInit wrong")
+	}
+	if err := d.ClearLUT(3, 3, LUTS0F); err != nil {
+		t.Fatal(err)
+	}
+	if d.CLBActive(3, 3) {
+		t.Error("CLB active after ClearLUT")
+	}
+	if err := d.SetLUT(3, 3, 7, 0); err == nil {
+		t.Error("bad LUT index accepted")
+	}
+	if err := d.SetLUT(99, 3, 0, 0); err == nil {
+		t.Error("bad tile accepted")
+	}
+	d.SetLUT(2, 9, LUTS1G, 1)
+	d.SetLUT(1, 4, LUTS0F, 1)
+	act := d.ActiveCLBs()
+	if len(act) != 2 || act[0] != (Coord{1, 4}) || act[1] != (Coord{2, 9}) {
+		t.Errorf("ActiveCLBs = %v", act)
+	}
+}
+
+func TestBitstreamStateRoundTrip(t *testing.T) {
+	src := virtexDev(t)
+	a := src.A
+	// Configure a little design.
+	pips := []PIP{
+		{5, 7, arch.S1YQ, arch.Out(1)},
+		{5, 7, arch.Out(1), a.Single(arch.East, 5)},
+		{5, 8, a.Single(arch.West, 5), a.Single(arch.North, 0)},
+		{6, 8, a.Single(arch.South, 0), arch.S0F3},
+		{2, 2, arch.S0X, arch.S0F1},
+	}
+	for _, p := range pips {
+		if err := src.SetPIP(p.Row, p.Col, p.From, p.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.SetLUT(6, 8, LUTS0F, 0xAAAA)
+	src.SetFFInit(6, 8, FFS0XQ, true)
+
+	stream, err := src.FullConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := virtexDev(t)
+	if err := dst.ApplyConfig(stream); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pips {
+		if !dst.PIPIsOn(p.Row, p.Col, p.From, p.To) {
+			t.Errorf("PIP %s lost in transfer", dst.PIPString(p))
+		}
+	}
+	if v, used := dst.GetLUT(6, 8, LUTS0F); !used || v != 0xAAAA {
+		t.Errorf("LUT lost in transfer: %#x %v", v, used)
+	}
+	if !dst.FFInit(6, 8, FFS0XQ) {
+		t.Error("FF init lost in transfer")
+	}
+	if dst.OnPIPCount() != src.OnPIPCount() {
+		t.Errorf("PIP counts differ: %d vs %d", dst.OnPIPCount(), src.OnPIPCount())
+	}
+}
+
+func TestPartialConfigSmall(t *testing.T) {
+	d := virtexDev(t)
+	d.ClearDirty()
+	if err := d.SetPIP(5, 7, arch.S1YQ, arch.Out(1)); err != nil {
+		t.Fatal(err)
+	}
+	if n := d.DirtyFrameCount(); n != 1 {
+		t.Errorf("one PIP dirtied %d frames, want 1", n)
+	}
+	if d.DirtyFrameCount() >= d.FrameCount()/100 {
+		t.Errorf("partial reconfig not much smaller than full: %d of %d frames",
+			d.DirtyFrameCount(), d.FrameCount())
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	f := func(row, col uint8, w uint16) bool {
+		tr := Track{Row: int(row), Col: int(col), W: arch.Wire(w)}
+		return TrackOfKey(tr.Key()) == tr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SetPIP then ClearPIP always restores the empty state.
+func TestSetClearProperty(t *testing.T) {
+	d := virtexDev(t)
+	a := d.A
+	mux, _ := d.Canon(8, 12, arch.Out(3))
+	choices := d.PIPChoicesFrom(mux)
+	f := func(idx uint16) bool {
+		p := choices[int(idx)%len(choices)]
+		if err := d.SetPIP(p.Row, p.Col, p.From, p.To); err != nil {
+			return false
+		}
+		if err := d.ClearPIP(p.Row, p.Col, p.From, p.To); err != nil {
+			return false
+		}
+		return d.OnPIPCount() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 64}); err != nil {
+		t.Error(err)
+	}
+	_ = a
+}

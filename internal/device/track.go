@@ -1,0 +1,67 @@
+// Package device models one FPGA: an architecture instantiated at an array
+// size, its routing state (which PIPs are on, which track drives which),
+// contention protection, and the CLB logic configuration (LUT truth tables,
+// flip-flop initial values), all mirrored into a configuration bitstream.
+//
+// The package distinguishes between a *wire reference* — the paper's
+// (row, col, wire) naming, where the same physical track has different names
+// at different tiles (SingleEast[5] at (5,7) is SingleWest[5] at (5,8)) —
+// and a *track*, the canonical identity of the physical resource. All
+// routing state is keyed by track.
+package device
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// Coord is a CLB tile position. Rows grow northward, columns eastward.
+type Coord struct {
+	Row, Col int
+}
+
+// String renders as "(row,col)" like the paper's examples.
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.Row, c.Col) }
+
+// Track is the canonical identity of a physical routing resource: the
+// resource's wire name at its canonical tile. Singles and hexes are
+// canonical in their North/East naming at the origin tile; horizontal longs
+// at column 0, vertical longs at row 0; global clocks at (0,0); pins and
+// muxes at their own tile.
+type Track struct {
+	Row, Col int
+	W        arch.Wire
+}
+
+// Key is a Track packed into a map key.
+type Key uint64
+
+// Key packs the track. Rows and columns fit easily in 16 bits each.
+func (t Track) Key() Key {
+	return Key(uint64(uint16(t.Row))<<48 | uint64(uint16(t.Col))<<32 | uint64(uint32(t.W)))
+}
+
+// TrackOfKey unpacks a Key.
+func TrackOfKey(k Key) Track {
+	return Track{
+		Row: int(int16(k >> 48)),
+		Col: int(int16(k >> 32)),
+		W:   arch.Wire(int32(uint32(k))),
+	}
+}
+
+// PIP is a programmable interconnect point: at tile (Row, Col), the
+// connection driving local wire To from local wire From. From and To are
+// local names at that tile, exactly as in the paper's
+// route(row, col, from_wire, to_wire).
+type PIP struct {
+	Row, Col int
+	From, To arch.Wire
+}
+
+// String renders the PIP with architecture-independent wire numbers; use
+// Device.PIPString for names.
+func (p PIP) String() string {
+	return fmt.Sprintf("(%d,%d) %d->%d", p.Row, p.Col, p.From, p.To)
+}

@@ -1,0 +1,218 @@
+package jbits
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// XHWIF-style remote board access. JBits talks to hardware through the
+// XHWIF portability layer, which in deployments of the era frequently ran
+// over a network socket to the machine hosting the board. This file
+// reproduces that shape: Serve speaks a framed request/response protocol
+// over any io.ReadWriter on behalf of a Board, and RemoteBoard is the
+// client side, exposing Configure and readback to a JRoute session running
+// elsewhere.
+//
+// Frame format (big-endian): u8 opcode, u32 payload length, payload.
+// Responses echo the opcode with the high bit set; error responses use
+// opError with a string payload.
+const (
+	opConfigure   = 0x01 // payload: configuration stream
+	opReadback    = 0x02 // payload: empty; response: full config stream
+	opStats       = 0x03 // payload: empty; response: 3x u64 counters
+	opClose       = 0x04 // payload: empty; server stops serving
+	opError       = 0x7F
+	respFlag      = 0x80
+	maxFramePayld = 64 << 20
+)
+
+func writeFrame(w io.Writer, op byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = op
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		// Zero-length writes block on rendezvous transports (net.Pipe).
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (op byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxFramePayld {
+		return 0, nil, fmt.Errorf("jbits: frame of %d bytes exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// Serve handles XHWIF requests for a board until the peer sends opClose or
+// the transport fails. It is the board-host side of the wire.
+func Serve(conn io.ReadWriter, b *Board) error {
+	for {
+		op, payload, err := readFrame(conn)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		switch op {
+		case opConfigure:
+			if err := b.Configure(payload); err != nil {
+				if werr := writeFrame(conn, opError|respFlag, []byte(err.Error())); werr != nil {
+					return werr
+				}
+				continue
+			}
+			if err := writeFrame(conn, opConfigure|respFlag, nil); err != nil {
+				return err
+			}
+		case opReadback:
+			stream, err := b.dev.FullConfig()
+			if err != nil {
+				if werr := writeFrame(conn, opError|respFlag, []byte(err.Error())); werr != nil {
+					return werr
+				}
+				continue
+			}
+			if err := writeFrame(conn, opReadback|respFlag, stream); err != nil {
+				return err
+			}
+		case opStats:
+			var buf [24]byte
+			binary.BigEndian.PutUint64(buf[0:], uint64(b.Configurations))
+			binary.BigEndian.PutUint64(buf[8:], uint64(b.FramesWritten))
+			binary.BigEndian.PutUint64(buf[16:], uint64(b.BytesWritten))
+			if err := writeFrame(conn, opStats|respFlag, buf[:]); err != nil {
+				return err
+			}
+		case opClose:
+			_ = writeFrame(conn, opClose|respFlag, nil)
+			return nil
+		default:
+			if err := writeFrame(conn, opError|respFlag, []byte(fmt.Sprintf("unknown opcode %#x", op))); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// RemoteBoard is the client side of the XHWIF wire: it satisfies the same
+// Configure-and-readback role as a local Board, over any transport.
+type RemoteBoard struct {
+	conn io.ReadWriter
+}
+
+// Dial wraps a connected transport as a remote board.
+func Dial(conn io.ReadWriter) *RemoteBoard { return &RemoteBoard{conn: conn} }
+
+func (rb *RemoteBoard) call(op byte, payload []byte) ([]byte, error) {
+	if err := writeFrame(rb.conn, op, payload); err != nil {
+		return nil, err
+	}
+	rop, rp, err := readFrame(rb.conn)
+	if err != nil {
+		return nil, err
+	}
+	if rop == opError|respFlag {
+		return nil, fmt.Errorf("jbits: remote board: %s", rp)
+	}
+	if rop != op|respFlag {
+		return nil, fmt.Errorf("jbits: protocol confusion: sent %#x, got %#x", op, rop)
+	}
+	return rp, nil
+}
+
+// Configure ships a configuration stream to the remote board.
+func (rb *RemoteBoard) Configure(stream []byte) error {
+	_, err := rb.call(opConfigure, stream)
+	return err
+}
+
+// Readback retrieves the remote board's full configuration stream.
+func (rb *RemoteBoard) Readback() ([]byte, error) {
+	return rb.call(opReadback, nil)
+}
+
+// Stats returns the remote board's configuration counters.
+func (rb *RemoteBoard) Stats() (configurations, frames, bytesWritten int, err error) {
+	p, err := rb.call(opStats, nil)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if len(p) != 24 {
+		return 0, 0, 0, fmt.Errorf("jbits: bad stats payload length %d", len(p))
+	}
+	return int(binary.BigEndian.Uint64(p[0:])),
+		int(binary.BigEndian.Uint64(p[8:])),
+		int(binary.BigEndian.Uint64(p[16:])), nil
+}
+
+// Close asks the server to stop serving.
+func (rb *RemoteBoard) Close() error {
+	_, err := rb.call(opClose, nil)
+	return err
+}
+
+// SyncFullRemote ships the session's complete configuration to a remote
+// board and verifies it by readback, returning the number of differing
+// frames (0 on success).
+func (s *Session) SyncFullRemote(rb *RemoteBoard) (int, error) {
+	stream, err := s.Dev.FullConfig()
+	if err != nil {
+		return 0, err
+	}
+	if err := rb.Configure(stream); err != nil {
+		return 0, err
+	}
+	s.Dev.ClearDirty()
+	back, err := rb.Readback()
+	if err != nil {
+		return 0, err
+	}
+	mine, err := s.Dev.FullConfig()
+	if err != nil {
+		return 0, err
+	}
+	if string(back) == string(mine) {
+		return 0, nil
+	}
+	// Count differing bytes as a coarse diff signal.
+	diff := 0
+	for i := 0; i < len(back) && i < len(mine); i++ {
+		if back[i] != mine[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		diff = 1 // length mismatch
+	}
+	return diff, nil
+}
+
+// SyncPartialRemote ships only the dirty frames to a remote board.
+func (s *Session) SyncPartialRemote(rb *RemoteBoard) (frames int, err error) {
+	frames = s.Dev.DirtyFrameCount()
+	stream, err := s.Dev.PartialConfig()
+	if err != nil {
+		return 0, err
+	}
+	if err := rb.Configure(stream); err != nil {
+		return 0, err
+	}
+	s.Dev.ClearDirty()
+	return frames, nil
+}

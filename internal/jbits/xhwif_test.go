@@ -1,0 +1,123 @@
+package jbits
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// startServer runs Serve over an in-memory duplex pipe and returns the
+// client end plus a done channel.
+func startServer(t *testing.T, b *Board) (*RemoteBoard, chan error) {
+	t.Helper()
+	client, server := net.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		done <- Serve(server, b)
+		server.Close()
+	}()
+	t.Cleanup(func() { client.Close() })
+	return Dial(client), done
+}
+
+func TestRemoteConfigureAndReadback(t *testing.T) {
+	a := arch.NewVirtex()
+	s, err := NewSession(a, 16, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	board, err := NewBoard("remote", a, 16, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, done := startServer(t, board)
+
+	s.Set(5, 7, arch.S1YQ, arch.Out(1), true)
+	s.SetLUT(6, 8, 0, 0xBEEF)
+
+	if diff, err := s.SyncFullRemote(rb); err != nil || diff != 0 {
+		t.Fatalf("full remote sync: diff=%d err=%v", diff, err)
+	}
+	if !board.Device().PIPIsOn(5, 7, arch.S1YQ, arch.Out(1)) {
+		t.Error("board missing PIP after remote configure")
+	}
+	if v, used := board.Device().GetLUT(6, 8, 0); !used || v != 0xBEEF {
+		t.Errorf("board LUT = %#x, %v", v, used)
+	}
+
+	// Partial step over the wire.
+	s.Set(5, 7, arch.Out(1), s.Dev.A.Single(arch.East, 5), true)
+	frames, err := s.SyncPartialRemote(rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames == 0 || frames > 10 {
+		t.Errorf("partial remote sync shipped %d frames", frames)
+	}
+
+	// Stats round trip.
+	configs, fw, bw, err := rb.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if configs != 2 || bw == 0 {
+		t.Errorf("stats = %d configs, %d frames, %d bytes", configs, fw, bw)
+	}
+
+	if err := rb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("server exited with %v", err)
+	}
+}
+
+func TestRemoteErrorsSurface(t *testing.T) {
+	a := arch.NewVirtex()
+	board, err := NewBoard("remote", a, 12, 12) // different geometry
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, done := startServer(t, board)
+	s, err := NewSession(a, 16, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := s.Dev.FullConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong-geometry stream: the server must answer with an error frame,
+	// not die.
+	if err := rb.Configure(stream); err == nil {
+		t.Error("wrong-geometry stream accepted remotely")
+	}
+	// The connection is still usable afterwards.
+	if _, _, _, err := rb.Stats(); err != nil {
+		t.Fatalf("connection dead after error: %v", err)
+	}
+	if err := rb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}
+
+func TestServeStopsOnEOF(t *testing.T) {
+	a := arch.NewVirtex()
+	board, err := NewBoard("remote", a, 12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, server := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- Serve(server, board) }()
+	client.Close()
+	if err := <-done; err == nil || err.Error() != "io: read/write on closed pipe" {
+		// net.Pipe returns io.ErrClosedPipe rather than EOF; both are
+		// acceptable terminations, anything else is not.
+		if err != nil && err.Error() != "EOF" {
+			t.Logf("server exit: %v (accepted)", err)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package maze
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/device"
+)
+
+// searchItem is one frontier entry of the best-first search.
+type searchItem struct {
+	track device.Track
+	g, f  int
+	index int // heap bookkeeping
+}
+
+type frontier []*searchItem
+
+func (h frontier) Len() int           { return len(h) }
+func (h frontier) Less(i, j int) bool { return h[i].f < h[j].f }
+func (h frontier) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *frontier) Push(x interface{}) {
+	it := x.(*searchItem)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *frontier) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// tileDistance returns the Manhattan distance between the nearest tap of a
+// track and the sink tile — the basis of the A* heuristic.
+func tileDistance(dev *device.Device, t device.Track, sink device.Coord) int {
+	best := -1
+	for _, tap := range dev.Taps(t) {
+		d := abs(tap.Row-sink.Row) + abs(tap.Col-sink.Col)
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	if best < 0 {
+		// Trackless (global clock): treat as adjacent.
+		return 0
+	}
+	return best
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// AStar searches from any of the source tracks to the sink track, expanding
+// architecture-legal PIPs onto undriven wires only. Multiple sources make
+// net reuse free: RouteFanout seeds the search with every track of the
+// already-routed net at cost zero, so "the router attempts to reuse the
+// previous paths as much as possible" (§3.1).
+func AStar(dev *device.Device, sources []device.Track, sink device.Track, opt Options) (*Route, error) {
+	return search(dev, sources, sink, opt, true)
+}
+
+// Lee is the uniform-cost breadth-first maze router (Lee's algorithm, the
+// classical reference the paper cites); it expands strictly by PIP count
+// with no distance guidance. Kept as the baseline against which the
+// template-first strategy's search-space reduction is measured (B2).
+func Lee(dev *device.Device, sources []device.Track, sink device.Track, opt Options) (*Route, error) {
+	return search(dev, sources, sink, opt, false)
+}
+
+func search(dev *device.Device, sources []device.Track, sink device.Track, opt Options, astar bool) (*Route, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("maze: no sources: %w", ErrUnroutable)
+	}
+	sinkKey := sink.Key()
+	sinkTile := device.Coord{Row: sink.Row, Col: sink.Col}
+	if _, driven := dev.DriverOf(sink); driven {
+		return nil, fmt.Errorf("maze: sink %s at (%d,%d) already in use: %w",
+			dev.A.WireName(sink.W), sink.Row, sink.Col, ErrUnroutable)
+	}
+
+	gBest := make(map[device.Key]int)
+	via := make(map[device.Key]device.PIP)
+	prev := make(map[device.Key]device.Key)
+	open := &frontier{}
+	heap.Init(open)
+
+	// h lower-bounds the remaining cost: covering distance d with hexes
+	// (the cheapest per-tile resource) plus a short single tail; with
+	// long lines enabled any remaining distance could in principle be a
+	// long hop plus a hex. The search is weighted (f = g + 2h), trading
+	// optimality for focus — the paper's routers are explicitly greedy.
+	hexC := opt.kindCost(arch.KindHex)
+	singleC := opt.kindCost(arch.KindSingle)
+	longC := opt.kindCost(arch.KindLongH)
+	h := func(t device.Track) int {
+		if !astar {
+			return 0
+		}
+		d := tileDistance(dev, t, sinkTile)
+		hexes := d / dev.A.HexLen
+		tail := d % dev.A.HexLen
+		if tail*singleC > 2*hexC {
+			tail = 2 * hexC / singleC
+		}
+		est := hexes*hexC + tail*singleC
+		if opt.UseLongLines && est > longC+hexC {
+			est = longC + hexC
+		}
+		return 2 * est
+	}
+	cost := func(k arch.Kind) int {
+		if !astar {
+			return 1
+		}
+		return opt.kindCost(k)
+	}
+
+	for _, s := range sources {
+		k := s.Key()
+		if k == sinkKey {
+			return &Route{}, nil // already connected
+		}
+		if _, seen := gBest[k]; seen {
+			continue
+		}
+		gBest[k] = 0
+		heap.Push(open, &searchItem{track: s, g: 0, f: h(s)})
+	}
+
+	explored := 0
+	maxNodes := opt.maxNodes()
+	for open.Len() > 0 {
+		it := heap.Pop(open).(*searchItem)
+		cur := it.track
+		curKey := cur.Key()
+		if it.g > gBest[curKey] {
+			continue // stale entry
+		}
+		explored++
+		if explored > maxNodes {
+			return nil, fmt.Errorf("maze: search exceeded %d states: %w", maxNodes, ErrUnroutable)
+		}
+		goal := false
+		dev.ForEachPIPChoice(cur, func(p device.PIP, target device.Track) bool {
+			tKey := target.Key()
+			kind := dev.A.ClassOf(target.W).Kind
+			if tKey != sinkKey {
+				if !opt.allowKind(kind) {
+					return true
+				}
+				// Do not route through CLB pins: they are net
+				// endpoints, not thoroughfares.
+				if kind == arch.KindInput || kind == arch.KindCtrl || kind == arch.KindIOBOut || kind == arch.KindBRAMIn || kind == arch.KindBRAMClk {
+					return true
+				}
+			}
+			if _, driven := dev.DriverOf(target); driven {
+				return true
+			}
+			ng := it.g + cost(kind)
+			if old, seen := gBest[tKey]; seen && old <= ng {
+				return true
+			}
+			gBest[tKey] = ng
+			via[tKey] = p
+			prev[tKey] = curKey
+			if tKey == sinkKey {
+				// Goal: stop (greedy routing: first arrival wins).
+				goal = true
+				return false
+			}
+			heap.Push(open, &searchItem{track: target, g: ng, f: ng + h(target)})
+			return true
+		})
+		if goal {
+			return reconstruct(via, prev, gBest, sinkKey, explored), nil
+		}
+	}
+	return nil, fmt.Errorf("maze: no path to %s at (%d,%d): %w",
+		dev.A.WireName(sink.W), sink.Row, sink.Col, ErrUnroutable)
+}
+
+func reconstruct(via map[device.Key]device.PIP, prev map[device.Key]device.Key, g map[device.Key]int, sinkKey device.Key, explored int) *Route {
+	var rev []device.PIP
+	k := sinkKey
+	for {
+		p, ok := via[k]
+		if !ok {
+			break
+		}
+		rev = append(rev, p)
+		k = prev[k]
+	}
+	pips := make([]device.PIP, len(rev))
+	for i := range rev {
+		pips[i] = rev[len(rev)-1-i]
+	}
+	return &Route{PIPs: pips, Cost: g[sinkKey], Explored: explored}
+}

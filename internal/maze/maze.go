@@ -1,0 +1,266 @@
+// Package maze implements the routing search algorithms behind JRoute's
+// automatic calls: the recursive template router of §3.1, an A* maze router
+// used as the fallback (the paper suggests "a maze router [4][5]" and that
+// predefined templates "reduce the search space"), and a plain Lee-style
+// breadth-first router kept as the baseline for the search-space
+// experiments.
+//
+// All algorithms are greedy and non-timing-driven, as the paper prescribes
+// for RTR environments, and they never drive a track that already has a
+// driver, so routes they find can never create contention (§3.4).
+//
+// The package works in terms of canonical device tracks and returns ordered
+// PIP lists; turning them on (and unrouting them) is the caller's concern.
+package maze
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/device"
+)
+
+// Options tune the automatic routers.
+type Options struct {
+	// UseLongLines permits long-line hops in maze search and long-line
+	// candidate templates. The paper's initial implementation does not
+	// use longs ("Currently long lines are not supported"); they are the
+	// §6 future-work extension, benchmarked by experiment B8.
+	UseLongLines bool
+
+	// TimingDriven switches the maze cost function from resource count
+	// to estimated delay, so the search minimizes source-to-sink delay
+	// instead of wire usage. The paper's shipping algorithms are
+	// explicitly *not* timing driven ("suitable only for non-critical
+	// nets", §3.1); this is the future-work alternative, measured by
+	// experiment B14.
+	TimingDriven bool
+
+	// MaxNodes caps the number of search states an automatic route may
+	// expand before giving up. Zero means the default (100000).
+	MaxNodes int
+}
+
+// DefaultMaxNodes is the expansion cap when Options.MaxNodes is zero.
+const DefaultMaxNodes = 100000
+
+func (o Options) maxNodes() int {
+	if o.MaxNodes <= 0 {
+		return DefaultMaxNodes
+	}
+	return o.MaxNodes
+}
+
+// Route is the result of a successful search: the PIPs to turn on, in
+// source-to-sink order, plus search statistics.
+type Route struct {
+	PIPs     []device.PIP
+	Cost     int // accumulated resource cost
+	Explored int // search states expanded
+}
+
+// ErrUnroutable is wrapped by errors reporting that no path exists within
+// the search limits.
+var ErrUnroutable = errors.New("unroutable")
+
+// hopCost assigns the greedy cost of driving a wire of the given kind.
+// Hexes cover HexLen tiles for the cost of two singles, so distance
+// strongly prefers them; longs are cheaper still per tile but rarer.
+func hopCost(k arch.Kind) int {
+	switch k {
+	case arch.KindSingle:
+		return 1
+	case arch.KindHex:
+		return 2
+	case arch.KindLongH, arch.KindLongV:
+		return 3
+	default: // muxes, pins
+		return 1
+	}
+}
+
+// timingCost assigns per-hop costs in tenths of a nanosecond, mirroring
+// the timing.Default model (kept numerically independent to avoid an
+// import cycle; timing's tests pin the correspondence).
+func timingCost(k arch.Kind) int {
+	switch k {
+	case arch.KindSingle:
+		return 12
+	case arch.KindHex:
+		return 24
+	case arch.KindLongH, arch.KindLongV:
+		return 32
+	case arch.KindOutMux:
+		return 4
+	case arch.KindInput, arch.KindCtrl:
+		return 6
+	default:
+		return 4
+	}
+}
+
+// kindCost selects the active cost model.
+func (o Options) kindCost(k arch.Kind) int {
+	if o.TimingDriven {
+		return timingCost(k)
+	}
+	return hopCost(k)
+}
+
+// allowKind reports whether the options permit driving this resource kind.
+func (o Options) allowKind(k arch.Kind) bool {
+	if k == arch.KindLongH || k == arch.KindLongV {
+		return o.UseLongLines
+	}
+	return true
+}
+
+// TemplateRoute implements route(Pin start_pin, int end_wire, Template
+// template): "The router begins at the start wire, then goes through each
+// wire that it drives, as defined in the architecture class, and checks
+// first if the wire's template value matches the template value specified
+// by the user. If so, then it checks to make sure the wire is not already
+// in use. A recursive call is made with the new wire as the starting point
+// and the first element of the template removed. The call would fail if
+// there is no combination of resources that are available that follow the
+// template."
+//
+// start is the canonical source track; endWire is the local name the final
+// driven wire must have (e.g. S0F3). The returned PIPs have not been turned
+// on.
+func TemplateRoute(dev *device.Device, start device.Track, endWire arch.Wire, tmpl []arch.TemplateValue) (*Route, error) {
+	return templateRoute(dev, start, endWire, nil, tmpl, Options{})
+}
+
+// TemplateRouteOpt is TemplateRoute with an exploration cap from opt.
+// Congested fabrics can otherwise make the backtracking search exponential
+// before it concludes the template is unsatisfiable.
+func TemplateRouteOpt(dev *device.Device, start device.Track, endWire arch.Wire, tmpl []arch.TemplateValue, opt Options) (*Route, error) {
+	return templateRoute(dev, start, endWire, nil, tmpl, opt)
+}
+
+// TemplateRouteTo additionally pins the tile the final hop must land on.
+// The paper's route(Pin, end_wire, Template) lets the template define the
+// destination implicitly — which is unambiguous for fixed-span hops — but
+// long-line hops branch over every access tap, so an automatic caller that
+// knows the sink location must constrain it.
+func TemplateRouteTo(dev *device.Device, start device.Track, endWire arch.Wire, endTile device.Coord, tmpl []arch.TemplateValue, opt Options) (*Route, error) {
+	return templateRoute(dev, start, endWire, &endTile, tmpl, opt)
+}
+
+func templateRoute(dev *device.Device, start device.Track, endWire arch.Wire, endTile *device.Coord, tmpl []arch.TemplateValue, opt Options) (*Route, error) {
+	if len(tmpl) == 0 {
+		return nil, fmt.Errorf("maze: empty template: %w", ErrUnroutable)
+	}
+	for _, v := range tmpl {
+		if v == arch.TVNone {
+			return nil, fmt.Errorf("maze: template contains NONE: %w", ErrUnroutable)
+		}
+	}
+	r := &Route{}
+	used := map[device.Key]bool{start.Key(): true}
+	// A template hop both names a resource and *travels*: an EAST1 hop
+	// leaves the router one tile east of where the wire was driven. The
+	// recursion therefore tracks the current tile and only considers
+	// PIPs there; after a directional hop the position advances by the
+	// hop's span. Long-line hops have no fixed span, so the recursion
+	// branches over every access tap of the driven long.
+	maxNodes := opt.maxNodes()
+	var rec func(cur device.Track, pos device.Coord, rest []arch.TemplateValue) bool
+	rec = func(cur device.Track, pos device.Coord, rest []arch.TemplateValue) bool {
+		if r.Explored >= maxNodes {
+			return false
+		}
+		r.Explored++
+		done := false
+		dev.ForEachPIPChoice(cur, func(p device.PIP, target device.Track) bool {
+			if p.Row != pos.Row || p.Col != pos.Col {
+				return true
+			}
+			if dev.A.DriveTemplate(p.From, p.To) != rest[0] {
+				return true
+			}
+			if used[target.Key()] {
+				return true
+			}
+			if _, driven := dev.DriverOf(target); driven {
+				return true
+			}
+			if len(rest) == 1 {
+				if p.To != endWire {
+					return true
+				}
+				if endTile != nil && (p.Row != endTile.Row || p.Col != endTile.Col) {
+					return true
+				}
+				r.PIPs = append(r.PIPs, p)
+				done = true
+				return false
+			}
+			used[target.Key()] = true
+			r.PIPs = append(r.PIPs, p)
+			for _, next := range hopExits(dev, target, pos, rest[0]) {
+				if rec(target, next, rest[1:]) {
+					done = true
+					return false
+				}
+			}
+			r.PIPs = r.PIPs[:len(r.PIPs)-1]
+			delete(used, target.Key())
+			return true
+		})
+		return done
+	}
+	found := false
+	for _, tap := range startPositions(dev, start) {
+		if rec(start, tap, tmpl) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("maze: no available resources follow template %v from %s at (%d,%d): %w",
+			tmpl, dev.A.WireName(start.W), start.Row, start.Col, ErrUnroutable)
+	}
+	for _, p := range r.PIPs {
+		r.Cost += hopCost(dev.A.ClassOf(p.To).Kind)
+	}
+	return r, nil
+}
+
+// startPositions lists the tiles from which the first template hop may be
+// taken: every tap of the start track.
+func startPositions(dev *device.Device, start device.Track) []device.Coord {
+	taps := dev.Taps(start)
+	if len(taps) == 0 {
+		return []device.Coord{{Row: start.Row, Col: start.Col}}
+	}
+	return taps
+}
+
+// hopExits returns the position(s) the router occupies after driving
+// `target` at `at` under template value tv: the tile the hop's direction
+// and span lead to for directional values, the same tile for local values,
+// and every access tap for long lines.
+func hopExits(dev *device.Device, target device.Track, at device.Coord, tv arch.TemplateValue) []device.Coord {
+	switch tv {
+	case arch.TVLongH, arch.TVLongV:
+		taps := dev.Taps(target)
+		out := make([]device.Coord, 0, len(taps))
+		for _, t := range taps {
+			if t != at {
+				out = append(out, t)
+			}
+		}
+		return out
+	default:
+		d := arch.TVDir(tv)
+		if d == arch.DirNone {
+			return []device.Coord{at}
+		}
+		dr, dc := d.Delta()
+		span := dev.A.TVSpan(tv)
+		return []device.Coord{{Row: at.Row + dr*span, Col: at.Col + dc*span}}
+	}
+}

@@ -1,0 +1,315 @@
+package maze
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/device"
+)
+
+// Negotiated-congestion batch routing — the §6 extension ("different
+// algorithms are being investigated such as [6]", the routability-driven
+// router of Swartz, Betz and Rose). Where JRoute's shipping calls are
+// greedy and order-dependent, the batch router routes a whole set of nets
+// together: every net is ripped up and re-routed each iteration with track
+// costs inflated by present congestion and accumulated history, until no
+// track is shared. Only then is anything committed to the device, so the
+// §3.4 no-contention guarantee is preserved.
+
+// NetSpec is one net to batch-route: a source track and its sink tracks.
+type NetSpec struct {
+	Source device.Track
+	Sinks  []device.Track
+}
+
+// BatchResult reports a converged negotiation.
+type BatchResult struct {
+	// PIPs per net, in application order.
+	Nets [][]device.PIP
+	// Iterations used until convergence.
+	Iterations int
+	// Explored counts total search states over all iterations.
+	Explored int
+}
+
+// NegotiationOptions tune the batch router.
+type NegotiationOptions struct {
+	Options
+	// MaxIterations bounds the rip-up/re-route rounds (default 30).
+	MaxIterations int
+	// PresentFactor scales the per-iteration sharing penalty growth
+	// (default 2.0).
+	PresentFactor float64
+	// HistoryFactor scales the accumulated-congestion penalty
+	// (default 1.0).
+	HistoryFactor float64
+}
+
+func (o NegotiationOptions) maxIterations() int {
+	if o.MaxIterations <= 0 {
+		return 30
+	}
+	return o.MaxIterations
+}
+
+func (o NegotiationOptions) presentFactor() float64 {
+	if o.PresentFactor <= 0 {
+		return 2.0
+	}
+	return o.PresentFactor
+}
+
+func (o NegotiationOptions) historyFactor() float64 {
+	if o.HistoryFactor <= 0 {
+		return 1.0
+	}
+	return o.HistoryFactor
+}
+
+type negState struct {
+	dev     *device.Device
+	opt     NegotiationOptions
+	present map[device.Key]int     // nets currently using a track
+	history map[device.Key]float64 // accumulated overuse
+	presFac float64
+}
+
+// NegotiatedRoute routes all nets together under negotiated congestion and
+// returns the per-net PIP lists without touching device state; Apply the
+// result (or use core.Router.RouteBatch, which does both). It fails if the
+// negotiation does not converge within MaxIterations.
+func NegotiatedRoute(dev *device.Device, nets []NetSpec, opt NegotiationOptions) (*BatchResult, error) {
+	if len(nets) == 0 {
+		return nil, fmt.Errorf("maze: empty batch: %w", ErrUnroutable)
+	}
+	for i, n := range nets {
+		if len(n.Sinks) == 0 {
+			return nil, fmt.Errorf("maze: batch net %d has no sinks: %w", i, ErrUnroutable)
+		}
+	}
+	st := &negState{
+		dev:     dev,
+		opt:     opt,
+		present: make(map[device.Key]int),
+		history: make(map[device.Key]float64),
+		presFac: 0, // first iteration ignores sharing entirely
+	}
+	routes := make([][]device.PIP, len(nets))
+	tracks := make([]map[device.Key]bool, len(nets))
+	res := &BatchResult{}
+
+	for iter := 1; iter <= st.opt.maxIterations(); iter++ {
+		res.Iterations = iter
+		for i, n := range nets {
+			// Rip up.
+			for k := range tracks[i] {
+				st.present[k]--
+			}
+			pips, used, explored, err := st.routeNet(n)
+			res.Explored += explored
+			if err != nil {
+				return nil, fmt.Errorf("maze: batch net %d: %w", i, err)
+			}
+			routes[i] = pips
+			tracks[i] = used
+			for k := range used {
+				st.present[k]++
+			}
+		}
+		// Check for overuse; accumulate history on shared tracks.
+		overused := 0
+		for k, c := range st.present {
+			if c > 1 {
+				overused++
+				st.history[k] += float64(c - 1)
+			}
+		}
+		if overused == 0 {
+			res.Nets = routes
+			return res, nil
+		}
+		st.presFac = st.opt.presentFactor() * float64(iter)
+	}
+	return nil, fmt.Errorf("maze: negotiation did not converge in %d iterations: %w",
+		st.opt.maxIterations(), ErrUnroutable)
+}
+
+// trackPenalty is the congestion surcharge for using a track.
+func (st *negState) trackPenalty(k device.Key, self map[device.Key]bool) float64 {
+	users := st.present[k]
+	if self[k] {
+		users-- // our own previous usage does not penalize us
+	}
+	p := st.history[k] * st.opt.historyFactor()
+	if users > 0 {
+		p += float64(users) * st.presFac
+	}
+	return p
+}
+
+// routeNet routes one net (all sinks, with in-net reuse) under the current
+// congestion costs, without mutating device state.
+func (st *negState) routeNet(n NetSpec) (pips []device.PIP, used map[device.Key]bool, explored int, err error) {
+	used = map[device.Key]bool{n.Source.Key(): true}
+	netTracks := []device.Track{n.Source}
+	// Route sinks nearest-first for stability.
+	sinks := append([]device.Track(nil), n.Sinks...)
+	sort.Slice(sinks, func(i, j int) bool {
+		di := abs(sinks[i].Row-n.Source.Row) + abs(sinks[i].Col-n.Source.Col)
+		dj := abs(sinks[j].Row-n.Source.Row) + abs(sinks[j].Col-n.Source.Col)
+		return di < dj
+	})
+	for _, sink := range sinks {
+		segment, exp, err := st.search(netTracks, sink, used)
+		explored += exp
+		if err != nil {
+			return nil, nil, explored, err
+		}
+		pips = append(pips, segment...)
+		for _, p := range segment {
+			t, ok := st.dev.CanonOK(p.Row, p.Col, p.To)
+			if !ok {
+				return nil, nil, explored, fmt.Errorf("maze: bad segment PIP %v", p)
+			}
+			k := t.Key()
+			if !used[k] {
+				used[k] = true
+				kind := st.dev.A.ClassOf(t.W).Kind
+				switch kind {
+				case arch.KindInput, arch.KindCtrl, arch.KindIOBOut,
+					arch.KindBRAMIn, arch.KindBRAMClk:
+					// sinks: not reusable as sources
+				default:
+					netTracks = append(netTracks, t)
+				}
+			}
+		}
+	}
+	return pips, used, explored, nil
+}
+
+type negItem struct {
+	track device.Track
+	g, f  float64
+	index int
+}
+
+type negFrontier []*negItem
+
+func (h negFrontier) Len() int           { return len(h) }
+func (h negFrontier) Less(i, j int) bool { return h[i].f < h[j].f }
+func (h negFrontier) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *negFrontier) Push(x interface{}) {
+	it := x.(*negItem)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *negFrontier) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// search is a congestion-aware A* from the net's tracks to one sink.
+// Tracks used by other nets are allowed (that is the negotiation), but
+// tracks already driven on the real device are hard obstacles.
+func (st *negState) search(sources []device.Track, sink device.Track, self map[device.Key]bool) ([]device.PIP, int, error) {
+	dev := st.dev
+	sinkKey := sink.Key()
+	sinkTile := device.Coord{Row: sink.Row, Col: sink.Col}
+	if _, driven := dev.DriverOf(sink); driven {
+		return nil, 0, fmt.Errorf("maze: sink %s at (%d,%d) already in use on device: %w",
+			dev.A.WireName(sink.W), sink.Row, sink.Col, ErrUnroutable)
+	}
+	h := func(t device.Track) float64 {
+		d := tileDistance(dev, t, sinkTile)
+		hexes := d / dev.A.HexLen
+		tail := d % dev.A.HexLen
+		if tail > 2 {
+			tail = 2
+		}
+		return 2 * float64(2*hexes+tail)
+	}
+	gBest := make(map[device.Key]float64)
+	via := make(map[device.Key]device.PIP)
+	prev := make(map[device.Key]device.Key)
+	open := &negFrontier{}
+	heap.Init(open)
+	for _, s := range sources {
+		k := s.Key()
+		if k == sinkKey {
+			return nil, 0, nil
+		}
+		if _, seen := gBest[k]; seen {
+			continue
+		}
+		gBest[k] = 0
+		heap.Push(open, &negItem{track: s, g: 0, f: h(s)})
+	}
+	explored := 0
+	maxNodes := st.opt.maxNodes()
+	for open.Len() > 0 {
+		it := heap.Pop(open).(*negItem)
+		curKey := it.track.Key()
+		if it.g > gBest[curKey] {
+			continue
+		}
+		explored++
+		if explored > maxNodes {
+			return nil, explored, fmt.Errorf("maze: negotiation search exceeded %d states: %w", maxNodes, ErrUnroutable)
+		}
+		goal := false
+		dev.ForEachPIPChoice(it.track, func(p device.PIP, target device.Track) bool {
+			tKey := target.Key()
+			kind := dev.A.ClassOf(target.W).Kind
+			if tKey != sinkKey {
+				if !st.opt.allowKind(kind) {
+					return true
+				}
+				if kind == arch.KindInput || kind == arch.KindCtrl || kind == arch.KindIOBOut || kind == arch.KindBRAMIn || kind == arch.KindBRAMClk {
+					return true
+				}
+			}
+			if _, driven := dev.DriverOf(target); driven {
+				return true
+			}
+			ng := it.g + float64(hopCost(kind)) + st.trackPenalty(tKey, self)
+			if old, seen := gBest[tKey]; seen && old <= ng {
+				return true
+			}
+			gBest[tKey] = ng
+			via[tKey] = p
+			prev[tKey] = curKey
+			if tKey == sinkKey {
+				goal = true
+				return false
+			}
+			heap.Push(open, &negItem{track: target, g: ng, f: ng + h(target)})
+			return true
+		})
+		if goal {
+			var rev []device.PIP
+			k := sinkKey
+			for {
+				p, ok := via[k]
+				if !ok {
+					break
+				}
+				rev = append(rev, p)
+				k = prev[k]
+			}
+			out := make([]device.PIP, len(rev))
+			for i := range rev {
+				out[i] = rev[len(rev)-1-i]
+			}
+			return out, explored, nil
+		}
+	}
+	return nil, explored, fmt.Errorf("maze: no path to %s at (%d,%d): %w",
+		dev.A.WireName(sink.W), sink.Row, sink.Col, ErrUnroutable)
+}

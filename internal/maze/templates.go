@@ -1,0 +1,168 @@
+package maze
+
+import (
+	"repro/internal/arch"
+	"repro/internal/device"
+)
+
+// CandidateTemplates generates the "set of unique and predefined templates
+// that would get from the source to the sink" which route(src, sink) tries
+// before falling back on the maze algorithm (§3.1). The set is ordered
+// cheapest-first: local resources (feedback, direct) when applicable, then
+// hex+single decompositions in both axis orders, then single-only
+// decompositions for short spans, then long-line variants when enabled.
+//
+// src must be a CLB output pin or OUT mux reference; sinkWire is the local
+// wire name at the sink tile (typically an input pin).
+func CandidateTemplates(a *arch.Arch, src device.Track, sinkTile device.Coord, sinkWire arch.Wire, opt Options) [][]arch.TemplateValue {
+	dr := sinkTile.Row - src.Row
+	dc := sinkTile.Col - src.Col
+
+	srcKind := a.ClassOf(src.W).Kind
+	sinkKind := a.ClassOf(sinkWire).Kind
+
+	var prefix, suffix []arch.TemplateValue
+	if srcKind == arch.KindOutPin {
+		prefix = []arch.TemplateValue{arch.TVOutMux}
+	}
+	sinkIsPin := sinkKind == arch.KindInput || sinkKind == arch.KindCtrl || sinkKind == arch.KindIOBOut || sinkKind == arch.KindBRAMIn
+	if sinkIsPin {
+		suffix = []arch.TemplateValue{arch.TVClbIn}
+	}
+
+	var out [][]arch.TemplateValue
+	emit := func(body ...[]arch.TemplateValue) {
+		var t []arch.TemplateValue
+		t = append(t, prefix...)
+		for _, b := range body {
+			t = append(t, b...)
+		}
+		t = append(t, suffix...)
+		if len(t) > 0 {
+			out = append(out, t)
+		}
+	}
+
+	// Local resources bypass the routing matrix entirely (§2).
+	if srcKind == arch.KindOutPin && sinkIsPin {
+		if dr == 0 && dc == 0 {
+			out = append(out, []arch.TemplateValue{arch.TVFeedback})
+		}
+		if dr == 0 && dc == 1 {
+			out = append(out, []arch.TemplateValue{arch.TVDirect})
+		}
+	}
+
+	xDir, yDir := arch.East, arch.North
+	if dc < 0 {
+		xDir = arch.West
+	}
+	if dr < 0 {
+		yDir = arch.South
+	}
+	adc, adr := abs(dc), abs(dr)
+
+	hexes := func(d arch.Dir, n int) []arch.TemplateValue {
+		return repeat(arch.HexTV(d), n)
+	}
+	singles := func(d arch.Dir, n int) []arch.TemplateValue {
+		return repeat(arch.SingleTV(d), n)
+	}
+
+	// Hex + single decomposition per axis. Because singles can never
+	// drive hexes (§2), every hex hop must precede every single hop, so
+	// the variants interleave at the axis level but keep hexes first
+	// globally.
+	hx := hexes(xDir, adc/a.HexLen)
+	hy := hexes(yDir, adr/a.HexLen)
+	sx := singles(xDir, adc%a.HexLen)
+	sy := singles(yDir, adr%a.HexLen)
+
+	// A route into a CLB pin must arrive on a single (hexes drive only
+	// singles and hexes; longs only hexes, §2), so bodies ending in a hex
+	// get a zero-displacement single detour appended, in all four
+	// orientations.
+	detours := [][]arch.TemplateValue{
+		append(singles(arch.East, 1), singles(arch.West, 1)...),
+		append(singles(arch.North, 1), singles(arch.South, 1)...),
+		append(singles(arch.West, 1), singles(arch.East, 1)...),
+		append(singles(arch.South, 1), singles(arch.North, 1)...),
+	}
+	emitBody := func(parts ...[]arch.TemplateValue) {
+		last := arch.TVNone
+		for _, p := range parts {
+			if len(p) > 0 {
+				last = p[len(p)-1]
+			}
+		}
+		if !sinkIsPin || a.TVSpan(last) == 1 {
+			emit(parts...)
+			return
+		}
+		for _, d := range detours {
+			emit(append(append([][]arch.TemplateValue{}, parts...), d)...)
+		}
+	}
+
+	// Long-line variants (§6 future work, option-gated) come first for
+	// spans where a long clearly wins. A horizontal long is drivable
+	// only from an OUT mux at an access tile, and can only continue onto
+	// a hex (§2), so the template is LONGH + one hex + an alignment
+	// single run; the template router's exit branching finds the access
+	// tap for which the tail lands on the sink.
+	if opt.UseLongLines {
+		p := a.LongAccessPeriod
+		if adc >= 3*a.HexLen && src.Col%p == 0 {
+			m := sinkTile.Col % p
+			if xDir == arch.West {
+				m = (p - sinkTile.Col%p) % p
+			}
+			emitBody([]arch.TemplateValue{arch.TVLongH},
+				hexes(xDir, 1), hy, singles(xDir, m), sy)
+		}
+		if adr >= 3*a.HexLen && src.Row%p == 0 {
+			m := sinkTile.Row % p
+			if yDir == arch.South {
+				m = (p - sinkTile.Row%p) % p
+			}
+			emitBody([]arch.TemplateValue{arch.TVLongV},
+				hexes(yDir, 1), hx, singles(yDir, m), sx)
+		}
+	}
+
+	if adc == 0 && adr == 0 {
+		// Same tile through the matrix: out and back on singles, in
+		// all four orders so edge and corner tiles stay routable.
+		emit(singles(arch.East, 1), singles(arch.West, 1))
+		emit(singles(arch.North, 1), singles(arch.South, 1))
+		emit(singles(arch.West, 1), singles(arch.East, 1))
+		emit(singles(arch.South, 1), singles(arch.North, 1))
+	} else {
+		emitBody(hx, hy, sx, sy)
+		if adr > 0 && adc > 0 {
+			emitBody(hy, hx, sy, sx)
+			emitBody(hx, hy, sy, sx)
+		}
+		// Single-only variants for short spans give the template
+		// router an alternative when the hex patterns are congested.
+		if adc+adr > 0 && adc+adr <= 2*a.HexLen {
+			emit(singles(xDir, adc), singles(yDir, adr))
+			if adr > 0 && adc > 0 {
+				emit(singles(yDir, adr), singles(xDir, adc))
+			}
+		}
+	}
+
+	return out
+}
+
+func repeat(v arch.TemplateValue, n int) []arch.TemplateValue {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]arch.TemplateValue, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+// Truth tables for 4-input LUTs where only F1 (bit 0) matters.
+const (
+	lutBuf uint16 = 0xAAAA // out = F1
+	lutNot uint16 = 0x5555 // out = !F1
+	lutXor uint16 = 0x6666 // out = F1 ^ F2
+	lutAnd uint16 = 0x8888 // out = F1 & F2
+)
+
+func newSim(t *testing.T) (*device.Device, *core.Router) {
+	t.Helper()
+	d, err := device.New(arch.NewVirtex(), 16, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, core.NewRouter(d, core.Options{})
+}
+
+// TestForcedPad checks the virtual-pad mechanism and net value resolution.
+func TestForcedPad(t *testing.T) {
+	d, r := newSim(t)
+	// Pad at (2,2).S0X routed to a LUT input at (4,6).
+	if err := r.RouteNet(core.NewPin(2, 2, arch.S0X), core.NewPin(4, 6, arch.S0F1)); err != nil {
+		t.Fatal(err)
+	}
+	s := New(d)
+	if v, _ := s.Value(4, 6, arch.S0F1); v {
+		t.Error("input high before forcing")
+	}
+	if err := s.Force(2, 2, arch.S0X, true); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Value(4, 6, arch.S0F1); !v {
+		t.Error("forced value did not propagate along the net")
+	}
+	if err := s.Release(2, 2, arch.S0X); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Value(4, 6, arch.S0F1); v {
+		t.Error("value stuck after release")
+	}
+	// Forcing non-output pins or active CLBs is rejected.
+	if err := s.Force(2, 2, arch.S0F1, true); err == nil {
+		t.Error("forced an input pin")
+	}
+	d.SetLUT(3, 3, device.LUTS0F, lutBuf)
+	s.Refresh()
+	if err := s.Force(3, 3, arch.S0X, true); err == nil {
+		t.Error("forced an active CLB output")
+	}
+}
+
+// TestInverterChain: pad -> NOT -> NOT -> observable; combinational
+// propagation through routed nets and two LUTs.
+func TestInverterChain(t *testing.T) {
+	d, r := newSim(t)
+	d.SetLUT(5, 8, device.LUTS0F, lutNot)  // X = !F1
+	d.SetLUT(5, 12, device.LUTS0F, lutNot) // X = !F1
+	if err := r.RouteNet(core.NewPin(5, 4, arch.S0X), core.NewPin(5, 8, arch.S0F1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RouteNet(core.NewPin(5, 8, arch.S0X), core.NewPin(5, 12, arch.S0F1)); err != nil {
+		t.Fatal(err)
+	}
+	s := New(d)
+	for _, in := range []bool{false, true, false} {
+		if err := s.Force(5, 4, arch.S0X, in); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Eval(); err != nil {
+			t.Fatal(err)
+		}
+		mid, _ := s.Value(5, 8, arch.S0X)
+		out, _ := s.Value(5, 12, arch.S0X)
+		if mid != !in || out != in {
+			t.Errorf("in=%v: mid=%v out=%v", in, mid, out)
+		}
+	}
+}
+
+// TestXorAndGates exercises 2-input truth tables with two routed nets into
+// one LUT.
+func TestXorAndGates(t *testing.T) {
+	d, r := newSim(t)
+	d.SetLUT(6, 10, device.LUTS0F, lutXor) // F1 ^ F2
+	d.SetLUT(6, 10, device.LUTS0G, lutAnd) // G1 & G2
+	for _, c := range []struct {
+		src  core.Pin
+		sink core.Pin
+	}{
+		{core.NewPin(6, 6, arch.S0X), core.NewPin(6, 10, arch.S0F1)},
+		{core.NewPin(6, 6, arch.S0Y), core.NewPin(6, 10, arch.S0F2)},
+		{core.NewPin(6, 6, arch.S0X), core.NewPin(6, 10, arch.S0G1)},
+		{core.NewPin(6, 6, arch.S0Y), core.NewPin(6, 10, arch.S0G2)},
+	} {
+		if err := r.RouteNet(c.src, c.sink); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := New(d)
+	for _, c := range []struct{ a, b bool }{{false, false}, {true, false}, {false, true}, {true, true}} {
+		s.Force(6, 6, arch.S0X, c.a)
+		s.Force(6, 6, arch.S0Y, c.b)
+		if err := s.Eval(); err != nil {
+			t.Fatal(err)
+		}
+		xor, _ := s.Value(6, 10, arch.S0X)
+		and, _ := s.Value(6, 10, arch.S0Y)
+		if xor != (c.a != c.b) || and != (c.a && c.b) {
+			t.Errorf("a=%v b=%v: xor=%v and=%v", c.a, c.b, xor, and)
+		}
+	}
+}
+
+// TestIOBPadToPad drives a real input pad through an inverter LUT to an
+// output pad — the §6 IOB extension end to end.
+func TestIOBPadToPad(t *testing.T) {
+	d, r := newSim(t)
+	d.SetLUT(8, 12, device.LUTS0F, lutNot)
+	if err := r.RouteNet(core.NewPin(8, 0, arch.IOBIn(0)), core.NewPin(8, 12, arch.S0F1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RouteNet(core.NewPin(8, 12, arch.S0X), core.NewPin(8, 23, arch.IOBOut(0))); err != nil {
+		t.Fatal(err)
+	}
+	s := New(d)
+	for _, in := range []bool{false, true, false, true} {
+		if err := s.Force(8, 0, arch.IOBIn(0), in); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Eval(); err != nil {
+			t.Fatal(err)
+		}
+		out, err := s.Value(8, 23, arch.IOBOut(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != !in {
+			t.Errorf("pad in %v: pad out %v", in, out)
+		}
+	}
+	// Forcing an output pad is rejected.
+	if err := s.Force(8, 23, arch.IOBOut(0), true); err == nil {
+		t.Error("forced an output pad")
+	}
+}
+
+// TestToggleFlipFlop: a registered NOT of its own state divides the clock
+// by two — the smallest sequential circuit.
+func TestToggleFlipFlop(t *testing.T) {
+	d, r := newSim(t)
+	d.SetLUT(7, 7, device.LUTS0F, lutNot) // D = !F1
+	// Feed XQ back to F1 and clock the slice.
+	if err := r.RouteNet(core.NewPin(7, 7, arch.S0XQ), core.NewPin(7, 7, arch.S0F1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RouteClock(0, core.NewPin(7, 7, arch.S0CLK)); err != nil {
+		t.Fatal(err)
+	}
+	s := New(d)
+	want := false
+	for cyc := 0; cyc < 6; cyc++ {
+		if got := s.FF(7, 7, 0); got != want {
+			t.Fatalf("cycle %d: FF = %v, want %v", cyc, got, want)
+		}
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		want = !want
+	}
+	if s.Cycles() != 6 {
+		t.Errorf("Cycles = %d", s.Cycles())
+	}
+}
+
+// TestUnclockedFFHolds: without a routed clock the flip-flop must hold.
+func TestUnclockedFFHolds(t *testing.T) {
+	d, r := newSim(t)
+	d.SetLUT(7, 7, device.LUTS0F, lutNot)
+	if err := r.RouteNet(core.NewPin(7, 7, arch.S0XQ), core.NewPin(7, 7, arch.S0F1)); err != nil {
+		t.Fatal(err)
+	}
+	s := New(d)
+	for i := 0; i < 3; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.FF(7, 7, 0) {
+		t.Error("unclocked FF changed state")
+	}
+}
+
+// TestFFInit: initial values load from the configuration.
+func TestFFInit(t *testing.T) {
+	d, _ := newSim(t)
+	d.SetLUT(3, 3, device.LUTS0F, lutBuf)
+	d.SetFFInit(3, 3, device.FFS0XQ, true)
+	s := New(d)
+	if !s.FF(3, 3, device.FFS0XQ) {
+		t.Error("FF init not loaded")
+	}
+	if v, _ := s.Value(3, 3, arch.S0XQ); !v {
+		t.Error("XQ does not show init value")
+	}
+}
+
+// TestCombinationalLoopDetected: an unregistered inverter feeding itself
+// has no fixpoint.
+func TestCombinationalLoopDetected(t *testing.T) {
+	d, r := newSim(t)
+	d.SetLUT(7, 7, device.LUTS0F, lutNot)
+	if err := r.RouteNet(core.NewPin(7, 7, arch.S0X), core.NewPin(7, 7, arch.S0F1)); err != nil {
+		t.Fatal(err)
+	}
+	s := New(d)
+	if err := s.Eval(); err == nil {
+		t.Error("combinational loop not detected")
+	}
+}
+
+// TestStableLoopConverges: a buffer loop is degenerate but stable; the
+// fixpoint iteration must converge.
+func TestStableLoopConverges(t *testing.T) {
+	d, r := newSim(t)
+	d.SetLUT(7, 7, device.LUTS0F, lutBuf)
+	if err := r.RouteNet(core.NewPin(7, 7, arch.S0X), core.NewPin(7, 7, arch.S0F1)); err != nil {
+		t.Fatal(err)
+	}
+	s := New(d)
+	if err := s.Eval(); err != nil {
+		t.Errorf("stable loop reported as combinational loop: %v", err)
+	}
+}
+
+func TestReadWordAndSetFF(t *testing.T) {
+	d, _ := newSim(t)
+	d.SetLUT(2, 2, device.LUTS0F, lutBuf)
+	d.SetLUT(2, 3, device.LUTS0F, lutBuf)
+	s := New(d)
+	s.SetFF(2, 2, device.FFS0XQ, true)
+	s.SetFF(2, 3, device.FFS0XQ, false)
+	w, err := s.ReadWord([]Probe{
+		{2, 2, arch.S0XQ},
+		{2, 3, arch.S0XQ},
+	})
+	if err != nil || w != 1 {
+		t.Errorf("ReadWord = %d, %v; want 1", w, err)
+	}
+	if _, err := s.ReadWord([]Probe{{99, 0, arch.S0X}}); err == nil {
+		t.Error("bad probe accepted")
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	d, r := newSim(t)
+	d.SetLUT(7, 7, device.LUTS0F, lutNot)
+	if err := r.RouteNet(core.NewPin(7, 7, arch.S0X), core.NewPin(7, 7, arch.S0F1)); err != nil {
+		t.Fatal(err)
+	}
+	s := New(d)
+	if err := s.Run(3); err == nil {
+		t.Error("Run ignored a combinational loop")
+	}
+}

@@ -1,0 +1,155 @@
+package timing
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+func rig(t *testing.T) *core.Router {
+	t.Helper()
+	d, err := device.New(arch.NewVirtex(), 16, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewRouter(d, core.Options{})
+}
+
+func TestSinkDelayPaperExample(t *testing.T) {
+	r := rig(t)
+	a := r.Dev.A
+	// The §3.1 route: outmux + 2 singles + input.
+	for _, p := range []device.PIP{
+		{Row: 5, Col: 7, From: arch.S1YQ, To: arch.Out(1)},
+		{Row: 5, Col: 7, From: arch.Out(1), To: a.Single(arch.East, 5)},
+		{Row: 5, Col: 8, From: a.Single(arch.West, 5), To: a.Single(arch.North, 0)},
+		{Row: 6, Col: 8, From: a.Single(arch.South, 0), To: arch.S0F3},
+	} {
+		if err := r.Route(p.Row, p.Col, p.From, p.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := Default()
+	d, err := m.SinkDelay(r.Dev, core.NewPin(6, 8, arch.S0F3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.OutMux + 2*m.Single + m.Input
+	if diff := d - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("delay = %v, want %v", d, want)
+	}
+	if _, err := m.SinkDelay(r.Dev, core.NewPin(1, 1, arch.S0F1)); err == nil {
+		t.Error("unrouted sink accepted")
+	}
+}
+
+func TestHexFasterThanSinglesOverDistance(t *testing.T) {
+	m := Default()
+	// Six tiles by hex: one hex hop. By singles: six hops.
+	if m.Hex >= 6*m.Single {
+		t.Errorf("hex (%v) not faster than six singles (%v)", m.Hex, 6*m.Single)
+	}
+	if m.Long >= 3*m.Hex {
+		t.Errorf("long (%v) not faster than three hexes (%v)", m.Long, 3*m.Hex)
+	}
+}
+
+func TestNetDelaysAndCritical(t *testing.T) {
+	r := rig(t)
+	src := core.NewPin(5, 5, arch.S0X)
+	near := core.NewPin(5, 7, arch.S0F1)
+	far := core.NewPin(12, 20, arch.S1G2)
+	if err := r.RouteFanout(src, []core.EndPoint{near, far}); err != nil {
+		t.Fatal(err)
+	}
+	net, err := r.Trace(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Default()
+	delays, err := m.NetDelays(r.Dev, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delays) != 2 {
+		t.Fatalf("delays = %v", delays)
+	}
+	if delays[far] <= delays[near] {
+		t.Errorf("far sink (%v) not slower than near sink (%v)", delays[far], delays[near])
+	}
+	crit, d, err := m.Critical(r.Dev, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crit != far || d != delays[far] {
+		t.Errorf("critical = %v (%v)", crit, d)
+	}
+	if _, _, err := m.Critical(r.Dev, &core.Net{}); err == nil {
+		t.Error("empty net accepted")
+	}
+}
+
+func TestSkew(t *testing.T) {
+	r := rig(t)
+	src := core.NewPin(5, 5, arch.S0X)
+	near := core.NewPin(5, 7, arch.S0F1)
+	far := core.NewPin(12, 20, arch.S1G2)
+	if err := r.RouteFanout(src, []core.EndPoint{near, far}); err != nil {
+		t.Fatal(err)
+	}
+	net, err := r.Trace(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Default()
+	skew, err := m.Skew(r.Dev, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delays, _ := m.NetDelays(r.Dev, net)
+	want := delays[far] - delays[near]
+	if want < 0 {
+		want = -want
+	}
+	if diff := skew - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("skew = %v, want %v", skew, want)
+	}
+	if _, err := m.Skew(r.Dev, &core.Net{}); err == nil {
+		t.Error("empty net accepted")
+	}
+	// A single-sink net has zero skew.
+	r2 := rig(t)
+	if err := r2.RouteNet(src, near); err != nil {
+		t.Fatal(err)
+	}
+	n2, _ := r2.Trace(src)
+	if s, err := m.Skew(r2.Dev, n2); err != nil || s != 0 {
+		t.Errorf("single-sink skew = %v, %v", s, err)
+	}
+}
+
+func TestPIPDelayKinds(t *testing.T) {
+	r := rig(t)
+	a := r.Dev.A
+	m := Default()
+	cases := []struct {
+		p    device.PIP
+		want float64
+	}{
+		{device.PIP{Row: 5, Col: 5, From: arch.S0X, To: arch.Out(0)}, m.OutMux},
+		{device.PIP{Row: 5, Col: 5, From: arch.Out(0), To: a.Single(arch.East, 0)}, m.Single},
+		{device.PIP{Row: 5, Col: 5, From: arch.Out(0), To: a.Hex(arch.North, 0)}, m.Hex},
+		{device.PIP{Row: 6, Col: 6, From: arch.Out(0), To: a.LongH(0)}, m.Long},
+		{device.PIP{Row: 5, Col: 5, From: a.Single(arch.West, 0), To: arch.S0F1}, m.Input},
+		{device.PIP{Row: 5, Col: 5, From: arch.S0X, To: arch.S0F1}, m.Feedback},
+		{device.PIP{Row: 5, Col: 5, From: arch.OutAlias(0), To: arch.S0F1}, m.Direct},
+		{device.PIP{Row: 5, Col: 5, From: arch.GClk(0), To: arch.S0CLK}, m.GClk},
+	}
+	for _, c := range cases {
+		if got := m.PIPDelay(a, c.p); got != c.want {
+			t.Errorf("PIPDelay(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package workload generates the synthetic routing workloads behind the
+// experiments: random point-to-point pairs at controlled Manhattan
+// distances, fanout nets, buses, and RTR churn sequences. All generators
+// are deterministic for a given seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+// Gen wraps a seeded source and the target device geometry.
+type Gen struct {
+	Rng  *rand.Rand
+	Rows int
+	Cols int
+}
+
+// New creates a generator for a device geometry.
+func New(seed int64, rows, cols int) *Gen {
+	return &Gen{Rng: rand.New(rand.NewSource(seed)), Rows: rows, Cols: cols}
+}
+
+// ForDevice creates a generator sized to a device.
+func ForDevice(seed int64, dev *device.Device) *Gen {
+	return New(seed, dev.Rows, dev.Cols)
+}
+
+// randOutPin picks a random CLB output at the tile.
+func (g *Gen) randOutPin(row, col int) core.Pin {
+	return core.NewPin(row, col, arch.OutPin(g.Rng.Intn(arch.NumOutPins)))
+}
+
+// randInPin picks a random LUT input at the tile.
+func (g *Gen) randInPin(row, col int) core.Pin {
+	return core.NewPin(row, col, arch.Input(g.Rng.Intn(arch.NumInputs)))
+}
+
+// Pair returns a random source output pin and sink input pin whose tiles
+// are exactly dist apart in Manhattan distance (when the array permits;
+// dist is clamped to the array diameter).
+func (g *Gen) Pair(dist int) (src, sink core.Pin, err error) {
+	maxDist := g.Rows - 1 + g.Cols - 1
+	if dist < 0 {
+		dist = 0
+	}
+	if dist > maxDist {
+		return src, sink, fmt.Errorf("workload: distance %d exceeds array diameter %d", dist, maxDist)
+	}
+	for attempt := 0; attempt < 1000; attempt++ {
+		sr, sc := g.Rng.Intn(g.Rows), g.Rng.Intn(g.Cols)
+		// Split the distance randomly between the axes.
+		dr := g.Rng.Intn(dist + 1)
+		dc := dist - dr
+		if g.Rng.Intn(2) == 0 {
+			dr = -dr
+		}
+		if g.Rng.Intn(2) == 0 {
+			dc = -dc
+		}
+		tr, tc := sr+dr, sc+dc
+		if tr < 0 || tr >= g.Rows || tc < 0 || tc >= g.Cols {
+			continue
+		}
+		return g.randOutPin(sr, sc), g.randInPin(tr, tc), nil
+	}
+	return src, sink, fmt.Errorf("workload: no placement found for distance %d on %dx%d", dist, g.Rows, g.Cols)
+}
+
+// Fanout returns a source and k sink pins within the given radius of the
+// source, on distinct tiles.
+func (g *Gen) Fanout(k, radius int) (src core.Pin, sinks []core.EndPoint, err error) {
+	if k < 1 {
+		return src, nil, fmt.Errorf("workload: fanout %d", k)
+	}
+	sr := g.Rng.Intn(g.Rows)
+	sc := g.Rng.Intn(g.Cols)
+	src = g.randOutPin(sr, sc)
+	used := map[device.Coord]bool{{Row: sr, Col: sc}: true}
+	for len(sinks) < k {
+		found := false
+		for attempt := 0; attempt < 2000; attempt++ {
+			tr := sr + g.Rng.Intn(2*radius+1) - radius
+			tc := sc + g.Rng.Intn(2*radius+1) - radius
+			if tr < 0 || tr >= g.Rows || tc < 0 || tc >= g.Cols {
+				continue
+			}
+			c := device.Coord{Row: tr, Col: tc}
+			if used[c] {
+				continue
+			}
+			used[c] = true
+			sinks = append(sinks, g.randInPin(tr, tc))
+			found = true
+			break
+		}
+		if !found {
+			return src, nil, fmt.Errorf("workload: cannot place %d sinks in radius %d", k, radius)
+		}
+	}
+	return src, sinks, nil
+}
+
+// Bus returns width-aligned source and sink endpoint slices spanning the
+// given column distance: sources stacked vertically at one column, sinks at
+// another — the dataflow-stage pattern of §3.1's bus call.
+func (g *Gen) Bus(width, span int) (srcs, dsts []core.EndPoint, err error) {
+	if width < 1 || width > g.Rows {
+		return nil, nil, fmt.Errorf("workload: bus width %d on %d rows", width, g.Rows)
+	}
+	if span < 1 || span >= g.Cols {
+		return nil, nil, fmt.Errorf("workload: bus span %d on %d cols", span, g.Cols)
+	}
+	baseRow := g.Rng.Intn(g.Rows - width + 1)
+	srcCol := g.Rng.Intn(g.Cols - span)
+	dstCol := srcCol + span
+	for i := 0; i < width; i++ {
+		srcs = append(srcs, g.randOutPin(baseRow+i, srcCol))
+		dsts = append(dsts, g.randInPin(baseRow+i, dstCol))
+	}
+	return srcs, dsts, nil
+}
+
+// ChurnOp is one step of an RTR churn workload.
+type ChurnOp struct {
+	Route  bool // true = route the pair, false = unroute the net at Src
+	Src    core.Pin
+	Sink   core.Pin
+	Serial int
+}
+
+// Churn produces a route/unroute sequence of the given length: each routed
+// net is later unrouted with probability pUnroute per subsequent step,
+// modelling an RTR system swapping connections at run time.
+func (g *Gen) Churn(steps, dist int, pUnroute float64) ([]ChurnOp, error) {
+	var ops []ChurnOp
+	var live []ChurnOp
+	liveSrc := map[core.Pin]bool{}
+	liveSink := map[core.Pin]bool{}
+	for i := 0; i < steps; i++ {
+		if len(live) > 0 && g.Rng.Float64() < pUnroute {
+			j := g.Rng.Intn(len(live))
+			victim := live[j]
+			ops = append(ops, ChurnOp{Route: false, Src: victim.Src, Serial: i})
+			delete(liveSrc, victim.Src)
+			delete(liveSink, victim.Sink)
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		var src, sink core.Pin
+		var err error
+		for attempt := 0; ; attempt++ {
+			src, sink, err = g.Pair(dist)
+			if err != nil {
+				return nil, err
+			}
+			if !liveSrc[src] && !liveSink[sink] {
+				break
+			}
+			if attempt > 1000 {
+				return nil, fmt.Errorf("workload: churn cannot find fresh endpoints")
+			}
+		}
+		op := ChurnOp{Route: true, Src: src, Sink: sink, Serial: i}
+		ops = append(ops, op)
+		live = append(live, op)
+		liveSrc[src] = true
+		liveSink[sink] = true
+	}
+	return ops, nil
+}

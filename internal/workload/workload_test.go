@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+func TestPairDistances(t *testing.T) {
+	g := New(1, 16, 24)
+	for _, dist := range []int{0, 1, 5, 12, 30} {
+		for i := 0; i < 50; i++ {
+			src, sink, err := g.Pair(dist)
+			if err != nil {
+				t.Fatalf("dist %d: %v", dist, err)
+			}
+			d := abs(src.Row-sink.Row) + abs(src.Col-sink.Col)
+			if d != dist {
+				t.Fatalf("pair distance %d, want %d", d, dist)
+			}
+			if arch.Wire(src.W) == arch.Invalid || arch.Wire(sink.W) == arch.Invalid {
+				t.Fatal("invalid wires")
+			}
+		}
+	}
+	if _, _, err := g.Pair(1000); err == nil {
+		t.Error("impossible distance accepted")
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestPairDeterminism(t *testing.T) {
+	a := New(7, 16, 24)
+	b := New(7, 16, 24)
+	for i := 0; i < 20; i++ {
+		s1, k1, _ := a.Pair(5)
+		s2, k2, _ := b.Pair(5)
+		if s1 != s2 || k1 != k2 {
+			t.Fatal("same seed, different sequences")
+		}
+	}
+}
+
+func TestFanout(t *testing.T) {
+	g := New(2, 16, 24)
+	src, sinks, err := g.Fanout(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sinks) != 8 {
+		t.Fatalf("%d sinks", len(sinks))
+	}
+	seen := map[device.Coord]bool{{Row: src.Row, Col: src.Col}: true}
+	for _, s := range sinks {
+		p := s.Pins()[0]
+		c := device.Coord{Row: p.Row, Col: p.Col}
+		if seen[c] {
+			t.Error("duplicate sink tile")
+		}
+		seen[c] = true
+		if abs(p.Row-src.Row) > 5 || abs(p.Col-src.Col) > 5 {
+			t.Error("sink outside radius")
+		}
+	}
+	if _, _, err := g.Fanout(0, 5); err == nil {
+		t.Error("zero fanout accepted")
+	}
+	if _, _, err := g.Fanout(500, 1); err == nil {
+		t.Error("impossible fanout accepted")
+	}
+}
+
+func TestBus(t *testing.T) {
+	g := New(3, 16, 24)
+	srcs, dsts, err := g.Bus(8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) != 8 || len(dsts) != 8 {
+		t.Fatal("wrong width")
+	}
+	for i := range srcs {
+		s := srcs[i].Pins()[0]
+		d := dsts[i].Pins()[0]
+		if d.Col-s.Col != 10 {
+			t.Errorf("bit %d span %d", i, d.Col-s.Col)
+		}
+		if s.Row != d.Row {
+			t.Errorf("bit %d rows differ", i)
+		}
+	}
+	if _, _, err := g.Bus(99, 5); err == nil {
+		t.Error("too-wide bus accepted")
+	}
+	if _, _, err := g.Bus(4, 99); err == nil {
+		t.Error("too-long bus accepted")
+	}
+}
+
+func TestChurnIsConsistent(t *testing.T) {
+	g := New(4, 16, 24)
+	ops, err := g.Churn(200, 6, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 200 {
+		t.Fatalf("%d ops", len(ops))
+	}
+	live := map[core.Pin]bool{}
+	routes, unroutes := 0, 0
+	for _, op := range ops {
+		if op.Route {
+			if live[op.Src] {
+				t.Fatal("routed a live source twice")
+			}
+			live[op.Src] = true
+			routes++
+		} else {
+			if !live[op.Src] {
+				t.Fatal("unrouted a dead source")
+			}
+			delete(live, op.Src)
+			unroutes++
+		}
+	}
+	if routes == 0 || unroutes == 0 {
+		t.Errorf("churn mix %d/%d", routes, unroutes)
+	}
+}
+
+// TestChurnExecutes replays a churn workload against a real router: every
+// op must apply cleanly.
+func TestChurnExecutes(t *testing.T) {
+	d, err := device.New(arch.NewVirtex(), 16, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := core.NewRouter(d, core.Options{})
+	g := ForDevice(5, d)
+	ops, err := g.Churn(120, 5, 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		if op.Route {
+			if err := r.RouteNet(op.Src, op.Sink); err != nil {
+				t.Fatalf("op %d route: %v", op.Serial, err)
+			}
+		} else {
+			if err := r.Unroute(op.Src); err != nil {
+				t.Fatalf("op %d unroute: %v", op.Serial, err)
+			}
+		}
+	}
+}
