@@ -1,0 +1,27 @@
+# Tier-1 verification and benchmark targets (see ROADMAP.md).
+
+GO ?= go
+
+.PHONY: build vet test race ci bench bench-json
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# ci is the full tier-1 gate: vet + build + tests + race detector.
+ci: vet build test race
+
+bench:
+	$(GO) test -bench . -benchmem -benchtime 200x ./...
+
+# bench-json regenerates the machine-readable benchmark snapshot.
+bench-json:
+	$(GO) run ./cmd/jbench -json BENCH_1.json

@@ -239,6 +239,25 @@ func BenchmarkBatchCrossbar(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchCrossbarParallel is BenchmarkBatchCrossbar with the
+// negotiation's per-iteration rerouting spread over 4 workers. The result
+// is bit-identical to the sequential run (snapshot-based iterations); the
+// point of comparison is wall-clock only.
+func BenchmarkBatchCrossbarParallel(b *testing.B) {
+	for _, width := range []int{8, 16} {
+		b.Run(fmt.Sprintf("width=%d", width), func(b *testing.B) {
+			srcs, dsts := crossbar(width)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := mustRouter(b, core.Options{Parallelism: 4})
+				if err := r.RouteBusBatch(srcs, dsts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkGreedyCrossbar(b *testing.B) {
 	for _, width := range []int{8, 16} {
 		b.Run(fmt.Sprintf("width=%d", width), func(b *testing.B) {

@@ -1,0 +1,231 @@
+// Machine-readable benchmark export: `jbench -json BENCH_1.json` re-runs
+// the core benchmark suite (the Level*, Auto*, Batch* and Greedy* rows of
+// bench_test.go) via testing.Benchmark and writes one JSON entry per
+// benchmark, so perf regressions can be diffed mechanically across PRs.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/workload"
+)
+
+// benchEntry is one benchmark result row.
+type benchEntry struct {
+	Name          string  `json:"name"`
+	Iterations    int     `json:"iterations"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	ExploredNodes int     `json:"explored_nodes"` // search states expanded by one op
+}
+
+type benchCase struct {
+	name string
+	run  func(b *testing.B)
+	// explored measures one op's NodesExplored on a fresh router (0 when
+	// the op does not invoke a search).
+	explored func() (int, error)
+}
+
+func benchDevice(rows, cols int) *device.Device {
+	d, err := device.New(arch.NewVirtex(), rows, cols)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// levelCase builds the route+unroute loop of B1 at one level of control.
+func levelCase(name string, route func(r *core.Router) error, src core.Pin) benchCase {
+	op := func(r *core.Router) error {
+		if err := route(r); err != nil {
+			return err
+		}
+		return r.Unroute(src)
+	}
+	return benchCase{
+		name: name,
+		run: func(b *testing.B) {
+			r := core.NewRouter(benchDevice(16, 24), core.Options{})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := op(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		explored: func() (int, error) {
+			r := core.NewRouter(benchDevice(16, 24), core.Options{})
+			if err := op(r); err != nil {
+				return 0, err
+			}
+			return r.Stats().NodesExplored, nil
+		},
+	}
+}
+
+// autoCase builds the B2 distance sweep for one algorithm.
+func autoCase(name string, alg core.Algorithm, dist int) benchCase {
+	setup := func() (*core.Router, core.Pin, core.Pin, error) {
+		d := benchDevice(32, 48)
+		r := core.NewRouter(d, core.Options{Algorithm: alg})
+		src, sink, err := workload.ForDevice(1, d).Pair(dist)
+		return r, src, sink, err
+	}
+	return benchCase{
+		name: name,
+		run: func(b *testing.B) {
+			r, src, sink, err := setup()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := r.RouteNet(src, sink); err != nil {
+					b.Fatal(err)
+				}
+				if err := r.Unroute(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		explored: func() (int, error) {
+			r, src, sink, err := setup()
+			if err != nil {
+				return 0, err
+			}
+			if err := r.RouteNet(src, sink); err != nil {
+				return 0, err
+			}
+			return r.Stats().NodesExplored, nil
+		},
+	}
+}
+
+// crossbarPins mirrors bench_test.go's crossbar helper.
+func crossbarPins(width int) (srcs, dsts []core.EndPoint) {
+	for i := 0; i < width; i++ {
+		srcs = append(srcs, core.NewPin(i%16, 6, arch.OutPin(i%arch.NumOutPins)))
+		dsts = append(dsts, core.NewPin((i+width/2)%16, 8, arch.Input(i%arch.NumInputs)))
+	}
+	return srcs, dsts
+}
+
+// crossbarCase builds the B13 batch/greedy crossbar at one width.
+func crossbarCase(name string, width, parallelism int, batch bool) benchCase {
+	op := func() (*core.Router, error) {
+		srcs, dsts := crossbarPins(width)
+		r := core.NewRouter(benchDevice(16, 24), core.Options{Parallelism: parallelism})
+		if batch {
+			return r, r.RouteBusBatch(srcs, dsts)
+		}
+		return r, r.RouteBus(srcs, dsts)
+	}
+	return benchCase{
+		name: name,
+		run: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := op(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		explored: func() (int, error) {
+			r, err := op()
+			if err != nil {
+				return 0, err
+			}
+			return r.Stats().NodesExplored, nil
+		},
+	}
+}
+
+func benchSuite() []benchCase {
+	a := arch.NewVirtex()
+	direct := []device.PIP{
+		{Row: 5, Col: 7, From: arch.S1YQ, To: arch.Out(1)},
+		{Row: 5, Col: 7, From: arch.Out(1), To: a.Single(arch.East, 5)},
+		{Row: 5, Col: 8, From: a.Single(arch.West, 5), To: a.Single(arch.North, 0)},
+		{Row: 6, Col: 8, From: a.Single(arch.South, 0), To: arch.S0F3},
+	}
+	path := core.NewPath(5, 7, []arch.Wire{
+		arch.S1YQ, arch.Out(1), a.Single(arch.East, 5), a.Single(arch.North, 0), arch.S0F3,
+	})
+	tmpl := core.NewTemplate([]arch.TemplateValue{arch.TVOutMux, arch.TVEast1, arch.TVNorth1, arch.TVClbIn})
+	src := core.NewPin(5, 7, arch.S1YQ)
+	sink := core.NewPin(6, 8, arch.S0F3)
+
+	cases := []benchCase{
+		levelCase("LevelDirect", func(r *core.Router) error {
+			for _, p := range direct {
+				if err := r.Route(p.Row, p.Col, p.From, p.To); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, src),
+		levelCase("LevelPath", func(r *core.Router) error { return r.RoutePath(path) }, src),
+		levelCase("LevelTemplate", func(r *core.Router) error { return r.RouteTemplate(src, arch.S0F3, tmpl) }, src),
+		levelCase("LevelAuto", func(r *core.Router) error { return r.RouteNet(src, sink) }, src),
+	}
+	for _, dist := range []int{2, 10, 40} {
+		cases = append(cases, autoCase(fmt.Sprintf("AutoTemplateFirst/dist=%d", dist), core.TemplateFirst, dist))
+	}
+	for _, dist := range []int{2, 10, 40} {
+		cases = append(cases, autoCase(fmt.Sprintf("AutoMazeOnly/dist=%d", dist), core.AStar, dist))
+	}
+	for _, width := range []int{8, 16} {
+		cases = append(cases, crossbarCase(fmt.Sprintf("BatchCrossbar/width=%d", width), width, 1, true))
+	}
+	for _, width := range []int{8, 16} {
+		cases = append(cases, crossbarCase(fmt.Sprintf("BatchCrossbarParallel/width=%d", width), width, 4, true))
+	}
+	for _, width := range []int{8, 16} {
+		cases = append(cases, crossbarCase(fmt.Sprintf("GreedyCrossbar/width=%d", width), width, 1, false))
+	}
+	return cases
+}
+
+// runBenchJSON executes the suite and writes the entries to path.
+func runBenchJSON(path string) error {
+	var entries []benchEntry
+	for _, c := range benchSuite() {
+		res := testing.Benchmark(c.run)
+		explored := 0
+		if c.explored != nil {
+			n, err := c.explored()
+			if err != nil {
+				return fmt.Errorf("%s: measuring explored nodes: %w", c.name, err)
+			}
+			explored = n
+		}
+		e := benchEntry{
+			Name:          c.name,
+			Iterations:    res.N,
+			NsPerOp:       float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:    res.AllocedBytesPerOp(),
+			AllocsPerOp:   res.AllocsPerOp(),
+			ExploredNodes: explored,
+		}
+		entries = append(entries, e)
+		fmt.Printf("%-36s %12.0f ns/op %10d B/op %8d allocs/op %8d explored\n",
+			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp, e.ExploredNodes)
+	}
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d benchmark entries to %s\n", len(entries), path)
+	return nil
+}

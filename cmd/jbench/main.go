@@ -59,7 +59,16 @@ func main() {
 	rows := flag.Int("rows", 16, "default device rows")
 	cols := flag.Int("cols", 24, "default device cols")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonPath := flag.String("json", "", "run the benchmark suite and write machine-readable results to this file")
 	flag.Parse()
+
+	if *jsonPath != "" {
+		if err := runBenchJSON(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "bench json failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments {

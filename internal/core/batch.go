@@ -53,7 +53,8 @@ func (r *Router) RouteBatch(nets []BatchNet) error {
 		}
 	}
 	res, err := maze.NegotiatedRoute(r.Dev, specs, maze.NegotiationOptions{
-		Options: r.Opt.mazeOptions(),
+		Options:     r.Opt.mazeOptions(),
+		Parallelism: r.Opt.Parallelism,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,67 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/workload"
+)
+
+// runBatch builds a fresh device, routes the generated workload with the
+// given parallelism, and returns the resulting full bitstream and stats.
+func runBatch(t *testing.T, par int, gen func(*workload.Gen) ([]core.EndPoint, []core.EndPoint)) ([]byte, core.Stats) {
+	t.Helper()
+	d, err := device.New(arch.NewVirtex(), 16, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := core.NewRouter(d, core.Options{Parallelism: par})
+	srcs, dsts := gen(workload.ForDevice(7, d))
+	if err := r.RouteBusBatch(srcs, dsts); err != nil {
+		t.Fatalf("parallelism %d: %v", par, err)
+	}
+	cfg, err := d.FullConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, r.Stats()
+}
+
+// TestRouteBatchParallelDeterminism: the public guarantee of the
+// Parallelism option — any worker count produces a byte-identical
+// bitstream and identical router stats.
+func TestRouteBatchParallelDeterminism(t *testing.T) {
+	workloads := map[string]func(*workload.Gen) ([]core.EndPoint, []core.EndPoint){
+		"crossbar": func(g *workload.Gen) ([]core.EndPoint, []core.EndPoint) {
+			srcs, dsts, err := g.Crossbar(10, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return srcs, dsts
+		},
+		"bus": func(g *workload.Gen) ([]core.EndPoint, []core.EndPoint) {
+			srcs, dsts, err := g.Bus(12, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return srcs, dsts
+		},
+	}
+	for name, gen := range workloads {
+		t.Run(name, func(t *testing.T) {
+			cfgSeq, statsSeq := runBatch(t, 1, gen)
+			for _, par := range []int{2, 8} {
+				cfg, stats := runBatch(t, par, gen)
+				if !bytes.Equal(cfg, cfgSeq) {
+					t.Errorf("parallelism %d: bitstream differs from sequential", par)
+				}
+				if stats != statsSeq {
+					t.Errorf("parallelism %d: stats %+v, sequential %+v", par, stats, statsSeq)
+				}
+			}
+		})
+	}
+}

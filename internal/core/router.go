@@ -39,6 +39,12 @@ type Options struct {
 	TimingDriven bool
 	// MaxNodes caps maze search effort (0 = default).
 	MaxNodes int
+	// Parallelism bounds the worker goroutines the negotiated batch
+	// router (RouteBatch/RouteBusBatch) uses to re-route one iteration's
+	// nets concurrently. 0 means runtime.GOMAXPROCS(0); 1 is fully
+	// sequential. The routed result and the committed bitstream are
+	// identical for every value.
+	Parallelism int
 }
 
 func (o Options) mazeOptions() maze.Options {
@@ -74,6 +80,10 @@ type Router struct {
 	stats      Stats
 	conns      []*Connection
 	remembered map[*Port][]*Connection
+
+	// Scratch buffers reused across automatic route calls.
+	netTracksBuf []device.Track
+	fanoutBuf    []device.PIP
 }
 
 // NewRouter creates a router for a device.
@@ -229,15 +239,17 @@ func sourcePin(source EndPoint) (Pin, error) {
 }
 
 // netTracks returns every track of the net sourced at `src` (the source and
-// all driven non-pin tracks), for path reuse in fanout routing.
+// all driven non-pin tracks), for path reuse in fanout routing. The
+// returned slice is r's scratch buffer: valid until the next netTracks
+// call.
 func (r *Router) netTracks(src device.Track) []device.Track {
-	out := []device.Track{src}
+	out := append(r.netTracksBuf[:0], src)
 	seen := map[device.Key]bool{src.Key(): true}
-	queue := []device.Track{src}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, p := range r.Dev.FanoutOf(cur) {
+	fanout := r.fanoutBuf[:0]
+	for head := 0; head < len(out); head++ {
+		cur := out[head]
+		fanout = r.Dev.AppendFanoutOf(fanout[:0], cur)
+		for _, p := range fanout {
 			t, err := r.Dev.Canon(p.Row, p.Col, p.To)
 			if err != nil || seen[t.Key()] {
 				continue
@@ -246,10 +258,11 @@ func (r *Router) netTracks(src device.Track) []device.Track {
 			k := r.Dev.A.ClassOf(t.W).Kind
 			if k != arch.KindInput && k != arch.KindCtrl && k != arch.KindIOBOut && k != arch.KindBRAMIn && k != arch.KindBRAMClk {
 				out = append(out, t)
-				queue = append(queue, t)
 			}
 		}
 	}
+	r.netTracksBuf = out
+	r.fanoutBuf = fanout
 	return out
 }
 

@@ -50,10 +50,13 @@ func (r *Router) Trace(source EndPoint) (*Net, error) {
 	net := &Net{Source: src}
 	seen := map[device.Key]bool{srcTrack.Key(): true}
 	queue := []device.Track{srcTrack}
+	fanout := r.fanoutBuf[:0]
+	defer func() { r.fanoutBuf = fanout }()
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, p := range r.Dev.FanoutOf(cur) {
+		fanout = r.Dev.AppendFanoutOf(fanout[:0], cur)
+		for _, p := range fanout {
 			t, err := r.Dev.Canon(p.Row, p.Col, p.To)
 			if err != nil {
 				return nil, err

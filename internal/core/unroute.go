@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+
+	"repro/internal/device"
 )
 
 // Unroute is the paper's unroute(EndPoint source): "In the forward
@@ -67,7 +69,7 @@ func (r *Router) ReverseUnroute(sink EndPoint) error {
 		r.stats.PIPsCleared++
 		removed++
 		// Stop at a branch point: the predecessor still drives others.
-		if len(r.Dev.FanoutOf(prev)) > 0 {
+		if r.Dev.FanoutCount(prev) > 0 {
 			break
 		}
 		cur = prev
@@ -108,8 +110,9 @@ func (r *Router) ReverseUnroute(sink EndPoint) error {
 // UnrouteAll removes every routed net on the device (used when tearing a
 // whole design down).
 func (r *Router) UnrouteAll() error {
+	var pips []device.PIP
 	for {
-		pips := r.Dev.AllOnPIPs()
+		pips = r.Dev.AppendAllOnPIPs(pips[:0])
 		if len(pips) == 0 {
 			return nil
 		}
@@ -120,7 +123,7 @@ func (r *Router) UnrouteAll() error {
 				return err
 			}
 			// Only clear PIPs whose target drives nothing (leaves).
-			if len(r.Dev.FanoutOf(t)) > 0 {
+			if r.Dev.FanoutCount(t) > 0 {
 				continue
 			}
 			if err := r.Dev.ClearPIP(p.Row, p.Col, p.From, p.To); err != nil {

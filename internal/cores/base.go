@@ -224,7 +224,7 @@ func (b *Base) Remove(r *core.Router) error {
 // on-PIP.
 func sourceStillDrives(r *core.Router, pins []core.Pin) bool {
 	for _, p := range pins {
-		if t, ok := r.Dev.CanonOK(p.Row, p.Col, p.W); ok && len(r.Dev.FanoutOf(t)) > 0 {
+		if t, ok := r.Dev.CanonOK(p.Row, p.Col, p.W); ok && r.Dev.FanoutCount(t) > 0 {
 			return true
 		}
 	}

@@ -59,7 +59,7 @@ func Replace(r *core.Router, c Core, row, col int, groups []string, retune func(
 			case core.Out:
 				if len(p.Pins()) == 1 {
 					pin := p.Pins()[0]
-					if t, ok := r.Dev.CanonOK(pin.Row, pin.Col, pin.W); !ok || len(r.Dev.FanoutOf(t)) == 0 {
+					if t, ok := r.Dev.CanonOK(pin.Row, pin.Col, pin.W); !ok || r.Dev.FanoutCount(t) == 0 {
 						continue // never routed externally
 					}
 				}

@@ -1,0 +1,119 @@
+package device
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/arch"
+)
+
+// PIPChoice is one architecture-legal expansion from a track: the PIP to
+// turn on, the canonical track it drives, and two fields every search inner
+// loop would otherwise re-derive per expansion — the target's compact track
+// index and its resource kind.
+type PIPChoice struct {
+	P      PIP
+	Target Track
+	TIdx   int32     // TrackIndex(Target) on the owning geometry
+	Kind   arch.Kind // ClassOf(Target.W).Kind, cached
+}
+
+// adjCache is the lazily-filled PIP-choice adjacency for one (arch, rows,
+// cols) geometry. Choices depend only on the architecture's connectivity
+// rules and the array bounds — never on routing state — so one cache is
+// shared by every device of the same geometry, and concurrent readers need
+// no locks: slots are published with atomic pointers, and a racing double
+// derivation is benign (both goroutines compute identical slices).
+type adjCache struct {
+	slots []atomic.Pointer[[]PIPChoice]
+}
+
+// adjKey identifies a geometry by architecture *parameters*, not pointer:
+// constructors like NewVirtex return a fresh *Arch per call, and devices of
+// equal parameters must share (same parameters imply the same wire layout
+// and connectivity tables).
+type adjKey struct {
+	name             string
+	singles, hexes   int
+	hexLen, numLong  int
+	longPeriod       int
+	bidiHex, bramCol int
+	rows, cols       int
+}
+
+var (
+	adjMu  sync.Mutex
+	adjTab = map[adjKey]*adjCache{}
+)
+
+// adjCacheFor returns the shared adjacency cache for a geometry, creating
+// it (empty) on first use. The table is bounded: geometries are few in any
+// real run, but property tests churn through many sizes, so it is reset
+// when it grows past a generous cap rather than growing without limit.
+func adjCacheFor(a *arch.Arch, rows, cols int) *adjCache {
+	k := adjKey{
+		name: a.Name, singles: a.SinglesPerDir, hexes: a.HexesPerDir,
+		hexLen: a.HexLen, numLong: a.NumLong, longPeriod: a.LongAccessPeriod,
+		bidiHex: a.BidiHexPeriod, bramCol: a.BRAMColumnPeriod,
+		rows: rows, cols: cols,
+	}
+	adjMu.Lock()
+	defer adjMu.Unlock()
+	if c, ok := adjTab[k]; ok {
+		return c
+	}
+	if len(adjTab) >= 64 {
+		adjTab = map[adjKey]*adjCache{}
+	}
+	c := &adjCache{slots: make([]atomic.Pointer[[]PIPChoice], rows*cols*a.WireCount())}
+	adjTab[k] = c
+	return c
+}
+
+// PIPChoices returns the legal PIP expansions from canonical track t as a
+// flat cached slice (see ForEachPIPChoice for the semantics). The slice is
+// shared and must not be mutated. First access derives it from the
+// architecture rules; later accesses — from any device of the same
+// geometry, on any goroutine — are a single atomic load.
+func (d *Device) PIPChoices(t Track) []PIPChoice {
+	idx := d.TrackIndex(t)
+	if idx < 0 || int(idx) >= len(d.adjc.slots) {
+		return nil
+	}
+	slot := &d.adjc.slots[idx]
+	if p := slot.Load(); p != nil {
+		return *p
+	}
+	choices := d.derivePIPChoices(t)
+	slot.Store(&choices)
+	return choices
+}
+
+// derivePIPChoices is the uncached derivation: walk the track's tap tiles,
+// resolve its local name there, and keep each architecture-legal fanout
+// target that exists on the array and may be driven at that tile.
+func (d *Device) derivePIPChoices(t Track) []PIPChoice {
+	out := []PIPChoice{}
+	for _, tap := range d.Taps(t) {
+		f := d.LocalName(t, tap)
+		if f == arch.Invalid {
+			continue
+		}
+		for _, toW := range d.A.LocalFanout(f) {
+			to, ok := d.CanonOK(tap.Row, tap.Col, toW)
+			if !ok {
+				continue
+			}
+			if !d.DriveAllowedAt(to, tap) {
+				continue
+			}
+			out = append(out, PIPChoice{
+				P:      PIP{tap.Row, tap.Col, f, toW},
+				Target: to,
+				TIdx:   d.TrackIndex(to),
+				Kind:   d.A.ClassOf(to.W).Kind,
+			})
+		}
+	}
+	return out
+}

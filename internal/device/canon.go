@@ -144,6 +144,75 @@ func (d *Device) Taps(t Track) []Coord {
 	}
 }
 
+// MinTapDistance returns the Manhattan distance from the nearest tap tile
+// of track t to tile c — the allocation-free form of "min over Taps(t)"
+// that the search heuristics call once per frontier pop. Tracks with no tap
+// tiles (global clocks, reachable everywhere) return 0. The tap positions
+// mirror Taps exactly; the device consistency tests pin the correspondence.
+func (d *Device) MinTapDistance(t Track, c Coord) int {
+	a := d.A
+	cl := a.ClassOf(t.W)
+	md := func(r, co int) int { return absInt(r-c.Row) + absInt(co-c.Col) }
+	switch cl.Kind {
+	case arch.KindOutPin:
+		best := md(t.Row, t.Col)
+		if t.Col+1 < d.Cols {
+			if v := md(t.Row, t.Col+1); v < best {
+				best = v
+			}
+		}
+		return best
+	case arch.KindOutMux, arch.KindInput, arch.KindCtrl, arch.KindIOBIn, arch.KindIOBOut,
+		arch.KindBRAMIn, arch.KindBRAMClk, arch.KindBRAMOut:
+		return md(t.Row, t.Col)
+	case arch.KindSingle:
+		dr, dc := cl.Dir.Delta()
+		best := md(t.Row, t.Col)
+		if v := md(t.Row+dr, t.Col+dc); v < best {
+			best = v
+		}
+		return best
+	case arch.KindHex:
+		dr, dc := cl.Dir.Delta()
+		half := a.HexLen / 2
+		best := md(t.Row, t.Col)
+		if v := md(t.Row+dr*half, t.Col+dc*half); v < best {
+			best = v
+		}
+		if v := md(t.Row+dr*a.HexLen, t.Col+dc*a.HexLen); v < best {
+			best = v
+		}
+		return best
+	case arch.KindLongH:
+		return absInt(t.Row-c.Row) + nearestPeriodic(c.Col, a.LongAccessPeriod, d.Cols)
+	case arch.KindLongV:
+		return absInt(t.Col-c.Col) + nearestPeriodic(c.Row, a.LongAccessPeriod, d.Rows)
+	default:
+		return 0
+	}
+}
+
+// nearestPeriodic is the distance from x (assumed in [0, limit)) to the
+// nearest multiple of period that is still below limit.
+func nearestPeriodic(x, period, limit int) int {
+	if x < 0 {
+		return -x
+	}
+	lo := (x / period) * period
+	best := x - lo
+	if hi := lo + period; hi < limit && hi-x < best {
+		best = hi - x
+	}
+	return best
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
 // LocalName returns the name of canonical track t at tile tap, which must
 // be one of its tap tiles (or, for drive-only positions, an endpoint).
 // It returns arch.Invalid if t has no name there.

@@ -27,9 +27,17 @@ func (e *ContentionError) Error() string {
 }
 
 // Device is one configured FPGA.
+//
+// A Device is safe for concurrent *reads* (DriverOf, IsOn, PIPChoices,
+// Canon...); mutating calls (SetPIP, ClearPIP, LUT/BRAM configuration) must
+// not run concurrently with anything else. The parallel batch router relies
+// on this: its workers only read, and all commits happen on one goroutine.
 type Device struct {
 	A          *arch.Arch
 	Rows, Cols int
+
+	wireCount int       // cached d.A.WireCount() for TrackIndex
+	adjc      *adjCache // PIP-choice adjacency, shared per (arch, size)
 
 	bits     *bitstream.Bitstream
 	layout   bitLayout
@@ -75,7 +83,22 @@ func New(a *arch.Arch, rows, cols int) (*Device, error) {
 		return nil, err
 	}
 	d.bits = bits
+	d.wireCount = a.WireCount()
+	d.adjc = adjCacheFor(a, rows, cols)
 	return d, nil
+}
+
+// NumTracks is the size of the compact track-index space: every canonical
+// track of this device has a unique index in [0, NumTracks). The space is
+// addressed arithmetically (tile-major, wire-minor), so non-canonical wire
+// numbers leave unused slots — the point is O(1) slice indexing for search
+// scratch state, not density.
+func (d *Device) NumTracks() int { return d.Rows * d.Cols * d.wireCount }
+
+// TrackIndex maps a canonical track to its compact per-device index; the
+// inverse of nothing — searches keep the Track alongside the index.
+func (d *Device) TrackIndex(t Track) int32 {
+	return int32((t.Row*d.Cols+t.Col)*d.wireCount + int(t.W))
 }
 
 // Size returns the array dimensions.
@@ -223,16 +246,31 @@ func (d *Device) FanoutOf(t Track) []PIP {
 	return out
 }
 
+// AppendFanoutOf appends the on-PIPs sourced from t to buf and returns the
+// extended slice — the allocation-free form of FanoutOf for hot traversal
+// loops (net tracing, unrouting, fanout reuse).
+func (d *Device) AppendFanoutOf(buf []PIP, t Track) []PIP {
+	return append(buf, d.fanout[t.Key()]...)
+}
+
+// FanoutCount returns how many on-PIPs a track sources, without copying.
+func (d *Device) FanoutCount(t Track) int { return len(d.fanout[t.Key()]) }
+
 // OnPIPCount returns the number of PIPs currently on.
 func (d *Device) OnPIPCount() int { return len(d.driver) }
 
 // AllOnPIPs returns every on-PIP (order unspecified).
 func (d *Device) AllOnPIPs() []PIP {
-	out := make([]PIP, 0, len(d.driver))
+	return d.AppendAllOnPIPs(make([]PIP, 0, len(d.driver)))
+}
+
+// AppendAllOnPIPs appends every on-PIP (order unspecified) to buf and
+// returns the extended slice, for callers that poll repeatedly.
+func (d *Device) AppendAllOnPIPs(buf []PIP) []PIP {
 	for _, p := range d.driver {
-		out = append(out, p)
+		buf = append(buf, p)
 	}
-	return out
+	return buf
 }
 
 // ForEachPIPChoice visits every legal PIP that can be sourced from track t:
@@ -240,23 +278,13 @@ func (d *Device) AllOnPIPs() []PIP {
 // there. Targets that already have a driver are included (the caller
 // decides whether reuse or avoidance applies); targets that would leave the
 // array are not. The visit stops early if fn returns false.
+//
+// The choice set is device-state independent; it is served from the shared
+// adjacency cache (see PIPChoices), which this call fills on first visit.
 func (d *Device) ForEachPIPChoice(t Track, fn func(p PIP, target Track) bool) {
-	for _, tap := range d.Taps(t) {
-		f := d.LocalName(t, tap)
-		if f == arch.Invalid {
-			continue
-		}
-		for _, toW := range d.A.LocalFanout(f) {
-			to, ok := d.CanonOK(tap.Row, tap.Col, toW)
-			if !ok {
-				continue
-			}
-			if !d.DriveAllowedAt(to, tap) {
-				continue
-			}
-			if !fn(PIP{tap.Row, tap.Col, f, toW}, to) {
-				return
-			}
+	for _, c := range d.PIPChoices(t) {
+		if !fn(c.P, c.Target) {
+			return
 		}
 	}
 }

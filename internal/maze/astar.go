@@ -1,55 +1,11 @@
 package maze
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/arch"
 	"repro/internal/device"
 )
-
-// searchItem is one frontier entry of the best-first search.
-type searchItem struct {
-	track device.Track
-	g, f  int
-	index int // heap bookkeeping
-}
-
-type frontier []*searchItem
-
-func (h frontier) Len() int           { return len(h) }
-func (h frontier) Less(i, j int) bool { return h[i].f < h[j].f }
-func (h frontier) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
-func (h *frontier) Push(x interface{}) {
-	it := x.(*searchItem)
-	it.index = len(*h)
-	*h = append(*h, it)
-}
-func (h *frontier) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return it
-}
-
-// tileDistance returns the Manhattan distance between the nearest tap of a
-// track and the sink tile — the basis of the A* heuristic.
-func tileDistance(dev *device.Device, t device.Track, sink device.Coord) int {
-	best := -1
-	for _, tap := range dev.Taps(t) {
-		d := abs(tap.Row-sink.Row) + abs(tap.Col-sink.Col)
-		if best < 0 || d < best {
-			best = d
-		}
-	}
-	if best < 0 {
-		// Trackless (global clock): treat as adjacent.
-		return 0
-	}
-	return best
-}
 
 func abs(v int) int {
 	if v < 0 {
@@ -75,6 +31,17 @@ func Lee(dev *device.Device, sources []device.Track, sink device.Track, opt Opti
 	return search(dev, sources, sink, opt, false)
 }
 
+// isNetEndpointKind reports whether a resource kind is a net endpoint (CLB
+// or IOB or BRAM input side) that must never be routed *through*.
+func isNetEndpointKind(k arch.Kind) bool {
+	switch k {
+	case arch.KindInput, arch.KindCtrl, arch.KindIOBOut, arch.KindBRAMIn, arch.KindBRAMClk:
+		return true
+	default:
+		return false
+	}
+}
+
 func search(dev *device.Device, sources []device.Track, sink device.Track, opt Options, astar bool) (*Route, error) {
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("maze: no sources: %w", ErrUnroutable)
@@ -86,12 +53,6 @@ func search(dev *device.Device, sources []device.Track, sink device.Track, opt O
 			dev.A.WireName(sink.W), sink.Row, sink.Col, ErrUnroutable)
 	}
 
-	gBest := make(map[device.Key]int)
-	via := make(map[device.Key]device.PIP)
-	prev := make(map[device.Key]device.Key)
-	open := &frontier{}
-	heap.Init(open)
-
 	// h lower-bounds the remaining cost: covering distance d with hexes
 	// (the cheapest per-tile resource) plus a short single tail; with
 	// long lines enabled any remaining distance could in principle be a
@@ -100,11 +61,11 @@ func search(dev *device.Device, sources []device.Track, sink device.Track, opt O
 	hexC := opt.kindCost(arch.KindHex)
 	singleC := opt.kindCost(arch.KindSingle)
 	longC := opt.kindCost(arch.KindLongH)
-	h := func(t device.Track) int {
+	h := func(t device.Track) float64 {
 		if !astar {
 			return 0
 		}
-		d := tileDistance(dev, t, sinkTile)
+		d := dev.MinTapDistance(t, sinkTile)
 		hexes := d / dev.A.HexLen
 		tail := d % dev.A.HexLen
 		if tail*singleC > 2*hexC {
@@ -114,7 +75,7 @@ func search(dev *device.Device, sources []device.Track, sink device.Track, opt O
 		if opt.UseLongLines && est > longC+hexC {
 			est = longC + hexC
 		}
-		return 2 * est
+		return float64(2 * est)
 	}
 	cost := func(k arch.Kind) int {
 		if !astar {
@@ -123,25 +84,27 @@ func search(dev *device.Device, sources []device.Track, sink device.Track, opt O
 		return opt.kindCost(k)
 	}
 
+	ar := getArena(dev.NumTracks())
+	defer putArena(ar)
+	sinkIdx := dev.TrackIndex(sink)
+
 	for _, s := range sources {
-		k := s.Key()
-		if k == sinkKey {
+		if s.Key() == sinkKey {
 			return &Route{}, nil // already connected
 		}
-		if _, seen := gBest[k]; seen {
+		si := dev.TrackIndex(s)
+		if ar.seen(si) {
 			continue
 		}
-		gBest[k] = 0
-		heap.Push(open, &searchItem{track: s, g: 0, f: h(s)})
+		ar.visit(si, 0, device.PIP{}, -1)
+		ar.push(heapItem{track: s, ti: si, g: 0, f: h(s)})
 	}
 
 	explored := 0
 	maxNodes := opt.maxNodes()
-	for open.Len() > 0 {
-		it := heap.Pop(open).(*searchItem)
-		cur := it.track
-		curKey := cur.Key()
-		if it.g > gBest[curKey] {
+	for len(ar.heap) > 0 {
+		it := ar.pop()
+		if it.g > ar.g[it.ti] {
 			continue // stale entry
 		}
 		explored++
@@ -149,59 +112,36 @@ func search(dev *device.Device, sources []device.Track, sink device.Track, opt O
 			return nil, fmt.Errorf("maze: search exceeded %d states: %w", maxNodes, ErrUnroutable)
 		}
 		goal := false
-		dev.ForEachPIPChoice(cur, func(p device.PIP, target device.Track) bool {
-			tKey := target.Key()
-			kind := dev.A.ClassOf(target.W).Kind
-			if tKey != sinkKey {
-				if !opt.allowKind(kind) {
-					return true
+		for _, c := range dev.PIPChoices(it.track) {
+			if c.TIdx != sinkIdx {
+				if !opt.allowKind(c.Kind) {
+					continue
 				}
 				// Do not route through CLB pins: they are net
 				// endpoints, not thoroughfares.
-				if kind == arch.KindInput || kind == arch.KindCtrl || kind == arch.KindIOBOut || kind == arch.KindBRAMIn || kind == arch.KindBRAMClk {
-					return true
+				if isNetEndpointKind(c.Kind) {
+					continue
 				}
 			}
-			if _, driven := dev.DriverOf(target); driven {
-				return true
+			if _, driven := dev.DriverOf(c.Target); driven {
+				continue
 			}
-			ng := it.g + cost(kind)
-			if old, seen := gBest[tKey]; seen && old <= ng {
-				return true
+			ng := it.g + float64(cost(c.Kind))
+			if ar.seen(c.TIdx) && ar.g[c.TIdx] <= ng {
+				continue
 			}
-			gBest[tKey] = ng
-			via[tKey] = p
-			prev[tKey] = curKey
-			if tKey == sinkKey {
+			ar.visit(c.TIdx, ng, c.P, it.ti)
+			if c.TIdx == sinkIdx {
 				// Goal: stop (greedy routing: first arrival wins).
 				goal = true
-				return false
+				break
 			}
-			heap.Push(open, &searchItem{track: target, g: ng, f: ng + h(target)})
-			return true
-		})
+			ar.push(heapItem{track: c.Target, ti: c.TIdx, g: ng, f: ng + h(c.Target)})
+		}
 		if goal {
-			return reconstruct(via, prev, gBest, sinkKey, explored), nil
+			return &Route{PIPs: ar.reconstruct(sinkIdx), Cost: int(ar.g[sinkIdx]), Explored: explored}, nil
 		}
 	}
 	return nil, fmt.Errorf("maze: no path to %s at (%d,%d): %w",
 		dev.A.WireName(sink.W), sink.Row, sink.Col, ErrUnroutable)
-}
-
-func reconstruct(via map[device.Key]device.PIP, prev map[device.Key]device.Key, g map[device.Key]int, sinkKey device.Key, explored int) *Route {
-	var rev []device.PIP
-	k := sinkKey
-	for {
-		p, ok := via[k]
-		if !ok {
-			break
-		}
-		rev = append(rev, p)
-		k = prev[k]
-	}
-	pips := make([]device.PIP, len(rev))
-	for i := range rev {
-		pips[i] = rev[len(rev)-1-i]
-	}
-	return &Route{PIPs: pips, Cost: g[sinkKey], Explored: explored}
 }

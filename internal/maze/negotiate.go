@@ -1,11 +1,12 @@
 package maze
 
 import (
-	"container/heap"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
-	"repro/internal/arch"
 	"repro/internal/device"
 )
 
@@ -13,10 +14,21 @@ import (
 // algorithms are being investigated such as [6]", the routability-driven
 // router of Swartz, Betz and Rose). Where JRoute's shipping calls are
 // greedy and order-dependent, the batch router routes a whole set of nets
-// together: every net is ripped up and re-routed each iteration with track
+// together: nets are ripped up and re-routed each iteration with track
 // costs inflated by present congestion and accumulated history, until no
 // track is shared. Only then is anything committed to the device, so the
 // §3.4 no-contention guarantee is preserved.
+//
+// Iterations are *snapshot-based*: every net rerouted in an iteration
+// searches against the congestion state frozen at the iteration's start
+// (minus its own previous usage), and the results are merged in net order
+// afterwards. That makes each net's route a pure function of the snapshot,
+// so the ripped-up nets of one iteration can be routed concurrently on a
+// bounded worker pool — Parallelism below — and the converged result is
+// bit-identical for every worker count, including 1. Only nets that lost a
+// track conflict are rerouted: for each overused track, the lowest-index
+// net using it keeps its route (a deterministic tie-break that both speeds
+// convergence and prevents symmetric oscillation between identical nets).
 
 // NetSpec is one net to batch-route: a source track and its sink tracks.
 type NetSpec struct {
@@ -45,6 +57,12 @@ type NegotiationOptions struct {
 	// HistoryFactor scales the accumulated-congestion penalty
 	// (default 1.0).
 	HistoryFactor float64
+	// Parallelism bounds the worker goroutines that re-route one
+	// iteration's ripped-up nets concurrently. 0 means
+	// runtime.GOMAXPROCS(0); 1 routes on the calling goroutine. Every
+	// value produces the identical result (and therefore the identical
+	// committed bitstream) — only wall-clock time changes.
+	Parallelism int
 }
 
 func (o NegotiationOptions) maxIterations() int {
@@ -68,65 +86,207 @@ func (o NegotiationOptions) historyFactor() float64 {
 	return o.HistoryFactor
 }
 
+func (o NegotiationOptions) parallelism() int {
+	if o.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallelism
+}
+
+// congestion holds the dense per-track negotiation state, epoch-stamped so
+// a pooled instance resets in O(1). A slot's counters are zero unless its
+// stamp matches the current epoch.
+type congestion struct {
+	n       int
+	epoch   uint32
+	stamp   []uint32
+	present []int32   // nets currently using the track
+	history []float64 // accumulated overuse
+}
+
+var congPool = sync.Pool{New: func() interface{} { return new(congestion) }}
+
+func getCongestion(n int) *congestion {
+	c := congPool.Get().(*congestion)
+	if c.n < n {
+		c.stamp = make([]uint32, n)
+		c.present = make([]int32, n)
+		c.history = make([]float64, n)
+		c.epoch = 0
+		c.n = n
+	}
+	c.epoch++
+	if c.epoch == 0 {
+		for i := range c.stamp {
+			c.stamp[i] = 0
+		}
+		c.epoch = 1
+	}
+	return c
+}
+
+func putCongestion(c *congestion) { congPool.Put(c) }
+
+func (c *congestion) touch(i int32) {
+	if c.stamp[i] != c.epoch {
+		c.stamp[i] = c.epoch
+		c.present[i] = 0
+		c.history[i] = 0
+	}
+}
+
+func (c *congestion) presentAt(i int32) int32 {
+	if c.stamp[i] != c.epoch {
+		return 0
+	}
+	return c.present[i]
+}
+
+func (c *congestion) historyAt(i int32) float64 {
+	if c.stamp[i] != c.epoch {
+		return 0
+	}
+	return c.history[i]
+}
+
+func (c *congestion) addPresent(i int32, d int32) {
+	c.touch(i)
+	c.present[i] += d
+}
+
+func (c *congestion) addHistory(i int32, d float64) {
+	c.touch(i)
+	c.history[i] += d
+}
+
+// negState is the shared, per-call negotiation state. During the routing
+// phase of an iteration it is read-only; all mutation happens in the merge
+// phase on the calling goroutine.
 type negState struct {
 	dev     *device.Device
 	opt     NegotiationOptions
-	present map[device.Key]int     // nets currently using a track
-	history map[device.Key]float64 // accumulated overuse
+	cong    *congestion
 	presFac float64
+	histFac float64
+}
+
+// preppedNet is a NetSpec resolved once up front: source index and sinks
+// in the fixed nearest-first routing order.
+type preppedNet struct {
+	src    device.Track
+	srcIdx int32
+	sinks  []device.Track
+}
+
+// netRoute is one net's routing result within an iteration.
+type netRoute struct {
+	pips     []device.PIP
+	used     []int32 // track indices occupied, source first, deduplicated
+	explored int
+	err      error
 }
 
 // NegotiatedRoute routes all nets together under negotiated congestion and
 // returns the per-net PIP lists without touching device state; Apply the
 // result (or use core.Router.RouteBatch, which does both). It fails if the
-// negotiation does not converge within MaxIterations.
+// negotiation does not converge within MaxIterations. The result is
+// deterministic: independent of Parallelism and repeatable across runs.
 func NegotiatedRoute(dev *device.Device, nets []NetSpec, opt NegotiationOptions) (*BatchResult, error) {
 	if len(nets) == 0 {
 		return nil, fmt.Errorf("maze: empty batch: %w", ErrUnroutable)
 	}
+	prepped := make([]preppedNet, len(nets))
 	for i, n := range nets {
 		if len(n.Sinks) == 0 {
 			return nil, fmt.Errorf("maze: batch net %d has no sinks: %w", i, ErrUnroutable)
 		}
+		sinks := append([]device.Track(nil), n.Sinks...)
+		// Route sinks nearest-first for stability.
+		src := n.Source
+		sort.Slice(sinks, func(a, b int) bool {
+			da := abs(sinks[a].Row-src.Row) + abs(sinks[a].Col-src.Col)
+			db := abs(sinks[b].Row-src.Row) + abs(sinks[b].Col-src.Col)
+			return da < db
+		})
+		prepped[i] = preppedNet{src: src, srcIdx: dev.TrackIndex(src), sinks: sinks}
 	}
+
 	st := &negState{
 		dev:     dev,
 		opt:     opt,
-		present: make(map[device.Key]int),
-		history: make(map[device.Key]float64),
+		cong:    getCongestion(dev.NumTracks()),
 		presFac: 0, // first iteration ignores sharing entirely
+		histFac: opt.historyFactor(),
 	}
+	defer putCongestion(st.cong)
+
 	routes := make([][]device.PIP, len(nets))
-	tracks := make([]map[device.Key]bool, len(nets))
+	used := make([][]int32, len(nets))
 	res := &BatchResult{}
+
+	// keeper[k] remembers, per iteration, the first net that claimed
+	// overused track k; tracked via the pooled mark set's epoch.
+	keeperSet := getMarkSet(dev.NumTracks())
+	keeperVal := make([]int32, 0)
+	defer putMarkSet(keeperSet)
+
+	reroute := make([]int, len(nets))
+	for i := range reroute {
+		reroute[i] = i
+	}
 
 	for iter := 1; iter <= st.opt.maxIterations(); iter++ {
 		res.Iterations = iter
-		for i, n := range nets {
-			// Rip up.
-			for k := range tracks[i] {
-				st.present[k]--
+		results := st.routeAll(prepped, reroute, used)
+		// Merge in net order. Results are per-net pure functions of the
+		// iteration snapshot, so this ordering — not the worker
+		// scheduling — defines the outcome.
+		for j, i := range reroute {
+			r := &results[j]
+			if r.err != nil {
+				return nil, fmt.Errorf("maze: batch net %d: %w", i, r.err)
 			}
-			pips, used, explored, err := st.routeNet(n)
-			res.Explored += explored
-			if err != nil {
-				return nil, fmt.Errorf("maze: batch net %d: %w", i, err)
+			for _, k := range used[i] {
+				st.cong.addPresent(k, -1)
 			}
-			routes[i] = pips
-			tracks[i] = used
-			for k := range used {
-				st.present[k]++
+			routes[i] = r.pips
+			used[i] = r.used
+			for _, k := range r.used {
+				st.cong.addPresent(k, 1)
+			}
+			res.Explored += r.explored
+		}
+		// Find overuse; accumulate history on shared tracks; decide who
+		// reroutes next round (everyone sharing a track except its first
+		// claimant, so each conflict strands at most one net in place).
+		keeperSet.reset()
+		if cap(keeperVal) < dev.NumTracks() {
+			keeperVal = make([]int32, dev.NumTracks())
+		}
+		reroute = reroute[:0]
+		overused := false
+		for i := range nets {
+			needs := false
+			for _, k := range used[i] {
+				c := st.cong.presentAt(k)
+				if c <= 1 {
+					continue
+				}
+				overused = true
+				if !keeperSet.has(k) {
+					keeperSet.add(k)
+					keeperVal[k] = int32(i)
+					st.cong.addHistory(k, float64(c-1))
+				}
+				if keeperVal[k] != int32(i) {
+					needs = true
+				}
+			}
+			if needs {
+				reroute = append(reroute, i)
 			}
 		}
-		// Check for overuse; accumulate history on shared tracks.
-		overused := 0
-		for k, c := range st.present {
-			if c > 1 {
-				overused++
-				st.history[k] += float64(c - 1)
-			}
-		}
-		if overused == 0 {
+		if !overused {
 			res.Nets = routes
 			return res, nil
 		}
@@ -136,89 +296,127 @@ func NegotiatedRoute(dev *device.Device, nets []NetSpec, opt NegotiationOptions)
 		st.opt.maxIterations(), ErrUnroutable)
 }
 
-// trackPenalty is the congestion surcharge for using a track.
-func (st *negState) trackPenalty(k device.Key, self map[device.Key]bool) float64 {
-	users := st.present[k]
-	if self[k] {
+// routeAll routes the given nets against the current congestion snapshot,
+// sequentially or on a bounded worker pool. results[j] corresponds to
+// reroute[j]; slot contents do not depend on the worker count.
+func (st *negState) routeAll(prepped []preppedNet, reroute []int, oldUsed [][]int32) []netRoute {
+	results := make([]netRoute, len(reroute))
+	par := st.opt.parallelism()
+	if par > len(reroute) {
+		par = len(reroute)
+	}
+	if par <= 1 {
+		w := st.newWorker()
+		defer w.release()
+		for j, i := range reroute {
+			results[j] = w.routeNet(prepped[i], oldUsed[i])
+		}
+		return results
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for g := 0; g < par; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := st.newWorker()
+			defer w.release()
+			for {
+				j := int(next.Add(1))
+				if j >= len(reroute) {
+					return
+				}
+				i := reroute[j]
+				results[j] = w.routeNet(prepped[i], oldUsed[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// negWorker is the per-goroutine scratch state of the routing phase: a
+// search arena, a membership set for the net's previous-iteration tracks
+// (its usage must not penalize itself), and one for the tracks of the
+// route being built.
+type negWorker struct {
+	st        *negState
+	ar        *arena
+	self      *markSet // previous-iteration usage of the net being routed
+	cur       *markSet // usage accumulated by the route being built
+	netTracks []device.Track
+}
+
+func (st *negState) newWorker() *negWorker {
+	n := st.dev.NumTracks()
+	return &negWorker{st: st, ar: getArena(n), self: getMarkSet(n), cur: getMarkSet(n)}
+}
+
+func (w *negWorker) release() {
+	putArena(w.ar)
+	putMarkSet(w.self)
+	putMarkSet(w.cur)
+}
+
+// penalty is the congestion surcharge for occupying track i.
+func (w *negWorker) penalty(i int32) float64 {
+	st := w.st
+	users := st.cong.presentAt(i)
+	if w.self.has(i) {
 		users-- // our own previous usage does not penalize us
 	}
-	p := st.history[k] * st.opt.historyFactor()
+	p := st.cong.historyAt(i) * st.histFac
 	if users > 0 {
 		p += float64(users) * st.presFac
 	}
 	return p
 }
 
-// routeNet routes one net (all sinks, with in-net reuse) under the current
-// congestion costs, without mutating device state.
-func (st *negState) routeNet(n NetSpec) (pips []device.PIP, used map[device.Key]bool, explored int, err error) {
-	used = map[device.Key]bool{n.Source.Key(): true}
-	netTracks := []device.Track{n.Source}
-	// Route sinks nearest-first for stability.
-	sinks := append([]device.Track(nil), n.Sinks...)
-	sort.Slice(sinks, func(i, j int) bool {
-		di := abs(sinks[i].Row-n.Source.Row) + abs(sinks[i].Col-n.Source.Col)
-		dj := abs(sinks[j].Row-n.Source.Row) + abs(sinks[j].Col-n.Source.Col)
-		return di < dj
-	})
-	for _, sink := range sinks {
-		segment, exp, err := st.search(netTracks, sink, used)
-		explored += exp
+// routeNet routes one net (all sinks, with in-net reuse) against the
+// congestion snapshot, without mutating shared state.
+func (w *negWorker) routeNet(net preppedNet, oldUsed []int32) netRoute {
+	dev := w.st.dev
+	w.self.reset()
+	for _, k := range oldUsed {
+		w.self.add(k)
+	}
+	w.cur.reset()
+	w.cur.add(net.srcIdx)
+	w.netTracks = append(w.netTracks[:0], net.src)
+	out := netRoute{used: append(make([]int32, 0, len(oldUsed)+1), net.srcIdx)}
+	for _, sink := range net.sinks {
+		segment, exp, err := w.search(w.netTracks, sink)
+		out.explored += exp
 		if err != nil {
-			return nil, nil, explored, err
+			return netRoute{explored: out.explored, err: err}
 		}
-		pips = append(pips, segment...)
+		out.pips = append(out.pips, segment...)
 		for _, p := range segment {
-			t, ok := st.dev.CanonOK(p.Row, p.Col, p.To)
+			t, ok := dev.CanonOK(p.Row, p.Col, p.To)
 			if !ok {
-				return nil, nil, explored, fmt.Errorf("maze: bad segment PIP %v", p)
+				return netRoute{explored: out.explored, err: fmt.Errorf("maze: bad segment PIP %v", p)}
 			}
-			k := t.Key()
-			if !used[k] {
-				used[k] = true
-				kind := st.dev.A.ClassOf(t.W).Kind
-				switch kind {
-				case arch.KindInput, arch.KindCtrl, arch.KindIOBOut,
-					arch.KindBRAMIn, arch.KindBRAMClk:
-					// sinks: not reusable as sources
-				default:
-					netTracks = append(netTracks, t)
-				}
+			k := dev.TrackIndex(t)
+			if w.cur.has(k) {
+				continue
+			}
+			w.cur.add(k)
+			out.used = append(out.used, k)
+			if !isNetEndpointKind(dev.A.ClassOf(t.W).Kind) {
+				// sinks are not reusable as sources
+				w.netTracks = append(w.netTracks, t)
 			}
 		}
 	}
-	return pips, used, explored, nil
-}
-
-type negItem struct {
-	track device.Track
-	g, f  float64
-	index int
-}
-
-type negFrontier []*negItem
-
-func (h negFrontier) Len() int           { return len(h) }
-func (h negFrontier) Less(i, j int) bool { return h[i].f < h[j].f }
-func (h negFrontier) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
-func (h *negFrontier) Push(x interface{}) {
-	it := x.(*negItem)
-	it.index = len(*h)
-	*h = append(*h, it)
-}
-func (h *negFrontier) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return it
+	return out
 }
 
 // search is a congestion-aware A* from the net's tracks to one sink.
 // Tracks used by other nets are allowed (that is the negotiation), but
 // tracks already driven on the real device are hard obstacles.
-func (st *negState) search(sources []device.Track, sink device.Track, self map[device.Key]bool) ([]device.PIP, int, error) {
+func (w *negWorker) search(sources []device.Track, sink device.Track) ([]device.PIP, int, error) {
+	st := w.st
 	dev := st.dev
 	sinkKey := sink.Key()
 	sinkTile := device.Coord{Row: sink.Row, Col: sink.Col}
@@ -227,7 +425,7 @@ func (st *negState) search(sources []device.Track, sink device.Track, self map[d
 			dev.A.WireName(sink.W), sink.Row, sink.Col, ErrUnroutable)
 	}
 	h := func(t device.Track) float64 {
-		d := tileDistance(dev, t, sinkTile)
+		d := dev.MinTapDistance(t, sinkTile)
 		hexes := d / dev.A.HexLen
 		tail := d % dev.A.HexLen
 		if tail > 2 {
@@ -235,28 +433,25 @@ func (st *negState) search(sources []device.Track, sink device.Track, self map[d
 		}
 		return 2 * float64(2*hexes+tail)
 	}
-	gBest := make(map[device.Key]float64)
-	via := make(map[device.Key]device.PIP)
-	prev := make(map[device.Key]device.Key)
-	open := &negFrontier{}
-	heap.Init(open)
+	ar := w.ar
+	ar.begin()
+	sinkIdx := dev.TrackIndex(sink)
 	for _, s := range sources {
-		k := s.Key()
-		if k == sinkKey {
+		if s.Key() == sinkKey {
 			return nil, 0, nil
 		}
-		if _, seen := gBest[k]; seen {
+		si := dev.TrackIndex(s)
+		if ar.seen(si) {
 			continue
 		}
-		gBest[k] = 0
-		heap.Push(open, &negItem{track: s, g: 0, f: h(s)})
+		ar.visit(si, 0, device.PIP{}, -1)
+		ar.push(heapItem{track: s, ti: si, g: 0, f: h(s)})
 	}
 	explored := 0
 	maxNodes := st.opt.maxNodes()
-	for open.Len() > 0 {
-		it := heap.Pop(open).(*negItem)
-		curKey := it.track.Key()
-		if it.g > gBest[curKey] {
+	for len(ar.heap) > 0 {
+		it := ar.pop()
+		if it.g > ar.g[it.ti] {
 			continue
 		}
 		explored++
@@ -264,50 +459,31 @@ func (st *negState) search(sources []device.Track, sink device.Track, self map[d
 			return nil, explored, fmt.Errorf("maze: negotiation search exceeded %d states: %w", maxNodes, ErrUnroutable)
 		}
 		goal := false
-		dev.ForEachPIPChoice(it.track, func(p device.PIP, target device.Track) bool {
-			tKey := target.Key()
-			kind := dev.A.ClassOf(target.W).Kind
-			if tKey != sinkKey {
-				if !st.opt.allowKind(kind) {
-					return true
+		for _, c := range dev.PIPChoices(it.track) {
+			if c.TIdx != sinkIdx {
+				if !st.opt.allowKind(c.Kind) {
+					continue
 				}
-				if kind == arch.KindInput || kind == arch.KindCtrl || kind == arch.KindIOBOut || kind == arch.KindBRAMIn || kind == arch.KindBRAMClk {
-					return true
+				if isNetEndpointKind(c.Kind) {
+					continue
 				}
 			}
-			if _, driven := dev.DriverOf(target); driven {
-				return true
+			if _, driven := dev.DriverOf(c.Target); driven {
+				continue
 			}
-			ng := it.g + float64(hopCost(kind)) + st.trackPenalty(tKey, self)
-			if old, seen := gBest[tKey]; seen && old <= ng {
-				return true
+			ng := it.g + float64(hopCost(c.Kind)) + w.penalty(c.TIdx)
+			if ar.seen(c.TIdx) && ar.g[c.TIdx] <= ng {
+				continue
 			}
-			gBest[tKey] = ng
-			via[tKey] = p
-			prev[tKey] = curKey
-			if tKey == sinkKey {
+			ar.visit(c.TIdx, ng, c.P, it.ti)
+			if c.TIdx == sinkIdx {
 				goal = true
-				return false
+				break
 			}
-			heap.Push(open, &negItem{track: target, g: ng, f: ng + h(target)})
-			return true
-		})
+			ar.push(heapItem{track: c.Target, ti: c.TIdx, g: ng, f: ng + h(c.Target)})
+		}
 		if goal {
-			var rev []device.PIP
-			k := sinkKey
-			for {
-				p, ok := via[k]
-				if !ok {
-					break
-				}
-				rev = append(rev, p)
-				k = prev[k]
-			}
-			out := make([]device.PIP, len(rev))
-			for i := range rev {
-				out[i] = rev[len(rev)-1-i]
-			}
-			return out, explored, nil
+			return ar.reconstruct(sinkIdx), explored, nil
 		}
 	}
 	return nil, explored, fmt.Errorf("maze: no path to %s at (%d,%d): %w",

@@ -174,6 +174,56 @@ func TestNegotiatedRouteNonConvergence(t *testing.T) {
 	}
 }
 
+// TestNegotiatedRouteParallelDeterminism: within an iteration every net
+// routes against the same congestion snapshot, so worker count must not
+// change the result at all — same PIPs, same iteration count, same explored
+// total.
+func TestNegotiatedRouteParallelDeterminism(t *testing.T) {
+	build := func() (*device.Device, []NetSpec) {
+		d := virtexDev(t)
+		var nets []NetSpec
+		const width = 10
+		for i := 0; i < width; i++ {
+			nets = append(nets, netSpec(t, d, i, 6, arch.OutPin(i%8),
+				[3]int{(i + width/2) % width, 8, i % arch.NumInputs}))
+		}
+		return d, nets
+	}
+	run := func(par int) *BatchResult {
+		d, nets := build()
+		res, err := NegotiatedRoute(d, nets, NegotiationOptions{Parallelism: par})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		return res
+	}
+	seq := run(1)
+	for _, par := range []int{2, 8} {
+		got := run(par)
+		if got.Iterations != seq.Iterations {
+			t.Errorf("parallelism %d: %d iterations, sequential %d", par, got.Iterations, seq.Iterations)
+		}
+		if got.Explored != seq.Explored {
+			t.Errorf("parallelism %d: explored %d, sequential %d", par, got.Explored, seq.Explored)
+		}
+		if len(got.Nets) != len(seq.Nets) {
+			t.Fatalf("parallelism %d: %d nets, sequential %d", par, len(got.Nets), len(seq.Nets))
+		}
+		for i := range got.Nets {
+			if len(got.Nets[i]) != len(seq.Nets[i]) {
+				t.Fatalf("parallelism %d: net %d has %d PIPs, sequential %d",
+					par, i, len(got.Nets[i]), len(seq.Nets[i]))
+			}
+			for j := range got.Nets[i] {
+				if got.Nets[i][j] != seq.Nets[i][j] {
+					t.Fatalf("parallelism %d: net %d PIP %d differs: %v vs %v",
+						par, i, j, got.Nets[i][j], seq.Nets[i][j])
+				}
+			}
+		}
+	}
+}
+
 func TestNegotiationOptionDefaults(t *testing.T) {
 	var o NegotiationOptions
 	if o.maxIterations() != 30 {

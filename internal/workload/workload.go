@@ -125,6 +125,29 @@ func (g *Gen) Bus(width, span int) (srcs, dsts []core.EndPoint, err error) {
 	return srcs, dsts, nil
 }
 
+// Crossbar returns width source and sink endpoint slices forming a
+// permuted crossbar: sources stacked vertically at one column, sinks at a
+// column span away, with the sink rows a random permutation of the source
+// rows. Every net must cross every other's row band, so the pattern forces
+// heavy track contention — the stress case for negotiated batch routing.
+func (g *Gen) Crossbar(width, span int) (srcs, dsts []core.EndPoint, err error) {
+	if width < 1 || width > g.Rows {
+		return nil, nil, fmt.Errorf("workload: crossbar width %d on %d rows", width, g.Rows)
+	}
+	if span < 1 || span >= g.Cols {
+		return nil, nil, fmt.Errorf("workload: crossbar span %d on %d cols", span, g.Cols)
+	}
+	baseRow := g.Rng.Intn(g.Rows - width + 1)
+	srcCol := g.Rng.Intn(g.Cols - span)
+	dstCol := srcCol + span
+	perm := g.Rng.Perm(width)
+	for i := 0; i < width; i++ {
+		srcs = append(srcs, g.randOutPin(baseRow+i, srcCol))
+		dsts = append(dsts, g.randInPin(baseRow+perm[i], dstCol))
+	}
+	return srcs, dsts, nil
+}
+
 // ChurnOp is one step of an RTR churn workload.
 type ChurnOp struct {
 	Route  bool // true = route the pair, false = unroute the net at Src
