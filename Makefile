@@ -1,8 +1,9 @@
 # Tier-1 verification and benchmark targets (see ROADMAP.md).
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: build vet test race ci bench bench-json
+.PHONY: build vet fmt-check test race ci bench bench-go bench-json
 
 build:
 	$(GO) build ./...
@@ -10,16 +11,25 @@ build:
 vet:
 	$(GO) vet ./...
 
+fmt-check:
+	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-# ci is the full tier-1 gate: vet + build + tests + race detector.
-ci: vet build test race
+# ci is the full tier-1 gate: formatting + vet + build + tests + race detector.
+ci: fmt-check vet build test race
 
+# bench runs the service load generator against an in-process jrouted and
+# regenerates the BENCH_2.json snapshot (throughput, p50/p99, frames shipped).
 bench:
+	$(GO) run ./cmd/jload -inproc -json BENCH_2.json
+
+bench-go:
 	$(GO) test -bench . -benchmem -benchtime 200x ./...
 
 # bench-json regenerates the machine-readable benchmark snapshot.

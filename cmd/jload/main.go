@@ -1,0 +1,271 @@
+// jload is the load generator for jrouted: it replays synthetic routing
+// workloads against a live daemon (or an in-process one it boots itself)
+// through N concurrent client sessions and reports service throughput,
+// client-observed p50/p99 latency, and how many partial-reconfiguration
+// frames the daemon shipped to keep the client mirrors in sync.
+//
+// Usage:
+//
+//	jload -inproc -json BENCH_2.json      # self-contained benchmark run
+//	jload -addr 127.0.0.1:7411 -sessions 4
+//
+// Against a remote daemon the devices must be named dev0..devN-1 and sized
+// to -rows x -cols (the in-process mode sets this up itself).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/workload"
+)
+
+// result is one workload's aggregate measurement — a BENCH_2.json entry.
+type result struct {
+	Name          string  `json:"name"`
+	Sessions      int     `json:"sessions"`
+	Ops           int     `json:"ops"`
+	Errors        int     `json:"errors"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	OpsPerSecond  float64 `json:"ops_per_second"`
+	P50us         float64 `json:"p50_us"`
+	P99us         float64 `json:"p99_us"`
+	MeanUs        float64 `json:"mean_us"`
+	FramesShipped int     `json:"frames_shipped"`
+	BytesShipped  int     `json:"bytes_shipped"`
+}
+
+// sessionRun holds one worker's client-side measurements.
+type sessionRun struct {
+	lat  []time.Duration
+	errs int
+}
+
+func (r *sessionRun) observe(start time.Time, err error) {
+	r.lat = append(r.lat, time.Since(start))
+	if err != nil {
+		r.errs++
+	}
+}
+
+func main() {
+	addr := flag.String("addr", "", "address of a running jrouted (empty with -inproc)")
+	inproc := flag.Bool("inproc", false, "boot an in-process daemon instead of dialing")
+	sessions := flag.Int("sessions", 2, "concurrent client sessions (one device each)")
+	rows := flag.Int("rows", 16, "device rows")
+	cols := flag.Int("cols", 24, "device cols")
+	seed := flag.Int64("seed", 1, "workload seed")
+	rounds := flag.Int("rounds", 12, "crossbar batch rounds per session")
+	steps := flag.Int("steps", 200, "RTR churn steps per session")
+	jsonPath := flag.String("json", "", "write results to this JSON file")
+	flag.Parse()
+
+	if *inproc == (*addr != "") {
+		log.Fatal("jload: need exactly one of -addr or -inproc")
+	}
+	target := *addr
+	if *inproc {
+		srv := server.New(server.Options{})
+		for i := 0; i < *sessions; i++ {
+			if err := srv.AddDevice(fmt.Sprintf("dev%d", i), "virtex", *rows, *cols); err != nil {
+				log.Fatalf("jload: %v", err)
+			}
+		}
+		bound, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("jload: %v", err)
+		}
+		target = bound
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				log.Printf("jload: shutdown: %v", err)
+			}
+		}()
+	}
+
+	var results []result
+	for _, wl := range []struct {
+		name string
+		run  func(s *client.Session, g *workload.Gen, r *sessionRun) error
+	}{
+		{"crossbar", func(s *client.Session, g *workload.Gen, r *sessionRun) error {
+			return runCrossbar(s, g, r, *rounds)
+		}},
+		{"rtr_churn", func(s *client.Session, g *workload.Gen, r *sessionRun) error {
+			return runChurn(s, g, r, *steps)
+		}},
+	} {
+		res, err := runWorkload(target, wl.name, *sessions, *rows, *cols, *seed, wl.run)
+		if err != nil {
+			log.Fatalf("jload: %s: %v", wl.name, err)
+		}
+		results = append(results, res)
+		fmt.Printf("%-10s  %d sessions  %6d ops (%d errors)  %8.0f ops/s  p50 %6.0fµs  p99 %6.0fµs  %d frames / %d bytes shipped\n",
+			res.Name, res.Sessions, res.Ops, res.Errors, res.OpsPerSecond, res.P50us, res.P99us, res.FramesShipped, res.BytesShipped)
+	}
+
+	if *jsonPath != "" {
+		out, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			log.Fatalf("jload: %v", err)
+		}
+		if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+			log.Fatalf("jload: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}
+
+// runWorkload drives one named workload through n concurrent sessions and
+// aggregates their client-side latencies plus the daemon's shipped-frame
+// delta (from statsz before and after).
+func runWorkload(addr, name string, n, rows, cols int, seed int64,
+	run func(*client.Session, *workload.Gen, *sessionRun) error) (result, error) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return result{}, err
+	}
+	defer c.Close()
+	before, err := c.Stats()
+	if err != nil {
+		return result{}, err
+	}
+
+	runs := make([]sessionRun, n)
+	errs := make([]error, n)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// One connection per worker: a session is not safe for
+			// concurrent use and sharing a conn would serialize the wire.
+			cc, err := client.Dial(addr)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer cc.Close()
+			s, err := cc.Session(fmt.Sprintf("dev%d", i))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			g := workload.New(seed+int64(i), rows, cols)
+			errs[i] = run(s, g, &runs[i])
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return result{}, err
+		}
+	}
+
+	after, err := c.Stats()
+	if err != nil {
+		return result{}, err
+	}
+	res := result{Name: name, Sessions: n, WallSeconds: wall.Seconds()}
+	var all []time.Duration
+	for i := range runs {
+		all = append(all, runs[i].lat...)
+		res.Errors += runs[i].errs
+	}
+	res.Ops = len(all)
+	if wall > 0 {
+		res.OpsPerSecond = float64(res.Ops) / wall.Seconds()
+	}
+	res.P50us, res.P99us, res.MeanUs = percentiles(all)
+	for name, ss := range after.Sessions {
+		res.FramesShipped += ss.FramesShipped - before.Sessions[name].FramesShipped
+		res.BytesShipped += ss.BytesShipped - before.Sessions[name].BytesShipped
+	}
+	return res, nil
+}
+
+// runCrossbar repeatedly batch-routes a permuted crossbar and tears it
+// down — the contention stress case, now paying wire and JSON costs too.
+func runCrossbar(s *client.Session, g *workload.Gen, r *sessionRun, rounds int) error {
+	for round := 0; round < rounds; round++ {
+		srcs, dsts, err := g.CrossbarPins(8, 10)
+		if err != nil {
+			return err
+		}
+		nets := make([]server.NetMsg, len(srcs))
+		for i := range srcs {
+			nets[i] = server.NetMsg{Source: client.Pin(srcs[i]), Sinks: []server.EndPointMsg{client.Pin(dsts[i])}}
+		}
+		start := time.Now()
+		err = s.RouteBatch(nets)
+		r.observe(start, err)
+		if err != nil {
+			continue // contention failure: nothing was committed, next round
+		}
+		for i := range srcs {
+			start := time.Now()
+			r.observe(start, s.Unroute(client.Pin(srcs[i])))
+		}
+	}
+	return nil
+}
+
+// runChurn replays an RTR churn sequence: interleaved routes and unroutes
+// against a device whose configuration lives across the wire.
+func runChurn(s *client.Session, g *workload.Gen, r *sessionRun, steps int) error {
+	ops, err := g.Churn(steps, 6, 0.35)
+	if err != nil {
+		return err
+	}
+	failed := map[core.Pin]bool{}
+	for _, op := range ops {
+		if op.Route {
+			start := time.Now()
+			err := s.Route(client.Pin(op.Src), client.Pin(op.Sink))
+			r.observe(start, err)
+			if err != nil {
+				failed[op.Src] = true
+			}
+			continue
+		}
+		if failed[op.Src] {
+			continue // its route never landed; unrouting it would double-count
+		}
+		start := time.Now()
+		r.observe(start, s.Unroute(client.Pin(op.Src)))
+	}
+	return nil
+}
+
+// percentiles returns p50, p99 and the mean of the latencies, in µs.
+func percentiles(lat []time.Duration) (p50, p99, mean float64) {
+	if len(lat) == 0 {
+		return 0, 0, 0
+	}
+	sorted := make([]time.Duration, len(lat))
+	copy(sorted, lat)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	at := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return float64(sorted[i].Nanoseconds()) / 1e3
+	}
+	return at(0.50), at(0.99), float64(sum.Nanoseconds()) / 1e3 / float64(len(sorted))
+}

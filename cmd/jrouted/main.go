@@ -1,0 +1,100 @@
+// jrouted is the run-time routing daemon: it hosts named FPGA device
+// sessions and serves the JRoute API (route, unroute, trace, batch and bus
+// routing, core instantiation and replacement, bitstream readback) to
+// remote clients over framed JSON on the XHWIF transport. After every
+// mutating operation the daemon pushes back only the frames it dirtied, so
+// thin clients mirror the bitstream incrementally — the partial
+// reconfiguration story of §3.3 extended across a wire.
+//
+// Usage:
+//
+//	jrouted -listen :7411 -device alpha:16x24 -device beta:32x48,kestrel
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+// deviceSpec is one -device flag value: name:RxC[,arch].
+type deviceSpec struct {
+	name string
+	arch string
+	rows int
+	cols int
+}
+
+type deviceList []deviceSpec
+
+func (l *deviceList) String() string {
+	var parts []string
+	for _, d := range *l {
+		parts = append(parts, fmt.Sprintf("%s:%dx%d", d.name, d.rows, d.cols))
+	}
+	return strings.Join(parts, " ")
+}
+
+func (l *deviceList) Set(v string) error {
+	name, geom, ok := strings.Cut(v, ":")
+	if !ok || name == "" {
+		return fmt.Errorf("want name:RxC[,arch], got %q", v)
+	}
+	archName := "virtex"
+	if g, a, ok := strings.Cut(geom, ","); ok {
+		geom, archName = g, a
+	}
+	var rows, cols int
+	if _, err := fmt.Sscanf(geom, "%dx%d", &rows, &cols); err != nil || rows < 1 || cols < 1 {
+		return fmt.Errorf("bad geometry in %q (want RxC, e.g. 16x24)", v)
+	}
+	*l = append(*l, deviceSpec{name: name, arch: archName, rows: rows, cols: cols})
+	return nil
+}
+
+func main() {
+	var devices deviceList
+	listen := flag.String("listen", "127.0.0.1:7411", "TCP listen address")
+	queue := flag.Int("queue", 64, "per-session request queue depth")
+	parallelism := flag.Int("parallelism", 0, "router batch parallelism (0 = all cores)")
+	drain := flag.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
+	flag.Var(&devices, "device", "hosted device as name:RxC[,arch]; repeatable")
+	flag.Parse()
+
+	if len(devices) == 0 {
+		devices = deviceList{{name: "dev0", arch: "virtex", rows: 16, cols: 24}}
+	}
+
+	srv := server.New(server.Options{QueueDepth: *queue, Parallelism: *parallelism})
+	for _, d := range devices {
+		if err := srv.AddDevice(d.name, d.arch, d.rows, d.cols); err != nil {
+			log.Fatalf("jrouted: adding device %s: %v", d.name, err)
+		}
+		log.Printf("jrouted: hosting %s (%s %dx%d)", d.name, d.arch, d.rows, d.cols)
+	}
+	addr, err := srv.Start(*listen)
+	if err != nil {
+		log.Fatalf("jrouted: listen: %v", err)
+	}
+	log.Printf("jrouted: serving on %s", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("jrouted: shutting down, draining in-flight routes (budget %v)", *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("jrouted: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("jrouted: drained cleanly")
+}

@@ -60,6 +60,7 @@ func (r *Router) RouteBatch(nets []BatchNet) error {
 		return err
 	}
 	r.stats.NodesExplored += res.Explored
+	r.stats.BatchIterations += res.Iterations
 	// Commit. The negotiation guarantees disjoint tracks, so this cannot
 	// contend; roll back everything if a commit fails anyway.
 	var applied []device.PIP

@@ -55,14 +55,16 @@ func (o Options) mazeOptions() maze.Options {
 	}
 }
 
-// Stats counts router work, feeding the B1/B2 experiments.
+// Stats counts router work, feeding the B1/B2 experiments and the routing
+// service's statsz endpoint.
 type Stats struct {
-	Routes        int // automatic route calls completed
-	TemplateHits  int // routes satisfied by a predefined template
-	MazeFallbacks int // routes that needed maze search
-	NodesExplored int // total search states expanded
-	PIPsSet       int
-	PIPsCleared   int
+	Routes          int // automatic route calls completed
+	TemplateHits    int // routes satisfied by a predefined template
+	MazeFallbacks   int // routes that needed maze search
+	NodesExplored   int // total search states expanded
+	PIPsSet         int
+	PIPsCleared     int
+	BatchIterations int // negotiation rip-up/re-route rounds consumed by RouteBatch
 }
 
 // Connection records one routed net at the endpoint level, which is what

@@ -280,11 +280,28 @@ func (d *Device) DiffFrames(o *Device) ([]bitstream.FrameAddr, error) {
 // or format error leaves the state rebuilt from whatever bits landed, and
 // is returned.
 func (d *Device) ApplyConfig(stream []byte) error {
-	_, err := d.bits.ApplyConfig(stream)
+	_, err := d.ApplyConfigFrames(stream)
+	return err
+}
+
+// ApplyConfigFrames is ApplyConfig, additionally reporting how many
+// configuration frames the stream wrote — the per-configuration traffic
+// counter a Board needs.
+func (d *Device) ApplyConfigFrames(stream []byte) (int, error) {
+	n, err := d.bits.ApplyConfig(stream)
 	if rerr := d.RebuildFromBits(); rerr != nil && err == nil {
 		err = rerr
 	}
-	return err
+	return n, err
+}
+
+// ApplyFramesRaw patches the configuration bitstream without reconstructing
+// the in-memory routing and logic state, and reports the frames written.
+// The caller owns calling RebuildFromBits before reading routing state —
+// the cheap path for passive mirrors that apply many partial streams and
+// only occasionally inspect the result.
+func (d *Device) ApplyFramesRaw(stream []byte) (int, error) {
+	return d.bits.ApplyConfig(stream)
 }
 
 // RebuildFromBits reconstructs the in-memory routing and logic state from

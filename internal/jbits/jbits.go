@@ -13,6 +13,7 @@ package jbits
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/device"
@@ -58,14 +59,43 @@ func (s *Session) GetLUT(row, col, lut int) (uint16, bool) {
 
 // Board is the configuration target: a device whose state changes only via
 // Configure, as real hardware does through its configuration port.
+//
+// A Board may be shared by several XHWIF connections (Serve loops) at once;
+// the mutex serializes configuration-port access. The counter fields must be
+// read via Counters when any Serve loop may still be running.
 type Board struct {
 	Name string
+	mu   sync.Mutex
 	dev  *device.Device
 
 	// Statistics of the configuration traffic this board has seen.
-	Configurations int
+	Configurations int // total Configure + ConfigurePartial calls
+	FullConfigs    int // full configuration streams (opConfigure)
+	PartialConfigs int // partial dirty-frame streams (opPartial)
 	FramesWritten  int
 	BytesWritten   int
+}
+
+// BoardCounters is a consistent snapshot of a board's traffic statistics.
+type BoardCounters struct {
+	Configurations int
+	FullConfigs    int
+	PartialConfigs int
+	FramesWritten  int
+	BytesWritten   int
+}
+
+// Counters returns a consistent snapshot of the board's statistics.
+func (b *Board) Counters() BoardCounters {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BoardCounters{
+		Configurations: b.Configurations,
+		FullConfigs:    b.FullConfigs,
+		PartialConfigs: b.PartialConfigs,
+		FramesWritten:  b.FramesWritten,
+		BytesWritten:   b.BytesWritten,
+	}
 }
 
 // NewBoard creates a blank board of the given geometry.
@@ -77,18 +107,49 @@ func NewBoard(name string, a *arch.Arch, rows, cols int) (*Board, error) {
 	return &Board{Name: name, dev: d}, nil
 }
 
-// Configure ships a configuration stream (full or partial) to the board.
+// Configure ships a full configuration stream to the board.
 func (b *Board) Configure(stream []byte) error {
-	if err := b.dev.ApplyConfig(stream); err != nil {
+	return b.configure(stream, false)
+}
+
+// ConfigurePartial ships a partial dirty-frame stream to the board. The
+// stream format is identical to a full stream; the split exists so the
+// board (and the XHWIF wire, via opPartial) can account full and partial
+// reconfigurations separately.
+func (b *Board) ConfigurePartial(stream []byte) error {
+	return b.configure(stream, true)
+}
+
+func (b *Board) configure(stream []byte, partial bool) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	frames, err := b.dev.ApplyConfigFrames(stream)
+	if err != nil {
 		return fmt.Errorf("jbits: board %s rejected configuration: %w", b.Name, err)
 	}
 	b.Configurations++
+	if partial {
+		b.PartialConfigs++
+	} else {
+		b.FullConfigs++
+	}
+	b.FramesWritten += frames
 	b.BytesWritten += len(stream)
 	return nil
 }
 
+// Readback serializes the board's full configuration under the board lock —
+// the configuration-port read direction, safe against concurrent Configure
+// calls from other connections.
+func (b *Board) Readback() ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dev.FullConfig()
+}
+
 // Device exposes the board-side device for readback-style inspection
-// (BoardScope reads board state, not host state).
+// (BoardScope reads board state, not host state). Callers must not use it
+// while a Serve loop may be configuring the board concurrently.
 func (b *Board) Device() *device.Device { return b.dev }
 
 // SyncFull ships the session's complete configuration to the board.
@@ -101,7 +162,6 @@ func (s *Session) SyncFull(b *Board) (frames int, err error) {
 		return 0, err
 	}
 	frames = s.Dev.FrameCount()
-	b.FramesWritten += frames
 	s.Dev.ClearDirty()
 	return frames, nil
 }
@@ -115,10 +175,9 @@ func (s *Session) SyncPartial(b *Board) (frames int, err error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := b.Configure(stream); err != nil {
+	if err := b.ConfigurePartial(stream); err != nil {
 		return 0, err
 	}
-	b.FramesWritten += frames
 	s.Dev.ClearDirty()
 	return frames, nil
 }

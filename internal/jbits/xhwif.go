@@ -1,9 +1,12 @@
 package jbits
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"repro/internal/device"
 )
 
 // XHWIF-style remote board access. JBits talks to hardware through the
@@ -16,18 +19,26 @@ import (
 //
 // Frame format (big-endian): u8 opcode, u32 payload length, payload.
 // Responses echo the opcode with the high bit set; error responses use
-// opError with a string payload.
+// opError with a string payload. The routing service (internal/server)
+// shares this frame format with its own opcode.
 const (
-	opConfigure   = 0x01 // payload: configuration stream
+	opConfigure   = 0x01 // payload: full configuration stream
 	opReadback    = 0x02 // payload: empty; response: full config stream
-	opStats       = 0x03 // payload: empty; response: 3x u64 counters
+	opStats       = 0x03 // payload: empty; response: 5x u64 counters
 	opClose       = 0x04 // payload: empty; server stops serving
+	opPartial     = 0x05 // payload: partial dirty-frame stream
 	opError       = 0x7F
 	respFlag      = 0x80
 	maxFramePayld = 64 << 20
 )
 
-func writeFrame(w io.Writer, op byte, payload []byte) error {
+// RespFlag is the response bit of the shared XHWIF frame format: responses
+// echo the request opcode with this bit set.
+const RespFlag = respFlag
+
+// WriteFrame writes one frame of the shared XHWIF wire format: u8 opcode,
+// u32 big-endian payload length, payload.
+func WriteFrame(w io.Writer, op byte, payload []byte) error {
 	var hdr [5]byte
 	hdr[0] = op
 	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
@@ -42,7 +53,9 @@ func writeFrame(w io.Writer, op byte, payload []byte) error {
 	return err
 }
 
-func readFrame(r io.Reader) (op byte, payload []byte, err error) {
+// ReadFrame reads one frame of the shared XHWIF wire format, rejecting
+// payloads over the 64 MiB frame limit.
+func ReadFrame(r io.Reader) (op byte, payload []byte, err error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
@@ -59,10 +72,12 @@ func readFrame(r io.Reader) (op byte, payload []byte, err error) {
 }
 
 // Serve handles XHWIF requests for a board until the peer sends opClose or
-// the transport fails. It is the board-host side of the wire.
+// the transport fails. It is the board-host side of the wire. Several Serve
+// loops may share one Board concurrently (one per connection); the board
+// serializes configuration-port access internally.
 func Serve(conn io.ReadWriter, b *Board) error {
 	for {
-		op, payload, err := readFrame(conn)
+		op, payload, err := ReadFrame(conn)
 		if err != nil {
 			if err == io.EOF {
 				return nil
@@ -70,40 +85,47 @@ func Serve(conn io.ReadWriter, b *Board) error {
 			return err
 		}
 		switch op {
-		case opConfigure:
-			if err := b.Configure(payload); err != nil {
-				if werr := writeFrame(conn, opError|respFlag, []byte(err.Error())); werr != nil {
+		case opConfigure, opPartial:
+			cfg := b.Configure
+			if op == opPartial {
+				cfg = b.ConfigurePartial
+			}
+			if err := cfg(payload); err != nil {
+				if werr := WriteFrame(conn, opError|respFlag, []byte(err.Error())); werr != nil {
 					return werr
 				}
 				continue
 			}
-			if err := writeFrame(conn, opConfigure|respFlag, nil); err != nil {
+			if err := WriteFrame(conn, op|respFlag, nil); err != nil {
 				return err
 			}
 		case opReadback:
-			stream, err := b.dev.FullConfig()
+			stream, err := b.Readback()
 			if err != nil {
-				if werr := writeFrame(conn, opError|respFlag, []byte(err.Error())); werr != nil {
+				if werr := WriteFrame(conn, opError|respFlag, []byte(err.Error())); werr != nil {
 					return werr
 				}
 				continue
 			}
-			if err := writeFrame(conn, opReadback|respFlag, stream); err != nil {
+			if err := WriteFrame(conn, opReadback|respFlag, stream); err != nil {
 				return err
 			}
 		case opStats:
-			var buf [24]byte
-			binary.BigEndian.PutUint64(buf[0:], uint64(b.Configurations))
-			binary.BigEndian.PutUint64(buf[8:], uint64(b.FramesWritten))
-			binary.BigEndian.PutUint64(buf[16:], uint64(b.BytesWritten))
-			if err := writeFrame(conn, opStats|respFlag, buf[:]); err != nil {
+			c := b.Counters()
+			var buf [40]byte
+			binary.BigEndian.PutUint64(buf[0:], uint64(c.Configurations))
+			binary.BigEndian.PutUint64(buf[8:], uint64(c.FramesWritten))
+			binary.BigEndian.PutUint64(buf[16:], uint64(c.BytesWritten))
+			binary.BigEndian.PutUint64(buf[24:], uint64(c.FullConfigs))
+			binary.BigEndian.PutUint64(buf[32:], uint64(c.PartialConfigs))
+			if err := WriteFrame(conn, opStats|respFlag, buf[:]); err != nil {
 				return err
 			}
 		case opClose:
-			_ = writeFrame(conn, opClose|respFlag, nil)
+			_ = WriteFrame(conn, opClose|respFlag, nil)
 			return nil
 		default:
-			if err := writeFrame(conn, opError|respFlag, []byte(fmt.Sprintf("unknown opcode %#x", op))); err != nil {
+			if err := WriteFrame(conn, opError|respFlag, []byte(fmt.Sprintf("unknown opcode %#x", op))); err != nil {
 				return err
 			}
 		}
@@ -120,10 +142,10 @@ type RemoteBoard struct {
 func Dial(conn io.ReadWriter) *RemoteBoard { return &RemoteBoard{conn: conn} }
 
 func (rb *RemoteBoard) call(op byte, payload []byte) ([]byte, error) {
-	if err := writeFrame(rb.conn, op, payload); err != nil {
+	if err := WriteFrame(rb.conn, op, payload); err != nil {
 		return nil, err
 	}
-	rop, rp, err := readFrame(rb.conn)
+	rop, rp, err := ReadFrame(rb.conn)
 	if err != nil {
 		return nil, err
 	}
@@ -136,9 +158,17 @@ func (rb *RemoteBoard) call(op byte, payload []byte) ([]byte, error) {
 	return rp, nil
 }
 
-// Configure ships a configuration stream to the remote board.
+// Configure ships a full configuration stream to the remote board.
 func (rb *RemoteBoard) Configure(stream []byte) error {
 	_, err := rb.call(opConfigure, stream)
+	return err
+}
+
+// ConfigurePartial ships a partial dirty-frame stream to the remote board
+// under opPartial, so partial reconfigurations are distinguishable from
+// full configures on the wire.
+func (rb *RemoteBoard) ConfigurePartial(stream []byte) error {
+	_, err := rb.call(opPartial, stream)
 	return err
 }
 
@@ -148,17 +178,21 @@ func (rb *RemoteBoard) Readback() ([]byte, error) {
 }
 
 // Stats returns the remote board's configuration counters.
-func (rb *RemoteBoard) Stats() (configurations, frames, bytesWritten int, err error) {
+func (rb *RemoteBoard) Stats() (BoardCounters, error) {
 	p, err := rb.call(opStats, nil)
 	if err != nil {
-		return 0, 0, 0, err
+		return BoardCounters{}, err
 	}
-	if len(p) != 24 {
-		return 0, 0, 0, fmt.Errorf("jbits: bad stats payload length %d", len(p))
+	if len(p) != 40 {
+		return BoardCounters{}, fmt.Errorf("jbits: bad stats payload length %d", len(p))
 	}
-	return int(binary.BigEndian.Uint64(p[0:])),
-		int(binary.BigEndian.Uint64(p[8:])),
-		int(binary.BigEndian.Uint64(p[16:])), nil
+	return BoardCounters{
+		Configurations: int(binary.BigEndian.Uint64(p[0:])),
+		FramesWritten:  int(binary.BigEndian.Uint64(p[8:])),
+		BytesWritten:   int(binary.BigEndian.Uint64(p[16:])),
+		FullConfigs:    int(binary.BigEndian.Uint64(p[24:])),
+		PartialConfigs: int(binary.BigEndian.Uint64(p[32:])),
+	}, nil
 }
 
 // Close asks the server to stop serving.
@@ -169,7 +203,9 @@ func (rb *RemoteBoard) Close() error {
 
 // SyncFullRemote ships the session's complete configuration to a remote
 // board and verifies it by readback, returning the number of differing
-// frames (0 on success).
+// frames (0 on success). A readback that cannot be compared frame by frame
+// (wrong length or unparseable stream) counts as 1, the length-mismatch
+// sentinel.
 func (s *Session) SyncFullRemote(rb *RemoteBoard) (int, error) {
 	stream, err := s.Dev.FullConfig()
 	if err != nil {
@@ -187,30 +223,37 @@ func (s *Session) SyncFullRemote(rb *RemoteBoard) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if string(back) == string(mine) {
+	if bytes.Equal(back, mine) {
 		return 0, nil
 	}
-	// Count differing bytes as a coarse diff signal.
-	diff := 0
-	for i := 0; i < len(back) && i < len(mine); i++ {
-		if back[i] != mine[i] {
-			diff++
-		}
+	// Frame-level diff: load the readback into a scratch device of the
+	// session's geometry and count differing frames.
+	scratch, err := device.New(s.Dev.A, s.Dev.Rows, s.Dev.Cols)
+	if err != nil {
+		return 0, err
 	}
-	if diff == 0 {
-		diff = 1 // length mismatch
+	if err := scratch.ApplyConfig(back); err != nil {
+		return 1, nil // not frame-comparable: length/geometry sentinel
 	}
-	return diff, nil
+	diff, err := s.Dev.DiffFrames(scratch)
+	if err != nil {
+		return 1, nil
+	}
+	if len(diff) == 0 {
+		return 1, nil // streams differ outside frame data (header/CRC)
+	}
+	return len(diff), nil
 }
 
-// SyncPartialRemote ships only the dirty frames to a remote board.
+// SyncPartialRemote ships only the dirty frames to a remote board, tagged
+// opPartial on the wire.
 func (s *Session) SyncPartialRemote(rb *RemoteBoard) (frames int, err error) {
 	frames = s.Dev.DirtyFrameCount()
 	stream, err := s.Dev.PartialConfig()
 	if err != nil {
 		return 0, err
 	}
-	if err := rb.Configure(stream); err != nil {
+	if err := rb.ConfigurePartial(stream); err != nil {
 		return 0, err
 	}
 	s.Dev.ClearDirty()

@@ -1,10 +1,15 @@
 package jbits
 
 import (
+	"encoding/binary"
+	"errors"
+	"io"
 	"net"
+	"sync"
 	"testing"
 
 	"repro/internal/arch"
+	"repro/internal/device"
 )
 
 // startServer runs Serve over an in-memory duplex pipe and returns the
@@ -56,13 +61,19 @@ func TestRemoteConfigureAndReadback(t *testing.T) {
 		t.Errorf("partial remote sync shipped %d frames", frames)
 	}
 
-	// Stats round trip.
-	configs, fw, bw, err := rb.Stats()
+	// Stats round trip, with the partial-vs-full split.
+	c, err := rb.Stats()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if configs != 2 || bw == 0 {
-		t.Errorf("stats = %d configs, %d frames, %d bytes", configs, fw, bw)
+	if c.Configurations != 2 || c.BytesWritten == 0 {
+		t.Errorf("stats = %+v", c)
+	}
+	if c.FullConfigs != 1 || c.PartialConfigs != 1 {
+		t.Errorf("full/partial split = %d/%d, want 1/1", c.FullConfigs, c.PartialConfigs)
+	}
+	if c.FramesWritten == 0 {
+		t.Error("board counted no frames written")
 	}
 
 	if err := rb.Close(); err != nil {
@@ -94,7 +105,7 @@ func TestRemoteErrorsSurface(t *testing.T) {
 		t.Error("wrong-geometry stream accepted remotely")
 	}
 	// The connection is still usable afterwards.
-	if _, _, _, err := rb.Stats(); err != nil {
+	if _, err := rb.Stats(); err != nil {
 		t.Fatalf("connection dead after error: %v", err)
 	}
 	if err := rb.Close(); err != nil {
@@ -119,5 +130,308 @@ func TestServeStopsOnEOF(t *testing.T) {
 		if err != nil && err.Error() != "EOF" {
 			t.Logf("server exit: %v (accepted)", err)
 		}
+	}
+}
+
+// TestSyncFullRemoteCountsFrames verifies the readback diff is counted in
+// frames, not bytes: a hand-rolled board host tampers with two tiles in
+// distinct columns before answering the readback, and the reported diff
+// must equal the frame-level difference — which is far smaller than the
+// number of differing bytes.
+func TestSyncFullRemoteCountsFrames(t *testing.T) {
+	a := arch.NewVirtex()
+	s, err := NewSession(a, 16, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boardDev, err := device.New(a, 16, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, server := net.Pipe()
+	t.Cleanup(func() { client.Close() })
+	done := make(chan error, 1)
+	go func() {
+		defer server.Close()
+		for {
+			op, payload, err := ReadFrame(server)
+			if err != nil {
+				done <- err
+				return
+			}
+			switch op {
+			case opConfigure:
+				if err := boardDev.ApplyConfig(payload); err != nil {
+					done <- err
+					return
+				}
+				if err := WriteFrame(server, opConfigure|respFlag, nil); err != nil {
+					done <- err
+					return
+				}
+			case opReadback:
+				// Tamper: flip state at two tiles in different columns
+				// so the byte-level diff spans many bytes but only a
+				// handful of frames.
+				if err := boardDev.SetLUT(2, 3, 0, 0xFFFF); err != nil {
+					done <- err
+					return
+				}
+				if err := boardDev.SetLUT(9, 17, 1, 0xAAAA); err != nil {
+					done <- err
+					return
+				}
+				stream, err := boardDev.FullConfig()
+				if err != nil {
+					done <- err
+					return
+				}
+				if err := WriteFrame(server, opReadback|respFlag, stream); err != nil {
+					done <- err
+					return
+				}
+				done <- nil
+				return
+			}
+		}
+	}()
+
+	s.SetLUT(6, 8, 0, 0xBEEF)
+	diff, err := s.SyncFullRemote(Dial(client))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Dev.DiffFrames(boardDev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("tampering produced no frame diff")
+	}
+	if diff != len(want) {
+		t.Errorf("SyncFullRemote diff = %d, want %d frames", diff, len(want))
+	}
+	// Byte counting would report a different (much larger) figure: each
+	// tampered LUT flips many bits across 16-bit truth tables plus used
+	// bits. Guard against regressing to byte semantics.
+	if diff > s.Dev.FrameCount() {
+		t.Errorf("diff %d exceeds total frame count %d (byte counting?)", diff, s.Dev.FrameCount())
+	}
+}
+
+// TestSyncFullRemoteSentinel: a readback that is not frame-comparable
+// (garbage / wrong length) reports the sentinel value 1.
+func TestSyncFullRemoteSentinel(t *testing.T) {
+	a := arch.NewVirtex()
+	s, err := NewSession(a, 16, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, server := net.Pipe()
+	t.Cleanup(func() { client.Close() })
+	go func() {
+		defer server.Close()
+		for {
+			op, _, err := ReadFrame(server)
+			if err != nil {
+				return
+			}
+			switch op {
+			case opConfigure:
+				if err := WriteFrame(server, opConfigure|respFlag, nil); err != nil {
+					return
+				}
+			case opReadback:
+				if err := WriteFrame(server, opReadback|respFlag, []byte("not a bitstream")); err != nil {
+					return
+				}
+				return
+			}
+		}
+	}()
+	diff, err := s.SyncFullRemote(Dial(client))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff != 1 {
+		t.Errorf("unparseable readback: diff = %d, want sentinel 1", diff)
+	}
+}
+
+// TestServeRejectsOversizedFrame: a header promising more than the frame
+// limit must terminate the Serve loop with an error, not allocate.
+func TestServeRejectsOversizedFrame(t *testing.T) {
+	a := arch.NewVirtex()
+	board, err := NewBoard("remote", a, 12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, server := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- Serve(server, board) }()
+	var hdr [5]byte
+	hdr[0] = opConfigure
+	binary.BigEndian.PutUint32(hdr[1:], uint32(maxFramePayld+1))
+	if _, err := client.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	serveErr := <-done
+	if serveErr == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	client.Close()
+}
+
+// TestServeUnknownOpcode: an unknown opcode gets an error frame and the
+// connection stays alive for subsequent requests.
+func TestServeUnknownOpcode(t *testing.T) {
+	a := arch.NewVirtex()
+	board, err := NewBoard("remote", a, 12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, server := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- Serve(server, board) }()
+	t.Cleanup(func() { client.Close() })
+	if err := WriteFrame(client, 0x55, []byte("junk")); err != nil {
+		t.Fatal(err)
+	}
+	op, payload, err := ReadFrame(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != opError|respFlag {
+		t.Fatalf("response opcode %#x, want error", op)
+	}
+	if len(payload) == 0 {
+		t.Error("error frame has no message")
+	}
+	// The loop must still serve afterwards.
+	rb := &RemoteBoard{conn: client}
+	if _, err := rb.Stats(); err != nil {
+		t.Fatalf("connection dead after unknown opcode: %v", err)
+	}
+	if err := rb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("server exit: %v", err)
+	}
+}
+
+// TestServeMidFrameFailure: the transport dies mid-payload; Serve must
+// return the read error rather than hang or misparse.
+func TestServeMidFrameFailure(t *testing.T) {
+	a := arch.NewVirtex()
+	board, err := NewBoard("remote", a, 12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, server := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- Serve(server, board) }()
+	var hdr [5]byte
+	hdr[0] = opConfigure
+	binary.BigEndian.PutUint32(hdr[1:], 100)
+	if _, err := client.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Write(make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	serveErr := <-done
+	if serveErr == nil {
+		t.Fatal("mid-frame failure not surfaced")
+	}
+	if !errors.Is(serveErr, io.ErrUnexpectedEOF) && !errors.Is(serveErr, io.ErrClosedPipe) {
+		t.Logf("serve exit: %v (accepted non-hang failure)", serveErr)
+	}
+}
+
+// TestConcurrentRemoteClientsTCP drives one Board from two RemoteBoard
+// clients over real TCP connections concurrently — the shared-board case
+// the Board mutex exists for. Run under -race this doubles as the
+// locking proof.
+func TestConcurrentRemoteClientsTCP(t *testing.T) {
+	a := arch.NewVirtex()
+	board, err := NewBoard("shared", a, 16, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var srvWG sync.WaitGroup
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			srvWG.Add(1)
+			go func() {
+				defer srvWG.Done()
+				defer conn.Close()
+				_ = Serve(conn, board)
+			}()
+		}
+	}()
+
+	const perClient = 8
+	var cliWG sync.WaitGroup
+	errs := make(chan error, 2*perClient)
+	for i := 0; i < 2; i++ {
+		cliWG.Add(1)
+		go func(seed int) {
+			defer cliWG.Done()
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			rb := Dial(conn)
+			s, err := NewSession(a, 16, 24)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for k := 0; k < perClient; k++ {
+				s.SetLUT(seed*4, 2*k, seed, uint16(0x1000*seed+k))
+				if _, err := s.SyncPartialRemote(rb); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := rb.Stats(); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if err := rb.Close(); err != nil {
+				errs <- err
+			}
+		}(i + 1)
+	}
+	cliWG.Wait()
+	ln.Close()
+	srvWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	c := board.Counters()
+	if c.Configurations != 2*perClient || c.PartialConfigs != 2*perClient {
+		t.Errorf("board saw %d configurations (%d partial), want %d",
+			c.Configurations, c.PartialConfigs, 2*perClient)
+	}
+	if c.FramesWritten == 0 {
+		t.Error("no frames counted")
 	}
 }

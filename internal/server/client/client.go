@@ -1,0 +1,270 @@
+// Package client is the Go client for the jrouted routing service: a
+// connection multiplexing any number of device sessions, each keeping a
+// local mirror of the server's bitstream that is updated exclusively from
+// the dirty frames mutating responses push back — the thin-client side of
+// the partial-reconfiguration story.
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/jbits"
+	"repro/internal/server"
+)
+
+// ErrBusy is returned when the server sheds load: the target session's
+// bounded queue stayed full past the enqueue timeout.
+var ErrBusy = errors.New("client: server busy (session queue full)")
+
+// Client is one connection to a jrouted daemon. Calls are synchronous
+// request/response; the mutex serializes concurrent callers onto the wire.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	nextID uint64
+}
+
+// Dial connects to a daemon.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// call performs one framed JSON round trip.
+func (c *Client) call(req *server.Request) (*server.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	req.ID = c.nextID
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := jbits.WriteFrame(c.conn, server.OpService, payload); err != nil {
+		return nil, err
+	}
+	op, body, err := jbits.ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if op != server.OpService|jbits.RespFlag {
+		return nil, fmt.Errorf("client: unexpected response opcode %#x", op)
+	}
+	resp := new(server.Response)
+	if err := json.Unmarshal(body, resp); err != nil {
+		return nil, err
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("client: response id %d for request %d", resp.ID, req.ID)
+	}
+	if resp.Busy {
+		return nil, ErrBusy
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+// Devices lists the device sessions the daemon hosts.
+func (c *Client) Devices() ([]string, error) {
+	resp, err := c.call(&server.Request{Op: "devices"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Devices, nil
+}
+
+// Stats fetches the daemon's statsz snapshot.
+func (c *Client) Stats() (*server.StatsMsg, error) {
+	resp, err := c.call(&server.Request{Op: "statsz"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Stats, nil
+}
+
+// Session is a handle on one named server device plus the local bitstream
+// mirror. A Session is not safe for concurrent use; open one per worker.
+type Session struct {
+	c      *Client
+	device string
+
+	// Mirror is the client-side device image, advanced only by the dirty
+	// frames mutating responses carry (after the initial full sync at
+	// connect time). Frames are patched into the mirror's bitstream as they
+	// arrive; the in-memory routing view is rebuilt lazily — call
+	// SyncMirror before inspecting it.
+	Mirror *device.Device
+
+	// FramesApplied counts partial frames applied to the mirror.
+	FramesApplied int
+
+	stale bool // bits newer than Mirror's in-memory routing state
+}
+
+// SyncMirror rebuilds the mirror's in-memory routing and logic state from
+// the accumulated bitstream patches. It is a no-op when already in sync,
+// so callers can invoke it before every inspection and pay the full
+// reconstruction only once per burst of pushed frames.
+func (s *Session) SyncMirror() error {
+	if !s.stale {
+		return nil
+	}
+	if err := s.Mirror.RebuildFromBits(); err != nil {
+		return fmt.Errorf("client: rebuilding mirror state: %w", err)
+	}
+	s.stale = false
+	return nil
+}
+
+// Session opens a session on a named device: a connect round trip seeds
+// the local mirror with the server's full configuration.
+func (c *Client) Session(deviceName string) (*Session, error) {
+	resp, err := c.call(&server.Request{Op: "connect", Session: deviceName})
+	if err != nil {
+		return nil, err
+	}
+	var a *arch.Arch
+	switch resp.Arch {
+	case "", "virtex":
+		a = arch.NewVirtex()
+	case "kestrel":
+		a = arch.NewKestrel()
+	default:
+		return nil, fmt.Errorf("client: unknown architecture %q", resp.Arch)
+	}
+	mirror, err := device.New(a, resp.Rows, resp.Cols)
+	if err != nil {
+		return nil, err
+	}
+	if err := mirror.ApplyConfig(resp.Config); err != nil {
+		return nil, fmt.Errorf("client: seeding mirror: %w", err)
+	}
+	mirror.ClearDirty()
+	return &Session{c: c, device: deviceName, Mirror: mirror}, nil
+}
+
+// Device returns the session's device name.
+func (s *Session) Device() string { return s.device }
+
+// do runs one op against the session, applying any pushed dirty frames to
+// the mirror.
+func (s *Session) do(req *server.Request) (*server.Response, error) {
+	req.Session = s.device
+	resp, err := s.c.call(req)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Frames) > 0 {
+		if _, err := s.Mirror.ApplyFramesRaw(resp.Frames); err != nil {
+			return nil, fmt.Errorf("client: applying pushed frames: %w", err)
+		}
+		s.Mirror.ClearDirty()
+		s.FramesApplied += resp.FrameN
+		s.stale = true
+	}
+	return resp, nil
+}
+
+// Pin converts a core.Pin to its wire form.
+func Pin(p core.Pin) server.EndPointMsg {
+	return server.EndPointMsg{Pin: &server.PinMsg{Row: p.Row, Col: p.Col, Wire: int(p.W)}}
+}
+
+// PortRef names a port of a server-side core instance.
+func PortRef(coreName, group string, index int) server.EndPointMsg {
+	return server.EndPointMsg{Port: &server.PortRefMsg{Core: coreName, Group: group, Index: index}}
+}
+
+// Route connects source to one or more sinks (RouteNet / RouteFanout).
+func (s *Session) Route(source server.EndPointMsg, sinks ...server.EndPointMsg) error {
+	_, err := s.do(&server.Request{Op: "route", Source: &source, Sinks: sinks})
+	return err
+}
+
+// RouteBus routes width-aligned buses with the greedy sequential router.
+func (s *Session) RouteBus(sources, sinks []server.EndPointMsg) error {
+	_, err := s.do(&server.Request{Op: "bus", Sources: sources, Sinks: sinks})
+	return err
+}
+
+// RouteBusBatch routes a bus with the negotiated batch router.
+func (s *Session) RouteBusBatch(sources, sinks []server.EndPointMsg) error {
+	_, err := s.do(&server.Request{Op: "bus_batch", Sources: sources, Sinks: sinks})
+	return err
+}
+
+// RouteBatch routes a set of nets together under negotiated congestion.
+func (s *Session) RouteBatch(nets []server.NetMsg) error {
+	_, err := s.do(&server.Request{Op: "batch", Nets: nets})
+	return err
+}
+
+// Unroute removes the net sourced at the endpoint.
+func (s *Session) Unroute(source server.EndPointMsg) error {
+	_, err := s.do(&server.Request{Op: "unroute", Source: &source})
+	return err
+}
+
+// ReverseUnroute removes only the branch feeding one sink.
+func (s *Session) ReverseUnroute(sink server.EndPointMsg) error {
+	_, err := s.do(&server.Request{Op: "reverse_unroute", Source: &sink})
+	return err
+}
+
+// Trace returns the net driven by the source endpoint.
+func (s *Session) Trace(source server.EndPointMsg) (*server.NetMsg, error) {
+	resp, err := s.do(&server.Request{Op: "trace", Source: &source})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Net, nil
+}
+
+// ReverseTrace returns the net branch feeding the sink endpoint.
+func (s *Session) ReverseTrace(sink server.EndPointMsg) (*server.NetMsg, error) {
+	resp, err := s.do(&server.Request{Op: "reverse_trace", Source: &sink})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Net, nil
+}
+
+// NewCore instantiates and implements a library core on the session's
+// device.
+func (s *Session) NewCore(msg server.CoreMsg) error {
+	_, err := s.do(&server.Request{Op: "core_new", Core: &msg})
+	return err
+}
+
+// ReplaceCore runs the §3.3 replace flow on a named core: unroute its
+// ports, remove, optionally retune (constmul K), re-place at (row,col),
+// re-implement, reconnect.
+func (s *Session) ReplaceCore(msg server.CoreMsg) error {
+	_, err := s.do(&server.Request{Op: "core_replace", Core: &msg})
+	return err
+}
+
+// Readback pulls the server's full configuration stream (the heavyweight
+// alternative to the incremental mirror).
+func (s *Session) Readback() ([]byte, error) {
+	resp, err := s.do(&server.Request{Op: "readback"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Config, nil
+}

@@ -1,0 +1,265 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/jbits"
+)
+
+// Options tune the daemon.
+type Options struct {
+	// QueueDepth bounds each session's request queue (default 64).
+	QueueDepth int
+	// Parallelism is passed to every session router's negotiated batch
+	// routing (0 = GOMAXPROCS).
+	Parallelism int
+	// EnqueueTimeout is how long a request waits for a slot in a full
+	// session queue before the server answers busy (default 5s).
+	EnqueueTimeout time.Duration
+}
+
+func (o Options) enqueueTimeout() time.Duration {
+	if o.EnqueueTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return o.EnqueueTimeout
+}
+
+// Server is the jrouted daemon: many named device sessions behind one
+// TCP listener speaking the framed JSON service protocol.
+type Server struct {
+	opts Options
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closing  bool
+
+	connWG sync.WaitGroup
+}
+
+// New creates an empty daemon; add devices with AddDevice, then Start.
+func New(opts Options) *Server {
+	return &Server{
+		opts:     opts,
+		sessions: make(map[string]*session),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// AddDevice creates a named device session. archName may be "virtex"
+// (default) or "kestrel".
+func (s *Server) AddDevice(name, archName string, rows, cols int) error {
+	if name == "" {
+		return fmt.Errorf("server: device needs a name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		return fmt.Errorf("server: shutting down")
+	}
+	if _, dup := s.sessions[name]; dup {
+		return fmt.Errorf("server: device %q already exists", name)
+	}
+	sess, err := newSession(name, archName, rows, cols, s.opts.QueueDepth, s.opts.Parallelism)
+	if err != nil {
+		return err
+	}
+	s.sessions[name] = sess
+	return nil
+}
+
+// Start listens on addr and serves connections in the background,
+// returning the bound address (useful with ":0").
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("server: shutting down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.connWG.Done()
+	}()
+	for {
+		op, payload, err := jbits.ReadFrame(conn)
+		if err != nil {
+			return // EOF, deadline (shutdown), or transport failure
+		}
+		if op != OpService {
+			msg := fmt.Sprintf("server: unknown opcode %#x", op)
+			if jbits.WriteFrame(conn, OpService|jbits.RespFlag, errorJSON(0, msg)) != nil {
+				return
+			}
+			continue
+		}
+		var req Request
+		resp := new(Response)
+		if err := json.Unmarshal(payload, &req); err != nil {
+			resp.Err = fmt.Sprintf("server: bad request: %v", err)
+		} else {
+			resp = s.dispatch(&req)
+		}
+		out, err := json.Marshal(resp)
+		if err != nil {
+			out = errorJSON(req.ID, fmt.Sprintf("server: encoding response: %v", err))
+		}
+		if err := jbits.WriteFrame(conn, OpService|jbits.RespFlag, out); err != nil {
+			return
+		}
+		s.mu.Lock()
+		closing := s.closing
+		s.mu.Unlock()
+		if closing {
+			return // graceful shutdown: in-flight request answered, stop
+		}
+	}
+}
+
+func errorJSON(id uint64, msg string) []byte {
+	out, _ := json.Marshal(&Response{ID: id, Err: msg})
+	return out
+}
+
+// dispatch routes a request: server-level ops run inline; per-device ops
+// go through the owning session's bounded queue.
+func (s *Server) dispatch(req *Request) *Response {
+	switch req.Op {
+	case "devices":
+		resp := &Response{ID: req.ID}
+		s.mu.Lock()
+		for name := range s.sessions {
+			resp.Devices = append(resp.Devices, name)
+		}
+		s.mu.Unlock()
+		return resp
+	case "statsz":
+		return &Response{ID: req.ID, Stats: s.Stats()}
+	}
+	s.mu.Lock()
+	sess, ok := s.sessions[req.Session]
+	s.mu.Unlock()
+	if !ok {
+		return &Response{ID: req.ID, Err: fmt.Sprintf("server: no device %q", req.Session)}
+	}
+	return sess.submit(req, s.opts.enqueueTimeout())
+}
+
+// Stats snapshots every session's counters — the statsz payload.
+func (s *Server) Stats() *StatsMsg {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	out := &StatsMsg{Sessions: make(map[string]SessionStatsMsg, len(sessions))}
+	for _, sess := range sessions {
+		out.Sessions[sess.name] = sess.m.snapshot(len(sess.queue))
+	}
+	return out
+}
+
+// Shutdown stops the daemon gracefully: no new connections are accepted,
+// every in-flight request is answered and every queued route drains, then
+// the session workers exit. The context bounds the wait; on expiry the
+// remaining connections are closed forcibly and the error reported.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return errors.New("server: already shut down")
+	}
+	s.closing = true
+	ln := s.ln
+	// Unblock connection handlers idling in ReadFrame; handlers that are
+	// mid-request finish processing and writing first.
+	for conn := range s.conns {
+		_ = conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+
+	connsDone := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(connsDone)
+	}()
+	var err error
+	select {
+	case <-connsDone:
+	case <-ctx.Done():
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-connsDone
+		err = fmt.Errorf("server: shutdown deadline exceeded, connections closed forcibly")
+	}
+
+	// All submitters are gone; close the queues and wait for the workers
+	// to drain what is left.
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		close(sess.queue)
+	}
+	for _, sess := range sessions {
+		select {
+		case <-sess.done:
+		case <-ctx.Done():
+			if err == nil {
+				err = fmt.Errorf("server: shutdown deadline exceeded draining session %s", sess.name)
+			}
+		}
+	}
+	return err
+}

@@ -1,0 +1,381 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/cores"
+	"repro/internal/jbits"
+)
+
+// task is one queued request plus its reply channel.
+type task struct {
+	req  *Request
+	resp chan *Response
+}
+
+// coreEntry tracks one named core instance living on a session's device.
+type coreEntry struct {
+	c      cores.Core
+	groups []string // port groups the replace flow reconnects
+}
+
+// session wraps one named device: a JBits session, a JRoute router, named
+// core instances, and the single worker goroutine that owns them all.
+// Requests are serialized through the bounded queue; everything behind it
+// is therefore single-threaded and needs no locks (metrics excepted).
+type session struct {
+	name     string
+	archName string
+	rows     int
+	cols     int
+
+	queue chan task
+	done  chan struct{} // closed when the worker has drained and exited
+
+	js     *jbits.Session
+	router *core.Router
+	cores  map[string]*coreEntry
+	m      *sessionMetrics
+}
+
+func newSession(name, archName string, rows, cols, queueDepth, parallelism int) (*session, error) {
+	a, err := archByName(archName)
+	if err != nil {
+		return nil, err
+	}
+	js, err := jbits.NewSession(a, rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	if queueDepth <= 0 {
+		queueDepth = 64
+	}
+	s := &session{
+		name:     name,
+		archName: archName,
+		rows:     rows,
+		cols:     cols,
+		queue:    make(chan task, queueDepth),
+		done:     make(chan struct{}),
+		js:       js,
+		router:   core.NewRouter(js.Dev, core.Options{Parallelism: parallelism}),
+		cores:    make(map[string]*coreEntry),
+		m:        newSessionMetrics(),
+	}
+	go s.run()
+	return s, nil
+}
+
+// archByName maps wire-level architecture names to constructors.
+func archByName(name string) (*arch.Arch, error) {
+	switch name {
+	case "", "virtex":
+		return arch.NewVirtex(), nil
+	case "kestrel":
+		return arch.NewKestrel(), nil
+	default:
+		return nil, fmt.Errorf("server: unknown architecture %q", name)
+	}
+}
+
+// run is the worker loop: it owns the router and drains the queue until
+// the queue is closed (server shutdown), answering every remaining task.
+func (s *session) run() {
+	defer close(s.done)
+	for t := range s.queue {
+		start := time.Now()
+		resp := s.handle(t.req)
+		s.m.observe(t.req.Op, time.Since(start), resp.Err != "")
+		t.resp <- resp
+	}
+}
+
+// submit enqueues a request with backpressure: if the bounded queue stays
+// full past the timeout, the caller gets a busy response instead of
+// unbounded blocking.
+func (s *session) submit(req *Request, timeout time.Duration) *Response {
+	t := task{req: req, resp: make(chan *Response, 1)}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case s.queue <- t:
+	case <-timer.C:
+		return &Response{ID: req.ID, Busy: true,
+			Err: fmt.Sprintf("server: session %s queue full (backpressure)", s.name)}
+	}
+	return <-t.resp
+}
+
+// mutating reports whether an op changes device configuration and must
+// therefore ship dirty frames back.
+func mutating(op string) bool {
+	switch op {
+	case "route", "bus", "bus_batch", "batch", "unroute", "reverse_unroute",
+		"core_new", "core_replace":
+		return true
+	}
+	return false
+}
+
+// handle executes one request on the worker goroutine.
+func (s *session) handle(req *Request) *Response {
+	resp := &Response{ID: req.ID}
+	before := s.router.Stats()
+	err := s.dispatch(req, resp)
+	if err != nil {
+		resp.Err = err.Error()
+	}
+	after := s.router.Stats()
+	s.m.addRouterDelta(after.Routes-before.Routes,
+		after.PIPsCleared-before.PIPsCleared,
+		after.BatchIterations-before.BatchIterations)
+	if err == nil && mutating(req.Op) {
+		if ferr := s.shipDirty(resp); ferr != nil {
+			resp.Err = ferr.Error()
+		}
+	}
+	return resp
+}
+
+// shipDirty serializes the frames dirtied by the op just executed into the
+// response and resets the dirty set — the partial-reconfiguration push that
+// keeps thin client mirrors in sync.
+func (s *session) shipDirty(resp *Response) error {
+	n := s.js.Dev.DirtyFrameCount()
+	stream, err := s.js.Dev.PartialConfig()
+	if err != nil {
+		return fmt.Errorf("server: serializing dirty frames: %w", err)
+	}
+	s.js.Dev.ClearDirty()
+	resp.Frames = stream
+	resp.FrameN = n
+	s.m.addShipped(n, len(stream))
+	return nil
+}
+
+func (s *session) dispatch(req *Request, resp *Response) error {
+	switch req.Op {
+	case "connect":
+		stream, err := s.js.Dev.FullConfig()
+		if err != nil {
+			return err
+		}
+		resp.Rows, resp.Cols, resp.Arch, resp.Config = s.rows, s.cols, s.archName, stream
+		return nil
+
+	case "readback":
+		stream, err := s.js.Dev.FullConfig()
+		if err != nil {
+			return err
+		}
+		resp.Config = stream
+		return nil
+
+	case "route":
+		src, err := s.endpoint(req.Source)
+		if err != nil {
+			return err
+		}
+		sinks, err := s.endpoints(req.Sinks)
+		if err != nil {
+			return err
+		}
+		switch len(sinks) {
+		case 0:
+			return fmt.Errorf("server: route with no sinks")
+		case 1:
+			return s.router.RouteNet(src, sinks[0])
+		default:
+			return s.router.RouteFanout(src, sinks)
+		}
+
+	case "bus", "bus_batch":
+		srcs, err := s.endpoints(req.Sources)
+		if err != nil {
+			return err
+		}
+		sinks, err := s.endpoints(req.Sinks)
+		if err != nil {
+			return err
+		}
+		if req.Op == "bus" {
+			return s.router.RouteBus(srcs, sinks)
+		}
+		return s.router.RouteBusBatch(srcs, sinks)
+
+	case "batch":
+		nets := make([]core.BatchNet, len(req.Nets))
+		for i, n := range req.Nets {
+			src, err := s.endpoint(&n.Source)
+			if err != nil {
+				return err
+			}
+			sinks, err := s.endpoints(n.Sinks)
+			if err != nil {
+				return err
+			}
+			nets[i] = core.BatchNet{Source: src, Sinks: sinks}
+		}
+		return s.router.RouteBatch(nets)
+
+	case "unroute":
+		src, err := s.endpoint(req.Source)
+		if err != nil {
+			return err
+		}
+		return s.router.Unroute(src)
+
+	case "reverse_unroute":
+		sink, err := s.endpoint(req.Source)
+		if err != nil {
+			return err
+		}
+		return s.router.ReverseUnroute(sink)
+
+	case "trace", "reverse_trace":
+		ep, err := s.endpoint(req.Source)
+		if err != nil {
+			return err
+		}
+		var net *core.Net
+		if req.Op == "trace" {
+			net, err = s.router.Trace(ep)
+		} else {
+			net, err = s.router.ReverseTrace(ep)
+		}
+		if err != nil {
+			return err
+		}
+		resp.Net = netToMsg(net)
+		return nil
+
+	case "core_new":
+		return s.coreNew(req.Core)
+
+	case "core_replace":
+		return s.coreReplace(req.Core)
+
+	default:
+		return fmt.Errorf("server: unknown op %q", req.Op)
+	}
+}
+
+func (s *session) coreNew(msg *CoreMsg) error {
+	if msg == nil {
+		return fmt.Errorf("server: core_new without core description")
+	}
+	if _, dup := s.cores[msg.Name]; dup {
+		return fmt.Errorf("server: core %q already exists", msg.Name)
+	}
+	c, groups, err := makeCore(msg)
+	if err != nil {
+		return err
+	}
+	if err := c.Place(msg.Row, msg.Col); err != nil {
+		return err
+	}
+	if err := c.Implement(s.router); err != nil {
+		return err
+	}
+	s.cores[msg.Name] = &coreEntry{c: c, groups: groups}
+	return nil
+}
+
+func (s *session) coreReplace(msg *CoreMsg) error {
+	if msg == nil {
+		return fmt.Errorf("server: core_replace without core description")
+	}
+	entry, ok := s.cores[msg.Name]
+	if !ok {
+		return fmt.Errorf("server: no core %q", msg.Name)
+	}
+	var retune func() error
+	if msg.K != nil {
+		mul, ok := entry.c.(*cores.ConstMul)
+		if !ok {
+			return fmt.Errorf("server: core %q is not a constmul, cannot retune K", msg.Name)
+		}
+		retune = func() error { return mul.SetConstant(s.router, *msg.K) }
+	}
+	return cores.Replace(s.router, entry.c, msg.Row, msg.Col, entry.groups, retune)
+}
+
+// makeCore instantiates a library core from its wire description and
+// returns it with the port groups the replace flow must reconnect.
+func makeCore(msg *CoreMsg) (cores.Core, []string, error) {
+	switch msg.Kind {
+	case "constmul":
+		k := uint64(0)
+		if msg.K != nil {
+			k = *msg.K
+		}
+		c, err := cores.NewConstMul(msg.Name, k, msg.KBits)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, []string{"x", "p"}, nil
+	case "register":
+		c, err := cores.NewRegister(msg.Name, msg.Bits)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, []string{"d", "q"}, nil
+	default:
+		return nil, nil, fmt.Errorf("server: unknown core kind %q", msg.Kind)
+	}
+}
+
+// endpoint resolves a wire endpoint to a core.EndPoint: a raw pin, or a
+// port of a named server-side core.
+func (s *session) endpoint(m *EndPointMsg) (core.EndPoint, error) {
+	if m == nil {
+		return nil, fmt.Errorf("server: missing endpoint")
+	}
+	switch {
+	case m.Pin != nil:
+		if m.Pin.Wire < 0 || m.Pin.Wire >= s.js.Dev.A.WireCount() {
+			return nil, fmt.Errorf("server: wire %d outside architecture", m.Pin.Wire)
+		}
+		return core.NewPin(m.Pin.Row, m.Pin.Col, arch.Wire(m.Pin.Wire)), nil
+	case m.Port != nil:
+		entry, ok := s.cores[m.Port.Core]
+		if !ok {
+			return nil, fmt.Errorf("server: no core %q", m.Port.Core)
+		}
+		ports := entry.c.Ports(m.Port.Group)
+		if m.Port.Index < 0 || m.Port.Index >= len(ports) {
+			return nil, fmt.Errorf("server: core %q group %q has no port %d",
+				m.Port.Core, m.Port.Group, m.Port.Index)
+		}
+		return ports[m.Port.Index], nil
+	default:
+		return nil, fmt.Errorf("server: endpoint is neither pin nor port")
+	}
+}
+
+func (s *session) endpoints(ms []EndPointMsg) ([]core.EndPoint, error) {
+	out := make([]core.EndPoint, len(ms))
+	for i := range ms {
+		ep, err := s.endpoint(&ms[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ep
+	}
+	return out, nil
+}
+
+// netToMsg converts a traced net to its wire form.
+func netToMsg(n *core.Net) *NetMsg {
+	msg := &NetMsg{Source: EndPointMsg{Pin: &PinMsg{Row: n.Source.Row, Col: n.Source.Col, Wire: int(n.Source.W)}}}
+	for _, p := range n.PIPs {
+		msg.Pips = append(msg.Pips, PipMsg{Row: p.Row, Col: p.Col, From: int(p.From), To: int(p.To)})
+	}
+	for _, sp := range n.Sinks {
+		msg.Sinks = append(msg.Sinks, EndPointMsg{Pin: &PinMsg{Row: sp.Row, Col: sp.Col, Wire: int(sp.W)}})
+	}
+	return msg
+}

@@ -131,6 +131,20 @@ func (g *Gen) Bus(width, span int) (srcs, dsts []core.EndPoint, err error) {
 // rows. Every net must cross every other's row band, so the pattern forces
 // heavy track contention — the stress case for negotiated batch routing.
 func (g *Gen) Crossbar(width, span int) (srcs, dsts []core.EndPoint, err error) {
+	ps, pd, err := g.CrossbarPins(width, span)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := range ps {
+		srcs = append(srcs, ps[i])
+		dsts = append(dsts, pd[i])
+	}
+	return srcs, dsts, nil
+}
+
+// CrossbarPins is Crossbar with concrete pins instead of the EndPoint
+// interface — the form remote clients need to serialize the workload.
+func (g *Gen) CrossbarPins(width, span int) (srcs, dsts []core.Pin, err error) {
 	if width < 1 || width > g.Rows {
 		return nil, nil, fmt.Errorf("workload: crossbar width %d on %d rows", width, g.Rows)
 	}
