@@ -3,7 +3,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build vet fmt-check test race ci bench bench-go bench-json
+.PHONY: build vet fmt-check test race ci bench bench-go bench-json bench-smoke bench3
 
 build:
 	$(GO) build ./...
@@ -21,8 +21,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-# ci is the full tier-1 gate: formatting + vet + build + tests + race detector.
-ci: fmt-check vet build test race
+# bench-smoke compiles and runs every benchmark exactly once — a cheap
+# guard that the benchmark suite itself never rots.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# ci is the full tier-1 gate: formatting + vet + build + tests + race
+# detector + one-shot benchmark smoke.
+ci: fmt-check vet build test race bench-smoke
 
 # bench runs the service load generator against an in-process jrouted and
 # regenerates the BENCH_2.json snapshot (throughput, p50/p99, frames shipped).
@@ -35,3 +41,8 @@ bench-go:
 # bench-json regenerates the machine-readable benchmark snapshot.
 bench-json:
 	$(GO) run ./cmd/jbench -json BENCH_1.json
+
+# bench3 regenerates the route-cache churn snapshot: the rtr_churn_cached
+# workload against two in-process daemons (cache off vs on).
+bench3:
+	$(GO) run ./cmd/jload -json3 BENCH_3.json

@@ -648,3 +648,67 @@ func BenchmarkTemplateRoute(b *testing.B) {
 		}
 	}
 }
+
+// --- B17: relocation-aware route cache -----------------------------------------
+
+// BenchmarkReconnect measures the §3.3 port-memory restore loop: with the
+// route cache on, each Reconnect replays the remembered path instead of
+// searching.
+func BenchmarkReconnect(b *testing.B) {
+	r := mustRouter(b, core.Options{})
+	g := core.NewGroup("cm")
+	out := g.NewPort("q", core.Out)
+	if err := out.Bind(core.NewPin(4, 4, arch.S0X)); err != nil {
+		b.Fatal(err)
+	}
+	if err := r.RouteNet(out, core.NewPin(10, 16, arch.S0F3)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Unroute(out); err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Reconnect(out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplace measures the packaged cores.Replace flow (unroute ports,
+// region rip-up, relocate, reimplement, reconnect, restore crossing nets),
+// bouncing a core between two placements.
+func BenchmarkReplace(b *testing.B) {
+	r := mustRouter(b, core.Options{})
+	mul, err := cores.NewConstMul("mul", 3, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := mul.Place(4, 10); err != nil {
+		b.Fatal(err)
+	}
+	if err := mul.Implement(r); err != nil {
+		b.Fatal(err)
+	}
+	reg, err := cores.NewRegister("reg", mul.OutBits())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := reg.Place(4, 16); err != nil {
+		b.Fatal(err)
+	}
+	if err := reg.Implement(r); err != nil {
+		b.Fatal(err)
+	}
+	if err := r.RouteBus(mul.Group("p").EndPoints(), reg.Group("d").EndPoints()); err != nil {
+		b.Fatal(err)
+	}
+	places := [2][2]int{{9, 10}, {4, 10}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl := places[i%2]
+		if err := cores.Replace(r, mul, pl[0], pl[1], []string{"p", "x"}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/workload"
+)
+
+// runB17 measures the relocation-aware route cache: the same RTR churn
+// working set is cycled with the cache off (every re-route pays a full
+// search) and on (re-routes replay the remembered path with an
+// O(path-length) legality sweep), plus a demonstration of the relocatable
+// template tier — the paper's §3.1 level-3 claim that a route on a regular
+// fabric is a relative-offset shape, replayable anywhere it fits.
+func runB17(cfg config) error {
+	const (
+		rows, cols = 32, 48
+		nets       = 24
+		fan        = 3
+		radius     = 14
+		rounds     = 12
+	)
+	type res struct {
+		coldMs   float64
+		steadyMs float64
+		stats    core.Stats
+	}
+	run := func(mode core.CacheMode) (res, error) {
+		d, err := device.New(arch.NewVirtex(), rows, cols)
+		if err != nil {
+			return res{}, err
+		}
+		r := core.NewRouter(d, core.Options{RouteCache: mode})
+		g := workload.New(cfg.seed, rows, cols)
+		set, err := g.FanNets(nets, fan, radius)
+		if err != nil {
+			return res{}, err
+		}
+		out := res{}
+		steadyRounds := 0
+		for round := 0; round < rounds; round++ {
+			start := time.Now()
+			for _, n := range set {
+				sinks := make([]core.EndPoint, len(n.Sinks))
+				for i, p := range n.Sinks {
+					sinks[i] = p
+				}
+				if err := r.RouteFanout(n.Src, sinks); err != nil {
+					return res{}, fmt.Errorf("round %d: %w", round, err)
+				}
+			}
+			elapsed := float64(time.Since(start).Microseconds()) / 1e3
+			if round == 0 {
+				out.coldMs = elapsed
+			} else {
+				out.steadyMs += elapsed
+				steadyRounds++
+			}
+			if round == rounds-1 {
+				// Replayed routes must be legal nets: every sink reverse-
+				// traces to its source exactly as after a cold search.
+				for _, n := range set {
+					for _, sp := range n.Sinks {
+						net, err := r.ReverseTrace(sp)
+						if err != nil {
+							return res{}, fmt.Errorf("verify: %w", err)
+						}
+						if net.Source != n.Src {
+							return res{}, fmt.Errorf("verify: sink (%d,%d) traces to (%d,%d), want (%d,%d)",
+								sp.Row, sp.Col, net.Source.Row, net.Source.Col, n.Src.Row, n.Src.Col)
+						}
+					}
+				}
+			}
+			if round < rounds-1 {
+				for _, n := range set {
+					if err := r.Unroute(n.Src); err != nil {
+						return res{}, err
+					}
+				}
+			}
+		}
+		out.steadyMs /= float64(steadyRounds)
+		out.stats = r.Stats()
+		return out, nil
+	}
+
+	fmt.Printf("churn working set: %d fanout-%d nets, radius %d, %dx%d array, %d route/unroute rounds\n",
+		nets, fan, radius, rows, cols, rounds)
+	t := newTable("cache", "cold round (ms)", "steady round (ms)", "routes", "hits", "misses", "replay fails", "nodes explored")
+	var offRes, onRes res
+	var err error
+	if offRes, err = run(core.CacheOff); err != nil {
+		return err
+	}
+	if onRes, err = run(core.CacheAuto); err != nil {
+		return err
+	}
+	for _, e := range []struct {
+		name string
+		r    res
+	}{{"off", offRes}, {"on", onRes}} {
+		t.add(e.name, fmt.Sprintf("%.2f", e.r.coldMs), fmt.Sprintf("%.2f", e.r.steadyMs),
+			e.r.stats.Routes, e.r.stats.CacheHits, e.r.stats.CacheMisses,
+			e.r.stats.ReplayFails, e.r.stats.NodesExplored)
+	}
+	t.print()
+	if onRes.steadyMs > 0 {
+		fmt.Printf("steady-state speedup (cache on vs off): %.1fx\n", offRes.steadyMs/onRes.steadyMs)
+	}
+
+	// Relocatable template tier: route one shape cold, then the same
+	// (Δrow, Δcol, wire class) shape at a different absolute position — the
+	// second route replays the learned relative path, no search.
+	d, err := device.New(arch.NewVirtex(), rows, cols)
+	if err != nil {
+		return err
+	}
+	r := core.NewRouter(d, core.Options{})
+	routeShape := func(baseRow, baseCol int) (time.Duration, error) {
+		src := core.NewPin(baseRow, baseCol, arch.OutPin(0))
+		sink := core.NewPin(baseRow+2, baseCol+9, arch.Input(1))
+		start := time.Now()
+		err := r.RouteNet(src, sink)
+		return time.Since(start), err
+	}
+	coldT, err := routeShape(4, 4)
+	if err != nil {
+		return err
+	}
+	before := r.Stats()
+	replayT, err := routeShape(20, 25)
+	if err != nil {
+		return err
+	}
+	after := r.Stats()
+	fmt.Printf("\nrelocatable template: shape (Δ+2,Δ+9) cold at (4,4): %v; replayed shifted at (20,25): %v (cache hits +%d, nodes explored +%d)\n",
+		coldT, replayT, after.CacheHits-before.CacheHits, after.NodesExplored-before.NodesExplored)
+	return nil
+}

@@ -51,6 +51,7 @@ var experiments = []experiment{
 	{"B13", "negotiated batch routing vs greedy (§6, [6])", runB13},
 	{"B14", "timing-driven routing vs default greedy (§3.1, §6)", runB14},
 	{"B15", "IOB and Block RAM support (§6)", runB15},
+	{"B17", "relocation-aware route cache: replay vs search (§3.1, §3.3)", runB17},
 }
 
 func main() {

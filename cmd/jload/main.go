@@ -68,7 +68,19 @@ func main() {
 	rounds := flag.Int("rounds", 12, "crossbar batch rounds per session")
 	steps := flag.Int("steps", 200, "RTR churn steps per session")
 	jsonPath := flag.String("json", "", "write results to this JSON file")
+	json3Path := flag.String("json3", "", "run the rtr_churn_cached cache on/off comparison and write it to this JSON file")
 	flag.Parse()
+
+	if *json3Path != "" {
+		// The comparison boots its own pair of in-process daemons (route
+		// cache on vs off), so it needs neither -addr nor -inproc.
+		if err := runBench3(*sessions, *seed, *json3Path); err != nil {
+			log.Fatalf("jload: rtr_churn_cached: %v", err)
+		}
+		if *addr == "" && !*inproc {
+			return
+		}
+	}
 
 	if *inproc == (*addr != "") {
 		log.Fatal("jload: need exactly one of -addr or -inproc")
@@ -249,6 +261,172 @@ func runChurn(s *client.Session, g *workload.Gen, r *sessionRun, steps int) erro
 		r.observe(start, s.Unroute(client.Pin(op.Src)))
 	}
 	return nil
+}
+
+// result3 is one BENCH_3.json entry: a workload result plus the daemon's
+// route-cache counters and the reverse-trace legality check.
+type result3 struct {
+	result
+	Cache         string  `json:"cache"` // "on" or "off"
+	CacheHits     int     `json:"cache_hits"`
+	CacheMisses   int     `json:"cache_misses"`
+	ReplayFails   int     `json:"replay_fails"`
+	ReplayHitRate float64 `json:"replay_hit_rate"` // hits / cache lookups
+	VerifyErrors  int     `json:"verify_errors"`   // reverse-trace mismatches
+	SpeedupVsOff  float64 `json:"speedup_vs_nocache,omitempty"`
+}
+
+// Geometry and working set of the rtr_churn_cached workload. The device is
+// larger and the nets longer than the BENCH_2 churn so the cold search cost
+// dominates the wire overhead — the regime the route cache targets.
+const (
+	b3Rows   = 32
+	b3Cols   = 48
+	b3Nets   = 24 // fanout nets per session working set
+	b3Fan    = 3  // sinks per net
+	b3Radius = 14 // sink placement radius
+	b3Rounds = 25 // route-all / unroute-all cycles
+)
+
+// runBench3 measures the cache-hit-heavy churn workload twice — once with
+// the route cache off and once with it on, each against its own freshly
+// booted in-process daemon — and writes the comparison to jsonPath.
+func runBench3(sessions int, seed int64, jsonPath string) error {
+	var out []result3
+	for _, mode := range []struct {
+		name string
+		rc   core.CacheMode
+	}{
+		{"off", core.CacheOff},
+		{"on", core.CacheAuto},
+	} {
+		srv := server.New(server.Options{RouteCache: mode.rc})
+		for i := 0; i < sessions; i++ {
+			if err := srv.AddDevice(fmt.Sprintf("dev%d", i), "virtex", b3Rows, b3Cols); err != nil {
+				return err
+			}
+		}
+		bound, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		var verifyMu sync.Mutex
+		verifyErrs := 0
+		res, err := runWorkload(bound, "rtr_churn_cached", sessions, b3Rows, b3Cols, seed,
+			func(s *client.Session, g *workload.Gen, r *sessionRun) error {
+				v, err := runCachedChurn(s, g, r)
+				verifyMu.Lock()
+				verifyErrs += v
+				verifyMu.Unlock()
+				return err
+			})
+		if err == nil {
+			var stats *server.StatsMsg
+			if c, derr := client.Dial(bound); derr == nil {
+				stats, err = c.Stats()
+				c.Close()
+			} else {
+				err = derr
+			}
+			if err == nil {
+				r3 := result3{result: res, Cache: mode.name, VerifyErrors: verifyErrs}
+				for _, ss := range stats.Sessions {
+					r3.CacheHits += ss.CacheHits
+					r3.CacheMisses += ss.CacheMisses
+					r3.ReplayFails += ss.ReplayFails
+				}
+				if lookups := r3.CacheHits + r3.CacheMisses + r3.ReplayFails; lookups > 0 {
+					r3.ReplayHitRate = float64(r3.CacheHits) / float64(lookups)
+				}
+				out = append(out, r3)
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		serr := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			return err
+		}
+		if serr != nil {
+			return serr
+		}
+	}
+	if len(out) == 2 && out[0].OpsPerSecond > 0 {
+		out[1].SpeedupVsOff = out[1].OpsPerSecond / out[0].OpsPerSecond
+	}
+	for _, r3 := range out {
+		fmt.Printf("%-16s cache=%-3s  %d sessions  %6d ops (%d errors, %d verify)  %8.0f ops/s  p50 %6.0fµs  p99 %6.0fµs  hit rate %.2f  replay fails %d\n",
+			r3.Name, r3.Cache, r3.Sessions, r3.Ops, r3.Errors, r3.VerifyErrors,
+			r3.OpsPerSecond, r3.P50us, r3.P99us, r3.ReplayHitRate, r3.ReplayFails)
+	}
+	if len(out) == 2 {
+		fmt.Printf("rtr_churn_cached speedup (cache on vs off): %.2fx\n", out[1].SpeedupVsOff)
+	}
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(enc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+	return nil
+}
+
+// runCachedChurn cycles a fixed working set of fanout nets: route all,
+// spot-verify by reverse trace (cold on the first round, replayed on the
+// last), unroute all, repeat. After the first round every route re-routes
+// endpoints the router has seen before — the cache-hit-heavy regime.
+// Returns the number of reverse-trace verification mismatches.
+func runCachedChurn(s *client.Session, g *workload.Gen, r *sessionRun) (int, error) {
+	nets, err := g.FanNets(b3Nets, b3Fan, b3Radius)
+	if err != nil {
+		return 0, err
+	}
+	verifyErrs := 0
+	failed := map[core.Pin]bool{}
+	verify := func() {
+		for _, n := range nets {
+			if failed[n.Src] {
+				continue
+			}
+			for _, sp := range n.Sinks {
+				net, err := s.ReverseTrace(client.Pin(sp))
+				if err != nil || net == nil || net.Source.Pin == nil ||
+					net.Source.Pin.Row != n.Src.Row || net.Source.Pin.Col != n.Src.Col ||
+					net.Source.Pin.Wire != int(n.Src.W) {
+					verifyErrs++
+				}
+			}
+		}
+	}
+	for round := 0; round < b3Rounds; round++ {
+		for _, n := range nets {
+			sinks := make([]server.EndPointMsg, len(n.Sinks))
+			for i, p := range n.Sinks {
+				sinks[i] = client.Pin(p)
+			}
+			start := time.Now()
+			err := s.Route(client.Pin(n.Src), sinks...)
+			r.observe(start, err)
+			if err != nil {
+				failed[n.Src] = true
+			}
+		}
+		if round == 0 || round == b3Rounds-1 {
+			verify()
+		}
+		if round < b3Rounds-1 {
+			for _, n := range nets {
+				if failed[n.Src] {
+					continue
+				}
+				start := time.Now()
+				r.observe(start, s.Unroute(client.Pin(n.Src)))
+			}
+		}
+	}
+	return verifyErrs, nil
 }
 
 // percentiles returns p50, p99 and the mean of the latencies, in µs.

@@ -79,8 +79,11 @@ func (r *Router) RouteBatch(nets []BatchNet) error {
 			r.stats.PIPsSet++
 		}
 	}
-	for _, n := range nets {
+	for i, n := range nets {
 		r.stats.Routes += len(n.Sinks)
+		// Each net's negotiated path goes onto its record so the route
+		// cache can replay it after an unroute, just like sequential routes.
+		r.curPath = append(r.curPath[:0], res.Nets[i]...)
 		r.record(n.Source, n.Sinks...)
 	}
 	return nil

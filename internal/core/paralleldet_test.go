@@ -12,13 +12,13 @@ import (
 
 // runBatch builds a fresh device, routes the generated workload with the
 // given parallelism, and returns the resulting full bitstream and stats.
-func runBatch(t *testing.T, par int, gen func(*workload.Gen) ([]core.EndPoint, []core.EndPoint)) ([]byte, core.Stats) {
+func runBatch(t *testing.T, par int, cache core.CacheMode, gen func(*workload.Gen) ([]core.EndPoint, []core.EndPoint)) ([]byte, core.Stats) {
 	t.Helper()
 	d, err := device.New(arch.NewVirtex(), 16, 24)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := core.NewRouter(d, core.Options{Parallelism: par})
+	r := core.NewRouter(d, core.Options{Parallelism: par, RouteCache: cache})
 	srcs, dsts := gen(workload.ForDevice(7, d))
 	if err := r.RouteBusBatch(srcs, dsts); err != nil {
 		t.Fatalf("parallelism %d: %v", par, err)
@@ -50,17 +50,33 @@ func TestRouteBatchParallelDeterminism(t *testing.T) {
 			return srcs, dsts
 		},
 	}
+	// The guarantee holds with the route cache enabled (the default) and
+	// disabled, and the cache itself must not change what batch routing
+	// configures.
+	modes := []struct {
+		name string
+		mode core.CacheMode
+	}{{"cache-on", core.CacheAuto}, {"cache-off", core.CacheOff}}
 	for name, gen := range workloads {
 		t.Run(name, func(t *testing.T) {
-			cfgSeq, statsSeq := runBatch(t, 1, gen)
-			for _, par := range []int{2, 8} {
-				cfg, stats := runBatch(t, par, gen)
-				if !bytes.Equal(cfg, cfgSeq) {
-					t.Errorf("parallelism %d: bitstream differs from sequential", par)
-				}
-				if stats != statsSeq {
-					t.Errorf("parallelism %d: stats %+v, sequential %+v", par, stats, statsSeq)
-				}
+			var perMode [][]byte
+			for _, m := range modes {
+				t.Run(m.name, func(t *testing.T) {
+					cfgSeq, statsSeq := runBatch(t, 1, m.mode, gen)
+					perMode = append(perMode, cfgSeq)
+					for _, par := range []int{2, 8} {
+						cfg, stats := runBatch(t, par, m.mode, gen)
+						if !bytes.Equal(cfg, cfgSeq) {
+							t.Errorf("parallelism %d: bitstream differs from sequential", par)
+						}
+						if stats != statsSeq {
+							t.Errorf("parallelism %d: stats %+v, sequential %+v", par, stats, statsSeq)
+						}
+					}
+				})
+			}
+			if len(perMode) == 2 && !bytes.Equal(perMode[0], perMode[1]) {
+				t.Error("cache-on and cache-off batch bitstreams differ")
 			}
 		})
 	}

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/device"
+	"repro/internal/maze"
+)
+
+// The route cache is the run-time answer to RTR churn: the paper's §3.3
+// workflow (unroute a core, drop in a replacement, Reconnect the remembered
+// ports) and the churn workloads jrouted serves keep re-routing the same
+// connections, yet every re-route used to pay a full maze search. Two tiers
+// short-circuit that:
+//
+//   - exact paths: every successful automatic route records its PIP path on
+//     the Connection; re-routing the same endpoints (or the same endpoints
+//     uniformly shifted, for a relocated core) first replays the remembered
+//     path with an O(path-length) legality sweep (maze.Replay).
+//   - relocatable templates: single-sink routes are also learned keyed by
+//     (source wire, sink wire, Δrow, Δcol) with the path stored relative to
+//     the source tile — the paper's §3.1 level-3 observation that a route on
+//     a regular fabric is a sequence of relative hops, so the same shape
+//     replays anywhere the geometry repeats.
+//
+// A replay that fails its legality sweep (resources taken by another net,
+// fabric edge, illegal at the new site) falls back to the ordinary search,
+// so a stale entry costs one sweep and can never corrupt routing state.
+// Replayed routes commit through the same apply path as searched routes and
+// are byte-identical in the bitstream to a cold search finding that path.
+
+// CacheMode selects the route-cache behaviour. The zero value enables the
+// cache (CacheAuto), so existing Options literals get it by default.
+type CacheMode uint8
+
+const (
+	// CacheAuto (the zero value) enables the route cache.
+	CacheAuto CacheMode = iota
+	// CacheOn enables the route cache explicitly.
+	CacheOn
+	// CacheOff disables learning and replay; every route searches.
+	CacheOff
+)
+
+// Cache capacities, per router. Eviction is FIFO on insertion order —
+// deterministic, unlike ranging over a Go map — so routing behaviour is
+// reproducible run to run.
+const (
+	cacheMaxExact     = 4096
+	cacheMaxTemplates = 4096
+)
+
+// tmplKey identifies a relocatable route shape: same source and sink wire
+// class at the same relative offset means the same template applies,
+// regardless of absolute position.
+type tmplKey struct {
+	srcW, sinkW arch.Wire
+	dRow, dCol  int
+}
+
+// routeCache holds both tiers. It lives on one Router, so it is inherently
+// per-device and per-architecture, and needs no locking: routers are
+// single-goroutine for mutations.
+type routeCache struct {
+	exact      map[string][]device.PIP
+	exactOrder []string
+	tmpl       map[tmplKey][]device.PIP
+	tmplOrder  []tmplKey
+	keyBuf     []byte // scratch for exact-key encoding
+}
+
+// cacheEnabled reports whether the route cache is active for this router.
+// Timing-driven routing always searches: a remembered path optimizes wire
+// count, not delay, so replaying it would silently change the cost model.
+func (r *Router) cacheEnabled() bool {
+	return r.Opt.RouteCache != CacheOff && !r.Opt.TimingDriven
+}
+
+func (r *Router) ensureCache() *routeCache {
+	if r.cache == nil {
+		r.cache = &routeCache{
+			exact: make(map[string][]device.PIP),
+			tmpl:  make(map[tmplKey][]device.PIP),
+		}
+	}
+	return r.cache
+}
+
+// exactKey encodes a source pin plus sorted sink pins into a compact string
+// key. The scratch buffer is reused; only the map key string is retained.
+func (rc *routeCache) exactKey(src Pin, sinks []Pin) string {
+	b := rc.keyBuf[:0]
+	b = binary.AppendVarint(b, int64(src.Row))
+	b = binary.AppendVarint(b, int64(src.Col))
+	b = binary.AppendVarint(b, int64(src.W))
+	for _, p := range sinks {
+		b = binary.AppendVarint(b, int64(p.Row))
+		b = binary.AppendVarint(b, int64(p.Col))
+		b = binary.AppendVarint(b, int64(p.W))
+	}
+	rc.keyBuf = b
+	return string(b)
+}
+
+func (rc *routeCache) putExact(key string, path []device.PIP) {
+	if _, ok := rc.exact[key]; !ok {
+		if len(rc.exactOrder) >= cacheMaxExact {
+			oldest := rc.exactOrder[0]
+			rc.exactOrder = rc.exactOrder[1:]
+			delete(rc.exact, oldest)
+		}
+		rc.exactOrder = append(rc.exactOrder, key)
+	}
+	rc.exact[key] = path
+}
+
+func (rc *routeCache) putTmpl(key tmplKey, rel []device.PIP) {
+	if _, ok := rc.tmpl[key]; !ok {
+		if len(rc.tmplOrder) >= cacheMaxTemplates {
+			oldest := rc.tmplOrder[0]
+			rc.tmplOrder = rc.tmplOrder[1:]
+			delete(rc.tmpl, oldest)
+		}
+		rc.tmplOrder = append(rc.tmplOrder, key)
+	}
+	rc.tmpl[key] = rel
+}
+
+// flattenPins resolves a sink endpoint list to its pins, sorted by
+// (row, col, wire) so the set is canonical regardless of routing order.
+func flattenPins(sinks []EndPoint) []Pin {
+	var pins []Pin
+	for _, s := range sinks {
+		pins = append(pins, s.Pins()...)
+	}
+	sortPins(pins)
+	return pins
+}
+
+func sortPins(pins []Pin) {
+	sort.Slice(pins, func(i, j int) bool {
+		if pins[i].Row != pins[j].Row {
+			return pins[i].Row < pins[j].Row
+		}
+		if pins[i].Col != pins[j].Col {
+			return pins[i].Col < pins[j].Col
+		}
+		return pins[i].W < pins[j].W
+	})
+}
+
+// tryReplay validates pips shifted by (dRow, dCol) against current
+// occupancy and, if legal, commits them through the normal apply path (so
+// PIPsSet counting, rollback, and curPath recording behave exactly as for
+// a searched route). Returns false on any failure, leaving the device
+// untouched.
+func (r *Router) tryReplay(srcTrack device.Track, pips []device.PIP, dRow, dCol int) bool {
+	sources := r.netTracks(srcTrack)
+	route, err := maze.Replay(r.Dev, sources, pips, dRow, dCol)
+	if err != nil {
+		return false
+	}
+	return r.apply(route) == nil
+}
+
+// learnExact remembers a retired connection's path under its endpoint key,
+// so re-routing the same endpoints later replays instead of searching.
+func (r *Router) learnExact(c *Connection) {
+	if !r.cacheEnabled() || len(c.Path) == 0 || len(c.sinkPins) == 0 {
+		return
+	}
+	rc := r.ensureCache()
+	rc.putExact(rc.exactKey(c.srcPin, c.sinkPins), c.Path)
+}
+
+// lookupExact returns the remembered path for these exact endpoints.
+func (r *Router) lookupExact(src Pin, sinks []Pin) ([]device.PIP, bool) {
+	if r.cache == nil {
+		return nil, false
+	}
+	path, ok := r.cache.exact[r.cache.exactKey(src, sinks)]
+	return path, ok
+}
+
+// learnTemplate stores a fresh single-sink route as a relocatable shape:
+// the path re-based to the source tile, keyed by wire classes and offset.
+func (r *Router) learnTemplate(srcTrack device.Track, sink Pin, pips []device.PIP) {
+	if !r.cacheEnabled() || len(pips) == 0 {
+		return
+	}
+	key := tmplKey{srcW: srcTrack.W, sinkW: sink.W,
+		dRow: sink.Row - srcTrack.Row, dCol: sink.Col - srcTrack.Col}
+	rel := make([]device.PIP, len(pips))
+	for i, p := range pips {
+		rel[i] = device.PIP{Row: p.Row - srcTrack.Row, Col: p.Col - srcTrack.Col, From: p.From, To: p.To}
+	}
+	r.ensureCache().putTmpl(key, rel)
+}
+
+// lookupTemplate returns the relocatable path (relative to the source
+// tile) learned for this source/sink shape, if any.
+func (r *Router) lookupTemplate(srcTrack device.Track, sink Pin) ([]device.PIP, bool) {
+	if r.cache == nil {
+		return nil, false
+	}
+	key := tmplKey{srcW: srcTrack.W, sinkW: sink.W,
+		dRow: sink.Row - srcTrack.Row, dCol: sink.Col - srcTrack.Col}
+	rel, ok := r.cache.tmpl[key]
+	return rel, ok
+}
+
+// RestoreConnection re-routes one retired connection record, replay-first:
+// if the record carries a path and its endpoints currently resolve to the
+// recorded pins shifted by one uniform (Δrow, Δcol) — identical position
+// included — the path is replayed shifted; otherwise, or when the sweep
+// finds the path blocked, it falls back to RouteNet/RouteFanout (which
+// consult the exact cache themselves). On success the record is marked
+// live again and purged from every port's remembered list. Restoring a
+// connection that is not retired is a no-op.
+func (r *Router) RestoreConnection(c *Connection) error {
+	if !c.retired {
+		return nil
+	}
+	if r.cacheEnabled() && len(c.Path) > 0 && len(c.sinkPins) > 0 {
+		if ok, err := r.replayShifted(c); ok {
+			r.finishRestore(c)
+			return nil
+		} else if err != nil {
+			r.stats.ReplayFails++
+		}
+	}
+	var err error
+	if len(c.Sinks) == 1 {
+		err = r.RouteNet(c.Source, c.Sinks[0])
+	} else {
+		err = r.RouteFanout(c.Source, c.Sinks)
+	}
+	if err != nil {
+		return err
+	}
+	r.finishRestore(c)
+	return nil
+}
+
+// replayShifted attempts the shifted replay of c's recorded path. The
+// bool reports success; a non-nil error with ok=false means a replay was
+// actually attempted and failed (counted as a replay failure by the
+// caller), while (false, nil) means the record did not apply — endpoints
+// moved non-uniformly — and no sweep was run.
+func (r *Router) replayShifted(c *Connection) (bool, error) {
+	src, err := sourcePin(c.Source)
+	if err != nil {
+		return false, nil
+	}
+	cur := flattenPins(c.Sinks)
+	if len(cur) != len(c.sinkPins) || src.W != c.srcPin.W {
+		return false, nil
+	}
+	dRow, dCol := src.Row-c.srcPin.Row, src.Col-c.srcPin.Col
+	for i, p := range cur {
+		q := c.sinkPins[i]
+		if p.W != q.W || p.Row-q.Row != dRow || p.Col-q.Col != dCol {
+			return false, nil
+		}
+	}
+	srcTrack, err := r.Dev.Canon(src.Row, src.Col, src.W)
+	if err != nil {
+		return false, nil
+	}
+	r.curPath = r.curPath[:0]
+	if !r.tryReplay(srcTrack, c.Path, dRow, dCol) {
+		return false, fmt.Errorf("core: replay of remembered path failed")
+	}
+	r.stats.Routes += len(cur)
+	r.stats.CacheHits++
+	r.record(c.Source, c.Sinks...)
+	return true, nil
+}
+
+// finishRestore marks a restored record live and drops it from every
+// remembered-port list (the restored route got a fresh live record).
+func (r *Router) finishRestore(c *Connection) {
+	c.retired = false
+	for _, q := range connectionPorts(c) {
+		list := r.remembered[q]
+		kept := list[:0]
+		for _, x := range list {
+			if x != c {
+				kept = append(kept, x)
+			}
+		}
+		if len(kept) == 0 {
+			delete(r.remembered, q)
+		} else {
+			r.remembered[q] = kept
+		}
+	}
+}
+
+// RipUpRegion unroutes every live net whose routed path or endpoints
+// intersect the height×width tile rectangle at (row, col) — the
+// region-scoped incremental rip-up behind cores.Replace. Nets recorded
+// with a cached path are tested against it directly (no device walk); the
+// rest are traced. A net is ripped whole (all its connection records
+// retire together, remembered under their ports as usual), and the retired
+// records are returned so the caller can RestoreConnection each one after
+// the region's new occupant is in place.
+func (r *Router) RipUpRegion(row, col, height, width int) ([]*Connection, error) {
+	inRect := func(rr, cc int) bool {
+		return rr >= row && rr < row+height && cc >= col && cc < col+width
+	}
+	pipsIntersect := func(pips []device.PIP) bool {
+		for _, p := range pips {
+			if inRect(p.Row, p.Col) {
+				return true
+			}
+		}
+		return false
+	}
+	connIntersects := func(c *Connection) (bool, error) {
+		if src, err := sourcePin(c.Source); err == nil && inRect(src.Row, src.Col) {
+			return true, nil
+		}
+		for _, p := range flattenPins(c.Sinks) {
+			if inRect(p.Row, p.Col) {
+				return true, nil
+			}
+		}
+		if len(c.Path) > 0 {
+			return pipsIntersect(c.Path), nil
+		}
+		net, err := r.Trace(c.Source)
+		if err != nil {
+			return false, err
+		}
+		return pipsIntersect(net.PIPs), nil
+	}
+
+	live := append([]*Connection(nil), r.conns...)
+	hit := make(map[*Connection]bool)
+	var sources []EndPoint
+	for _, c := range live {
+		if hit[c] {
+			continue
+		}
+		ok, err := connIntersects(c)
+		if err != nil {
+			return nil, fmt.Errorf("core: region rip-up: %w", err)
+		}
+		if !ok {
+			continue
+		}
+		// The physical net is ripped whole, so every record sharing this
+		// source retires with it.
+		sources = append(sources, c.Source)
+		for _, o := range live {
+			if endPointEqual(o.Source, c.Source) {
+				hit[o] = true
+			}
+		}
+	}
+	var ripped []*Connection
+	for _, c := range live {
+		if hit[c] {
+			ripped = append(ripped, c)
+		}
+	}
+	for _, src := range sources {
+		if err := r.Unroute(src); err != nil {
+			return nil, fmt.Errorf("core: region rip-up: %w", err)
+		}
+	}
+	return ripped, nil
+}

@@ -45,6 +45,11 @@ type Options struct {
 	// sequential. The routed result and the committed bitstream are
 	// identical for every value.
 	Parallelism int
+	// RouteCache controls the relocation-aware route cache: remembered
+	// paths are replayed with an O(path-length) legality sweep before any
+	// full search. The zero value (CacheAuto) enables it; CacheOff forces
+	// every automatic route through search.
+	RouteCache CacheMode
 }
 
 func (o Options) mazeOptions() maze.Options {
@@ -65,6 +70,9 @@ type Stats struct {
 	PIPsSet         int
 	PIPsCleared     int
 	BatchIterations int // negotiation rip-up/re-route rounds consumed by RouteBatch
+	CacheHits       int // routes satisfied by replaying a cached path
+	CacheMisses     int // cache lookups that found no applicable entry
+	ReplayFails     int // cached paths whose legality sweep failed (fell back to search)
 }
 
 // Connection records one routed net at the endpoint level, which is what
@@ -72,6 +80,19 @@ type Stats struct {
 type Connection struct {
 	Source EndPoint
 	Sinks  []EndPoint
+
+	// Path is the exact PIP path the route configured, in source-to-sink
+	// order, recorded by the route cache so Reconnect and churn re-routes
+	// can replay it instead of searching. Nil when the cache is off.
+	Path []device.PIP
+
+	// srcPin and sinkPins are the endpoint resolutions at record time —
+	// the reference frame for shifted replay after a core relocation.
+	srcPin   Pin
+	sinkPins []Pin
+	// retired marks a record whose net has been unrouted (it lives on in
+	// port memory); RestoreConnection flips it back.
+	retired bool
 }
 
 // Router is the JRoute router over one device.
@@ -82,10 +103,14 @@ type Router struct {
 	stats      Stats
 	conns      []*Connection
 	remembered map[*Port][]*Connection
+	cache      *routeCache
 
 	// Scratch buffers reused across automatic route calls.
 	netTracksBuf []device.Track
 	fanoutBuf    []device.PIP
+	// curPath accumulates the PIPs committed by the automatic route call
+	// in flight, snapshotted onto the Connection record by record().
+	curPath []device.PIP
 }
 
 // NewRouter creates a router for a device.
@@ -99,8 +124,14 @@ func (r *Router) Stats() Stats { return r.stats }
 // ResetStats zeroes the counters.
 func (r *Router) ResetStats() { r.stats = Stats{} }
 
-// Connections returns the live endpoint-level connection records.
+// Connections returns a defensive copy of the live endpoint-level
+// connection records. Callers that only need the count should use
+// ConnectionCount, which does not allocate.
 func (r *Router) Connections() []*Connection { return append([]*Connection(nil), r.conns...) }
+
+// ConnectionCount returns the number of live connection records without
+// copying the slice — the server's statsz path reads this every snapshot.
+func (r *Router) ConnectionCount() int { return len(r.conns) }
 
 // IsOn is the paper's ison(row, col, wire): whether the wire is in use.
 func (r *Router) IsOn(row, col int, w arch.Wire) bool { return r.Dev.IsOn(row, col, w) }
@@ -228,6 +259,7 @@ func (r *Router) apply(route *maze.Route) error {
 		}
 		r.stats.PIPsSet++
 	}
+	r.curPath = append(r.curPath, route.PIPs...)
 	return nil
 }
 
@@ -278,6 +310,23 @@ func (r *Router) routeOne(srcTrack device.Track, sink Pin) error {
 	freshNet := len(sources) == 1
 	mo := r.Opt.mazeOptions()
 
+	// Relocatable-template tier of the route cache: a fresh single-sink
+	// route whose (source wire, sink wire, Δrow, Δcol) shape was learned
+	// anywhere on the fabric replays the remembered relative path at this
+	// position — the paper's §3.1 level-3 replay, discovered automatically.
+	if freshNet && r.cacheEnabled() {
+		if rel, ok := r.lookupTemplate(srcTrack, sink); ok {
+			if r.tryReplay(srcTrack, rel, srcTrack.Row, srcTrack.Col) {
+				r.stats.Routes++
+				r.stats.CacheHits++
+				return nil
+			}
+			r.stats.ReplayFails++
+		} else {
+			r.stats.CacheMisses++
+		}
+	}
+
 	// Timing-driven routing always searches: template candidates optimize
 	// convenience, not delay.
 	if r.Opt.Algorithm == TemplateFirst && freshNet && !r.Opt.TimingDriven {
@@ -301,6 +350,9 @@ func (r *Router) routeOne(srcTrack device.Track, sink Pin) error {
 			}
 			r.stats.Routes++
 			r.stats.TemplateHits++
+			if freshNet {
+				r.learnTemplate(srcTrack, sink, route.PIPs)
+			}
 			return nil
 		}
 	}
@@ -320,6 +372,9 @@ func (r *Router) routeOne(srcTrack device.Track, sink Pin) error {
 	}
 	r.stats.Routes++
 	r.stats.MazeFallbacks++
+	if freshNet {
+		r.learnTemplate(srcTrack, sink, route.PIPs)
+	}
 	return nil
 }
 
@@ -338,6 +393,24 @@ func (r *Router) RouteNet(source, sink EndPoint) error {
 	sinkPins := sink.Pins()
 	if len(sinkPins) == 0 {
 		return fmt.Errorf("core: sink endpoint resolves to no pins (unbound port?)")
+	}
+	r.curPath = r.curPath[:0]
+	// Exact tier of the route cache: these endpoints were routed (and
+	// unrouted) before, so replay the remembered whole-net path.
+	if r.cacheEnabled() {
+		sorted := append([]Pin(nil), sinkPins...)
+		sortPins(sorted)
+		if path, ok := r.lookupExact(src, sorted); ok {
+			if r.tryReplay(srcTrack, path, 0, 0) {
+				r.stats.Routes += len(sinkPins)
+				r.stats.CacheHits++
+				r.record(source, sink)
+				return nil
+			}
+			r.stats.ReplayFails++
+		} else {
+			r.stats.CacheMisses++
+		}
 	}
 	for _, sp := range sinkPins {
 		if err := r.routeOne(srcTrack, sp); err != nil {
@@ -371,6 +444,22 @@ func (r *Router) RouteFanout(source EndPoint, sinks []EndPoint) error {
 			return fmt.Errorf("core: fanout sink resolves to no pins (unbound port?)")
 		}
 		pins = append(pins, ps...)
+	}
+	r.curPath = r.curPath[:0]
+	if r.cacheEnabled() {
+		sorted := append([]Pin(nil), pins...)
+		sortPins(sorted)
+		if path, ok := r.lookupExact(src, sorted); ok {
+			if r.tryReplay(srcTrack, path, 0, 0) {
+				r.stats.Routes += len(pins)
+				r.stats.CacheHits++
+				r.record(source, sinks...)
+				return nil
+			}
+			r.stats.ReplayFails++
+		} else {
+			r.stats.CacheMisses++
+		}
 	}
 	sort.SliceStable(pins, func(i, j int) bool {
 		di := abs(pins[i].Row-src.Row) + abs(pins[i].Col-src.Col)
@@ -424,7 +513,17 @@ func (r *Router) RouteClock(g int, sinks ...EndPoint) error {
 	return nil
 }
 
-// record stores the endpoint-level connection for port memory.
+// record stores the endpoint-level connection for port memory, snapshotting
+// the PIP path the call committed (and the pins the endpoints resolved to)
+// so the route cache can replay it later.
 func (r *Router) record(source EndPoint, sinks ...EndPoint) {
-	r.conns = append(r.conns, &Connection{Source: source, Sinks: append([]EndPoint(nil), sinks...)})
+	c := &Connection{Source: source, Sinks: append([]EndPoint(nil), sinks...)}
+	if r.cacheEnabled() && len(r.curPath) > 0 {
+		if src, err := sourcePin(source); err == nil {
+			c.Path = append([]device.PIP(nil), r.curPath...)
+			c.srcPin = src
+			c.sinkPins = flattenPins(c.Sinks)
+		}
+	}
+	r.conns = append(r.conns, c)
 }

@@ -53,7 +53,7 @@ func (r *Router) ReverseUnroute(sink EndPoint) error {
 	if err != nil {
 		return err
 	}
-	removed := 0
+	var branch []device.PIP // cleared PIPs, sink-to-branch-point order
 	for {
 		p, ok := r.Dev.DriverOf(cur)
 		if !ok {
@@ -67,21 +67,36 @@ func (r *Router) ReverseUnroute(sink EndPoint) error {
 			return err
 		}
 		r.stats.PIPsCleared++
-		removed++
+		branch = append(branch, p)
 		// Stop at a branch point: the predecessor still drives others.
 		if r.Dev.FanoutCount(prev) > 0 {
 			break
 		}
 		cur = prev
 	}
-	if removed == 0 {
+	if len(branch) == 0 {
 		return fmt.Errorf("core: %s at (%d,%d) is not routed",
 			r.Dev.A.WireName(sp.W), sp.Row, sp.Col)
+	}
+	// Forward (branch-point→sink) order, the valid replay order.
+	fwd := make([]device.PIP, len(branch))
+	for i := range branch {
+		fwd[i] = branch[len(branch)-1-i]
+	}
+	inBranch := func(p device.PIP) bool {
+		for _, q := range branch {
+			if q == p {
+				return true
+			}
+		}
+		return false
 	}
 	// Split the sink out of any connection records: the removed part is
 	// remembered (under every port it touches, including the source's)
 	// so Reconnect can restore exactly this branch; the remaining sinks
-	// stay live.
+	// stay live. The remembered record carries the removed branch as its
+	// path — replayable as long as the rest of the net provides the
+	// branch point — and the surviving record's path sheds those PIPs.
 	kept := r.conns[:0]
 	for _, c := range r.conns {
 		var stay, gone []EndPoint
@@ -93,12 +108,29 @@ func (r *Router) ReverseUnroute(sink EndPoint) error {
 			}
 		}
 		if len(gone) > 0 {
-			mem := &Connection{Source: c.Source, Sinks: gone}
+			mem := &Connection{Source: c.Source, Sinks: gone, retired: true}
+			if r.cacheEnabled() {
+				if src, err := sourcePin(c.Source); err == nil {
+					mem.Path = append([]device.PIP(nil), fwd...)
+					mem.srcPin = src
+					mem.sinkPins = flattenPins(gone)
+				}
+			}
 			for _, port := range connectionPorts(mem) {
 				r.remembered[port] = append(r.remembered[port], mem)
 			}
 		}
 		c.Sinks = stay
+		if len(gone) > 0 && len(c.Path) > 0 {
+			liveP := c.Path[:0]
+			for _, p := range c.Path {
+				if !inBranch(p) {
+					liveP = append(liveP, p)
+				}
+			}
+			c.Path = liveP
+			c.sinkPins = flattenPins(stay)
+		}
 		if len(c.Sinks) > 0 {
 			kept = append(kept, c)
 		}
@@ -139,7 +171,10 @@ func (r *Router) UnrouteAll() error {
 }
 
 // retireConnections removes matching records from the live list; records
-// that involve ports are remembered for later Reconnect.
+// that involve ports are remembered for later Reconnect. Every retired
+// record's path is learned into the exact route cache — including pin-only
+// records about to be dropped, which is what makes churn re-routes of the
+// same endpoints replay instead of search.
 func (r *Router) retireConnections(match func(*Connection) bool) {
 	kept := r.conns[:0]
 	for _, c := range r.conns {
@@ -147,6 +182,8 @@ func (r *Router) retireConnections(match func(*Connection) bool) {
 			kept = append(kept, c)
 			continue
 		}
+		c.retired = true
+		r.learnExact(c)
 		for _, port := range connectionPorts(c) {
 			r.remembered[port] = append(r.remembered[port], c)
 		}
@@ -188,34 +225,10 @@ func (r *Router) RememberedConnections(port *Port) []*Connection {
 // unrouted, and replaced with a new constant multiplier without having to
 // specify connections again."
 func (r *Router) Reconnect(port *Port) error {
-	conns := r.remembered[port]
-	if len(conns) == 0 {
-		return nil
-	}
+	conns := append([]*Connection(nil), r.remembered[port]...)
 	for _, c := range conns {
-		var err error
-		if len(c.Sinks) == 1 {
-			err = r.RouteNet(c.Source, c.Sinks[0])
-		} else {
-			err = r.RouteFanout(c.Source, c.Sinks)
-		}
-		if err != nil {
+		if err := r.RestoreConnection(c); err != nil {
 			return fmt.Errorf("core: reconnecting %v: %w", port, err)
-		}
-		// Drop the record everywhere it was remembered.
-		for _, q := range connectionPorts(c) {
-			list := r.remembered[q]
-			kept := list[:0]
-			for _, x := range list {
-				if x != c {
-					kept = append(kept, x)
-				}
-			}
-			if len(kept) == 0 {
-				delete(r.remembered, q)
-			} else {
-				r.remembered[q] = kept
-			}
 		}
 	}
 	return nil

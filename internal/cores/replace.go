@@ -13,6 +13,7 @@ type Core interface {
 	Name() string
 	Place(row, col int) error
 	Placed() bool
+	Bounds() (row, col, width, height int)
 	Implemented() bool
 	Implement(r *core.Router) error
 	Remove(r *core.Router) error
@@ -43,6 +44,12 @@ var (
 // unrouted, and replaced ... without having to specify connections again.
 // Core relocation is handled in a similar way."
 //
+// The rip-up is region-scoped and incremental: beyond the core's own port
+// nets, only third-party nets whose routed paths intersect the core's
+// *destination* rectangle are unrouted (cheaply tested against their
+// cached paths), and they are restored — replay-first — once the new
+// implementation is in place. Everything else on the device is untouched.
+//
 // Ports that were never externally routed are skipped. The port *objects*
 // survive the swap, which is what lets the router's memory re-resolve them
 // against the new implementation.
@@ -50,6 +57,7 @@ func Replace(r *core.Router, c Core, row, col int, groups []string, retune func(
 	if !c.Implemented() {
 		return fmt.Errorf("cores: %s is not implemented", c.Name())
 	}
+	_, _, width, height := c.Bounds()
 	// 1. Unroute external nets on the named port groups. Out-ports are
 	// net sources (unroute forward); in-ports are sinks (reverse
 	// unroute their branch).
@@ -78,7 +86,7 @@ func Replace(r *core.Router, c Core, row, col int, groups []string, retune func(
 			}
 		}
 	}
-	// 2. Remove, retune, re-place, re-implement.
+	// 2. Remove and retune.
 	if err := c.Remove(r); err != nil {
 		return err
 	}
@@ -87,18 +95,33 @@ func Replace(r *core.Router, c Core, row, col int, groups []string, retune func(
 			return err
 		}
 	}
+	// 3. Clear the destination rectangle: every remaining live net that
+	// crosses it is third-party (the core's own nets are gone), so rip
+	// exactly those and no more. Their records come back for step 5.
+	crossing, err := r.RipUpRegion(row, col, height, width)
+	if err != nil {
+		return fmt.Errorf("cores: replacing %s: %w", c.Name(), err)
+	}
+	// 4. Re-place and re-implement.
 	if err := c.Place(row, col); err != nil {
 		return err
 	}
 	if err := c.Implement(r); err != nil {
 		return err
 	}
-	// 3. Reconnect remembered nets against the new pins.
+	// 5. Reconnect remembered port nets against the new pins, then restore
+	// the ripped crossing nets (replayed in place when their old wires are
+	// still free, re-searched around the new core when not).
 	for _, g := range groups {
 		for _, p := range c.Ports(g) {
 			if err := r.Reconnect(p); err != nil {
 				return fmt.Errorf("cores: reconnecting %s.%s: %w", c.Name(), p.Name(), err)
 			}
+		}
+	}
+	for _, cc := range crossing {
+		if err := r.RestoreConnection(cc); err != nil {
+			return fmt.Errorf("cores: restoring net displaced by %s: %w", c.Name(), err)
 		}
 	}
 	return nil

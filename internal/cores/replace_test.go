@@ -148,3 +148,62 @@ func TestReplaceValidation(t *testing.T) {
 		t.Error("replacing an unimplemented core accepted")
 	}
 }
+
+// TestReplaceRestoresCrossingNets: Replace rips up third-party nets whose
+// routed paths cross the destination region (they would otherwise collide
+// with the incoming core or stale-shadow it) and restores them afterwards —
+// the region-scoped incremental rip-up, invisible to the nets' owner.
+func TestReplaceRestoresCrossingNets(t *testing.T) {
+	r := newRig(t)
+	mul, err := NewConstMul("mul", 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mul.Place(4, 10)
+	if err := mul.Implement(r); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := NewRegister("reg", mul.OutBits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Place(4, 16)
+	if err := reg.Implement(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RouteBus(mul.Group("p").EndPoints(), reg.Group("d").EndPoints()); err != nil {
+		t.Fatal(err)
+	}
+	// A bystander net running straight through the destination region
+	// (row 9, west to east across columns 10+).
+	bySrc := core.NewPin(9, 2, arch.S0X)
+	bySink := core.NewPin(9, 20, arch.S0F1)
+	if err := r.RouteNet(bySrc, bySink); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := Replace(r, mul, 9, 10, []string{"p", "x"}, func() error {
+		return mul.SetConstant(r, 2)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The bystander net survived the relocation into its path.
+	net, err := r.ReverseTrace(bySink)
+	if err != nil {
+		t.Fatalf("bystander net lost: %v", err)
+	}
+	if net.Source != bySrc {
+		t.Fatalf("bystander traces to %v, want %v", net.Source, bySrc)
+	}
+	// And the relocated core still computes.
+	s := sim.New(r.Dev)
+	force := padDrive(t, r, s, 4, 4, mul.Ports("x"))
+	force(7)
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readPorts(t, s, reg.Ports("q")); got != 2*7 {
+		t.Errorf("after Replace with crossing net: q=%d, want 14", got)
+	}
+}

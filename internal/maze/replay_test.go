@@ -1,0 +1,119 @@
+package maze
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/device"
+)
+
+// replayFixture routes the §3.1 template example and returns the device,
+// the source track, and the 4-PIP path — the canonical small path to
+// replay.
+func replayFixture(t *testing.T) (*device.Device, device.Track, []device.PIP) {
+	t.Helper()
+	d := virtexDev(t)
+	src, err := d.Canon(5, 7, arch.S1YQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := []arch.TemplateValue{arch.TVOutMux, arch.TVEast1, arch.TVNorth1, arch.TVClbIn}
+	r, err := TemplateRoute(d, src, arch.S0F3, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, src, r.PIPs
+}
+
+func TestReplayIdentical(t *testing.T) {
+	d, src, pips := replayFixture(t)
+	r, err := Replay(d, []device.Track{src}, pips, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PIPs) != len(pips) {
+		t.Fatalf("replay returned %d PIPs, want %d", len(r.PIPs), len(pips))
+	}
+	for i := range pips {
+		if r.PIPs[i] != pips[i] {
+			t.Errorf("PIP %d: %v, want %v", i, r.PIPs[i], pips[i])
+		}
+	}
+	if r.Explored != 0 {
+		t.Errorf("replay explored %d nodes", r.Explored)
+	}
+	if r.Cost <= 0 {
+		t.Errorf("replay cost %d", r.Cost)
+	}
+}
+
+func TestReplayShifted(t *testing.T) {
+	d, _, pips := replayFixture(t)
+	shifted, err := d.Canon(9, 12, arch.S1YQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Replay(d, []device.Track{shifted}, pips, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range r.PIPs {
+		want := device.PIP{Row: pips[i].Row + 4, Col: pips[i].Col + 5, From: pips[i].From, To: pips[i].To}
+		if p != want {
+			t.Errorf("PIP %d: %v, want %v", i, p, want)
+		}
+	}
+	// The shifted route applies cleanly to the device.
+	apply(t, d, r)
+	if !d.IsOn(10, 13, arch.S0F3) {
+		t.Error("shifted sink not driven")
+	}
+}
+
+func TestReplayBlockedTarget(t *testing.T) {
+	d, src, pips := replayFixture(t)
+	// Occupy a mid-path wire: replay must refuse, wrapping ErrUnroutable.
+	mid := pips[len(pips)/2]
+	if err := d.SetPIP(mid.Row, mid.Col, mid.From, mid.To); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(d, []device.Track{src}, pips, 0, 0); !errors.Is(err, ErrUnroutable) {
+		t.Fatalf("blocked replay: %v, want ErrUnroutable", err)
+	}
+}
+
+func TestReplayOffFabric(t *testing.T) {
+	d, _, pips := replayFixture(t)
+	// Shift the shape past the fabric edge (device is 16x24).
+	edge, err := d.Canon(15, 22, arch.S1YQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(d, []device.Track{edge}, pips, 10, 15); !errors.Is(err, ErrUnroutable) {
+		t.Fatalf("off-fabric replay: %v, want ErrUnroutable", err)
+	}
+}
+
+func TestReplayDisconnectedSource(t *testing.T) {
+	d, _, pips := replayFixture(t)
+	// A source set that does not contain the path's root: the first PIP's
+	// from-wire is unmarked, so the path is not connected to the net.
+	other, err := d.Canon(2, 2, arch.S0X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(d, []device.Track{other}, pips, 0, 0); !errors.Is(err, ErrUnroutable) {
+		t.Fatalf("disconnected replay: %v, want ErrUnroutable", err)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	d, src, pips := replayFixture(t)
+	if _, err := Replay(d, []device.Track{src}, nil, 0, 0); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, err := Replay(d, nil, pips, 0, 0); err == nil {
+		t.Error("empty source set accepted")
+	}
+}

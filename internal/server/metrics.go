@@ -72,6 +72,10 @@ type sessionMetrics struct {
 	routes          int
 	ripUps          int
 	batchIterations int
+	cacheHits       int
+	cacheMisses     int
+	replayFails     int
+	connections     int // live connection records (absolute, not a delta)
 	framesShipped   int
 	bytesShipped    int
 	ops             map[string]*opMetrics
@@ -96,12 +100,20 @@ func (m *sessionMetrics) observe(op string, d time.Duration, failed bool) {
 	om.hist.observe(d)
 }
 
-func (m *sessionMetrics) addRouterDelta(routes, ripUps, batchIters int) {
+// addRouterDelta folds one op's router-stat deltas into the session
+// counters; connections is the router's live record count *after* the op
+// (stored absolute). Called from the worker goroutine, which owns the
+// router, so statsz readers never touch router state directly.
+func (m *sessionMetrics) addRouterDelta(routes, ripUps, batchIters, cacheHits, cacheMisses, replayFails, connections int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.routes += routes
 	m.ripUps += ripUps
 	m.batchIterations += batchIters
+	m.cacheHits += cacheHits
+	m.cacheMisses += cacheMisses
+	m.replayFails += replayFails
+	m.connections = connections
 }
 
 func (m *sessionMetrics) addShipped(frames, bytes int) {
@@ -118,6 +130,10 @@ func (m *sessionMetrics) snapshot(queueDepth int) SessionStatsMsg {
 		Routes:          m.routes,
 		RipUps:          m.ripUps,
 		BatchIterations: m.batchIterations,
+		CacheHits:       m.cacheHits,
+		CacheMisses:     m.cacheMisses,
+		ReplayFails:     m.replayFails,
+		Connections:     m.connections,
 		FramesShipped:   m.framesShipped,
 		BytesShipped:    m.bytesShipped,
 		QueueDepth:      queueDepth,

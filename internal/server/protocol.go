@@ -144,6 +144,10 @@ type SessionStatsMsg struct {
 	Routes          int                   `json:"routes"`
 	RipUps          int                   `json:"rip_ups"` // PIPs ripped up (cleared)
 	BatchIterations int                   `json:"batch_iterations"`
+	CacheHits       int                   `json:"cache_hits"`   // routes served by path replay
+	CacheMisses     int                   `json:"cache_misses"` // cache lookups without an entry
+	ReplayFails     int                   `json:"replay_fails"` // replays that fell back to search
+	Connections     int                   `json:"connections"`  // live connection records
 	FramesShipped   int                   `json:"frames_shipped"`
 	BytesShipped    int                   `json:"bytes_shipped"`
 	QueueDepth      int                   `json:"queue_depth"`

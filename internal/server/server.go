@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/jbits"
 )
 
@@ -19,6 +20,9 @@ type Options struct {
 	// Parallelism is passed to every session router's negotiated batch
 	// routing (0 = GOMAXPROCS).
 	Parallelism int
+	// RouteCache is passed to every session router: the relocation-aware
+	// route cache (zero value = enabled; core.CacheOff disables).
+	RouteCache core.CacheMode
 	// EnqueueTimeout is how long a request waits for a slot in a full
 	// session queue before the server answers busy (default 5s).
 	EnqueueTimeout time.Duration
@@ -68,7 +72,7 @@ func (s *Server) AddDevice(name, archName string, rows, cols int) error {
 	if _, dup := s.sessions[name]; dup {
 		return fmt.Errorf("server: device %q already exists", name)
 	}
-	sess, err := newSession(name, archName, rows, cols, s.opts.QueueDepth, s.opts.Parallelism)
+	sess, err := newSession(name, archName, rows, cols, s.opts)
 	if err != nil {
 		return err
 	}

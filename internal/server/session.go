@@ -41,7 +41,7 @@ type session struct {
 	m      *sessionMetrics
 }
 
-func newSession(name, archName string, rows, cols, queueDepth, parallelism int) (*session, error) {
+func newSession(name, archName string, rows, cols int, opts Options) (*session, error) {
 	a, err := archByName(archName)
 	if err != nil {
 		return nil, err
@@ -50,6 +50,7 @@ func newSession(name, archName string, rows, cols, queueDepth, parallelism int) 
 	if err != nil {
 		return nil, err
 	}
+	queueDepth := opts.QueueDepth
 	if queueDepth <= 0 {
 		queueDepth = 64
 	}
@@ -61,9 +62,12 @@ func newSession(name, archName string, rows, cols, queueDepth, parallelism int) 
 		queue:    make(chan task, queueDepth),
 		done:     make(chan struct{}),
 		js:       js,
-		router:   core.NewRouter(js.Dev, core.Options{Parallelism: parallelism}),
-		cores:    make(map[string]*coreEntry),
-		m:        newSessionMetrics(),
+		router: core.NewRouter(js.Dev, core.Options{
+			Parallelism: opts.Parallelism,
+			RouteCache:  opts.RouteCache,
+		}),
+		cores: make(map[string]*coreEntry),
+		m:     newSessionMetrics(),
 	}
 	go s.run()
 	return s, nil
@@ -131,7 +135,11 @@ func (s *session) handle(req *Request) *Response {
 	after := s.router.Stats()
 	s.m.addRouterDelta(after.Routes-before.Routes,
 		after.PIPsCleared-before.PIPsCleared,
-		after.BatchIterations-before.BatchIterations)
+		after.BatchIterations-before.BatchIterations,
+		after.CacheHits-before.CacheHits,
+		after.CacheMisses-before.CacheMisses,
+		after.ReplayFails-before.ReplayFails,
+		s.router.ConnectionCount())
 	if err == nil && mutating(req.Op) {
 		if ferr := s.shipDirty(resp); ferr != nil {
 			resp.Err = ferr.Error()

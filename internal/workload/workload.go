@@ -162,6 +162,25 @@ func (g *Gen) CrossbarPins(width, span int) (srcs, dsts []core.Pin, err error) {
 	return srcs, dsts, nil
 }
 
+// ChurnRetryLimit bounds how many placements a generator tries before
+// concluding the array cannot host another fresh net.
+const ChurnRetryLimit = 1000
+
+// EndpointExhaustedError reports that a generator ran out of fresh
+// endpoints: after Attempts placement attempts for step Step (at the
+// requested distance/radius Dist), every candidate collided with a live
+// net. Growing the array or shrinking the working set are the remedies.
+type EndpointExhaustedError struct {
+	Step     int // generator step or net index that failed
+	Dist     int // requested Manhattan distance or radius
+	Attempts int // placements tried before giving up
+}
+
+func (e *EndpointExhaustedError) Error() string {
+	return fmt.Sprintf("workload: step %d: no fresh endpoints at distance %d after %d attempts",
+		e.Step, e.Dist, e.Attempts)
+}
+
 // ChurnOp is one step of an RTR churn workload.
 type ChurnOp struct {
 	Route  bool // true = route the pair, false = unroute the net at Src
@@ -191,7 +210,7 @@ func (g *Gen) Churn(steps, dist int, pUnroute float64) ([]ChurnOp, error) {
 		}
 		var src, sink core.Pin
 		var err error
-		for attempt := 0; ; attempt++ {
+		for attempt := 1; ; attempt++ {
 			src, sink, err = g.Pair(dist)
 			if err != nil {
 				return nil, err
@@ -199,8 +218,8 @@ func (g *Gen) Churn(steps, dist int, pUnroute float64) ([]ChurnOp, error) {
 			if !liveSrc[src] && !liveSink[sink] {
 				break
 			}
-			if attempt > 1000 {
-				return nil, fmt.Errorf("workload: churn cannot find fresh endpoints")
+			if attempt >= ChurnRetryLimit {
+				return nil, &EndpointExhaustedError{Step: i, Dist: dist, Attempts: attempt}
 			}
 		}
 		op := ChurnOp{Route: true, Src: src, Sink: sink, Serial: i}
@@ -210,4 +229,59 @@ func (g *Gen) Churn(steps, dist int, pUnroute float64) ([]ChurnOp, error) {
 		liveSink[sink] = true
 	}
 	return ops, nil
+}
+
+// FanNet is one multi-sink net of a replayable RTR workload: a source
+// output pin and its sink input pins.
+type FanNet struct {
+	Src   core.Pin
+	Sinks []core.Pin
+}
+
+// FanNets returns k fanout nets forming a stable working set: source tiles
+// are distinct, every sink tile is distinct device-wide and distinct from
+// all source tiles, and each sink lies within radius of its net's source.
+// Because the nets never share endpoints, the set can be routed, unrouted,
+// and re-routed in any order — the cache-hit-heavy churn pattern of the
+// rtr_churn_cached workload.
+func (g *Gen) FanNets(k, fan, radius int) ([]FanNet, error) {
+	if k < 1 || fan < 1 {
+		return nil, fmt.Errorf("workload: fan-net set %dx%d", k, fan)
+	}
+	usedTile := map[device.Coord]bool{}
+	nets := make([]FanNet, 0, k)
+	place := func(i int, pick func() (int, int)) (device.Coord, error) {
+		for attempt := 1; attempt <= ChurnRetryLimit; attempt++ {
+			tr, tc := pick()
+			if tr < 0 || tr >= g.Rows || tc < 0 || tc >= g.Cols {
+				continue
+			}
+			c := device.Coord{Row: tr, Col: tc}
+			if usedTile[c] {
+				continue
+			}
+			usedTile[c] = true
+			return c, nil
+		}
+		return device.Coord{}, &EndpointExhaustedError{Step: i, Dist: radius, Attempts: ChurnRetryLimit}
+	}
+	for i := 0; i < k; i++ {
+		st, err := place(i, func() (int, int) { return g.Rng.Intn(g.Rows), g.Rng.Intn(g.Cols) })
+		if err != nil {
+			return nil, err
+		}
+		net := FanNet{Src: g.randOutPin(st.Row, st.Col)}
+		for s := 0; s < fan; s++ {
+			sc, err := place(i, func() (int, int) {
+				return st.Row + g.Rng.Intn(2*radius+1) - radius,
+					st.Col + g.Rng.Intn(2*radius+1) - radius
+			})
+			if err != nil {
+				return nil, err
+			}
+			net.Sinks = append(net.Sinks, g.randInPin(sc.Row, sc.Col))
+		}
+		nets = append(nets, net)
+	}
+	return nets, nil
 }

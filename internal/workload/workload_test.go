@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/arch"
@@ -159,5 +160,76 @@ func TestChurnExecutes(t *testing.T) {
 				t.Fatalf("op %d unroute: %v", op.Serial, err)
 			}
 		}
+	}
+}
+
+// TestChurnEndpointExhausted: a tiny array with nothing ever unrouted runs
+// out of fresh source pins; the generator must fail with the typed error
+// carrying the retry budget it spent, not a bare formatted string.
+func TestChurnEndpointExhausted(t *testing.T) {
+	g := New(6, 2, 2)
+	_, err := g.Churn(100, 1, 0)
+	if err == nil {
+		t.Fatal("exhausted churn succeeded")
+	}
+	var ee *EndpointExhaustedError
+	if !errors.As(err, &ee) {
+		t.Fatalf("error %T %v, want *EndpointExhaustedError", err, err)
+	}
+	if ee.Attempts != ChurnRetryLimit {
+		t.Errorf("Attempts = %d, want %d", ee.Attempts, ChurnRetryLimit)
+	}
+	if ee.Dist != 1 {
+		t.Errorf("Dist = %d, want 1", ee.Dist)
+	}
+}
+
+// TestFanNets: the rtr_churn_cached working set — distinct tiles
+// device-wide, sinks within radius, deterministic per seed.
+func TestFanNets(t *testing.T) {
+	g := New(9, 16, 24)
+	nets, err := g.FanNets(10, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nets) != 10 {
+		t.Fatalf("%d nets", len(nets))
+	}
+	seen := map[device.Coord]bool{}
+	for _, n := range nets {
+		tiles := []core.Pin{n.Src}
+		tiles = append(tiles, n.Sinks...)
+		for _, p := range tiles {
+			c := device.Coord{Row: p.Row, Col: p.Col}
+			if seen[c] {
+				t.Fatalf("tile (%d,%d) reused across the set", p.Row, p.Col)
+			}
+			seen[c] = true
+		}
+		if len(n.Sinks) != 3 {
+			t.Errorf("net has %d sinks", len(n.Sinks))
+		}
+		for _, s := range n.Sinks {
+			if abs(s.Row-n.Src.Row) > 6 || abs(s.Col-n.Src.Col) > 6 {
+				t.Errorf("sink (%d,%d) outside radius of (%d,%d)", s.Row, s.Col, n.Src.Row, n.Src.Col)
+			}
+		}
+	}
+	// Same seed, same set.
+	again, err := New(9, 16, 24).FanNets(10, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range nets {
+		if nets[i].Src != again[i].Src {
+			t.Fatal("same seed, different sets")
+		}
+	}
+	// Impossible set: more tiles than the array has.
+	if _, err := New(1, 2, 2).FanNets(3, 2, 1); err == nil {
+		t.Error("oversized fan-net set accepted")
+	}
+	if _, err := g.FanNets(0, 1, 1); err == nil {
+		t.Error("zero nets accepted")
 	}
 }
