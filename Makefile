@@ -3,7 +3,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build vet fmt-check test race ci bench bench-go bench-json bench-smoke bench3
+.PHONY: build vet fmt-check test race ci bench bench-go bench-json bench-smoke bench3 fuzz-smoke verify
 
 build:
 	$(GO) build ./...
@@ -26,9 +26,23 @@ race:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
+# fuzz-smoke runs each native fuzz target briefly against its checked-in
+# seed corpus — a guard that the targets keep building and the corpus
+# keeps passing, not a bug-hunting campaign (run longer -fuzztime for that).
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzReplay -fuzztime=30s ./internal/maze
+	$(GO) test -run='^$$' -fuzz=FuzzTemplateRelocate -fuzztime=30s ./internal/core
+
+# verify audits the paper's worked examples across the config grid and
+# runs a short seeded differential fuzz campaign, all through the
+# bitstream-level oracle (cmd/jverify). Non-zero exit on any divergence.
+verify:
+	$(GO) run ./cmd/jverify -scenario all -steps 150 -seed 1 -q
+
 # ci is the full tier-1 gate: formatting + vet + build + tests + race
-# detector + one-shot benchmark smoke.
-ci: fmt-check vet build test race bench-smoke
+# detector + one-shot benchmark smoke + bitstream-oracle verification +
+# fuzz-target smoke.
+ci: fmt-check vet build test race bench-smoke verify fuzz-smoke
 
 # bench runs the service load generator against an in-process jrouted and
 # regenerates the BENCH_2.json snapshot (throughput, p50/p99, frames shipped).

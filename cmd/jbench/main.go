@@ -22,9 +22,10 @@ import (
 )
 
 type config struct {
-	seed int64
-	rows int
-	cols int
+	seed     int64
+	rows     int
+	cols     int
+	paranoid bool // oracle-audit the board after every automatic op
 }
 
 type experiment struct {
@@ -60,6 +61,7 @@ func main() {
 	rows := flag.Int("rows", 16, "default device rows")
 	cols := flag.Int("cols", 24, "default device cols")
 	list := flag.Bool("list", false, "list experiments and exit")
+	paranoid := flag.Bool("paranoid", false, "run every router with ParanoidVerify: re-extract and oracle-audit the frames after each op (slow; for validating benchmark results, not timing them)")
 	jsonPath := flag.String("json", "", "run the benchmark suite and write machine-readable results to this file")
 	flag.Parse()
 
@@ -77,7 +79,7 @@ func main() {
 		}
 		return
 	}
-	cfg := config{seed: *seed, rows: *rows, cols: *cols}
+	cfg := config{seed: *seed, rows: *rows, cols: *cols, paranoid: *paranoid}
 	want := strings.ToUpper(*exp)
 	ran := 0
 	for _, e := range experiments {
@@ -107,6 +109,7 @@ func newRouter(cfg config, opt core.Options) (*core.Router, error) {
 	if err != nil {
 		return nil, err
 	}
+	opt.ParanoidVerify = cfg.paranoid
 	return core.NewRouter(d, opt), nil
 }
 

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/oracle"
 	"repro/internal/server"
 	"repro/internal/server/client"
 	"repro/internal/workload"
@@ -272,7 +273,7 @@ type result3 struct {
 	CacheMisses   int     `json:"cache_misses"`
 	ReplayFails   int     `json:"replay_fails"`
 	ReplayHitRate float64 `json:"replay_hit_rate"` // hits / cache lookups
-	VerifyErrors  int     `json:"verify_errors"`   // reverse-trace mismatches
+	OracleAudits  int     `json:"oracle_audits"`   // passed bitstream-oracle audits
 	SpeedupVsOff  float64 `json:"speedup_vs_nocache,omitempty"`
 }
 
@@ -311,12 +312,12 @@ func runBench3(sessions int, seed int64, jsonPath string) error {
 			return err
 		}
 		var verifyMu sync.Mutex
-		verifyErrs := 0
+		audits := 0
 		res, err := runWorkload(bound, "rtr_churn_cached", sessions, b3Rows, b3Cols, seed,
 			func(s *client.Session, g *workload.Gen, r *sessionRun) error {
 				v, err := runCachedChurn(s, g, r)
 				verifyMu.Lock()
-				verifyErrs += v
+				audits += v
 				verifyMu.Unlock()
 				return err
 			})
@@ -329,7 +330,7 @@ func runBench3(sessions int, seed int64, jsonPath string) error {
 				err = derr
 			}
 			if err == nil {
-				r3 := result3{result: res, Cache: mode.name, VerifyErrors: verifyErrs}
+				r3 := result3{result: res, Cache: mode.name, OracleAudits: audits}
 				for _, ss := range stats.Sessions {
 					r3.CacheHits += ss.CacheHits
 					r3.CacheMisses += ss.CacheMisses
@@ -355,8 +356,8 @@ func runBench3(sessions int, seed int64, jsonPath string) error {
 		out[1].SpeedupVsOff = out[1].OpsPerSecond / out[0].OpsPerSecond
 	}
 	for _, r3 := range out {
-		fmt.Printf("%-16s cache=%-3s  %d sessions  %6d ops (%d errors, %d verify)  %8.0f ops/s  p50 %6.0fµs  p99 %6.0fµs  hit rate %.2f  replay fails %d\n",
-			r3.Name, r3.Cache, r3.Sessions, r3.Ops, r3.Errors, r3.VerifyErrors,
+		fmt.Printf("%-16s cache=%-3s  %d sessions  %6d ops (%d errors, %d audits)  %8.0f ops/s  p50 %6.0fµs  p99 %6.0fµs  hit rate %.2f  replay fails %d\n",
+			r3.Name, r3.Cache, r3.Sessions, r3.Ops, r3.Errors, r3.OracleAudits,
 			r3.OpsPerSecond, r3.P50us, r3.P99us, r3.ReplayHitRate, r3.ReplayFails)
 	}
 	if len(out) == 2 {
@@ -374,31 +375,46 @@ func runBench3(sessions int, seed int64, jsonPath string) error {
 }
 
 // runCachedChurn cycles a fixed working set of fanout nets: route all,
-// spot-verify by reverse trace (cold on the first round, replayed on the
-// last), unroute all, repeat. After the first round every route re-routes
-// endpoints the router has seen before — the cache-hit-heavy regime.
-// Returns the number of reverse-trace verification mismatches.
+// verify through the bitstream oracle (cold on the first round, replayed
+// on the last), unroute all, repeat. After the first round every route
+// re-routes endpoints the router has seen before — the cache-hit-heavy
+// regime.
+//
+// Verification re-extracts the netlist from the session mirror's raw
+// frames and audits it independently: structural invariants (double
+// drivers, antennas, loops) plus physical continuity of every net the
+// workload believes is up. The run fails on the first divergence — a
+// cache replay that silently commits wrong frames cannot survive to the
+// end of the benchmark. The returned count is the number of oracle audits
+// that passed.
 func runCachedChurn(s *client.Session, g *workload.Gen, r *sessionRun) (int, error) {
 	nets, err := g.FanNets(b3Nets, b3Fan, b3Radius)
 	if err != nil {
 		return 0, err
 	}
-	verifyErrs := 0
+	audits := 0
 	failed := map[core.Pin]bool{}
-	verify := func() {
+	verify := func(round int) error {
+		var claims []oracle.Claim
 		for _, n := range nets {
 			if failed[n.Src] {
 				continue
 			}
+			c := oracle.Claim{Source: oracle.Pin{Row: n.Src.Row, Col: n.Src.Col, W: n.Src.W}}
 			for _, sp := range n.Sinks {
-				net, err := s.ReverseTrace(client.Pin(sp))
-				if err != nil || net == nil || net.Source.Pin == nil ||
-					net.Source.Pin.Row != n.Src.Row || net.Source.Pin.Col != n.Src.Col ||
-					net.Source.Pin.Wire != int(n.Src.W) {
-					verifyErrs++
-				}
+				c.Sinks = append(c.Sinks, oracle.Pin{Row: sp.Row, Col: sp.Col, W: sp.W})
 			}
+			claims = append(claims, c)
 		}
+		stream, err := s.Mirror.FullConfig()
+		if err != nil {
+			return err
+		}
+		if err := oracle.Audit(s.Mirror.A, stream, claims, false); err != nil {
+			return fmt.Errorf("round %d: oracle divergence: %w", round, err)
+		}
+		audits++
+		return nil
 	}
 	for round := 0; round < b3Rounds; round++ {
 		for _, n := range nets {
@@ -414,7 +430,9 @@ func runCachedChurn(s *client.Session, g *workload.Gen, r *sessionRun) (int, err
 			}
 		}
 		if round == 0 || round == b3Rounds-1 {
-			verify()
+			if err := verify(round); err != nil {
+				return audits, err
+			}
 		}
 		if round < b3Rounds-1 {
 			for _, n := range nets {
@@ -426,7 +444,7 @@ func runCachedChurn(s *client.Session, g *workload.Gen, r *sessionRun) (int, err
 			}
 		}
 	}
-	return verifyErrs, nil
+	return audits, nil
 }
 
 // percentiles returns p50, p99 and the mean of the latencies, in µs.

@@ -23,7 +23,9 @@ type BatchNet struct {
 //
 // Connection records are created for every net, so port memory and
 // unrouting behave exactly as with the sequential calls.
-func (r *Router) RouteBatch(nets []BatchNet) error {
+func (r *Router) RouteBatch(nets []BatchNet) (err error) {
+	r.enterOp()
+	defer r.exitOp(&err)
 	specs := make([]maze.NetSpec, len(nets))
 	for i, n := range nets {
 		src, err := sourcePin(n.Source)
@@ -91,7 +93,9 @@ func (r *Router) RouteBatch(nets []BatchNet) error {
 
 // RouteBusBatch is RouteBus via the negotiated batch router: each bit
 // becomes one single-sink net, routed together.
-func (r *Router) RouteBusBatch(sources, sinks []EndPoint) error {
+func (r *Router) RouteBusBatch(sources, sinks []EndPoint) (err error) {
+	r.enterOp()
+	defer r.exitOp(&err)
 	if len(sources) != len(sinks) {
 		return fmt.Errorf("core: bus width mismatch: %d sources, %d sinks", len(sources), len(sinks))
 	}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/oracle"
+)
+
+// This file wires the router to the independent bitstream-level oracle.
+// With Options.ParanoidVerify set, every top-level automatic routing call
+// (route, fanout, bus, batch, unroute, reconnect, restore, rip-up) is
+// followed by a full oracle audit: the current configuration is serialized,
+// re-extracted from raw frames only, structurally checked, and compared
+// against the endpoint claims of every live connection record. The router
+// never hands its own routing state to the oracle — only frames and
+// endpoint claims cross the boundary.
+//
+// The depth counter keeps composite calls (RouteBus calling RouteNet,
+// Reconnect calling RestoreConnection) from auditing half-finished work:
+// only the outermost call verifies. The manual level-1/2/3 calls (Route,
+// RoutePath, RouteTemplate) are deliberately unhooked — they legitimately
+// leave mid-construction antennas while a path is being built by hand.
+
+// enterOp marks the start of a (possibly nested) verified routing call.
+func (r *Router) enterOp() { r.opDepth++ }
+
+// exitOp closes a verified routing call; the outermost successful call
+// runs the oracle audit and surfaces any violation as the call's error.
+func (r *Router) exitOp(err *error) {
+	r.opDepth--
+	if r.opDepth == 0 && r.Opt.ParanoidVerify && *err == nil {
+		if verr := r.VerifyOracle(); verr != nil {
+			*err = fmt.Errorf("core: paranoid verify: %w", verr)
+		}
+	}
+}
+
+// OracleClaims exports the endpoint-level claims of every live connection
+// record — the only router information the oracle is allowed to see.
+func (r *Router) OracleClaims() []oracle.Claim {
+	var out []oracle.Claim
+	for _, c := range r.conns {
+		if c.retired {
+			continue
+		}
+		src, err := sourcePin(c.Source)
+		if err != nil {
+			continue
+		}
+		cl := oracle.Claim{Source: oracle.Pin{Row: src.Row, Col: src.Col, W: src.W}}
+		for _, p := range flattenPins(c.Sinks) {
+			cl.Sinks = append(cl.Sinks, oracle.Pin{Row: p.Row, Col: p.Col, W: p.W})
+		}
+		out = append(out, cl)
+	}
+	return out
+}
+
+// VerifyOracle serializes the device configuration and audits it with the
+// bitstream oracle: structural invariants (single driver, no antennas, no
+// orphan roots, no loops) plus physical continuity of every live claim.
+// Coverage (no phantom nets) is not enforced here because manual routing
+// and clock distribution legitimately create unrecorded nets; harnesses
+// that use only the recorded automatic calls check it via OracleClaims and
+// oracle.Audit with strict coverage.
+func (r *Router) VerifyOracle() error {
+	stream, err := r.Dev.FullConfig()
+	if err != nil {
+		return err
+	}
+	return oracle.Audit(r.Dev.A, stream, r.OracleClaims(), false)
+}
+
+// rollbackCurPath clears every PIP the in-flight automatic call committed,
+// newest-first so each cleared PIP's target has no remaining dependants,
+// restoring the pre-call configuration after a mid-call failure. Without
+// this, a fanout that fails on its third sink would leave the first two
+// sinks' paths configured with no connection record claiming them — a
+// phantom net invisible to trace, unroute, and port memory.
+func (r *Router) rollbackCurPath() {
+	for i := len(r.curPath) - 1; i >= 0; i-- {
+		p := r.curPath[i]
+		if err := r.Dev.ClearPIP(p.Row, p.Col, p.From, p.To); err == nil {
+			r.stats.PIPsCleared++
+		}
+	}
+	r.curPath = r.curPath[:0]
+}

@@ -220,7 +220,9 @@ func (r *Router) lookupTemplate(srcTrack device.Track, sink Pin) ([]device.PIP, 
 // consult the exact cache themselves). On success the record is marked
 // live again and purged from every port's remembered list. Restoring a
 // connection that is not retired is a no-op.
-func (r *Router) RestoreConnection(c *Connection) error {
+func (r *Router) RestoreConnection(c *Connection) (err error) {
+	r.enterOp()
+	defer r.exitOp(&err)
 	if !c.retired {
 		return nil
 	}
@@ -232,7 +234,6 @@ func (r *Router) RestoreConnection(c *Connection) error {
 			r.stats.ReplayFails++
 		}
 	}
-	var err error
 	if len(c.Sinks) == 1 {
 		err = r.RouteNet(c.Source, c.Sinks[0])
 	} else {
@@ -308,7 +309,9 @@ func (r *Router) finishRestore(c *Connection) {
 // retire together, remembered under their ports as usual), and the retired
 // records are returned so the caller can RestoreConnection each one after
 // the region's new occupant is in place.
-func (r *Router) RipUpRegion(row, col, height, width int) ([]*Connection, error) {
+func (r *Router) RipUpRegion(row, col, height, width int) (ripped []*Connection, err error) {
+	r.enterOp()
+	defer r.exitOp(&err)
 	inRect := func(rr, cc int) bool {
 		return rr >= row && rr < row+height && cc >= col && cc < col+width
 	}
@@ -362,7 +365,6 @@ func (r *Router) RipUpRegion(row, col, height, width int) ([]*Connection, error)
 			}
 		}
 	}
-	var ripped []*Connection
 	for _, c := range live {
 		if hit[c] {
 			ripped = append(ripped, c)

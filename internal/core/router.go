@@ -50,6 +50,12 @@ type Options struct {
 	// full search. The zero value (CacheAuto) enables it; CacheOff forces
 	// every automatic route through search.
 	RouteCache CacheMode
+	// ParanoidVerify runs the independent bitstream oracle after every
+	// top-level automatic routing call: the configuration is serialized,
+	// re-extracted from raw frames, structurally checked, and compared
+	// against the live connection records. Any divergence fails the call.
+	// Debug/verification mode — every op pays a full-board audit.
+	ParanoidVerify bool
 }
 
 func (o Options) mazeOptions() maze.Options {
@@ -111,6 +117,9 @@ type Router struct {
 	// curPath accumulates the PIPs committed by the automatic route call
 	// in flight, snapshotted onto the Connection record by record().
 	curPath []device.PIP
+	// opDepth tracks nesting of verified routing calls so ParanoidVerify
+	// audits only at the outermost call boundary (see paranoid.go).
+	opDepth int
 }
 
 // NewRouter creates a router for a device.
@@ -381,7 +390,9 @@ func (r *Router) routeOne(srcTrack device.Track, sink Pin) error {
 // RouteNet is route(EndPoint source, EndPoint sink): "auto-routing of point
 // to point connections" (§3.1). A sink port may resolve to several pins, in
 // which case all of them are connected (reusing the net).
-func (r *Router) RouteNet(source, sink EndPoint) error {
+func (r *Router) RouteNet(source, sink EndPoint) (err error) {
+	r.enterOp()
+	defer r.exitOp(&err)
 	src, err := sourcePin(source)
 	if err != nil {
 		return err
@@ -414,6 +425,10 @@ func (r *Router) RouteNet(source, sink EndPoint) error {
 	}
 	for _, sp := range sinkPins {
 		if err := r.routeOne(srcTrack, sp); err != nil {
+			// A multi-pin sink that fails partway must not leave the
+			// already-routed pins configured: no record would claim
+			// those PIPs, making them an untraceable phantom net.
+			r.rollbackCurPath()
 			return err
 		}
 	}
@@ -425,7 +440,9 @@ func (r *Router) RouteNet(source, sink EndPoint) error {
 // best path for the entire collection of sinks ... Each sink gets routed in
 // order of increasing distance from the source. For each sink, the router
 // attempts to reuse the previous paths as much as possible." (§3.1)
-func (r *Router) RouteFanout(source EndPoint, sinks []EndPoint) error {
+func (r *Router) RouteFanout(source EndPoint, sinks []EndPoint) (err error) {
+	r.enterOp()
+	defer r.exitOp(&err)
 	if len(sinks) == 0 {
 		return fmt.Errorf("core: fanout with no sinks")
 	}
@@ -468,6 +485,9 @@ func (r *Router) RouteFanout(source EndPoint, sinks []EndPoint) error {
 	})
 	for _, sp := range pins {
 		if err := r.routeOne(srcTrack, sp); err != nil {
+			// Same phantom-net hazard as RouteNet: undo the sinks
+			// already routed by this call before reporting failure.
+			r.rollbackCurPath()
 			return err
 		}
 	}
@@ -479,7 +499,9 @@ func (r *Router) RouteFanout(source EndPoint, sinks []EndPoint) error {
 // connections. In a data flow design, the outputs of one stage go to the
 // inputs of the next stage. As a convenience, the user does not need to
 // write a Java loop to connect each one." (§3.1)
-func (r *Router) RouteBus(sources, sinks []EndPoint) error {
+func (r *Router) RouteBus(sources, sinks []EndPoint) (err error) {
+	r.enterOp()
+	defer r.exitOp(&err)
 	if len(sources) != len(sinks) {
 		return fmt.Errorf("core: bus width mismatch: %d sources, %d sinks", len(sources), len(sinks))
 	}
@@ -497,7 +519,9 @@ func (r *Router) RouteBus(sources, sinks []EndPoint) error {
 // RouteClock connects a dedicated global clock net to the clock pins of the
 // given endpoints using the dedicated low-skew resources (§2's global
 // routing; clock distribution does not consume general routing).
-func (r *Router) RouteClock(g int, sinks ...EndPoint) error {
+func (r *Router) RouteClock(g int, sinks ...EndPoint) (err error) {
+	r.enterOp()
+	defer r.exitOp(&err)
 	gw := arch.GClk(g)
 	if gw == arch.Invalid {
 		return fmt.Errorf("core: no global clock %d", g)

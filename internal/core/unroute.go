@@ -15,7 +15,9 @@ import (
 // any port is involved, the connection is remembered so that re-routing the
 // port (after a core swap or relocation) can restore it (§3.3: "The port
 // connections are removed, but are remembered").
-func (r *Router) Unroute(source EndPoint) error {
+func (r *Router) Unroute(source EndPoint) (err error) {
+	r.enterOp()
+	defer r.exitOp(&err)
 	net, err := r.Trace(source)
 	if err != nil {
 		return err
@@ -43,7 +45,9 @@ func (r *Router) Unroute(source EndPoint) error {
 // starts at the sink pin and works backwards, turning off wires along the
 // way, until it comes to a point where a wire is driving multiple wires."
 // (§3.3)
-func (r *Router) ReverseUnroute(sink EndPoint) error {
+func (r *Router) ReverseUnroute(sink EndPoint) (err error) {
+	r.enterOp()
+	defer r.exitOp(&err)
 	pins := sink.Pins()
 	if len(pins) != 1 {
 		return fmt.Errorf("core: reverse unroute needs exactly one sink pin, got %d", len(pins))
@@ -140,12 +144,17 @@ func (r *Router) ReverseUnroute(sink EndPoint) error {
 }
 
 // UnrouteAll removes every routed net on the device (used when tearing a
-// whole design down).
-func (r *Router) UnrouteAll() error {
+// whole design down). Every live connection record is retired along with
+// the configuration bits: leaving the records live would claim nets that
+// no longer exist on the device.
+func (r *Router) UnrouteAll() (err error) {
+	r.enterOp()
+	defer r.exitOp(&err)
 	var pips []device.PIP
 	for {
 		pips = r.Dev.AppendAllOnPIPs(pips[:0])
 		if len(pips) == 0 {
+			r.retireConnections(func(*Connection) bool { return true })
 			return nil
 		}
 		progress := false
@@ -218,13 +227,22 @@ func (r *Router) RememberedConnections(port *Port) []*Connection {
 	return append([]*Connection(nil), r.remembered[port]...)
 }
 
+// ForgetRemembered drops every remembered (unrouted) connection for a
+// port, so a later Reconnect restores nothing. Use it when a torn-down
+// port net must stay down across core replacements.
+func (r *Router) ForgetRemembered(port *Port) {
+	delete(r.remembered, port)
+}
+
 // Reconnect re-routes every remembered connection involving the port,
 // resolving ports to their *current* pins — this is what makes §3.3's core
 // replacement work: "If the ports are reused, then they will be
 // automatically connected to the new core ... The core can be removed,
 // unrouted, and replaced with a new constant multiplier without having to
 // specify connections again."
-func (r *Router) Reconnect(port *Port) error {
+func (r *Router) Reconnect(port *Port) (err error) {
+	r.enterOp()
+	defer r.exitOp(&err)
 	conns := append([]*Connection(nil), r.remembered[port]...)
 	for _, c := range conns {
 		if err := r.RestoreConnection(c); err != nil {

@@ -1,0 +1,161 @@
+package jbits
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestShortFrameHeader: a peer dying mid-header must surface
+// ErrShortFrame, not a clean EOF.
+func TestShortFrameHeader(t *testing.T) {
+	r := bytes.NewReader([]byte{0x01, 0x00}) // 2 of 5 header bytes
+	_, _, err := ReadFrame(r)
+	if !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("want ErrShortFrame, got %v", err)
+	}
+	var sfe *ShortFrameError
+	if !errors.As(err, &sfe) || sfe.Part != "header" || sfe.Got != 2 || sfe.Want != 5 {
+		t.Fatalf("bad detail: %+v", sfe)
+	}
+}
+
+// TestShortFramePayload: a frame whose payload is cut off must surface
+// ErrShortFrame even though the header parsed cleanly.
+func TestShortFramePayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, opConfigure, []byte("abcdefgh")); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-3]
+	_, _, err := ReadFrame(bytes.NewReader(cut))
+	if !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("want ErrShortFrame, got %v", err)
+	}
+	var sfe *ShortFrameError
+	if !errors.As(err, &sfe) || sfe.Part != "payload" || sfe.Got != 5 || sfe.Want != 8 {
+		t.Fatalf("bad detail: %+v", sfe)
+	}
+}
+
+// TestCleanCloseStaysEOF: zero bytes between frames is still a plain
+// io.EOF — serve loops depend on it to distinguish clean shutdown.
+func TestCleanCloseStaysEOF(t *testing.T) {
+	_, _, err := ReadFrame(bytes.NewReader(nil))
+	if err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+	if errors.Is(err, ErrShortFrame) {
+		t.Fatal("clean close must not match ErrShortFrame")
+	}
+}
+
+// TestFaultConnTruncate: a truncated write must leave the peer's ReadFrame
+// reporting a short frame.
+func TestFaultConnTruncate(t *testing.T) {
+	var wire bytes.Buffer
+	fc := NewFaultConn(&wire, FaultOptions{Seed: 7, PTruncate: 1})
+	// The header write truncates and kills the connection; the payload
+	// write then fails — either way WriteFrame must not report success.
+	if err := WriteFrame(fc, opConfigure, []byte("payload")); err == nil {
+		t.Fatal("WriteFrame succeeded over a truncating transport")
+	}
+	if _, _, err := ReadFrame(&wire); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("peer read: want ErrShortFrame, got %v", err)
+	}
+	if c := fc.Counters(); c.Truncates == 0 {
+		t.Fatalf("no truncation counted: %+v", c)
+	}
+}
+
+// TestFaultConnDrop: a dropped write looks successful to the sender but
+// the peer never receives a frame — the stream ends instead (as a real
+// link dying mid-protocol does), so a client waiting on a response fails
+// rather than proceeding on stale state.
+func TestFaultConnDrop(t *testing.T) {
+	cw, cr := net.Pipe()
+	fc := NewFaultConn(cw, FaultOptions{Seed: 3, PDrop: 1})
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := ReadFrame(cr)
+		done <- err
+	}()
+	if err := WriteFrame(fc, opStats, nil); err != nil {
+		t.Fatalf("dropped write must look locally successful, got %v", err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("peer received a frame that was dropped")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer read hung after a dropped write")
+	}
+	if c := fc.Counters(); c.Drops == 0 {
+		t.Fatalf("no drop counted: %+v", c)
+	}
+	// Later writes on a dead transport fail immediately.
+	if _, err := fc.Write([]byte{1}); err == nil {
+		t.Fatal("write after a drop fault succeeded")
+	}
+}
+
+// TestFaultConnDuplicate: duplicated writes desync the stream — the extra
+// bytes are really on the wire.
+func TestFaultConnDuplicate(t *testing.T) {
+	var wire bytes.Buffer
+	fc := NewFaultConn(&wire, FaultOptions{Seed: 11, PDuplicate: 1})
+	if err := WriteFrame(fc, opStats, []byte{0xAB}); err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * (5 + 1) // header and payload each written twice
+	if wire.Len() != want {
+		t.Fatalf("wire holds %d bytes, want %d", wire.Len(), want)
+	}
+}
+
+// TestFaultConnDelay: delayed bytes are held back and flushed before the
+// next read, so the transport cannot deadlock a request/response exchange.
+func TestFaultConnDelay(t *testing.T) {
+	var wire bytes.Buffer
+	fc := NewFaultConn(&wire, FaultOptions{Seed: 5, PDelay: 1})
+	if err := WriteFrame(fc, opStats, []byte{0xCD}); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Len() != 0 {
+		t.Fatalf("delayed write reached the wire immediately (%d bytes)", wire.Len())
+	}
+	// A read flushes the pending bytes first.
+	buf := make([]byte, 6)
+	if _, err := io.ReadFull(fc, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != opStats {
+		t.Fatalf("flushed stream starts with %#x, want opStats", buf[0])
+	}
+}
+
+// TestFaultConnDeterministic: the fault schedule is a pure function of the
+// seed and the write sequence.
+func TestFaultConnDeterministic(t *testing.T) {
+	run := func() FaultCounters {
+		var wire bytes.Buffer
+		fc := NewFaultConn(&wire, FaultOptions{Seed: 42, PDuplicate: 0.3, PDelay: 0.3})
+		for i := 0; i < 50; i++ {
+			if _, err := fc.Write([]byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return fc.Counters()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed produced different schedules: %+v vs %+v", a, b)
+	}
+	if a.Duplicates == 0 || a.Delays == 0 {
+		t.Fatalf("schedule injected nothing: %+v", a)
+	}
+}

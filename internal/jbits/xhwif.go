@@ -3,6 +3,7 @@ package jbits
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -36,6 +37,33 @@ const (
 // echo the request opcode with this bit set.
 const RespFlag = respFlag
 
+// ErrShortFrame is the sentinel matched (via errors.Is) by every frame
+// read that got fewer bytes than the wire format promised — a peer dying
+// mid-frame, a fault-injected truncation, a half-flushed buffer. Transport
+// consumers must treat it as a hard protocol error, never as a clean
+// close; only a zero-byte read between frames reports plain io.EOF.
+var ErrShortFrame = errors.New("jbits: short frame")
+
+// ShortFrameError carries the detail of one truncated frame read.
+type ShortFrameError struct {
+	Part  string // "header" or "payload"
+	Got   int    // bytes actually read
+	Want  int    // bytes the wire format promised
+	Cause error  // underlying read error
+}
+
+// Error renders the truncation.
+func (e *ShortFrameError) Error() string {
+	return fmt.Sprintf("jbits: short frame: %s truncated at %d of %d bytes: %v",
+		e.Part, e.Got, e.Want, e.Cause)
+}
+
+// Is matches the ErrShortFrame sentinel.
+func (e *ShortFrameError) Is(target error) bool { return target == ErrShortFrame }
+
+// Unwrap exposes the underlying transport error.
+func (e *ShortFrameError) Unwrap() error { return e.Cause }
+
 // WriteFrame writes one frame of the shared XHWIF wire format: u8 opcode,
 // u32 big-endian payload length, payload.
 func WriteFrame(w io.Writer, op byte, payload []byte) error {
@@ -57,16 +85,25 @@ func WriteFrame(w io.Writer, op byte, payload []byte) error {
 // payloads over the 64 MiB frame limit.
 func ReadFrame(r io.Reader) (op byte, payload []byte, err error) {
 	var hdr [5]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+	if n, err := io.ReadFull(r, hdr[:]); err != nil {
+		// A clean close between frames (zero bytes read) stays a plain
+		// io.EOF so serve loops can distinguish it; anything else — the
+		// peer died mid-header — is a short frame and must say so
+		// instead of being silently accepted as end-of-stream.
+		if n == 0 && err == io.EOF {
+			return 0, nil, err
+		}
+		return 0, nil, &ShortFrameError{Part: "header", Got: n, Want: len(hdr), Cause: err}
 	}
 	n := binary.BigEndian.Uint32(hdr[1:])
 	if n > maxFramePayld {
 		return 0, nil, fmt.Errorf("jbits: frame of %d bytes exceeds limit", n)
 	}
 	payload = make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, err
+	if got, err := io.ReadFull(r, payload); err != nil {
+		// The header promised n payload bytes; any failure here means a
+		// truncated frame, never a clean close.
+		return 0, nil, &ShortFrameError{Part: "payload", Got: got, Want: int(n), Cause: err}
 	}
 	return hdr[0], payload, nil
 }

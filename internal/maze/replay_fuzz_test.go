@@ -1,0 +1,73 @@
+package maze
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/device"
+)
+
+// replayFuzzRows is the array size the replay fuzzer works on (the
+// smallest legal virtex array).
+const replayFuzzRows, replayFuzzCols = 12, 12
+
+// decodeReplayInput turns raw fuzz bytes into a replay request: 2 bytes of
+// shift, then 6 bytes per PIP (row, col, from-wire u16, to-wire u16).
+func decodeReplayInput(a *arch.Arch, data []byte) (dRow, dCol int, pips []device.PIP) {
+	if len(data) < 2 {
+		return 0, 0, nil
+	}
+	dRow = int(data[0]%5) - 2
+	dCol = int(data[1]%5) - 2
+	rest := data[2:]
+	w := a.WireCount()
+	for i := 0; i+6 <= len(rest) && len(pips) < 64; i += 6 {
+		pips = append(pips, device.PIP{
+			Row:  int(rest[i]) % replayFuzzRows,
+			Col:  int(rest[i+1]) % replayFuzzCols,
+			From: arch.Wire(int(binary.BigEndian.Uint16(rest[i+2:i+4])) % w),
+			To:   arch.Wire(int(binary.BigEndian.Uint16(rest[i+4:i+6])) % w),
+		})
+	}
+	return dRow, dCol, pips
+}
+
+// FuzzReplay feeds arbitrary PIP sequences and shifts through Replay. The
+// invariant under test: Replay either rejects the path with ErrUnroutable
+// (never panicking, whatever the bytes say) or returns a route that is
+// fully committable — every PIP sets cleanly on the device, which is the
+// same legality the verification oracle enforces frame-side. Seed corpus
+// under testdata/fuzz/FuzzReplay includes a valid relocatable path.
+func FuzzReplay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x02, 0x02})
+	f.Add([]byte{0x00, 0x04, 0x02, 0x02, 0x00, 0x01, 0x00, 0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a := arch.NewVirtex()
+		dev, err := device.New(a, replayFuzzRows, replayFuzzCols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := dev.Canon(2, 2, arch.S1YQ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dRow, dCol, pips := decodeReplayInput(a, data)
+		if len(pips) == 0 {
+			return
+		}
+		route, err := Replay(dev, []device.Track{src}, pips, dRow, dCol)
+		if err != nil {
+			return // rejected — that is a correct outcome for random bytes
+		}
+		if len(route.PIPs) != len(pips) {
+			t.Fatalf("replay returned %d PIPs for a %d-PIP path", len(route.PIPs), len(pips))
+		}
+		for _, p := range route.PIPs {
+			if err := dev.SetPIP(p.Row, p.Col, p.From, p.To); err != nil {
+				t.Fatalf("replay accepted uncommittable PIP %s: %v", dev.PIPString(p), err)
+			}
+		}
+	})
+}

@@ -1,0 +1,132 @@
+package fuzz
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/oracle"
+)
+
+// TestDifferentialSmoke runs a short seeded campaign over the full 2x2
+// config grid (cache on/off x parallelism 1/8) and requires zero
+// divergences. The long campaign lives in cmd/jverify; this is the CI
+// floor.
+func TestDifferentialSmoke(t *testing.T) {
+	steps := 120
+	if testing.Short() {
+		steps = 40
+	}
+	if raceEnabled {
+		steps = 30 // ~5x slower per step under the race detector
+	}
+	res, err := Run(Options{Seed: 42, Steps: steps})
+	if err != nil {
+		t.Fatalf("differential run diverged: %v", err)
+	}
+	if res.Steps != steps {
+		t.Fatalf("ran %d steps, want %d", res.Steps, steps)
+	}
+	if res.Audits == 0 {
+		t.Fatal("no oracle audits performed")
+	}
+	if len(res.Ops) < 4 {
+		t.Fatalf("op mix too narrow: %v", res.Ops)
+	}
+}
+
+// TestCacheModesBytesDiverge is the reproducer for the harness's first
+// discovery (see the package comment): cache-on and cache-off boards are
+// NOT byte-identical under churn, and that is correct behavior, not a bug.
+//
+// Construction: a net is first routed through a congested corridor, so the
+// path it learns is a detour. The congestion is then removed and the net
+// is torn down and rerouted. The cache-on router replays the learned
+// detour; the cache-off router re-searches the now-open board and finds a
+// different (straighter) path. Frames differ, yet both boards are fully
+// oracle-equivalent: same claims, physically continuous, no contention,
+// no antennas.
+func TestCacheModesBytesDiverge(t *testing.T) {
+	a := arch.NewVirtex()
+	mk := func(mode core.CacheMode) (*device.Device, *core.Router) {
+		dev, err := device.New(a, 16, 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dev, core.NewRouter(dev, core.Options{RouteCache: mode})
+	}
+	devOn, on := mk(core.CacheOn)
+	devOff, off := mk(core.CacheOff)
+	both := func(what string, f func(r *core.Router) error) {
+		t.Helper()
+		if err := f(on); err != nil {
+			t.Fatalf("%s (cache-on): %v", what, err)
+		}
+		if err := f(off); err != nil {
+			t.Fatalf("%s (cache-off): %v", what, err)
+		}
+	}
+
+	src := core.NewPin(5, 4, arch.S1YQ)
+	dst := core.NewPin(5, 12, arch.S0F3)
+
+	// Congest the row-5 corridor between the endpoints with competing
+	// east-west nets, identically on both boards.
+	blockers := []struct{ s, d core.Pin }{
+		{core.NewPin(5, 5, arch.S0YQ), core.NewPin(5, 11, arch.S0G1)},
+		{core.NewPin(5, 6, arch.S1XQ), core.NewPin(5, 10, arch.S0G2)},
+		{core.NewPin(5, 5, arch.S0XQ), core.NewPin(5, 11, arch.S0G3)},
+		{core.NewPin(5, 6, arch.S1YQ), core.NewPin(5, 10, arch.S0G4)},
+	}
+	for _, b := range blockers {
+		b := b
+		both("blocker route", func(r *core.Router) error { return r.RouteNet(b.s, b.d) })
+	}
+
+	// Route the victim through the congestion: it learns a detour.
+	both("victim route", func(r *core.Router) error { return r.RouteNet(src, dst) })
+	// Tear everything down; the cache-on router remembers the detour.
+	both("victim unroute", func(r *core.Router) error { return r.Unroute(src) })
+	for _, b := range blockers {
+		b := b
+		both("blocker unroute", func(r *core.Router) error { return r.Unroute(b.s) })
+	}
+
+	// Reroute on the now-open board: replay vs fresh search.
+	both("victim reroute", func(r *core.Router) error { return r.RouteNet(src, dst) })
+
+	sOn, err := devOn.FullConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sOff, err := devOff.FullConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(sOn, sOff) {
+		t.Fatal("boards are byte-identical; the replayed detour did not differ from the fresh search (construction no longer congests the corridor?)")
+	}
+	diff, err := oracle.DiffStreams(a, sOn, sOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff) == 0 {
+		t.Fatal("streams differ but PIP diff is empty")
+	}
+	t.Logf("cache-on and cache-off legally differ by %d PIPs after churn", len(diff))
+
+	// The divergence is byte-level only: both boards must be fully
+	// oracle-equivalent.
+	claimsOn, claimsOff := on.OracleClaims(), off.OracleClaims()
+	if !claimsEquivalent(claimsOn, claimsOff) {
+		t.Fatal("claims diverged — this would be a real bug, not the documented byte divergence")
+	}
+	if err := oracle.Audit(a, sOn, claimsOn, true); err != nil {
+		t.Fatalf("cache-on board not oracle-clean: %v", err)
+	}
+	if err := oracle.Audit(a, sOff, claimsOff, true); err != nil {
+		t.Fatalf("cache-off board not oracle-clean: %v", err)
+	}
+}

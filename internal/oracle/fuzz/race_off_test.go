@@ -1,0 +1,7 @@
+//go:build !race
+
+package fuzz
+
+// raceEnabled reports whether the race detector is compiled in; the smoke
+// campaign shrinks under -race to keep the tier-1 gate fast.
+const raceEnabled = false

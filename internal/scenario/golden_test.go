@@ -1,0 +1,89 @@
+package scenario
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/oracle"
+)
+
+var update = flag.Bool("update", false, "rewrite golden bitstreams")
+
+// goldenConfigs is the cross-configuration grid every scenario must agree
+// on byte-for-byte. Scenarios are fresh single-pass flows — no churn
+// between a path being learned and replayed — so here (unlike the
+// differential fuzz harness) even cache-on and cache-off boards must be
+// identical, and the committed stream must not depend on worker count.
+var goldenConfigs = []struct {
+	name string
+	opt  core.Options
+}{
+	{"cache-on/par-1", core.Options{RouteCache: core.CacheOn, Parallelism: 1}},
+	{"cache-on/par-8", core.Options{RouteCache: core.CacheOn, Parallelism: 8}},
+	{"cache-off/par-1", core.Options{RouteCache: core.CacheOff, Parallelism: 1}},
+	{"cache-off/par-8", core.Options{RouteCache: core.CacheOff, Parallelism: 8}},
+}
+
+// TestGoldenBitstreams pins every scenario's committed configuration
+// stream against a checked-in golden file, across the full config grid.
+// A diff means the router now emits different frames for the paper's
+// worked examples — if that is intended (an algorithm change), regenerate
+// with `go test ./internal/scenario -run Golden -update` and review the
+// PIP-level diff the failure printed.
+func TestGoldenBitstreams(t *testing.T) {
+	a := arch.NewVirtex()
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			golden := filepath.Join("testdata", s.Name+".bin")
+			var ref []byte
+			for _, cfg := range goldenConfigs {
+				stream, claims, err := s.Run(cfg.opt)
+				if err != nil {
+					t.Fatalf("%s under %s: %v", s.Name, cfg.name, err)
+				}
+				// Every configuration's board must be oracle-clean.
+				// Coverage is non-strict: the template scenario routes
+				// manually, which the router records no claim for.
+				if err := oracle.Audit(a, stream, claims, false); err != nil {
+					t.Fatalf("%s under %s not oracle-clean: %v", s.Name, cfg.name, err)
+				}
+				if ref == nil {
+					ref = stream
+					continue
+				}
+				if !bytes.Equal(ref, stream) {
+					diff, derr := oracle.DiffStreams(a, ref, stream)
+					if derr != nil {
+						t.Fatalf("%s: configs diverge and diff failed: %v", s.Name, derr)
+					}
+					t.Fatalf("%s: %s emits different frames than %s (%d PIPs differ): %v",
+						s.Name, cfg.name, goldenConfigs[0].name, len(diff), diff)
+				}
+			}
+			if *update {
+				if err := os.WriteFile(golden, ref, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", golden, len(ref))
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(want, ref) {
+				diff, derr := oracle.DiffStreams(a, want, ref)
+				if derr != nil {
+					t.Fatalf("%s: stream differs from golden and diff failed: %v", s.Name, derr)
+				}
+				t.Fatalf("%s: stream differs from golden by %d PIPs: %v", s.Name, len(diff), diff)
+			}
+		})
+	}
+}

@@ -1,0 +1,113 @@
+package server_test
+
+import (
+	"fmt"
+	"net"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/jbits"
+	"repro/internal/oracle"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// TestSessionUnderTransportFaults drives client sessions over a
+// fault-injected transport (seeded drops, truncated frames, duplicated
+// writes, delayed flushes) against a paranoid-verify server. The
+// invariant: every outcome is one of two states — the client surfaces an
+// error, or the ops succeeded — and in BOTH the server's board stays
+// oracle-clean when re-extracted from a readback over a fresh, clean
+// connection. The forbidden third state is silent success over a
+// corrupted or diverged board.
+func TestSessionUnderTransportFaults(t *testing.T) {
+	addr, srv := startDaemon(t, server.Options{ParanoidVerify: true})
+
+	a := arch.NewVirtex()
+	var faultsInjected, errorsSurfaced, completed int
+	for seed := int64(1); seed <= 10; seed++ {
+		devName := fmt.Sprintf("chaos%d", seed)
+		if err := srv.AddDevice(devName, "virtex", 16, 24); err != nil {
+			t.Fatal(err)
+		}
+
+		raw, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc := jbits.NewFaultConn(raw, jbits.FaultOptions{
+			Seed:       seed,
+			PDrop:      0.02,
+			PTruncate:  0.02,
+			PDuplicate: 0.02,
+			PDelay:     0.10,
+		})
+		c := client.NewClient(fc)
+
+		// Drive a route/unroute churn until the first transport-induced
+		// error (or completion). Every individual op must report success
+		// or failure — a hang would fail the test by timeout.
+		opErr := func() error {
+			s, err := c.Session(devName)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < 12; i++ {
+				src := client.Pin(core.NewPin(2+i, 3, arch.S1YQ))
+				sink := client.Pin(core.NewPin(3+i, 7, arch.S0F3))
+				if err := s.Route(src, sink); err != nil {
+					return err
+				}
+				if i%3 == 2 {
+					if err := s.Unroute(src); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}()
+		c.Close()
+		if counters := fc.Counters(); counters.Drops+counters.Truncates+counters.Duplicates > 0 {
+			faultsInjected++
+		}
+		if opErr != nil {
+			errorsSurfaced++
+			t.Logf("seed %d: error surfaced: %v", seed, opErr)
+		} else {
+			completed++
+		}
+
+		// Whatever the faulty session saw, the server's board must be
+		// oracle-clean through a fresh, clean connection.
+		cc, err := client.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, err := cc.Session(devName)
+		if err != nil {
+			t.Fatalf("seed %d: clean reconnect: %v", seed, err)
+		}
+		stream, err := cs.Readback()
+		if err != nil {
+			t.Fatalf("seed %d: readback: %v", seed, err)
+		}
+		if err := oracle.Audit(a, stream, nil, false); err != nil {
+			t.Fatalf("seed %d: board not oracle-clean after faulty session (client err: %v): %v",
+				seed, opErr, err)
+		}
+		// The clean session's freshly seeded mirror must agree.
+		if err := cs.VerifyMirror(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cc.Close()
+	}
+	t.Logf("10 seeds: %d with terminal faults, %d errors surfaced, %d completed",
+		faultsInjected, errorsSurfaced, completed)
+	if faultsInjected == 0 {
+		t.Fatal("fault schedule injected no terminal faults across 10 seeds; raise probabilities")
+	}
+	if errorsSurfaced == 0 {
+		t.Fatal("no session surfaced an error despite injected faults")
+	}
+}

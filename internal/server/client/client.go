@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 
@@ -16,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/jbits"
+	"repro/internal/oracle"
 	"repro/internal/server"
 )
 
@@ -27,7 +29,7 @@ var ErrBusy = errors.New("client: server busy (session queue full)")
 // request/response; the mutex serializes concurrent callers onto the wire.
 type Client struct {
 	mu     sync.Mutex
-	conn   net.Conn
+	conn   io.ReadWriteCloser
 	nextID uint64
 }
 
@@ -39,6 +41,11 @@ func Dial(addr string) (*Client, error) {
 	}
 	return &Client{conn: conn}, nil
 }
+
+// NewClient wraps an already-established transport. Tests use this to
+// interpose fault injection (jbits.FaultConn) between the protocol layer
+// and the wire.
+func NewClient(conn io.ReadWriteCloser) *Client { return &Client{conn: conn} }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
@@ -160,6 +167,22 @@ func (c *Client) Session(deviceName string) (*Session, error) {
 
 // Device returns the session's device name.
 func (s *Session) Device() string { return s.device }
+
+// VerifyMirror re-extracts the mirror's accumulated configuration through
+// the bitstream oracle and checks the structural routing invariants (no
+// double drivers, no antennas, no orphan roots, no loops). It validates
+// the frames themselves — the mirror's in-memory routing view is not
+// consulted and need not be synced.
+func (s *Session) VerifyMirror() error {
+	stream, err := s.Mirror.FullConfig()
+	if err != nil {
+		return fmt.Errorf("client: verify mirror: %w", err)
+	}
+	if err := oracle.Audit(s.Mirror.A, stream, nil, false); err != nil {
+		return fmt.Errorf("client: verify mirror: %w", err)
+	}
+	return nil
+}
 
 // do runs one op against the session, applying any pushed dirty frames to
 // the mirror.

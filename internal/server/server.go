@@ -26,6 +26,10 @@ type Options struct {
 	// EnqueueTimeout is how long a request waits for a slot in a full
 	// session queue before the server answers busy (default 5s).
 	EnqueueTimeout time.Duration
+	// ParanoidVerify is passed to every session router: after each
+	// automatic routing op the committed frames are re-extracted and
+	// audited by the bitstream oracle (see core.Options.ParanoidVerify).
+	ParanoidVerify bool
 }
 
 func (o Options) enqueueTimeout() time.Duration {

@@ -63,8 +63,9 @@ func newSession(name, archName string, rows, cols int, opts Options) (*session, 
 		done:     make(chan struct{}),
 		js:       js,
 		router: core.NewRouter(js.Dev, core.Options{
-			Parallelism: opts.Parallelism,
-			RouteCache:  opts.RouteCache,
+			Parallelism:    opts.Parallelism,
+			RouteCache:     opts.RouteCache,
+			ParanoidVerify: opts.ParanoidVerify,
 		}),
 		cores: make(map[string]*coreEntry),
 		m:     newSessionMetrics(),

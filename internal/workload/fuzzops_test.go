@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/device"
+)
+
+func TestScriptDeterministic(t *testing.T) {
+	gen := func() []ScriptOp {
+		g := New(99, 16, 24)
+		ops, err := g.Script(ScriptOptions{Steps: 300, CoreSlots: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ops
+	}
+	a, b := gen(), gen()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different scripts")
+	}
+}
+
+func TestScriptShape(t *testing.T) {
+	g := New(7, 16, 24)
+	ops, err := g.Script(ScriptOptions{Steps: 500, CoreSlots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 500 {
+		t.Fatalf("got %d ops, want 500", len(ops))
+	}
+	counts := make(map[ScriptOpKind]int)
+	reserved := map[device.Coord]bool{}
+	for s := 0; s < 2; s++ {
+		r, c := CoreSlotSite(s, 16, 24)
+		reserved[device.Coord{Row: r, Col: c}] = true
+	}
+	for i, op := range ops {
+		if op.Serial != i {
+			t.Fatalf("op %d has serial %d", i, op.Serial)
+		}
+		counts[op.Kind]++
+		check := func(row, col int) {
+			if reserved[device.Coord{Row: row, Col: col}] {
+				t.Fatalf("op %d (%s) uses reserved core tile (%d,%d)", i, op.Kind, row, col)
+			}
+		}
+		switch op.Kind {
+		case OpRouteNet, OpRouteFanout, OpReroute:
+			check(op.Src.Row, op.Src.Col)
+			for _, s := range op.Sinks {
+				check(s.Row, s.Col)
+			}
+		case OpRouteBus:
+			for _, p := range op.Srcs {
+				check(p.Row, p.Col)
+			}
+			for _, p := range op.Dsts {
+				check(p.Row, p.Col)
+			}
+		}
+	}
+	// The mix must actually exercise every class it promises.
+	for _, k := range []ScriptOpKind{OpRouteNet, OpRouteFanout, OpRouteBus, OpUnroute, OpReverseUnroute, OpReroute, OpCoreNew, OpCoreReplace} {
+		if counts[k] == 0 {
+			t.Fatalf("500-step script contains no %s ops: %v", k, counts)
+		}
+	}
+}
