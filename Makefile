@@ -3,7 +3,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build vet fmt-check test race ci bench bench-go bench-json bench-smoke bench3 fuzz-smoke verify
+.PHONY: build vet fmt-check test race ci bench bench-go bench-json bench-smoke bench3 bench4 fuzz-smoke verify
 
 build:
 	$(GO) build ./...
@@ -60,3 +60,9 @@ bench-json:
 # workload against two in-process daemons (cache off vs on).
 bench3:
 	$(GO) run ./cmd/jload -json3 BENCH_3.json
+
+# bench4 regenerates the fleet snapshot: throughput scaling across 1/2/4/8
+# board shards, then the kill-a-board failover run. Any lost acknowledged
+# op or failed post-run oracle probe is a hard failure.
+bench4:
+	$(GO) run ./cmd/jload -json4 BENCH_4.json

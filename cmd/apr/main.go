@@ -150,7 +150,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	r := core.NewRouter(dev, core.Options{})
+	r := core.New(dev)
 
 	// Parse and place.
 	var stages []*stage

@@ -30,7 +30,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	r := core.NewRouter(dev, core.Options{})
+	r := core.New(dev)
 
 	var probes []sim.Probe
 	var traceSrc core.EndPoint

@@ -1,0 +1,369 @@
+// BENCH_4: fleet-sharded jrouted under load.
+//
+// Two experiments, both against in-process fleet daemons so the benchmark
+// is self-contained and can kill boards deliberately:
+//
+//  1. Throughput scaling — a fixed population of 8 client sessions churns
+//     routes while the fleet runs 1, 2, 4 and 8 boards. The configuration
+//     port is the modeled bottleneck (PortFrameTime per shipped frame, as
+//     on real hardware where the SelectMAP port serializes frame writes),
+//     so ops/s should scale with the number of boards sleeping in
+//     parallel.
+//
+//  2. Kill-a-board — 4 boards + 1 hot spare, same churn, and board 0 is
+//     killed after roughly a third of the planned routes have been
+//     acknowledged. Sessions retry on the typed failover/busy errors; the
+//     run must end with ZERO lost acknowledged operations: every net the
+//     client saw acked (and did not later unroute) must still trace on
+//     the replacement board, the session mirror must byte-match a fresh
+//     readback, and the bitstream oracle must audit the surviving boards
+//     clean.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/oracle"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/server/fleet"
+)
+
+// Geometry of the fleet bench. Boards are tall enough that all 8 sessions
+// get a disjoint 4-row band, so sessions co-located on one board never
+// contend for fabric — throughput differences are pure port/parallelism
+// effects, and every acked route is traceable afterwards.
+const (
+	b4Rows        = 36
+	b4Cols        = 24
+	b4Sessions    = 8
+	b4NetsPerSess = 4
+	b4Rounds      = 30
+	// Modeled configuration-port time per frame. Chosen so the port — not
+	// host CPU — is the bottleneck, the regime real boards live in: frame
+	// writes through SelectMAP are orders of magnitude slower than the
+	// host-side routing computation. Boards sleep their port charges in
+	// parallel, so ops/s scales with the board count.
+	b4PortTime = 1200 * time.Microsecond
+	// Retry budget per op. It must ride out a full failover, which
+	// includes pushing a complete configuration to the spare at port
+	// speed — seconds, not milliseconds.
+	b4MaxRetries = 2000
+	b4RetryPause = 5 * time.Millisecond
+)
+
+// result4 is one BENCH_4.json entry.
+type result4 struct {
+	result
+	Boards          int     `json:"boards"`
+	Spares          int     `json:"spares"`
+	Retries         int     `json:"retries"`        // transient-error retries (failover windows, busy)
+	Failovers       int     `json:"failovers"`      // completed board swaps during the run
+	LostAckedOps    int     `json:"lost_acked_ops"` // acked routes missing after the run (must be 0)
+	OracleAudits    int     `json:"oracle_audits"`  // passed per-session bitstream audits
+	KilledBoard     string  `json:"killed_board,omitempty"`
+	SpeedupVs1Board float64 `json:"speedup_vs_1board,omitempty"`
+}
+
+// b4Net is one session-owned net: a source and its expected sinks.
+type b4Net struct {
+	src   server.EndPointMsg
+	sinks []server.EndPointMsg
+}
+
+func b4Pin(row, col int, w arch.Wire) server.EndPointMsg {
+	return server.EndPointMsg{Pin: &server.PinMsg{Row: row, Col: col, Wire: int(w)}}
+}
+
+// b4SessionNets lays out session i's working set inside its private row
+// band: one short same-row net per row, the last a 2-sink fanout.
+func b4SessionNets(i int) []b4Net {
+	base := 2 + 4*i
+	nets := make([]b4Net, b4NetsPerSess)
+	for k := 0; k < b4NetsPerSess; k++ {
+		row := base + k
+		n := b4Net{
+			src:   b4Pin(row, 3+2*k, arch.S1YQ),
+			sinks: []server.EndPointMsg{b4Pin(row, 5+2*k, arch.S0F3)},
+		}
+		if k == b4NetsPerSess-1 {
+			n.sinks = append(n.sinks, b4Pin(row, 7+2*k, arch.S0F3))
+		}
+		nets[k] = n
+	}
+	return nets
+}
+
+// transient reports whether the error is a retry-after-failover signal
+// rather than a real failure.
+func transient(err error) bool {
+	return errors.Is(err, client.ErrFailover) ||
+		errors.Is(err, client.ErrBoardDown) ||
+		errors.Is(err, client.ErrBusy)
+}
+
+// runFleetLoad boots a fleet daemon with the given shape, churns the
+// 8-session workload through it, optionally kills killBoard mid-run, and
+// verifies every acked net afterwards.
+func runFleetLoad(boards, spares, killBoard int) (result4, error) {
+	ctx := context.Background()
+	coord, err := fleet.New(fleet.Config{
+		Boards: boards, Spares: spares, Rows: b4Rows, Cols: b4Cols,
+		PortFrameTime: b4PortTime,
+	})
+	if err != nil {
+		return result4{}, err
+	}
+	srv := server.NewServer()
+	srv.SetFleet(coord)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return result4{}, err
+	}
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(sctx)
+	}()
+
+	// Kill board killBoard once a third of the planned routes are acked —
+	// deep enough in that real state is at stake, early enough that the
+	// spare serves most of the run.
+	var ackedRoutes atomic.Int64
+	var killOnce sync.Once
+	killAt := int64(b4Sessions * b4Rounds * b4NetsPerSess / 3)
+	maybeKill := func() {
+		if killBoard >= 0 && ackedRoutes.Load() >= killAt {
+			killOnce.Do(func() { _ = coord.KillBoard(killBoard) })
+		}
+	}
+
+	runs := make([]sessionRun, b4Sessions)
+	retries := make([]int, b4Sessions)
+	lost := make([]int, b4Sessions)
+	audits := make([]int, b4Sessions)
+	errs := make([]error, b4Sessions)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < b4Sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cc, err := client.Dial(ctx, addr)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer cc.Close()
+			s, err := cc.SessionWithKey(ctx, fmt.Sprintf("s%d", i), uint64(i))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			nets := b4SessionNets(i)
+			r := &runs[i]
+			do := func(op func() error) error {
+				for attempt := 0; ; attempt++ {
+					opStart := time.Now()
+					err := op()
+					if err != nil && transient(err) && attempt < b4MaxRetries {
+						retries[i]++
+						time.Sleep(b4RetryPause)
+						continue
+					}
+					r.observe(opStart, err)
+					return err
+				}
+			}
+			for round := 0; round < b4Rounds; round++ {
+				for _, n := range nets {
+					n := n
+					if err := do(func() error { return s.Route(ctx, n.src, n.sinks...) }); err != nil {
+						errs[i] = fmt.Errorf("route round %d: %w", round, err)
+						return
+					}
+					ackedRoutes.Add(1)
+					maybeKill()
+				}
+				if round == b4Rounds-1 {
+					break // leave the working set routed for verification
+				}
+				for _, n := range nets {
+					n := n
+					if err := do(func() error { return s.Unroute(ctx, n.src) }); err != nil {
+						errs[i] = fmt.Errorf("unroute round %d: %w", round, err)
+						return
+					}
+				}
+			}
+			lost[i], audits[i], errs[i] = b4Verify(ctx, s, nets, boards >= b4Sessions)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return result4{}, fmt.Errorf("session s%d: %w", i, err)
+		}
+	}
+
+	c, err := client.Dial(ctx, addr)
+	if err != nil {
+		return result4{}, err
+	}
+	defer c.Close()
+	// Surviving boards must also pass the coordinator's own oracle probe.
+	coord.ProbeAll(ctx)
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		return result4{}, err
+	}
+	if stats.Fleet == nil {
+		return result4{}, errors.New("daemon reported no fleet stats")
+	}
+	if stats.Fleet.ProbeFails != 0 {
+		return result4{}, fmt.Errorf("%d boards failed the post-run oracle probe", stats.Fleet.ProbeFails)
+	}
+
+	res := result4{Boards: boards, Spares: spares, Failovers: stats.Fleet.Failovers}
+	res.Name = "fleet_churn"
+	res.Sessions = b4Sessions
+	res.WallSeconds = wall.Seconds()
+	var all []time.Duration
+	for i := range runs {
+		all = append(all, runs[i].lat...)
+		res.Errors += runs[i].errs
+		res.Retries += retries[i]
+		res.LostAckedOps += lost[i]
+		res.OracleAudits += audits[i]
+	}
+	res.Ops = len(all)
+	if wall > 0 {
+		res.OpsPerSecond = float64(res.Ops) / wall.Seconds()
+	}
+	res.P50us, res.P99us, res.MeanUs = percentiles(all)
+	for _, bs := range stats.Fleet.Slots {
+		res.FramesShipped += bs.Worker.FramesShipped
+		res.BytesShipped += bs.Worker.BytesShipped
+	}
+	if killBoard >= 0 {
+		res.KilledBoard = fmt.Sprintf("board%d", killBoard)
+	}
+	return res, nil
+}
+
+// b4Verify checks a session's terminal state: every net of the final
+// (acked) round still traces with all its sinks, and an authoritative
+// board readback passes the oracle audit against the session's claims.
+// When the session has its board to itself (exclusive), the local mirror
+// must additionally byte-match that readback — with co-tenants the mirror
+// legitimately lags frames dirtied by other sessions' ops, so equality is
+// only an invariant for exclusive boards. Returns (lost nets, passed
+// audits, error).
+func b4Verify(ctx context.Context, s *client.Session, nets []b4Net, exclusive bool) (int, int, error) {
+	lost := 0
+	for _, n := range nets {
+		net, err := s.Trace(ctx, n.src)
+		if err != nil {
+			return 0, 0, fmt.Errorf("trace: %w", err)
+		}
+		present := map[[3]int]bool{}
+		if net != nil {
+			for _, sink := range net.Sinks {
+				if sink.Pin != nil {
+					present[[3]int{sink.Pin.Row, sink.Pin.Col, sink.Pin.Wire}] = true
+				}
+			}
+		}
+		for _, want := range n.sinks {
+			if !present[[3]int{want.Pin.Row, want.Pin.Col, want.Pin.Wire}] {
+				lost++
+			}
+		}
+	}
+
+	authoritative, err := s.Readback(ctx)
+	if err != nil {
+		return lost, 0, err
+	}
+	if exclusive {
+		mirror, err := s.Mirror.FullConfig()
+		if err != nil {
+			return lost, 0, err
+		}
+		if !bytes.Equal(mirror, authoritative) {
+			return lost, 0, errors.New("session mirror diverged from board readback")
+		}
+	}
+	var claims []oracle.Claim
+	for _, n := range nets {
+		c := oracle.Claim{Source: oracle.Pin{Row: n.src.Pin.Row, Col: n.src.Pin.Col, W: arch.Wire(n.src.Pin.Wire)}}
+		for _, sink := range n.sinks {
+			c.Sinks = append(c.Sinks, oracle.Pin{Row: sink.Pin.Row, Col: sink.Pin.Col, W: arch.Wire(sink.Pin.Wire)})
+		}
+		claims = append(claims, c)
+	}
+	if err := oracle.Audit(s.Mirror.A, authoritative, claims, false); err != nil {
+		return lost, 0, fmt.Errorf("oracle audit: %w", err)
+	}
+	return lost, 1, nil
+}
+
+// runBench4 runs the scaling sweep and the kill-a-board experiment and
+// writes BENCH_4.json. A lost acknowledged op anywhere is a hard failure.
+func runBench4(seed int64, jsonPath string) error {
+	_ = seed // the fleet workload is fully deterministic by construction
+	var out []result4
+	for _, boards := range []int{1, 2, 4, 8} {
+		res, err := runFleetLoad(boards, 0, -1)
+		if err != nil {
+			return fmt.Errorf("%d boards: %w", boards, err)
+		}
+		if len(out) > 0 && out[0].OpsPerSecond > 0 {
+			res.SpeedupVs1Board = res.OpsPerSecond / out[0].OpsPerSecond
+		}
+		out = append(out, res)
+		fmt.Printf("fleet_churn  %d boards  %d sessions  %6d ops (%d errors, %d retries)  %8.0f ops/s  p50 %6.0fµs  p99 %6.0fµs  speedup %.2fx\n",
+			res.Boards, res.Sessions, res.Ops, res.Errors, res.Retries, res.OpsPerSecond, res.P50us, res.P99us, res.SpeedupVs1Board)
+	}
+
+	kill, err := runFleetLoad(4, 1, 0)
+	if err != nil {
+		return fmt.Errorf("kill-a-board: %w", err)
+	}
+	if out[0].OpsPerSecond > 0 {
+		kill.SpeedupVs1Board = kill.OpsPerSecond / out[0].OpsPerSecond
+	}
+	kill.Name = "fleet_kill_board"
+	out = append(out, kill)
+	fmt.Printf("fleet_kill   %d boards +%d spare, killed %s  %6d ops (%d errors, %d retries, %d failovers)  %8.0f ops/s  lost acked ops: %d  audits: %d\n",
+		kill.Boards, kill.Spares, kill.KilledBoard, kill.Ops, kill.Errors, kill.Retries, kill.Failovers, kill.OpsPerSecond, kill.LostAckedOps, kill.OracleAudits)
+
+	for _, r := range out {
+		if r.LostAckedOps != 0 {
+			return fmt.Errorf("%s (%d boards): %d acknowledged ops lost", r.Name, r.Boards, r.LostAckedOps)
+		}
+	}
+	if kill.Failovers == 0 {
+		return errors.New("kill-a-board run completed without a failover — kill did not land")
+	}
+
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(enc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+	return nil
+}

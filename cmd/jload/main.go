@@ -8,9 +8,14 @@
 //
 //	jload -inproc -json BENCH_2.json      # self-contained benchmark run
 //	jload -addr 127.0.0.1:7411 -sessions 4
+//	jload -inproc -fleet -boards 4        # drive a fleet-sharded daemon
+//	jload -json4 BENCH_4.json             # fleet scaling + kill-a-board bench
 //
 // Against a remote daemon the devices must be named dev0..devN-1 and sized
-// to -rows x -cols (the in-process mode sets this up itself).
+// to -rows x -cols (the in-process mode sets this up itself). With -fleet
+// the in-process daemon runs in fleet mode instead: -boards shards behind
+// the coordinator, sessions pinned round-robin by placement key; -boards
+// must be >= -sessions so the generic workloads get a board each.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"repro/internal/oracle"
 	"repro/internal/server"
 	"repro/internal/server/client"
+	"repro/internal/server/fleet"
 	"repro/internal/workload"
 )
 
@@ -70,7 +76,24 @@ func main() {
 	steps := flag.Int("steps", 200, "RTR churn steps per session")
 	jsonPath := flag.String("json", "", "write results to this JSON file")
 	json3Path := flag.String("json3", "", "run the rtr_churn_cached cache on/off comparison and write it to this JSON file")
+	fleetMode := flag.Bool("fleet", false, "with -inproc, boot the daemon in fleet mode (-boards shards) and pin sessions by placement key")
+	boards := flag.Int("boards", 0, "fleet mode: board shards behind the coordinator (default: -sessions)")
+	spares := flag.Int("spares", 0, "fleet mode: hot-spare boards for failover")
+	portFrameTime := flag.Duration("port-frame-time", 0, "fleet mode: modeled configuration-port time per shipped frame")
+	json4Path := flag.String("json4", "", "run the fleet scaling + kill-a-board benchmark and write it to this JSON file")
 	flag.Parse()
+
+	if *json4Path != "" {
+		// The fleet bench boots its own in-process daemons (one per board
+		// count, plus the kill-a-board run), so it needs neither -addr nor
+		// -inproc.
+		if err := runBench4(*seed, *json4Path); err != nil {
+			log.Fatalf("jload: fleet bench: %v", err)
+		}
+		if *addr == "" && !*inproc {
+			return
+		}
+	}
 
 	if *json3Path != "" {
 		// The comparison boots its own pair of in-process daemons (route
@@ -88,10 +111,28 @@ func main() {
 	}
 	target := *addr
 	if *inproc {
-		srv := server.New(server.Options{})
-		for i := 0; i < *sessions; i++ {
-			if err := srv.AddDevice(fmt.Sprintf("dev%d", i), "virtex", *rows, *cols); err != nil {
-				log.Fatalf("jload: %v", err)
+		srv := server.NewServer()
+		if *fleetMode {
+			n := *boards
+			if n == 0 {
+				n = *sessions
+			}
+			if n < *sessions {
+				log.Fatalf("jload: -fleet needs -boards >= -sessions (%d < %d): generic workloads assume a board per session", n, *sessions)
+			}
+			coord, err := fleet.New(fleet.Config{
+				Boards: n, Spares: *spares, Rows: *rows, Cols: *cols,
+				PortFrameTime: *portFrameTime,
+			})
+			if err != nil {
+				log.Fatalf("jload: fleet: %v", err)
+			}
+			srv.SetFleet(coord)
+		} else {
+			for i := 0; i < *sessions; i++ {
+				if err := srv.AddDevice(fmt.Sprintf("dev%d", i), "virtex", *rows, *cols); err != nil {
+					log.Fatalf("jload: %v", err)
+				}
 			}
 		}
 		bound, err := srv.Start("127.0.0.1:0")
@@ -120,7 +161,7 @@ func main() {
 			return runChurn(s, g, r, *steps)
 		}},
 	} {
-		res, err := runWorkload(target, wl.name, *sessions, *rows, *cols, *seed, wl.run)
+		res, err := runWorkload(target, wl.name, *sessions, *rows, *cols, *seed, *fleetMode, wl.run)
 		if err != nil {
 			log.Fatalf("jload: %s: %v", wl.name, err)
 		}
@@ -143,15 +184,17 @@ func main() {
 
 // runWorkload drives one named workload through n concurrent sessions and
 // aggregates their client-side latencies plus the daemon's shipped-frame
-// delta (from statsz before and after).
-func runWorkload(addr, name string, n, rows, cols int, seed int64,
+// delta (from statsz before and after). In fleet mode the sessions are
+// logical names pinned to distinct boards by explicit placement key.
+func runWorkload(addr, name string, n, rows, cols int, seed int64, fleetMode bool,
 	run func(*client.Session, *workload.Gen, *sessionRun) error) (result, error) {
-	c, err := client.Dial(addr)
+	ctx := context.Background()
+	c, err := client.Dial(ctx, addr)
 	if err != nil {
 		return result{}, err
 	}
 	defer c.Close()
-	before, err := c.Stats()
+	before, err := c.Stats(ctx)
 	if err != nil {
 		return result{}, err
 	}
@@ -166,13 +209,18 @@ func runWorkload(addr, name string, n, rows, cols int, seed int64,
 			defer wg.Done()
 			// One connection per worker: a session is not safe for
 			// concurrent use and sharing a conn would serialize the wire.
-			cc, err := client.Dial(addr)
+			cc, err := client.Dial(ctx, addr)
 			if err != nil {
 				errs[i] = err
 				return
 			}
 			defer cc.Close()
-			s, err := cc.Session(fmt.Sprintf("dev%d", i))
+			var s *client.Session
+			if fleetMode {
+				s, err = cc.SessionWithKey(ctx, fmt.Sprintf("s%d", i), uint64(i))
+			} else {
+				s, err = cc.Session(ctx, fmt.Sprintf("dev%d", i))
+			}
 			if err != nil {
 				errs[i] = err
 				return
@@ -189,7 +237,7 @@ func runWorkload(addr, name string, n, rows, cols int, seed int64,
 		}
 	}
 
-	after, err := c.Stats()
+	after, err := c.Stats(ctx)
 	if err != nil {
 		return result{}, err
 	}
@@ -208,12 +256,24 @@ func runWorkload(addr, name string, n, rows, cols int, seed int64,
 		res.FramesShipped += ss.FramesShipped - before.Sessions[name].FramesShipped
 		res.BytesShipped += ss.BytesShipped - before.Sessions[name].BytesShipped
 	}
+	if after.Fleet != nil {
+		// Fleet workers report under the fleet stats tree, not Sessions.
+		for slot, bs := range after.Fleet.Slots {
+			var prev server.SessionStatsMsg
+			if before.Fleet != nil {
+				prev = before.Fleet.Slots[slot].Worker
+			}
+			res.FramesShipped += bs.Worker.FramesShipped - prev.FramesShipped
+			res.BytesShipped += bs.Worker.BytesShipped - prev.BytesShipped
+		}
+	}
 	return res, nil
 }
 
 // runCrossbar repeatedly batch-routes a permuted crossbar and tears it
 // down — the contention stress case, now paying wire and JSON costs too.
 func runCrossbar(s *client.Session, g *workload.Gen, r *sessionRun, rounds int) error {
+	ctx := context.Background()
 	for round := 0; round < rounds; round++ {
 		srcs, dsts, err := g.CrossbarPins(8, 10)
 		if err != nil {
@@ -224,14 +284,14 @@ func runCrossbar(s *client.Session, g *workload.Gen, r *sessionRun, rounds int) 
 			nets[i] = server.NetMsg{Source: client.Pin(srcs[i]), Sinks: []server.EndPointMsg{client.Pin(dsts[i])}}
 		}
 		start := time.Now()
-		err = s.RouteBatch(nets)
+		err = s.RouteBatch(ctx, nets)
 		r.observe(start, err)
 		if err != nil {
 			continue // contention failure: nothing was committed, next round
 		}
 		for i := range srcs {
 			start := time.Now()
-			r.observe(start, s.Unroute(client.Pin(srcs[i])))
+			r.observe(start, s.Unroute(ctx, client.Pin(srcs[i])))
 		}
 	}
 	return nil
@@ -240,6 +300,7 @@ func runCrossbar(s *client.Session, g *workload.Gen, r *sessionRun, rounds int) 
 // runChurn replays an RTR churn sequence: interleaved routes and unroutes
 // against a device whose configuration lives across the wire.
 func runChurn(s *client.Session, g *workload.Gen, r *sessionRun, steps int) error {
+	ctx := context.Background()
 	ops, err := g.Churn(steps, 6, 0.35)
 	if err != nil {
 		return err
@@ -248,7 +309,7 @@ func runChurn(s *client.Session, g *workload.Gen, r *sessionRun, steps int) erro
 	for _, op := range ops {
 		if op.Route {
 			start := time.Now()
-			err := s.Route(client.Pin(op.Src), client.Pin(op.Sink))
+			err := s.Route(ctx, client.Pin(op.Src), client.Pin(op.Sink))
 			r.observe(start, err)
 			if err != nil {
 				failed[op.Src] = true
@@ -259,7 +320,7 @@ func runChurn(s *client.Session, g *workload.Gen, r *sessionRun, steps int) erro
 			continue // its route never landed; unrouting it would double-count
 		}
 		start := time.Now()
-		r.observe(start, s.Unroute(client.Pin(op.Src)))
+		r.observe(start, s.Unroute(ctx, client.Pin(op.Src)))
 	}
 	return nil
 }
@@ -301,7 +362,7 @@ func runBench3(sessions int, seed int64, jsonPath string) error {
 		{"off", core.CacheOff},
 		{"on", core.CacheAuto},
 	} {
-		srv := server.New(server.Options{RouteCache: mode.rc})
+		srv := server.NewServer(server.WithRouteCache(mode.rc))
 		for i := 0; i < sessions; i++ {
 			if err := srv.AddDevice(fmt.Sprintf("dev%d", i), "virtex", b3Rows, b3Cols); err != nil {
 				return err
@@ -313,7 +374,7 @@ func runBench3(sessions int, seed int64, jsonPath string) error {
 		}
 		var verifyMu sync.Mutex
 		audits := 0
-		res, err := runWorkload(bound, "rtr_churn_cached", sessions, b3Rows, b3Cols, seed,
+		res, err := runWorkload(bound, "rtr_churn_cached", sessions, b3Rows, b3Cols, seed, false,
 			func(s *client.Session, g *workload.Gen, r *sessionRun) error {
 				v, err := runCachedChurn(s, g, r)
 				verifyMu.Lock()
@@ -323,8 +384,9 @@ func runBench3(sessions int, seed int64, jsonPath string) error {
 			})
 		if err == nil {
 			var stats *server.StatsMsg
-			if c, derr := client.Dial(bound); derr == nil {
-				stats, err = c.Stats()
+			ctx := context.Background()
+			if c, derr := client.Dial(ctx, bound); derr == nil {
+				stats, err = c.Stats(ctx)
 				c.Close()
 			} else {
 				err = derr
@@ -388,6 +450,7 @@ func runBench3(sessions int, seed int64, jsonPath string) error {
 // end of the benchmark. The returned count is the number of oracle audits
 // that passed.
 func runCachedChurn(s *client.Session, g *workload.Gen, r *sessionRun) (int, error) {
+	ctx := context.Background()
 	nets, err := g.FanNets(b3Nets, b3Fan, b3Radius)
 	if err != nil {
 		return 0, err
@@ -423,7 +486,7 @@ func runCachedChurn(s *client.Session, g *workload.Gen, r *sessionRun) (int, err
 				sinks[i] = client.Pin(p)
 			}
 			start := time.Now()
-			err := s.Route(client.Pin(n.Src), sinks...)
+			err := s.Route(ctx, client.Pin(n.Src), sinks...)
 			r.observe(start, err)
 			if err != nil {
 				failed[n.Src] = true
@@ -440,7 +503,7 @@ func runCachedChurn(s *client.Session, g *workload.Gen, r *sessionRun) (int, err
 					continue
 				}
 				start := time.Now()
-				r.observe(start, s.Unroute(client.Pin(n.Src)))
+				r.observe(start, s.Unroute(ctx, client.Pin(n.Src)))
 			}
 		}
 	}

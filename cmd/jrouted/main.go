@@ -6,9 +6,18 @@
 // thin clients mirror the bitstream incrementally — the partial
 // reconfiguration story of §3.3 extended across a wire.
 //
+// With -boards N the daemon runs in fleet mode instead: a coordinator
+// fronts N board-backed shards plus -spares hot spares. Client sessions
+// are placed deterministically (FNV-1a of the session name mod N, or an
+// explicit placement key), each board is health-probed with the bitstream
+// oracle, and when a board dies its acked connections are replayed onto a
+// spare through the relocation route cache — clients just see the epoch
+// bump and resync their mirror.
+//
 // Usage:
 //
 //	jrouted -listen :7411 -device alpha:16x24 -device beta:32x48,kestrel
+//	jrouted -listen :7411 -boards 4 -spares 1 -geometry 16x24
 package main
 
 import (
@@ -23,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/server/fleet"
 )
 
 // deviceSpec is one -device flag value: name:RxC[,arch].
@@ -65,21 +75,61 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7411", "TCP listen address")
 	queue := flag.Int("queue", 64, "per-session request queue depth")
 	parallelism := flag.Int("parallelism", 0, "router batch parallelism (0 = all cores)")
+	paranoid := flag.Bool("paranoid", false, "audit every routing op with the bitstream oracle before acking")
 	drain := flag.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
+	boards := flag.Int("boards", 0, "fleet mode: board-backed shards fronted by the coordinator (0 = static -device mode)")
+	spares := flag.Int("spares", 0, "fleet mode: hot-spare boards consumed by failover")
+	geometry := flag.String("geometry", "16x24", "fleet mode: board geometry as RxC")
+	archName := flag.String("arch", "virtex", "fleet mode: board architecture")
+	sessionCap := flag.Int("session-cap", 0, "fleet mode: admission cap on sessions per board (0 = unlimited)")
+	portFrameTime := flag.Duration("port-frame-time", 0, "fleet mode: modeled configuration-port time per shipped frame")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "fleet mode: board health-probe period (0 = disabled)")
 	flag.Var(&devices, "device", "hosted device as name:RxC[,arch]; repeatable")
 	flag.Parse()
 
-	if len(devices) == 0 {
-		devices = deviceList{{name: "dev0", arch: "virtex", rows: 16, cols: 24}}
+	srv := server.NewServer(
+		server.WithQueueDepth(*queue),
+		server.WithParallelism(*parallelism),
+		server.WithParanoidVerify(*paranoid),
+	)
+
+	if *boards > 0 {
+		if len(devices) > 0 {
+			log.Fatal("jrouted: -device and -boards are mutually exclusive; fleet boards are uniform")
+		}
+		var rows, cols int
+		if _, err := fmt.Sscanf(*geometry, "%dx%d", &rows, &cols); err != nil || rows < 1 || cols < 1 {
+			log.Fatalf("jrouted: bad -geometry %q (want RxC, e.g. 16x24)", *geometry)
+		}
+		coord, err := fleet.New(fleet.Config{
+			Boards:        *boards,
+			Spares:        *spares,
+			Arch:          *archName,
+			Rows:          rows,
+			Cols:          cols,
+			SessionCap:    *sessionCap,
+			Opts:          server.Options{QueueDepth: *queue, Parallelism: *parallelism, ParanoidVerify: *paranoid},
+			PortFrameTime: *portFrameTime,
+			ProbeInterval: *probeInterval,
+		})
+		if err != nil {
+			log.Fatalf("jrouted: fleet: %v", err)
+		}
+		srv.SetFleet(coord)
+		log.Printf("jrouted: fleet of %d boards (+%d spares), %s %s, probe every %v",
+			*boards, *spares, *archName, *geometry, *probeInterval)
+	} else {
+		if len(devices) == 0 {
+			devices = deviceList{{name: "dev0", arch: "virtex", rows: 16, cols: 24}}
+		}
+		for _, d := range devices {
+			if err := srv.AddDevice(d.name, d.arch, d.rows, d.cols); err != nil {
+				log.Fatalf("jrouted: adding device %s: %v", d.name, err)
+			}
+			log.Printf("jrouted: hosting %s (%s %dx%d)", d.name, d.arch, d.rows, d.cols)
+		}
 	}
 
-	srv := server.New(server.Options{QueueDepth: *queue, Parallelism: *parallelism})
-	for _, d := range devices {
-		if err := srv.AddDevice(d.name, d.arch, d.rows, d.cols); err != nil {
-			log.Fatalf("jrouted: adding device %s: %v", d.name, err)
-		}
-		log.Printf("jrouted: hosting %s (%s %dx%d)", d.name, d.arch, d.rows, d.cols)
-	}
 	addr, err := srv.Start(*listen)
 	if err != nil {
 		log.Fatalf("jrouted: listen: %v", err)

@@ -51,20 +51,20 @@ func main() {
 	src := core.NewPin(sr, sc, sw)
 	sink := core.NewPin(tr, tc, tw)
 
-	opt := core.Options{UseLongLines: *longs}
+	var alg core.Algorithm
 	switch *level {
 	case "auto":
-		opt.Algorithm = core.TemplateFirst
+		alg = core.TemplateFirst
 	case "astar":
-		opt.Algorithm = core.AStar
+		alg = core.AStar
 	case "lee":
-		opt.Algorithm = core.Lee
+		alg = core.Lee
 	case "template":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown level %q\n", *level)
 		os.Exit(2)
 	}
-	r := core.NewRouter(dev, opt)
+	r := core.New(dev, core.WithAlgorithm(alg), core.WithLongLines(*longs))
 
 	if *level == "template" {
 		tmpl, err := core.ParseTemplate(*tmplFlag)

@@ -29,7 +29,7 @@ func check(err error) {
 func main() {
 	dev, err := device.New(arch.NewVirtex(), 16, 24)
 	check(err)
-	router := core.NewRouter(dev, core.Options{})
+	router := core.New(dev)
 
 	mac, err := cores.NewMAC("mac", 3, 3)
 	check(err)

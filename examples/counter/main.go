@@ -23,7 +23,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	router := core.NewRouter(dev, core.Options{})
+	router := core.New(dev)
 
 	const bits = 8
 	ctr, err := cores.NewCounter("counter", bits, 1)

@@ -25,7 +25,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	router := core.NewRouter(dev, core.Options{})
+	router := core.New(dev)
 
 	// Stage 1: multiply the 4-bit input by 5 (8-bit product).
 	mul, err := cores.NewConstMul("mul5", 5, 4)

@@ -27,7 +27,7 @@ func check(err error) {
 func main() {
 	dev, err := device.New(arch.NewVirtex(), 16, 24)
 	check(err)
-	router := core.NewRouter(dev, core.Options{})
+	router := core.New(dev)
 
 	// A 16-entry triangle wave in the ROM.
 	var table [arch.BRAMWords]byte

@@ -27,7 +27,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	router := core.NewRouter(dev, core.Options{})
+	router := core.New(dev)
 
 	src := core.NewPin(5, 7, arch.S1YQ)
 	sink := core.NewPin(6, 8, arch.S0F3)

@@ -31,7 +31,7 @@ func main() {
 	session, err := jbits.NewSession(a, 16, 24)
 	check(err)
 	dev := session.Dev
-	router := core.NewRouter(dev, core.Options{})
+	router := core.New(dev)
 	board, err := jbits.NewBoard("rtr-board", a, 16, 24)
 	check(err)
 

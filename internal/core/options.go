@@ -1,0 +1,48 @@
+package core
+
+import "repro/internal/device"
+
+// Functional options over the Options struct. The struct stays the internal
+// representation (and keeps working at existing call sites); New composes it
+// from readable, order-independent constructors:
+//
+//	r := core.New(dev, core.WithParallelism(8), core.WithRouteCache(core.CacheOn))
+//
+// instead of mutating struct fields at every call site.
+
+// Option mutates the router Options during construction.
+type Option func(*Options)
+
+// New creates a router for a device from functional options. It is the
+// options-first spelling of NewRouter; core.New(dev) is equivalent to
+// core.NewRouter(dev, core.Options{}).
+func New(dev *device.Device, opts ...Option) *Router {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return NewRouter(dev, o)
+}
+
+// WithAlgorithm selects the search algorithm for the automatic calls.
+func WithAlgorithm(a Algorithm) Option { return func(o *Options) { o.Algorithm = a } }
+
+// WithLongLines enables long lines in automatic routing.
+func WithLongLines(on bool) Option { return func(o *Options) { o.UseLongLines = on } }
+
+// WithTimingDriven makes the maze search minimize estimated delay.
+func WithTimingDriven(on bool) Option { return func(o *Options) { o.TimingDriven = on } }
+
+// WithMaxNodes caps maze search effort (0 = default).
+func WithMaxNodes(n int) Option { return func(o *Options) { o.MaxNodes = n } }
+
+// WithParallelism bounds the negotiated batch router's worker goroutines
+// (0 = GOMAXPROCS, 1 = sequential; the result is identical either way).
+func WithParallelism(n int) Option { return func(o *Options) { o.Parallelism = n } }
+
+// WithRouteCache controls the relocation-aware route cache.
+func WithRouteCache(m CacheMode) Option { return func(o *Options) { o.RouteCache = m } }
+
+// WithParanoidVerify audits every automatic op boundary through the
+// bitstream oracle.
+func WithParanoidVerify(on bool) Option { return func(o *Options) { o.ParanoidVerify = on } }

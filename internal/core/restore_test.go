@@ -1,0 +1,129 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+func newTestDevice(t testing.TB) *device.Device {
+	t.Helper()
+	d, err := device.New(arch.NewVirtex(), 16, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestSnapshotAdoptRoundTrip routes a working set on one router, snapshots
+// it, adopts the records into a fresh router on a blank device, and expects
+// (a) every connection restored by path replay, not search, and (b) a
+// byte-identical configuration — the failover-replay contract.
+func TestSnapshotAdoptRoundTrip(t *testing.T) {
+	src := newTestDevice(t)
+	ra := core.New(src)
+	if err := ra.RouteNet(core.NewPin(5, 7, arch.S1YQ), core.NewPin(6, 8, arch.S0F3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ra.RouteFanout(core.NewPin(2, 3, arch.S0YQ), []core.EndPoint{
+		core.NewPin(4, 6, arch.S1F2), core.NewPin(1, 9, arch.S0F1), core.NewPin(6, 2, arch.S1F4),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	recs := ra.SnapshotConnections()
+	if len(recs) != 2 {
+		t.Fatalf("snapshot has %d records, want 2", len(recs))
+	}
+	for _, rec := range recs {
+		if len(rec.Path) == 0 {
+			t.Fatalf("record %v has no remembered path", rec.Source)
+		}
+	}
+
+	dst := newTestDevice(t)
+	rb := core.New(dst)
+	for _, rec := range recs {
+		if err := rb.AdoptConnection(rec); err != nil {
+			t.Fatalf("adopt %v: %v", rec.Source, err)
+		}
+	}
+	st := rb.Stats()
+	if st.CacheHits != 2 {
+		t.Errorf("adoption paid %d cache hits, want 2 (replay-first)", st.CacheHits)
+	}
+	if st.MazeFallbacks != 0 {
+		t.Errorf("adoption fell back to %d maze searches, want 0", st.MazeFallbacks)
+	}
+	want, err := src.FullConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.FullConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("adopted configuration diverges from the original bitstream")
+	}
+	// Idempotence: adopting an already-live record is a no-op.
+	for _, rec := range recs {
+		if err := rb.AdoptConnection(rec); err != nil {
+			t.Fatalf("re-adopt %v: %v", rec.Source, err)
+		}
+	}
+	if got2, _ := dst.FullConfig(); !bytes.Equal(want, got2) {
+		t.Fatal("re-adoption changed the bitstream")
+	}
+}
+
+// TestAdoptWithoutPath: records snapshotted with the cache off carry no
+// path; adoption must restore them through search.
+func TestAdoptWithoutPath(t *testing.T) {
+	src := newTestDevice(t)
+	ra := core.New(src, core.WithRouteCache(core.CacheOff))
+	if err := ra.RouteNet(core.NewPin(5, 7, arch.S1YQ), core.NewPin(6, 8, arch.S0F3)); err != nil {
+		t.Fatal(err)
+	}
+	recs := ra.SnapshotConnections()
+	if len(recs) != 1 || len(recs[0].Path) != 0 {
+		t.Fatalf("snapshot = %+v, want one pathless record", recs)
+	}
+	dst := newTestDevice(t)
+	rb := core.New(dst, core.WithRouteCache(core.CacheOff))
+	if err := rb.AdoptConnection(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	net, err := rb.Trace(core.NewPin(5, 7, arch.S1YQ))
+	if err != nil || len(net.Sinks) != 1 {
+		t.Fatalf("trace after pathless adopt: %v, %+v", err, net)
+	}
+}
+
+// TestFunctionalOptions: core.New composes the same Options the struct
+// literal would, and the router honors them.
+func TestFunctionalOptions(t *testing.T) {
+	d := newTestDevice(t)
+	r := core.New(d,
+		core.WithAlgorithm(core.AStar),
+		core.WithParallelism(3),
+		core.WithRouteCache(core.CacheOff),
+		core.WithMaxNodes(12345),
+		core.WithLongLines(true),
+		core.WithTimingDriven(false),
+		core.WithParanoidVerify(false),
+	)
+	want := core.Options{Algorithm: core.AStar, Parallelism: 3,
+		RouteCache: core.CacheOff, MaxNodes: 12345, UseLongLines: true}
+	if r.Opt != want {
+		t.Errorf("Opt = %+v, want %+v", r.Opt, want)
+	}
+	if err := r.RouteNet(core.NewPin(5, 7, arch.S1YQ), core.NewPin(6, 8, arch.S0F3)); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.CacheHits+st.CacheMisses != 0 {
+		t.Errorf("cache consulted despite WithRouteCache(CacheOff): %+v", st)
+	}
+}

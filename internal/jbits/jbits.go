@@ -67,6 +67,11 @@ type Board struct {
 	Name string
 	mu   sync.Mutex
 	dev  *device.Device
+	// stale marks that configurations landed since the interpreted routing
+	// and logic state was last rebuilt. The configuration port only latches
+	// frames — as on real hardware — so interpretation is deferred until
+	// someone inspects the device.
+	stale bool
 
 	// Statistics of the configuration traffic this board has seen.
 	Configurations int // total Configure + ConfigurePartial calls
@@ -123,10 +128,16 @@ func (b *Board) ConfigurePartial(stream []byte) error {
 func (b *Board) configure(stream []byte, partial bool) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	frames, err := b.dev.ApplyConfigFrames(stream)
+	// Latch the frames without reinterpreting the fabric: the port is a
+	// dumb frame sink, so a partial reconfiguration costs O(frames), not
+	// O(device). Format and CRC errors still reject the stream here;
+	// semantic corruption (illegal PIPs, contention) surfaces at
+	// inspection or through the bitstream oracle, exactly as on hardware.
+	frames, err := b.dev.ApplyFramesRaw(stream)
 	if err != nil {
 		return fmt.Errorf("jbits: board %s rejected configuration: %w", b.Name, err)
 	}
+	b.stale = true
 	b.Configurations++
 	if partial {
 		b.PartialConfigs++
@@ -148,9 +159,22 @@ func (b *Board) Readback() ([]byte, error) {
 }
 
 // Device exposes the board-side device for readback-style inspection
-// (BoardScope reads board state, not host state). Callers must not use it
-// while a Serve loop may be configuring the board concurrently.
-func (b *Board) Device() *device.Device { return b.dev }
+// (BoardScope reads board state, not host state), rebuilding the
+// interpreted routing and logic state first if configurations landed since
+// the last inspection. A rebuild failure (bits encoding illegal state)
+// leaves the board marked stale so the next inspection retries; the raw
+// bits remain authoritative either way. Callers must not use the returned
+// device while a Serve loop may be configuring the board concurrently.
+func (b *Board) Device() *device.Device {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.stale {
+		if err := b.dev.RebuildFromBits(); err == nil {
+			b.stale = false
+		}
+	}
+	return b.dev
+}
 
 // SyncFull ships the session's complete configuration to the board.
 func (s *Session) SyncFull(b *Board) (frames int, err error) {

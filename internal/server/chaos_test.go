@@ -1,6 +1,7 @@
 package server_test
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"testing"
@@ -22,6 +23,7 @@ import (
 // connection. The forbidden third state is silent success over a
 // corrupted or diverged board.
 func TestSessionUnderTransportFaults(t *testing.T) {
+	ctx := context.Background()
 	addr, srv := startDaemon(t, server.Options{ParanoidVerify: true})
 
 	a := arch.NewVirtex()
@@ -49,18 +51,18 @@ func TestSessionUnderTransportFaults(t *testing.T) {
 		// error (or completion). Every individual op must report success
 		// or failure — a hang would fail the test by timeout.
 		opErr := func() error {
-			s, err := c.Session(devName)
+			s, err := c.Session(ctx, devName)
 			if err != nil {
 				return err
 			}
 			for i := 0; i < 12; i++ {
 				src := client.Pin(core.NewPin(2+i, 3, arch.S1YQ))
 				sink := client.Pin(core.NewPin(3+i, 7, arch.S0F3))
-				if err := s.Route(src, sink); err != nil {
+				if err := s.Route(ctx, src, sink); err != nil {
 					return err
 				}
 				if i%3 == 2 {
-					if err := s.Unroute(src); err != nil {
+					if err := s.Unroute(ctx, src); err != nil {
 						return err
 					}
 				}
@@ -80,15 +82,15 @@ func TestSessionUnderTransportFaults(t *testing.T) {
 
 		// Whatever the faulty session saw, the server's board must be
 		// oracle-clean through a fresh, clean connection.
-		cc, err := client.Dial(addr)
+		cc, err := client.Dial(ctx, addr)
 		if err != nil {
 			t.Fatal(err)
 		}
-		cs, err := cc.Session(devName)
+		cs, err := cc.Session(ctx, devName)
 		if err != nil {
 			t.Fatalf("seed %d: clean reconnect: %v", seed, err)
 		}
-		stream, err := cs.Readback()
+		stream, err := cs.Readback(ctx)
 		if err != nil {
 			t.Fatalf("seed %d: readback: %v", seed, err)
 		}

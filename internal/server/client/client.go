@@ -3,15 +3,28 @@
 // local mirror of the server's bitstream that is updated exclusively from
 // the dirty frames mutating responses push back — the thin-client side of
 // the partial-reconfiguration story.
+//
+// This is the v2, context-aware API: every RPC takes a context.Context.
+// The context's remaining deadline is propagated to the server (bounding
+// the op's wait in the session's bounded queue) and also applied to the
+// transport, so a canceled or expired context abandons the wire round trip
+// instead of blocking. Server-side rejections come back as typed errors:
+// errors.Is(err, ErrCanceled), ErrBusy, ErrFailover, ... — see ServiceError.
+//
+// The client speaks protocol version 2 and opens every connection with the
+// hello handshake; a pre-v2 server (which does not answer hello) or a
+// version-mismatched one surfaces as ErrVersionMismatch.
 package client
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/core"
@@ -19,53 +32,207 @@ import (
 	"repro/internal/jbits"
 	"repro/internal/oracle"
 	"repro/internal/server"
+	"repro/internal/server/protocol"
 )
 
-// ErrBusy is returned when the server sheds load: the target session's
-// bounded queue stayed full past the enqueue timeout.
-var ErrBusy = errors.New("client: server busy (session queue full)")
+// Sentinel errors for the structured codes v2 responses carry. Match with
+// errors.Is; the full server message is in the wrapping ServiceError.
+var (
+	// ErrBusy: backpressure — the session's bounded queue stayed full past
+	// the enqueue timeout. Retryable.
+	ErrBusy = errors.New("client: server busy (session queue full)")
+	// ErrCanceled: the request context was canceled while the op was
+	// queued server-side; the op was rejected without executing.
+	ErrCanceled = errors.New("client: request canceled")
+	// ErrVersionMismatch: the server speaks a different protocol version
+	// (or the hello handshake was rejected).
+	ErrVersionMismatch = errors.New("client: protocol version mismatch")
+	// ErrAdmission: fleet admission control rejected the session.
+	ErrAdmission = errors.New("client: session rejected by admission control")
+	// ErrBoardDown: the session's board is dead and no spare is left.
+	ErrBoardDown = errors.New("client: board down, no spare available")
+	// ErrFailover: the op raced a board death; acknowledged state is
+	// preserved on the replacement board. Retryable.
+	ErrFailover = errors.New("client: board failed over, retry")
+)
+
+// ServiceError is a server-side rejection carrying the structured wire
+// code. It unwraps to the matching sentinel (or context.DeadlineExceeded
+// for CodeDeadline), so callers branch with errors.Is.
+type ServiceError struct {
+	Code string // one of the protocol.Code* constants
+	Msg  string // the server's human-readable error text
+}
+
+func (e *ServiceError) Error() string {
+	if e.Code == "" {
+		return e.Msg
+	}
+	return fmt.Sprintf("%s (%s)", e.Msg, e.Code)
+}
+
+func (e *ServiceError) Unwrap() error {
+	switch e.Code {
+	case protocol.CodeBusy:
+		return ErrBusy
+	case protocol.CodeCanceled:
+		return ErrCanceled
+	case protocol.CodeDeadline:
+		return context.DeadlineExceeded
+	case protocol.CodeVersion:
+		return ErrVersionMismatch
+	case protocol.CodeAdmission:
+		return ErrAdmission
+	case protocol.CodeBoardDown:
+		return ErrBoardDown
+	case protocol.CodeFailover:
+		return ErrFailover
+	}
+	return nil
+}
+
+// respError converts a response's error fields to a typed error.
+func respError(resp *server.Response) error {
+	if resp.Busy && resp.ErrorCode == "" {
+		resp.ErrorCode = protocol.CodeBusy
+	}
+	if resp.Err == "" && !resp.Busy {
+		return nil
+	}
+	msg := resp.Err
+	if msg == "" {
+		msg = "client: server busy (session queue full)"
+	}
+	return &ServiceError{Code: resp.ErrorCode, Msg: msg}
+}
 
 // Client is one connection to a jrouted daemon. Calls are synchronous
 // request/response; the mutex serializes concurrent callers onto the wire.
 type Client struct {
-	mu     sync.Mutex
-	conn   io.ReadWriteCloser
-	nextID uint64
+	mu      sync.Mutex
+	conn    io.ReadWriteCloser
+	nextID  uint64
+	helloed bool
+	caps    []string
 }
 
-// Dial connects to a daemon.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+// Dial connects to a daemon and performs the protocol handshake.
+func Dial(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn}, nil
+	c := &Client{conn: conn}
+	if err := c.Hello(ctx); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
 }
 
 // NewClient wraps an already-established transport. Tests use this to
 // interpose fault injection (jbits.FaultConn) between the protocol layer
-// and the wire.
+// and the wire. The hello handshake runs lazily before the first call (or
+// eagerly via Hello).
 func NewClient(conn io.ReadWriteCloser) *Client { return &Client{conn: conn} }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// call performs one framed JSON round trip.
-func (c *Client) call(req *server.Request) (*server.Response, error) {
+// Hello performs the version handshake explicitly and records the server's
+// capability flags.
+func (c *Client) Hello(ctx context.Context) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.helloLocked(ctx)
+}
+
+func (c *Client) helloLocked(ctx context.Context) error {
+	if c.helloed {
+		return nil
+	}
+	resp, err := c.roundTrip(ctx, &server.Request{Op: "hello",
+		Hello: &server.HelloMsg{Version: protocol.Version}})
+	if err != nil {
+		return err
+	}
+	if resp.Hello == nil {
+		return &ServiceError{Code: protocol.CodeVersion,
+			Msg: "client: server answered hello without a version"}
+	}
+	if resp.Hello.Version != protocol.Version {
+		return &ServiceError{Code: protocol.CodeVersion,
+			Msg: fmt.Sprintf("client: server speaks protocol v%d, client speaks v%d",
+				resp.Hello.Version, protocol.Version)}
+	}
+	c.helloed = true
+	c.caps = resp.Hello.Caps
+	return nil
+}
+
+// Caps returns the capability flags the server advertised in its hello
+// response ("fleet", "paranoid"). Empty until the handshake has run.
+func (c *Client) Caps() []string { return append([]string(nil), c.caps...) }
+
+// HasCap reports whether the server advertised a capability.
+func (c *Client) HasCap(cap string) bool {
+	for _, have := range c.caps {
+		if have == cap {
+			return true
+		}
+	}
+	return false
+}
+
+// call performs one framed JSON round trip, handshaking first if needed.
+func (c *Client) call(ctx context.Context, req *server.Request) (*server.Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if req.Op != "hello" {
+		if err := c.helloLocked(ctx); err != nil {
+			return nil, err
+		}
+	}
+	return c.roundTrip(ctx, req)
+}
+
+// roundTrip writes one request frame and reads its response. The context
+// deadline is propagated in the request (bounding the server-side queue
+// wait) and applied to the transport when it supports deadlines, so an
+// expired context abandons the read instead of blocking forever.
+// Callers hold c.mu.
+func (c *Client) roundTrip(ctx context.Context, req *server.Request) (*server.Response, error) {
 	c.nextID++
 	req.ID = c.nextID
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl)
+		if remaining <= 0 {
+			return nil, context.DeadlineExceeded
+		}
+		req.TimeoutMillis = int64(remaining / time.Millisecond)
+		if req.TimeoutMillis == 0 {
+			req.TimeoutMillis = 1
+		}
+	}
+	type deadliner interface{ SetDeadline(time.Time) error }
+	if dc, ok := c.conn.(deadliner); ok {
+		dl, _ := ctx.Deadline()
+		_ = dc.SetDeadline(dl) // zero time clears any previous deadline
+	}
 	payload, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
 	}
 	if err := jbits.WriteFrame(c.conn, server.OpService, payload); err != nil {
-		return nil, err
+		return nil, wrapCtx(ctx, err)
 	}
 	op, body, err := jbits.ReadFrame(c.conn)
 	if err != nil {
-		return nil, err
+		return nil, wrapCtx(ctx, err)
 	}
 	if op != server.OpService|jbits.RespFlag {
 		return nil, fmt.Errorf("client: unexpected response opcode %#x", op)
@@ -77,18 +244,25 @@ func (c *Client) call(req *server.Request) (*server.Response, error) {
 	if resp.ID != req.ID {
 		return nil, fmt.Errorf("client: response id %d for request %d", resp.ID, req.ID)
 	}
-	if resp.Busy {
-		return nil, ErrBusy
-	}
-	if resp.Err != "" {
-		return nil, errors.New(resp.Err)
+	if err := respError(resp); err != nil {
+		return nil, err
 	}
 	return resp, nil
 }
 
-// Devices lists the device sessions the daemon hosts.
-func (c *Client) Devices() ([]string, error) {
-	resp, err := c.call(&server.Request{Op: "devices"})
+// wrapCtx attributes a transport error to the context when the context is
+// the reason the transport gave up (deadline applied to the conn fired).
+func wrapCtx(ctx context.Context, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return fmt.Errorf("%w (transport: %v)", ctxErr, err)
+	}
+	return err
+}
+
+// Devices lists the device sessions the daemon hosts (in fleet mode, the
+// admitted logical sessions).
+func (c *Client) Devices(ctx context.Context) ([]string, error) {
+	resp, err := c.call(ctx, &server.Request{Op: "devices"})
 	if err != nil {
 		return nil, err
 	}
@@ -96,8 +270,8 @@ func (c *Client) Devices() ([]string, error) {
 }
 
 // Stats fetches the daemon's statsz snapshot.
-func (c *Client) Stats() (*server.StatsMsg, error) {
-	resp, err := c.call(&server.Request{Op: "statsz"})
+func (c *Client) Stats(ctx context.Context) (*server.StatsMsg, error) {
+	resp, err := c.call(ctx, &server.Request{Op: "statsz"})
 	if err != nil {
 		return nil, err
 	}
@@ -120,6 +294,16 @@ type Session struct {
 	// FramesApplied counts partial frames applied to the mirror.
 	FramesApplied int
 
+	// Board is the fleet board currently serving this session ("" on
+	// static daemons); Epoch its incarnation. Both advance on failover.
+	Board string
+	Epoch uint64
+
+	// Resyncs counts mirror re-seeds forced by an epoch change (failover):
+	// the dirty-frame push chain breaks at a board swap, so the mirror is
+	// rebuilt from a full readback of the replacement board.
+	Resyncs int
+
 	stale bool // bits newer than Mirror's in-memory routing state
 }
 
@@ -139,9 +323,22 @@ func (s *Session) SyncMirror() error {
 }
 
 // Session opens a session on a named device: a connect round trip seeds
-// the local mirror with the server's full configuration.
-func (c *Client) Session(deviceName string) (*Session, error) {
-	resp, err := c.call(&server.Request{Op: "connect", Session: deviceName})
+// the local mirror with the server's full configuration. In fleet mode the
+// session name is also the placement identity — the coordinator places it
+// on board slot FNV1a(name) mod fleet size.
+func (c *Client) Session(ctx context.Context, deviceName string) (*Session, error) {
+	return c.session(ctx, &server.Request{Op: "connect", Session: deviceName})
+}
+
+// SessionWithKey opens a session with an explicit fleet placement key: the
+// session lands on board slot key mod fleet size, letting callers co-place
+// or spread sessions deliberately. Static daemons ignore the key.
+func (c *Client) SessionWithKey(ctx context.Context, deviceName string, key uint64) (*Session, error) {
+	return c.session(ctx, &server.Request{Op: "connect", Session: deviceName, Key: &key})
+}
+
+func (c *Client) session(ctx context.Context, req *server.Request) (*Session, error) {
+	resp, err := c.call(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -162,7 +359,8 @@ func (c *Client) Session(deviceName string) (*Session, error) {
 		return nil, fmt.Errorf("client: seeding mirror: %w", err)
 	}
 	mirror.ClearDirty()
-	return &Session{c: c, device: deviceName, Mirror: mirror}, nil
+	return &Session{c: c, device: req.Session, Mirror: mirror,
+		Board: resp.Board, Epoch: resp.Epoch}, nil
 }
 
 // Device returns the session's device name.
@@ -185,12 +383,24 @@ func (s *Session) VerifyMirror() error {
 }
 
 // do runs one op against the session, applying any pushed dirty frames to
-// the mirror.
-func (s *Session) do(req *server.Request) (*server.Response, error) {
+// the mirror. A board-epoch change on a successful response means the
+// session failed over since the last op: the incremental frame chain broke
+// at the swap, so the mirror is re-seeded from a full readback of the
+// replacement board before the op's result is returned.
+func (s *Session) do(ctx context.Context, req *server.Request) (*server.Response, error) {
 	req.Session = s.device
-	resp, err := s.c.call(req)
+	resp, err := s.c.call(ctx, req)
 	if err != nil {
 		return nil, err
+	}
+	if resp.Epoch != s.Epoch {
+		s.Board, s.Epoch = resp.Board, resp.Epoch
+		if err := s.resync(ctx); err != nil {
+			return nil, err
+		}
+		// The readback already reflects this op's effects; the piggybacked
+		// frames are subsumed by it.
+		return resp, nil
 	}
 	if len(resp.Frames) > 0 {
 		if _, err := s.Mirror.ApplyFramesRaw(resp.Frames); err != nil {
@@ -201,6 +411,21 @@ func (s *Session) do(req *server.Request) (*server.Response, error) {
 		s.stale = true
 	}
 	return resp, nil
+}
+
+// resync re-seeds the mirror from a full readback.
+func (s *Session) resync(ctx context.Context) error {
+	resp, err := s.c.call(ctx, &server.Request{Op: "readback", Session: s.device})
+	if err != nil {
+		return fmt.Errorf("client: re-seeding mirror after failover: %w", err)
+	}
+	if err := s.Mirror.ApplyConfig(resp.Config); err != nil {
+		return fmt.Errorf("client: re-seeding mirror after failover: %w", err)
+	}
+	s.Mirror.ClearDirty()
+	s.Resyncs++
+	s.stale = true
+	return nil
 }
 
 // Pin converts a core.Pin to its wire form.
@@ -214,44 +439,44 @@ func PortRef(coreName, group string, index int) server.EndPointMsg {
 }
 
 // Route connects source to one or more sinks (RouteNet / RouteFanout).
-func (s *Session) Route(source server.EndPointMsg, sinks ...server.EndPointMsg) error {
-	_, err := s.do(&server.Request{Op: "route", Source: &source, Sinks: sinks})
+func (s *Session) Route(ctx context.Context, source server.EndPointMsg, sinks ...server.EndPointMsg) error {
+	_, err := s.do(ctx, &server.Request{Op: "route", Source: &source, Sinks: sinks})
 	return err
 }
 
 // RouteBus routes width-aligned buses with the greedy sequential router.
-func (s *Session) RouteBus(sources, sinks []server.EndPointMsg) error {
-	_, err := s.do(&server.Request{Op: "bus", Sources: sources, Sinks: sinks})
+func (s *Session) RouteBus(ctx context.Context, sources, sinks []server.EndPointMsg) error {
+	_, err := s.do(ctx, &server.Request{Op: "bus", Sources: sources, Sinks: sinks})
 	return err
 }
 
 // RouteBusBatch routes a bus with the negotiated batch router.
-func (s *Session) RouteBusBatch(sources, sinks []server.EndPointMsg) error {
-	_, err := s.do(&server.Request{Op: "bus_batch", Sources: sources, Sinks: sinks})
+func (s *Session) RouteBusBatch(ctx context.Context, sources, sinks []server.EndPointMsg) error {
+	_, err := s.do(ctx, &server.Request{Op: "bus_batch", Sources: sources, Sinks: sinks})
 	return err
 }
 
 // RouteBatch routes a set of nets together under negotiated congestion.
-func (s *Session) RouteBatch(nets []server.NetMsg) error {
-	_, err := s.do(&server.Request{Op: "batch", Nets: nets})
+func (s *Session) RouteBatch(ctx context.Context, nets []server.NetMsg) error {
+	_, err := s.do(ctx, &server.Request{Op: "batch", Nets: nets})
 	return err
 }
 
 // Unroute removes the net sourced at the endpoint.
-func (s *Session) Unroute(source server.EndPointMsg) error {
-	_, err := s.do(&server.Request{Op: "unroute", Source: &source})
+func (s *Session) Unroute(ctx context.Context, source server.EndPointMsg) error {
+	_, err := s.do(ctx, &server.Request{Op: "unroute", Source: &source})
 	return err
 }
 
 // ReverseUnroute removes only the branch feeding one sink.
-func (s *Session) ReverseUnroute(sink server.EndPointMsg) error {
-	_, err := s.do(&server.Request{Op: "reverse_unroute", Source: &sink})
+func (s *Session) ReverseUnroute(ctx context.Context, sink server.EndPointMsg) error {
+	_, err := s.do(ctx, &server.Request{Op: "reverse_unroute", Source: &sink})
 	return err
 }
 
 // Trace returns the net driven by the source endpoint.
-func (s *Session) Trace(source server.EndPointMsg) (*server.NetMsg, error) {
-	resp, err := s.do(&server.Request{Op: "trace", Source: &source})
+func (s *Session) Trace(ctx context.Context, source server.EndPointMsg) (*server.NetMsg, error) {
+	resp, err := s.do(ctx, &server.Request{Op: "trace", Source: &source})
 	if err != nil {
 		return nil, err
 	}
@@ -259,8 +484,8 @@ func (s *Session) Trace(source server.EndPointMsg) (*server.NetMsg, error) {
 }
 
 // ReverseTrace returns the net branch feeding the sink endpoint.
-func (s *Session) ReverseTrace(sink server.EndPointMsg) (*server.NetMsg, error) {
-	resp, err := s.do(&server.Request{Op: "reverse_trace", Source: &sink})
+func (s *Session) ReverseTrace(ctx context.Context, sink server.EndPointMsg) (*server.NetMsg, error) {
+	resp, err := s.do(ctx, &server.Request{Op: "reverse_trace", Source: &sink})
 	if err != nil {
 		return nil, err
 	}
@@ -269,23 +494,23 @@ func (s *Session) ReverseTrace(sink server.EndPointMsg) (*server.NetMsg, error) 
 
 // NewCore instantiates and implements a library core on the session's
 // device.
-func (s *Session) NewCore(msg server.CoreMsg) error {
-	_, err := s.do(&server.Request{Op: "core_new", Core: &msg})
+func (s *Session) NewCore(ctx context.Context, msg server.CoreMsg) error {
+	_, err := s.do(ctx, &server.Request{Op: "core_new", Core: &msg})
 	return err
 }
 
 // ReplaceCore runs the §3.3 replace flow on a named core: unroute its
 // ports, remove, optionally retune (constmul K), re-place at (row,col),
 // re-implement, reconnect.
-func (s *Session) ReplaceCore(msg server.CoreMsg) error {
-	_, err := s.do(&server.Request{Op: "core_replace", Core: &msg})
+func (s *Session) ReplaceCore(ctx context.Context, msg server.CoreMsg) error {
+	_, err := s.do(ctx, &server.Request{Op: "core_replace", Core: &msg})
 	return err
 }
 
 // Readback pulls the server's full configuration stream (the heavyweight
 // alternative to the incremental mirror).
-func (s *Session) Readback() ([]byte, error) {
-	resp, err := s.do(&server.Request{Op: "readback"})
+func (s *Session) Readback(ctx context.Context) ([]byte, error) {
+	resp, err := s.do(ctx, &server.Request{Op: "readback"})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,784 @@
+// Package fleet shards the jrouted daemon over a fleet of boards: N board
+// slots, each a device worker tethered to its own (emulated) FPGA board
+// over the XHWIF wire, plus K spare boards. Logical client sessions are
+// placed on slots deterministically — slot = placement key mod fleet size,
+// where the key defaults to FNV-1a of the session name — so any coordinator
+// given the same fleet size computes the same placement with no shared
+// state. Admission control bounds the sessions per slot.
+//
+// Every acknowledged mutating op is journaled (the core instances created,
+// plus a pin-level snapshot of the live connections with their exact PIP
+// paths). When a board dies — detected by a failed configuration push or a
+// failed health probe — the coordinator replays the slot's journal onto a
+// spare: cores are re-instantiated through the normal op path, connections
+// are re-adopted replay-first through the relocation route cache (the
+// remembered paths are swept for legality and committed verbatim; a full
+// maze search is paid only when a sweep fails), the spare gets a full
+// configuration push, and the bitstream oracle audits the result before the
+// slot is swapped. The slot epoch increments on every swap; clients observe
+// the epoch change and re-seed their mirrors.
+//
+// Journal consistency: a worker serializes everything behind its queue, and
+// the journal is appended on the worker goroutine immediately after the
+// board acknowledged the op's frames. Any failure that triggers failover
+// (an op's push failing, a probe failing) therefore executes after every
+// acknowledged op's journal entry is in place — the journal can never miss
+// an acked op.
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/jbits"
+	"repro/internal/oracle"
+	"repro/internal/server"
+	"repro/internal/server/protocol"
+)
+
+// Config describes a board fleet.
+type Config struct {
+	Boards int // board slots (required, >= 1)
+	Spares int // spare boards available for failover
+
+	Arch string // "" or "virtex", or "kestrel"
+	Rows int
+	Cols int
+
+	// SessionCap bounds the logical sessions admitted per board slot
+	// (0 = unlimited).
+	SessionCap int
+
+	// Opts configure every board worker (queue depth, parallelism, route
+	// cache, paranoid verify). The route cache should stay enabled: the
+	// failover journal leans on it to remember exact paths.
+	Opts server.Options
+
+	// PortFrameTime models the board configuration port's service time per
+	// frame: every frame pushed over a board link holds that board's port
+	// for this long. It is the serial resource sharding buys more of — the
+	// same per-frame cost applies at every fleet size. 0 disables the
+	// model (pushes are then limited only by CPU).
+	PortFrameTime time.Duration
+
+	// ProbeInterval is the background health-probe period (0 = no
+	// background probing; probes can still be run with ProbeAll).
+	ProbeInterval time.Duration
+
+	// WrapLink, when set, wraps each board's coordinator-side transport as
+	// it is created — the hook tests use to interpose jbits.FaultConn
+	// between the coordinator and a board.
+	WrapLink func(board string, link io.ReadWriter) io.ReadWriter
+}
+
+func (c Config) archName() string {
+	if c.Arch == "" {
+		return "virtex"
+	}
+	return c.Arch
+}
+
+// swappableConn is an io.ReadWriter whose inner transport can be wrapped
+// mid-session (fault injection) without re-dialing the RemoteBoard.
+type swappableConn struct {
+	mu    sync.Mutex
+	inner io.ReadWriter
+}
+
+func (s *swappableConn) get() io.ReadWriter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner
+}
+
+func (s *swappableConn) Read(p []byte) (int, error)  { return s.get().Read(p) }
+func (s *swappableConn) Write(p []byte) (int, error) { return s.get().Write(p) }
+
+func (s *swappableConn) wrap(f func(io.ReadWriter) io.ReadWriter) {
+	s.mu.Lock()
+	s.inner = f(s.inner)
+	s.mu.Unlock()
+}
+
+// board is one emulated FPGA board plus its XHWIF tether: the hardware-side
+// Serve loop and the coordinator-side RemoteBoard handle.
+type board struct {
+	name   string
+	hw     *jbits.Board
+	remote *jbits.RemoteBoard
+	link   *swappableConn
+	raw    net.Conn // coordinator-side pipe end; Close severs the link
+	served chan struct{}
+}
+
+func (c *Coordinator) newBoard(name string) (*board, error) {
+	hw, err := jbits.NewBoard(name, archByName(c.cfg.archName()), c.cfg.Rows, c.cfg.Cols)
+	if err != nil {
+		return nil, err
+	}
+	coordSide, boardSide := net.Pipe()
+	var rw io.ReadWriter = coordSide
+	if c.cfg.WrapLink != nil {
+		rw = c.cfg.WrapLink(name, rw)
+	}
+	link := &swappableConn{inner: rw}
+	b := &board{
+		name:   name,
+		hw:     hw,
+		remote: jbits.Dial(link),
+		link:   link,
+		raw:    coordSide,
+		served: make(chan struct{}),
+	}
+	go func() {
+		defer close(b.served)
+		_ = jbits.Serve(boardSide, hw)
+		boardSide.Close()
+	}()
+	return b, nil
+}
+
+func archByName(name string) *arch.Arch {
+	if name == "kestrel" {
+		return arch.NewKestrel()
+	}
+	return arch.NewVirtex()
+}
+
+// journal is one slot's failover memory: the core instances created on it
+// (latest geometry and tuning per name, in creation order) and the latest
+// pin-level snapshot of the router's live connections.
+type journal struct {
+	mu        sync.Mutex
+	coreOrder []string
+	cores     map[string]protocol.CoreMsg
+	conns     []core.ConnectionRecord
+}
+
+func newJournal() *journal {
+	return &journal{cores: make(map[string]protocol.CoreMsg)}
+}
+
+func (j *journal) record(req *server.Request, conns []core.ConnectionRecord) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if (req.Op == "core_new" || req.Op == "core_replace") && req.Core != nil {
+		if _, known := j.cores[req.Core.Name]; !known {
+			j.coreOrder = append(j.coreOrder, req.Core.Name)
+		}
+		j.cores[req.Core.Name] = *req.Core
+	}
+	j.conns = conns
+}
+
+// snapshot returns the cores in creation order plus the connection records.
+func (j *journal) snapshot() ([]protocol.CoreMsg, []core.ConnectionRecord) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	cores := make([]protocol.CoreMsg, 0, len(j.coreOrder))
+	for _, name := range j.coreOrder {
+		cores = append(cores, j.cores[name])
+	}
+	conns := append([]core.ConnectionRecord(nil), j.conns...)
+	return cores, conns
+}
+
+// slot is one board slot: the board currently serving it, the worker bound
+// to that board, and the slot's journal and epoch.
+type slot struct {
+	idx int
+
+	mu       sync.Mutex
+	b        *board
+	worker   *server.Worker
+	epoch    uint64
+	down     bool // dead with no spare left
+	failing  bool // failover pending: reject ops instead of hitting the dead worker
+	sessions map[string]struct{}
+
+	j *journal
+}
+
+func (s *slot) current() (*board, *server.Worker, uint64, bool, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b, s.worker, s.epoch, s.down, s.failing
+}
+
+// Coordinator fronts the board fleet; it implements server.Fleet.
+type Coordinator struct {
+	cfg   Config
+	slots []*slot
+
+	mu         sync.Mutex
+	spares     []*board
+	graveyard  []*server.Worker // dead slots' workers; drained at Shutdown
+	deadBoards []*board
+	sessionKey map[string]uint64 // admitted sessions and the key that placed them
+	closed     bool
+
+	counters struct {
+		failovers        int
+		failoverFails    int
+		healthProbes     int
+		probeFails       int
+		admissionRejects int
+		restoredConns    int
+		replayedPaths    int
+	}
+
+	failoverCh   chan failoverReq
+	failoverDone chan struct{}
+	stopProbe    chan struct{}
+	probeDone    chan struct{}
+}
+
+type failoverReq struct {
+	slot  *slot
+	epoch uint64 // the epoch observed dead; stale requests are dropped
+}
+
+// New builds the fleet: Boards slots with one board and worker each, plus
+// Spares idle boards, and starts the failover executor (and the background
+// health-probe loop when ProbeInterval is set).
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Boards < 1 {
+		return nil, fmt.Errorf("fleet: need at least one board")
+	}
+	c := &Coordinator{
+		cfg:          cfg,
+		sessionKey:   make(map[string]uint64),
+		failoverCh:   make(chan failoverReq, 4*cfg.Boards),
+		failoverDone: make(chan struct{}),
+		stopProbe:    make(chan struct{}),
+		probeDone:    make(chan struct{}),
+	}
+	for i := 0; i < cfg.Boards; i++ {
+		sl := &slot{idx: i, epoch: 1, sessions: make(map[string]struct{}), j: newJournal()}
+		b, err := c.newBoard(fmt.Sprintf("board%d", i))
+		if err != nil {
+			return nil, err
+		}
+		w, err := c.newWorker(sl, b)
+		if err != nil {
+			return nil, err
+		}
+		sl.b, sl.worker = b, w
+		c.slots = append(c.slots, sl)
+	}
+	for i := 0; i < cfg.Spares; i++ {
+		b, err := c.newBoard(fmt.Sprintf("spare%d", i))
+		if err != nil {
+			return nil, err
+		}
+		c.spares = append(c.spares, b)
+	}
+	go c.failoverLoop()
+	if cfg.ProbeInterval > 0 {
+		go c.probeLoop()
+	} else {
+		close(c.probeDone)
+	}
+	return c, nil
+}
+
+// newWorker builds the device worker tethered to b: its ship hook pushes
+// every acknowledged op's dirty frames over the board link (paying the
+// modeled configuration-port time), and its journal hook appends to the
+// slot's failover journal.
+func (c *Coordinator) newWorker(sl *slot, b *board) (*server.Worker, error) {
+	remote := b.remote
+	return server.NewWorker(server.WorkerConfig{
+		Name: b.name,
+		Arch: c.cfg.Arch,
+		Rows: c.cfg.Rows,
+		Cols: c.cfg.Cols,
+		Opts: c.cfg.Opts,
+		ShipHook: func(stream []byte, frames int) error {
+			c.chargePort(frames)
+			return remote.ConfigurePartial(stream)
+		},
+		JournalHook: func(req *server.Request, conns []core.ConnectionRecord) {
+			sl.j.record(req, conns)
+		},
+	})
+}
+
+// chargePort models the board configuration port serving n frames.
+func (c *Coordinator) chargePort(frames int) {
+	if c.cfg.PortFrameTime > 0 && frames > 0 {
+		time.Sleep(time.Duration(frames) * c.cfg.PortFrameTime)
+	}
+}
+
+// PlacementKey is the default placement hash: FNV-1a of the session name.
+// Placement is slot = key mod fleet size — a pure function of name and
+// fleet size, so every coordinator (and any client predicting placement)
+// agrees with no coordination.
+func PlacementKey(session string) uint64 {
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, session)
+	return h.Sum64()
+}
+
+func (c *Coordinator) slotFor(key uint64) *slot {
+	return c.slots[int(key%uint64(len(c.slots)))]
+}
+
+// Sessions lists the admitted logical sessions.
+func (c *Coordinator) Sessions() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.sessionKey))
+	for name := range c.sessionKey {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Submit handles one per-session request: placement and admission on
+// connect, board lookup on everything else. Successful responses carry the
+// serving board's name and epoch so clients can detect failovers.
+func (c *Coordinator) Submit(ctx context.Context, req *server.Request) *server.Response {
+	if req.Session == "" {
+		return &server.Response{ID: req.ID, ErrorCode: protocol.CodeBadRequest,
+			Err: "fleet: op without a session name"}
+	}
+	if req.Op == "connect" {
+		return c.connect(ctx, req)
+	}
+	c.mu.Lock()
+	key, admitted := c.sessionKey[req.Session]
+	c.mu.Unlock()
+	if !admitted {
+		return &server.Response{ID: req.ID, ErrorCode: protocol.CodeNoDevice,
+			Err: fmt.Sprintf("fleet: no session %q (connect first)", req.Session)}
+	}
+	sl := c.slotFor(key)
+	return c.submitToSlot(ctx, sl, req)
+}
+
+// submitToSlot runs one request on a slot's current worker, short-circuiting
+// slots that are down or mid-failover: an op must never execute on the dead
+// board's worker once the death is known — its router still holds the
+// unacknowledged mutations of the ops the dead link failed, and running the
+// retries there would surface phantom conflicts instead of the retryable
+// failover code.
+func (c *Coordinator) submitToSlot(ctx context.Context, sl *slot, req *server.Request) *server.Response {
+	b, w, epoch, down, failing := sl.current()
+	if down || b == nil {
+		return &server.Response{ID: req.ID, ErrorCode: protocol.CodeBoardDown,
+			Err: fmt.Sprintf("fleet: slot %d is down and no spare is left", sl.idx)}
+	}
+	if failing {
+		return &server.Response{ID: req.ID, ErrorCode: protocol.CodeFailover,
+			Err: fmt.Sprintf("fleet: slot %d is failing over, retry", sl.idx)}
+	}
+	resp := w.Submit(ctx, req)
+	c.noteResult(sl, epoch, resp)
+	return resp
+}
+
+// connect admits (or re-attaches) a session and returns the slot's current
+// configuration.
+func (c *Coordinator) connect(ctx context.Context, req *server.Request) *server.Response {
+	key := PlacementKey(req.Session)
+	if req.Key != nil {
+		key = *req.Key
+	}
+	sl := c.slotFor(key)
+	sl.mu.Lock()
+	_, attached := sl.sessions[req.Session]
+	if !attached {
+		if c.cfg.SessionCap > 0 && len(sl.sessions) >= c.cfg.SessionCap {
+			sl.mu.Unlock()
+			c.mu.Lock()
+			c.counters.admissionRejects++
+			c.mu.Unlock()
+			return &server.Response{ID: req.ID, ErrorCode: protocol.CodeAdmission,
+				Err: fmt.Sprintf("fleet: slot %d at its session cap (%d)", sl.idx, c.cfg.SessionCap)}
+		}
+		sl.sessions[req.Session] = struct{}{}
+	}
+	sl.mu.Unlock()
+	c.mu.Lock()
+	c.sessionKey[req.Session] = key
+	c.mu.Unlock()
+	return c.submitToSlot(ctx, sl, req)
+}
+
+// noteResult stamps the serving board and epoch on successful responses and
+// turns push failures into failover requests.
+func (c *Coordinator) noteResult(sl *slot, epoch uint64, resp *server.Response) {
+	if resp.ErrorCode == protocol.CodeFailover {
+		c.requestFailover(sl, epoch)
+		return
+	}
+	if resp.Err == "" {
+		b, _, cur, _, _ := sl.current()
+		if b != nil {
+			resp.Board, resp.Epoch = b.name, cur
+		}
+	}
+}
+
+// requestFailover queues a failover for the slot if its epoch is still the
+// one observed dead (duplicates and stale reports are dropped). The slot is
+// marked failing so further ops are rejected with the retryable code rather
+// than executed against the dead board's worker.
+func (c *Coordinator) requestFailover(sl *slot, epoch uint64) {
+	sl.mu.Lock()
+	if sl.epoch == epoch && !sl.down {
+		sl.failing = true
+	}
+	sl.mu.Unlock()
+	select {
+	case c.failoverCh <- failoverReq{slot: sl, epoch: epoch}:
+	default:
+		// Queue full: a failover for this slot is already pending; the
+		// epoch check will drop the duplicate anyway.
+	}
+}
+
+func (c *Coordinator) failoverLoop() {
+	defer close(c.failoverDone)
+	for req := range c.failoverCh {
+		c.failover(req.slot, req.epoch)
+	}
+}
+
+// failover replaces a dead board with a spare: replay the slot's journal
+// onto a fresh worker tethered to the spare (cores through the normal op
+// path, connections re-adopted replay-first through the route cache), push
+// the full configuration, audit the spare with the bitstream oracle, then
+// swap it in under a new epoch. The dead worker is parked in the graveyard
+// — its queue must stay open for any straggling submitters — and drained at
+// Shutdown.
+func (c *Coordinator) failover(sl *slot, deadEpoch uint64) {
+	sl.mu.Lock()
+	if sl.epoch != deadEpoch || sl.down {
+		sl.mu.Unlock()
+		return // stale report: this epoch was already failed over
+	}
+	oldBoard, oldWorker := sl.b, sl.worker
+	sl.mu.Unlock()
+
+	c.mu.Lock()
+	if len(c.spares) == 0 {
+		c.counters.failoverFails++
+		c.mu.Unlock()
+		sl.mu.Lock()
+		sl.down = true
+		sl.failing = false
+		sl.mu.Unlock()
+		return
+	}
+	spare := c.spares[0]
+	c.spares = c.spares[1:]
+	c.mu.Unlock()
+
+	newWorker, restored, replayed, err := c.replay(sl, spare)
+	if err != nil {
+		// The spare itself is bad; consume it and report the slot dead
+		// rather than serving a board the oracle rejected.
+		c.mu.Lock()
+		c.counters.failoverFails++
+		c.deadBoards = append(c.deadBoards, spare)
+		c.mu.Unlock()
+		sl.mu.Lock()
+		sl.down = true
+		sl.failing = false
+		sl.mu.Unlock()
+		return
+	}
+
+	sl.mu.Lock()
+	sl.b = spare
+	sl.worker = newWorker
+	sl.epoch++
+	sl.failing = false
+	sl.mu.Unlock()
+
+	c.mu.Lock()
+	c.counters.failovers++
+	c.counters.restoredConns += restored
+	c.counters.replayedPaths += replayed
+	c.graveyard = append(c.graveyard, oldWorker)
+	c.deadBoards = append(c.deadBoards, oldBoard)
+	c.mu.Unlock()
+	_ = oldBoard.raw.Close() // sever whatever is left of the dead link
+}
+
+// replay rebuilds the slot's journaled state on a fresh worker tethered to
+// the spare and audits the result. Returns the replayed worker, how many
+// connections were restored, and how many of those were served by
+// cached-path replay rather than a fresh search.
+func (c *Coordinator) replay(sl *slot, spare *board) (*server.Worker, int, int, error) {
+	coreMsgs, conns := sl.j.snapshot()
+	w, err := c.newWorker(sl, spare)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	fail := func(err error) (*server.Worker, int, int, error) {
+		w.Close()
+		<-w.Done()
+		return nil, 0, 0, err
+	}
+	// Cores first: re-instantiating them re-routes their internal nets.
+	for i := range coreMsgs {
+		msg := coreMsgs[i]
+		resp := w.Submit(ctx, &server.Request{Op: "core_new", Session: "replay", Core: &msg})
+		if resp.Err != "" {
+			return fail(fmt.Errorf("fleet: replaying core %q: %s", msg.Name, resp.Err))
+		}
+	}
+	// Then the connection records. Adoption is idempotent against nets the
+	// cores' Implement already routed, and replay-first: the remembered
+	// paths are swept for legality and committed without a search.
+	var replayed int
+	err = w.Do(ctx, func(r *core.Router, js *jbits.Session) error {
+		before := r.Stats().CacheHits
+		for _, rec := range conns {
+			if err := r.AdoptConnection(rec); err != nil {
+				return err
+			}
+		}
+		replayed = r.Stats().CacheHits - before
+		// The adoption dirtied frames the ship hook never saw. The spare
+		// started blank — the same state this worker's device grew from —
+		// so pushing just the dirty delta re-creates the dead board's
+		// configuration without streaming the whole device through the
+		// port: the failover window scales with the remembered state, not
+		// the device size.
+		if js.Dev.DirtyFrameCount() > 0 {
+			stream, err := js.Dev.PartialConfig()
+			if err != nil {
+				return err
+			}
+			c.chargePort(js.Dev.DirtyFrameCount())
+			if err := spare.remote.ConfigurePartial(stream); err != nil {
+				return err
+			}
+		}
+		js.Dev.ClearDirty()
+		// Audit the spare through its own configuration port before
+		// trusting it: readback must match the replayed device's full
+		// configuration and pass the oracle's structural invariants.
+		full, err := js.Dev.FullConfig()
+		if err != nil {
+			return err
+		}
+		back, err := spare.remote.Readback()
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(back, full) {
+			return fmt.Errorf("fleet: spare %s readback diverges from pushed configuration", spare.name)
+		}
+		return oracle.Audit(js.Dev.A, back, nil, false)
+	})
+	if err != nil {
+		return fail(err)
+	}
+	return w, len(conns), replayed, nil
+}
+
+// KillBoard severs slot i's board link immediately — the test and demo
+// lever for "the board died". The next push or probe on the slot fails and
+// triggers failover.
+func (c *Coordinator) KillBoard(i int) error {
+	if i < 0 || i >= len(c.slots) {
+		return fmt.Errorf("fleet: no slot %d", i)
+	}
+	b, _, _, _, _ := c.slots[i].current()
+	if b == nil {
+		return fmt.Errorf("fleet: slot %d has no board", i)
+	}
+	return b.raw.Close()
+}
+
+// FaultLink wraps slot i's current board link with seeded fault injection
+// (jbits.FaultConn), so the board dies according to the fault schedule —
+// e.g. mid-RouteFanout — instead of instantly.
+func (c *Coordinator) FaultLink(i int, opts jbits.FaultOptions) error {
+	if i < 0 || i >= len(c.slots) {
+		return fmt.Errorf("fleet: no slot %d", i)
+	}
+	b, _, _, _, _ := c.slots[i].current()
+	if b == nil {
+		return fmt.Errorf("fleet: slot %d has no board", i)
+	}
+	b.link.wrap(func(inner io.ReadWriter) io.ReadWriter {
+		return jbits.NewFaultConn(inner, opts)
+	})
+	return nil
+}
+
+// Epoch returns slot i's current epoch.
+func (c *Coordinator) Epoch(i int) uint64 {
+	_, _, epoch, _, _ := c.slots[i].current()
+	return epoch
+}
+
+// probeLoop runs background health probes.
+func (c *Coordinator) probeLoop() {
+	defer close(c.probeDone)
+	ticker := time.NewTicker(c.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeInterval)
+			c.ProbeAll(ctx)
+			cancel()
+		case <-c.stopProbe:
+			return
+		}
+	}
+}
+
+// ProbeAll health-probes every live slot once: the board is read back over
+// its link and audited by the bitstream oracle against the worker's own
+// bitstream. A failed probe (dead link, divergent or structurally invalid
+// configuration) triggers failover.
+func (c *Coordinator) ProbeAll(ctx context.Context) {
+	for _, sl := range c.slots {
+		b, w, epoch, down, failing := sl.current()
+		if down || failing || b == nil {
+			continue // dead or already failing over: nothing to learn
+		}
+		c.mu.Lock()
+		c.counters.healthProbes++
+		c.mu.Unlock()
+		err := w.Do(ctx, func(r *core.Router, js *jbits.Session) error {
+			back, err := b.remote.Readback()
+			if err != nil {
+				return err
+			}
+			want, err := js.Dev.FullConfig()
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(back, want) {
+				return fmt.Errorf("fleet: %s readback diverges from session state", b.name)
+			}
+			return oracle.Audit(js.Dev.A, back, nil, false)
+		})
+		if err != nil {
+			c.mu.Lock()
+			c.counters.probeFails++
+			c.mu.Unlock()
+			c.requestFailover(sl, epoch)
+		}
+	}
+}
+
+// Stats snapshots the coordinator counters and per-slot sections.
+func (c *Coordinator) Stats() *protocol.FleetStatsMsg {
+	c.mu.Lock()
+	out := &protocol.FleetStatsMsg{
+		Boards:           len(c.slots),
+		SparesLeft:       len(c.spares),
+		Sessions:         len(c.sessionKey),
+		Failovers:        c.counters.failovers,
+		FailoverFails:    c.counters.failoverFails,
+		HealthProbes:     c.counters.healthProbes,
+		ProbeFails:       c.counters.probeFails,
+		AdmissionRejects: c.counters.admissionRejects,
+		RestoredConns:    c.counters.restoredConns,
+		ReplayedPaths:    c.counters.replayedPaths,
+		Slots:            make(map[string]protocol.BoardStatsMsg, len(c.slots)),
+	}
+	c.mu.Unlock()
+	for _, sl := range c.slots {
+		sl.mu.Lock()
+		b, w, epoch, down := sl.b, sl.worker, sl.epoch, sl.down
+		nSessions := len(sl.sessions)
+		sl.mu.Unlock()
+		if down {
+			out.DownSlots++
+		}
+		entry := protocol.BoardStatsMsg{Epoch: epoch, Healthy: !down, Sessions: nSessions}
+		if b != nil {
+			entry.Board = b.name
+			hc := b.hw.Counters()
+			entry.HW = protocol.BoardHWMsg{
+				FullConfigs:    hc.FullConfigs,
+				PartialConfigs: hc.PartialConfigs,
+				FramesWritten:  hc.FramesWritten,
+				BytesWritten:   hc.BytesWritten,
+			}
+		}
+		if w != nil {
+			entry.Worker = w.StatsSnapshot()
+		}
+		out.Slots[fmt.Sprintf("slot%d", sl.idx)] = entry
+	}
+	return out
+}
+
+// Shutdown stops probing and failover, drains every worker (live and
+// graveyard), and tears down the board links. Callers must guarantee no
+// Submit is in flight — the daemon calls this only after its connection
+// handlers have exited.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	// Stop the probe loop before closing the failover channel: probes are
+	// a failover-request producer.
+	close(c.stopProbe)
+	<-c.probeDone
+	close(c.failoverCh)
+	<-c.failoverDone
+
+	var workers []*server.Worker
+	var boards []*board
+	for _, sl := range c.slots {
+		sl.mu.Lock()
+		if sl.worker != nil {
+			workers = append(workers, sl.worker)
+		}
+		if sl.b != nil {
+			boards = append(boards, sl.b)
+		}
+		sl.mu.Unlock()
+	}
+	c.mu.Lock()
+	workers = append(workers, c.graveyard...)
+	boards = append(boards, c.spares...)
+	boards = append(boards, c.deadBoards...)
+	c.mu.Unlock()
+
+	for _, w := range workers {
+		w.Close()
+	}
+	var err error
+	for _, w := range workers {
+		select {
+		case <-w.Done():
+		case <-ctx.Done():
+			if err == nil {
+				err = fmt.Errorf("fleet: shutdown deadline exceeded draining %s", w.Name())
+			}
+		}
+	}
+	for _, b := range boards {
+		_ = b.raw.Close()
+	}
+	return err
+}

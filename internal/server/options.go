@@ -1,0 +1,39 @@
+package server
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// Opt is a functional option for NewServer. The Options struct stays the
+// internal representation (and New(Options) keeps working); these
+// constructors are the composable surface the CLIs use.
+type Opt func(*Options)
+
+// NewServer creates an empty daemon from functional options.
+func NewServer(opts ...Opt) *Server {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return New(o)
+}
+
+// WithQueueDepth bounds each session's request queue.
+func WithQueueDepth(n int) Opt { return func(o *Options) { o.QueueDepth = n } }
+
+// WithParallelism sets the negotiated-batch worker count for every session
+// router (0 = GOMAXPROCS).
+func WithParallelism(n int) Opt { return func(o *Options) { o.Parallelism = n } }
+
+// WithRouteCache sets the route-cache mode for every session router.
+func WithRouteCache(m core.CacheMode) Opt { return func(o *Options) { o.RouteCache = m } }
+
+// WithEnqueueTimeout bounds how long a request waits for a queue slot
+// before the busy response.
+func WithEnqueueTimeout(d time.Duration) Opt { return func(o *Options) { o.EnqueueTimeout = d } }
+
+// WithParanoidVerify makes every session router audit each automatic
+// routing op with the bitstream oracle before acknowledging it.
+func WithParanoidVerify(on bool) Opt { return func(o *Options) { o.ParanoidVerify = on } }

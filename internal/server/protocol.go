@@ -1,164 +1,52 @@
 // Package server implements jrouted: a long-running routing daemon hosting
-// many named devices, each wrapped in a session with its own JRoute router,
-// serving the full JRoute surface — connect, route, unroute, trace,
+// many named devices, each wrapped in a worker session with its own JRoute
+// router, serving the full JRoute surface — connect, route, unroute, trace,
 // batch/bus routing, core instantiation and replacement, and
-// partial-bitstream readback — over a framed JSON-over-TCP protocol that
-// shares the XHWIF frame format (u8 opcode, u32 length, payload; see
+// partial-bitstream readback — over the framed JSON protocol defined in
+// internal/server/protocol (which shares the XHWIF frame format; see
 // internal/jbits).
 //
 // Concurrency model: every device session owns one worker goroutine and a
 // bounded request queue. Requests against one session are serialized in
 // arrival order; requests against different sessions run concurrently. A
-// full queue pushes back: the submitter waits up to the enqueue timeout and
-// then receives a busy response, which clients surface as ErrBusy.
+// full queue pushes back: the submitter waits up to the enqueue timeout —
+// bounded further by the request's own deadline — and then receives a busy
+// response, which clients surface as ErrBusy. A request whose context is
+// canceled or expired while queued is rejected with a typed error code
+// (CodeCanceled / CodeDeadline) instead of blocking or executing late.
 //
 // Partial-reconfiguration push: every mutating operation's response carries
 // the configuration frames the operation dirtied, so a thin client can
 // mirror the server's bitstream incrementally without ever pulling a full
 // readback.
+//
+// Fleet mode: a coordinator (internal/server/fleet) may be attached with
+// SetFleet, in which case per-device ops are sharded over a board fleet
+// with health checks and automatic failover; see that package.
 package server
 
-// OpService is the XHWIF-format frame opcode carrying a JSON service
-// request; responses echo it with jbits.RespFlag set.
-const OpService = 0x10
+import "repro/internal/server/protocol"
 
-// Request is one service call. Op selects the operation; Session names the
-// device session every per-device op targets.
-//
-// Ops and their fields:
-//
-//	devices          ()                         -> Devices
-//	connect          (Session)                  -> Rows, Cols, Arch, Config
-//	route            (Session, Source, Sinks)   RouteNet / RouteFanout
-//	bus              (Session, Sources, Sinks)  greedy RouteBus
-//	bus_batch        (Session, Sources, Sinks)  negotiated RouteBusBatch
-//	batch            (Session, Nets)            negotiated RouteBatch
-//	unroute          (Session, Source)
-//	reverse_unroute  (Session, Source)          source = the sink pin
-//	trace            (Session, Source)          -> Net
-//	reverse_trace    (Session, Source)          -> Net
-//	core_new         (Session, Core)            instantiate + implement
-//	core_replace     (Session, Core)            §3.3 replace flow
-//	readback         (Session)                  -> Config
-//	statsz           ()                         -> Stats
-//
-// Mutating ops (route, bus, bus_batch, batch, unroute, reverse_unroute,
-// core_new, core_replace) return the dirtied frames in Frames.
-type Request struct {
-	ID      uint64        `json:"id"`
-	Op      string        `json:"op"`
-	Session string        `json:"session,omitempty"`
-	Source  *EndPointMsg  `json:"source,omitempty"`
-	Sinks   []EndPointMsg `json:"sinks,omitempty"`
-	Sources []EndPointMsg `json:"sources,omitempty"`
-	Nets    []NetMsg      `json:"nets,omitempty"`
-	Core    *CoreMsg      `json:"core,omitempty"`
-}
+// The wire types live in internal/server/protocol; these aliases keep the
+// historical server.Request / server.Response spelling working for existing
+// callers while the protocol package remains the single source of truth.
+type (
+	Request         = protocol.Request
+	Response        = protocol.Response
+	HelloMsg        = protocol.HelloMsg
+	PinMsg          = protocol.PinMsg
+	PortRefMsg      = protocol.PortRefMsg
+	EndPointMsg     = protocol.EndPointMsg
+	NetMsg          = protocol.NetMsg
+	PipMsg          = protocol.PipMsg
+	CoreMsg         = protocol.CoreMsg
+	StatsMsg        = protocol.StatsMsg
+	SessionStatsMsg = protocol.SessionStatsMsg
+	OpStatsMsg      = protocol.OpStatsMsg
+	FleetStatsMsg   = protocol.FleetStatsMsg
+	BoardStatsMsg   = protocol.BoardStatsMsg
+	BoardHWMsg      = protocol.BoardHWMsg
+)
 
-// Response answers one Request, matched by ID.
-type Response struct {
-	ID   uint64 `json:"id"`
-	Err  string `json:"err,omitempty"`
-	Busy bool   `json:"busy,omitempty"` // backpressure: queue full, retry later
-
-	// connect / devices
-	Rows    int      `json:"rows,omitempty"`
-	Cols    int      `json:"cols,omitempty"`
-	Arch    string   `json:"arch,omitempty"`
-	Devices []string `json:"devices,omitempty"`
-
-	// Config is a full configuration stream (connect, readback).
-	Config []byte `json:"config,omitempty"`
-
-	// Frames is the partial stream of configuration frames dirtied by a
-	// mutating op; FrameN counts them. Applying Frames to an up-to-date
-	// mirror reproduces the server's bitstream exactly.
-	Frames []byte `json:"frames,omitempty"`
-	FrameN int    `json:"frame_n,omitempty"`
-
-	Net   *NetMsg   `json:"net,omitempty"`   // trace results
-	Stats *StatsMsg `json:"stats,omitempty"` // statsz
-}
-
-// PinMsg is a physical pin on the wire: row, column, and the
-// architecture-independent wire number.
-type PinMsg struct {
-	Row  int `json:"row"`
-	Col  int `json:"col"`
-	Wire int `json:"wire"`
-}
-
-// PortRefMsg names a port of a server-side core instance.
-type PortRefMsg struct {
-	Core  string `json:"core"`
-	Group string `json:"group"`
-	Index int    `json:"index"`
-}
-
-// EndPointMsg is the wire form of core.EndPoint: exactly one of Pin or
-// Port is set.
-type EndPointMsg struct {
-	Pin  *PinMsg     `json:"pin,omitempty"`
-	Port *PortRefMsg `json:"port,omitempty"`
-}
-
-// NetMsg is one net: a source and its sinks. It doubles as the trace
-// result, where Pips carries the net's PIPs in breadth-first order.
-type NetMsg struct {
-	Source EndPointMsg   `json:"source"`
-	Sinks  []EndPointMsg `json:"sinks,omitempty"`
-	Pips   []PipMsg      `json:"pips,omitempty"`
-}
-
-// PipMsg is one programmable interconnect point on the wire.
-type PipMsg struct {
-	Row  int `json:"row"`
-	Col  int `json:"col"`
-	From int `json:"from"`
-	To   int `json:"to"`
-}
-
-// CoreMsg describes a core instance for core_new / core_replace. Kind
-// selects the library core; the parameter fields used depend on it:
-//
-//	constmul: K, KBits      (replace retunes K)
-//	register: Bits
-type CoreMsg struct {
-	Name  string  `json:"name"`
-	Kind  string  `json:"kind,omitempty"`
-	Row   int     `json:"row"`
-	Col   int     `json:"col"`
-	K     *uint64 `json:"k,omitempty"`
-	KBits int     `json:"kbits,omitempty"`
-	Bits  int     `json:"bits,omitempty"`
-}
-
-// StatsMsg is the statsz payload: per-session counters and per-op latency
-// histograms.
-type StatsMsg struct {
-	Sessions map[string]SessionStatsMsg `json:"sessions"`
-}
-
-// SessionStatsMsg aggregates one device session.
-type SessionStatsMsg struct {
-	Routes          int                   `json:"routes"`
-	RipUps          int                   `json:"rip_ups"` // PIPs ripped up (cleared)
-	BatchIterations int                   `json:"batch_iterations"`
-	CacheHits       int                   `json:"cache_hits"`   // routes served by path replay
-	CacheMisses     int                   `json:"cache_misses"` // cache lookups without an entry
-	ReplayFails     int                   `json:"replay_fails"` // replays that fell back to search
-	Connections     int                   `json:"connections"`  // live connection records
-	FramesShipped   int                   `json:"frames_shipped"`
-	BytesShipped    int                   `json:"bytes_shipped"`
-	QueueDepth      int                   `json:"queue_depth"`
-	Ops             map[string]OpStatsMsg `json:"ops"`
-}
-
-// OpStatsMsg is one operation's count and latency distribution.
-type OpStatsMsg struct {
-	Count  uint64  `json:"count"`
-	Errors uint64  `json:"errors"`
-	P50us  float64 `json:"p50_us"`
-	P99us  float64 `json:"p99_us"`
-	Meanus float64 `json:"mean_us"`
-}
+// OpService is re-exported from the protocol package.
+const OpService = protocol.OpService

@@ -1,0 +1,296 @@
+// Package protocol defines the wire surface of the jrouted routing service:
+// the framed JSON messages carried over the XHWIF frame format (u8 opcode,
+// u32 length, payload; see internal/jbits), the protocol version handshake,
+// and the structured error codes responses carry. It is imported by the
+// server, the fleet coordinator, and the thin client, and holds no
+// behaviour — only the contract.
+//
+// # Versioning
+//
+// Every connection must open with a "hello" request declaring the protocol
+// version the client speaks. The server answers with its own version and
+// capability flags ("fleet", "paranoid"); a mismatched version — or any
+// other op sent before hello — is rejected with ErrorCode CodeVersion, so
+// pre-v2 clients get one clear typed error instead of undefined behaviour
+// mid-session.
+//
+// # Error codes
+//
+// Responses carry a machine-readable ErrorCode alongside the human Err
+// text. Clients branch on the code (retry on CodeFailover, surface
+// CodeCanceled as a context error, ...) instead of parsing error strings.
+package protocol
+
+// Version is the protocol version this tree speaks. Version 2 added the
+// hello handshake, structured error codes, request deadlines, and the
+// fleet extensions (placement keys, board epochs, fleet statsz).
+const Version = 2
+
+// OpService is the XHWIF-format frame opcode carrying a JSON service
+// request; responses echo it with jbits.RespFlag set.
+const OpService = 0x10
+
+// Capability flags a server may advertise in its hello response.
+const (
+	// CapFleet: the daemon runs fleet mode — sessions are sharded over a
+	// board fleet with health-checked automatic failover.
+	CapFleet = "fleet"
+	// CapParanoid: every automatic routing op is audited by the bitstream
+	// oracle before it is acknowledged.
+	CapParanoid = "paranoid"
+)
+
+// Error codes. The empty string means success.
+const (
+	// CodeBadRequest: the request was malformed (unparseable JSON, missing
+	// endpoint, core description, ...).
+	CodeBadRequest = "bad_request"
+	// CodeUnknownOp: the op name is not part of the protocol.
+	CodeUnknownOp = "unknown_op"
+	// CodeVersion: protocol version mismatch, or an op sent before the
+	// hello handshake.
+	CodeVersion = "version_mismatch"
+	// CodeNoDevice: the named device session does not exist.
+	CodeNoDevice = "no_device"
+	// CodeBusy: backpressure — the session queue stayed full past the
+	// enqueue timeout. Retryable.
+	CodeBusy = "busy"
+	// CodeCanceled: the request's context was canceled while the op was
+	// queued; the op was rejected without executing.
+	CodeCanceled = "canceled"
+	// CodeDeadline: the request's deadline expired while the op waited in
+	// the bounded queue.
+	CodeDeadline = "deadline"
+	// CodeAdmission: fleet admission control rejected a new session (the
+	// target board is at its session cap).
+	CodeAdmission = "admission"
+	// CodeBoardDown: the session's board is dead and no spare is left to
+	// fail over to.
+	CodeBoardDown = "board_down"
+	// CodeFailover: the op raced a board death; its board is being (or has
+	// just been) replaced by a spare. Acknowledged state is preserved;
+	// retry the op.
+	CodeFailover = "failover"
+	// CodeRoute: the routing op itself failed (contention, bad endpoint,
+	// unrouted net, ...). Not retryable without changing the request.
+	CodeRoute = "route"
+	// CodeInternal: serialization or device-state failure inside the
+	// server.
+	CodeInternal = "internal"
+)
+
+// HelloMsg is the handshake payload, both directions: the client announces
+// the version it speaks; the server answers with its version and the
+// capabilities it serves.
+type HelloMsg struct {
+	Version int      `json:"version"`
+	Caps    []string `json:"caps,omitempty"`
+}
+
+// Request is one service call. Op selects the operation; Session names the
+// device session every per-device op targets.
+//
+// Ops and their fields:
+//
+//	hello            (Hello)                    -> Hello (version handshake)
+//	devices          ()                         -> Devices
+//	connect          (Session [, Key])          -> Rows, Cols, Arch, Config, Epoch, Board
+//	route            (Session, Source, Sinks)   RouteNet / RouteFanout
+//	bus              (Session, Sources, Sinks)  greedy RouteBus
+//	bus_batch        (Session, Sources, Sinks)  negotiated RouteBusBatch
+//	batch            (Session, Nets)            negotiated RouteBatch
+//	unroute          (Session, Source)
+//	reverse_unroute  (Session, Source)          source = the sink pin
+//	trace            (Session, Source)          -> Net
+//	reverse_trace    (Session, Source)          -> Net
+//	core_new         (Session, Core)            instantiate + implement
+//	core_replace     (Session, Core)            §3.3 replace flow
+//	readback         (Session)                  -> Config
+//	statsz           ()                         -> Stats
+//
+// Mutating ops (route, bus, bus_batch, batch, unroute, reverse_unroute,
+// core_new, core_replace) return the dirtied frames in Frames.
+type Request struct {
+	ID      uint64        `json:"id"`
+	Op      string        `json:"op"`
+	Session string        `json:"session,omitempty"`
+	Source  *EndPointMsg  `json:"source,omitempty"`
+	Sinks   []EndPointMsg `json:"sinks,omitempty"`
+	Sources []EndPointMsg `json:"sources,omitempty"`
+	Nets    []NetMsg      `json:"nets,omitempty"`
+	Core    *CoreMsg      `json:"core,omitempty"`
+	Hello   *HelloMsg     `json:"hello,omitempty"`
+
+	// TimeoutMillis propagates the client context's remaining deadline.
+	// The server bounds the op's queue wait (and rejects the op with
+	// CodeDeadline / CodeCanceled) by it. 0 means no deadline.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+
+	// Key is the fleet placement key for connect: the session is placed on
+	// board slot Key mod fleet size. Nil means the key is derived from the
+	// session name (FNV-1a), keeping placement a pure function of the
+	// name.
+	Key *uint64 `json:"key,omitempty"`
+}
+
+// Response answers one Request, matched by ID.
+type Response struct {
+	ID  uint64 `json:"id"`
+	Err string `json:"err,omitempty"`
+	// ErrorCode is the structured code for Err; see the Code constants.
+	ErrorCode string `json:"code,omitempty"`
+	Busy      bool   `json:"busy,omitempty"` // backpressure: queue full, retry later
+
+	// Hello answers the handshake with the server's version and caps.
+	Hello *HelloMsg `json:"hello,omitempty"`
+
+	// connect / devices
+	Rows    int      `json:"rows,omitempty"`
+	Cols    int      `json:"cols,omitempty"`
+	Arch    string   `json:"arch,omitempty"`
+	Devices []string `json:"devices,omitempty"`
+
+	// Board names the fleet board currently serving the session (connect
+	// responses, fleet mode only).
+	Board string `json:"board,omitempty"`
+
+	// Epoch is the serving board's incarnation, bumped on every failover.
+	// A client that sees the epoch change mid-session re-seeds its mirror
+	// from a readback — the dirty-frame push chain broke at the swap.
+	// 0 on static (non-fleet) sessions.
+	Epoch uint64 `json:"epoch,omitempty"`
+
+	// Config is a full configuration stream (connect, readback).
+	Config []byte `json:"config,omitempty"`
+
+	// Frames is the partial stream of configuration frames dirtied by a
+	// mutating op; FrameN counts them. Applying Frames to an up-to-date
+	// mirror reproduces the server's bitstream exactly.
+	Frames []byte `json:"frames,omitempty"`
+	FrameN int    `json:"frame_n,omitempty"`
+
+	Net   *NetMsg   `json:"net,omitempty"`   // trace results
+	Stats *StatsMsg `json:"stats,omitempty"` // statsz
+}
+
+// PinMsg is a physical pin on the wire: row, column, and the
+// architecture-independent wire number.
+type PinMsg struct {
+	Row  int `json:"row"`
+	Col  int `json:"col"`
+	Wire int `json:"wire"`
+}
+
+// PortRefMsg names a port of a server-side core instance.
+type PortRefMsg struct {
+	Core  string `json:"core"`
+	Group string `json:"group"`
+	Index int    `json:"index"`
+}
+
+// EndPointMsg is the wire form of core.EndPoint: exactly one of Pin or
+// Port is set.
+type EndPointMsg struct {
+	Pin  *PinMsg     `json:"pin,omitempty"`
+	Port *PortRefMsg `json:"port,omitempty"`
+}
+
+// NetMsg is one net: a source and its sinks. It doubles as the trace
+// result, where Pips carries the net's PIPs in breadth-first order.
+type NetMsg struct {
+	Source EndPointMsg   `json:"source"`
+	Sinks  []EndPointMsg `json:"sinks,omitempty"`
+	Pips   []PipMsg      `json:"pips,omitempty"`
+}
+
+// PipMsg is one programmable interconnect point on the wire.
+type PipMsg struct {
+	Row  int `json:"row"`
+	Col  int `json:"col"`
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+// CoreMsg describes a core instance for core_new / core_replace. Kind
+// selects the library core; the parameter fields used depend on it:
+//
+//	constmul: K, KBits      (replace retunes K)
+//	register: Bits
+type CoreMsg struct {
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind,omitempty"`
+	Row   int     `json:"row"`
+	Col   int     `json:"col"`
+	K     *uint64 `json:"k,omitempty"`
+	KBits int     `json:"kbits,omitempty"`
+	Bits  int     `json:"bits,omitempty"`
+}
+
+// StatsMsg is the statsz payload: per-session counters and per-op latency
+// histograms, plus the fleet section when the daemon runs fleet mode.
+type StatsMsg struct {
+	Sessions map[string]SessionStatsMsg `json:"sessions"`
+	Fleet    *FleetStatsMsg             `json:"fleet,omitempty"`
+}
+
+// SessionStatsMsg aggregates one device session.
+type SessionStatsMsg struct {
+	Routes          int                   `json:"routes"`
+	RipUps          int                   `json:"rip_ups"` // PIPs ripped up (cleared)
+	BatchIterations int                   `json:"batch_iterations"`
+	CacheHits       int                   `json:"cache_hits"`   // routes served by path replay
+	CacheMisses     int                   `json:"cache_misses"` // cache lookups without an entry
+	ReplayFails     int                   `json:"replay_fails"` // replays that fell back to search
+	Connections     int                   `json:"connections"`  // live connection records
+	FramesShipped   int                   `json:"frames_shipped"`
+	BytesShipped    int                   `json:"bytes_shipped"`
+	QueueDepth      int                   `json:"queue_depth"`
+	Ops             map[string]OpStatsMsg `json:"ops"`
+}
+
+// OpStatsMsg is one operation's count and latency distribution.
+type OpStatsMsg struct {
+	Count  uint64  `json:"count"`
+	Errors uint64  `json:"errors"`
+	P50us  float64 `json:"p50_us"`
+	P99us  float64 `json:"p99_us"`
+	Meanus float64 `json:"mean_us"`
+}
+
+// FleetStatsMsg is the fleet section of statsz: coordinator counters plus
+// one entry per board slot.
+type FleetStatsMsg struct {
+	Boards           int                      `json:"boards"`      // active board slots
+	SparesLeft       int                      `json:"spares_left"` // unconsumed spare boards
+	Sessions         int                      `json:"sessions"`    // admitted logical sessions
+	Failovers        int                      `json:"failovers"`   // completed board swaps
+	FailoverFails    int                      `json:"failover_fails"`
+	HealthProbes     int                      `json:"health_probes"`
+	ProbeFails       int                      `json:"probe_fails"`
+	AdmissionRejects int                      `json:"admission_rejects"`
+	RestoredConns    int                      `json:"restored_conns"` // connections replayed onto spares
+	ReplayedPaths    int                      `json:"replayed_paths"` // restores served by cached-path replay
+	DownSlots        int                      `json:"down_slots"`     // dead slots with no spare left
+	Slots            map[string]BoardStatsMsg `json:"slots,omitempty"`
+}
+
+// BoardStatsMsg is one board slot: the board currently serving it, its
+// health, its worker-session counters, and the configuration traffic its
+// hardware has seen over the XHWIF link.
+type BoardStatsMsg struct {
+	Board    string          `json:"board"` // name of the serving board
+	Epoch    uint64          `json:"epoch"`
+	Healthy  bool            `json:"healthy"`
+	Sessions int             `json:"sessions"` // logical sessions placed here
+	Worker   SessionStatsMsg `json:"worker"`
+	HW       BoardHWMsg      `json:"hw"`
+}
+
+// BoardHWMsg is the configuration-port traffic a fleet board's hardware has
+// accepted.
+type BoardHWMsg struct {
+	FullConfigs    int `json:"full_configs"`
+	PartialConfigs int `json:"partial_configs"`
+	FramesWritten  int `json:"frames_written"`
+	BytesWritten   int `json:"bytes_written"`
+}

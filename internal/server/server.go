@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/jbits"
+	"repro/internal/server/protocol"
 )
 
 // Options tune the daemon.
@@ -39,13 +40,31 @@ func (o Options) enqueueTimeout() time.Duration {
 	return o.EnqueueTimeout
 }
 
+// Fleet is the coordinator hook: when attached with SetFleet, per-device
+// ops (connect included — that is where placement happens) are delegated to
+// it instead of the static session table. internal/server/fleet implements
+// it.
+type Fleet interface {
+	// Submit handles one per-session request end to end: placement and
+	// admission on connect, board lookup and failover handling on
+	// everything else.
+	Submit(ctx context.Context, req *Request) *Response
+	// Sessions lists the admitted logical session names.
+	Sessions() []string
+	// Stats snapshots the coordinator counters and per-board sections.
+	Stats() *FleetStatsMsg
+	// Shutdown stops health probing and drains the board workers.
+	Shutdown(ctx context.Context) error
+}
+
 // Server is the jrouted daemon: many named device sessions behind one
 // TCP listener speaking the framed JSON service protocol.
 type Server struct {
 	opts Options
 
 	mu       sync.Mutex
-	sessions map[string]*session
+	sessions map[string]*Worker
+	fleet    Fleet
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	closing  bool
@@ -53,17 +72,18 @@ type Server struct {
 	connWG sync.WaitGroup
 }
 
-// New creates an empty daemon; add devices with AddDevice, then Start.
+// New creates an empty daemon; add devices with AddDevice (or attach a
+// fleet with SetFleet), then Start.
 func New(opts Options) *Server {
 	return &Server{
 		opts:     opts,
-		sessions: make(map[string]*session),
+		sessions: make(map[string]*Worker),
 		conns:    make(map[net.Conn]struct{}),
 	}
 }
 
-// AddDevice creates a named device session. archName may be "virtex"
-// (default) or "kestrel".
+// AddDevice creates a named static device session. archName may be
+// "virtex" (default) or "kestrel".
 func (s *Server) AddDevice(name, archName string, rows, cols int) error {
 	if name == "" {
 		return fmt.Errorf("server: device needs a name")
@@ -76,12 +96,36 @@ func (s *Server) AddDevice(name, archName string, rows, cols int) error {
 	if _, dup := s.sessions[name]; dup {
 		return fmt.Errorf("server: device %q already exists", name)
 	}
-	sess, err := newSession(name, archName, rows, cols, s.opts)
+	w, err := NewWorker(WorkerConfig{Name: name, Arch: archName, Rows: rows, Cols: cols, Opts: s.opts})
 	if err != nil {
 		return err
 	}
-	s.sessions[name] = sess
+	s.sessions[name] = w
 	return nil
+}
+
+// SetFleet attaches a fleet coordinator: all per-device traffic is routed
+// through it, and the daemon advertises the "fleet" capability. Attach
+// before Start.
+func (s *Server) SetFleet(f Fleet) {
+	s.mu.Lock()
+	s.fleet = f
+	s.mu.Unlock()
+}
+
+// caps lists the capability flags the hello response advertises.
+func (s *Server) caps() []string {
+	var caps []string
+	s.mu.Lock()
+	fleet := s.fleet
+	s.mu.Unlock()
+	if fleet != nil {
+		caps = append(caps, protocol.CapFleet)
+	}
+	if s.opts.ParanoidVerify {
+		caps = append(caps, protocol.CapParanoid)
+	}
+	return caps
 }
 
 // Start listens on addr and serves connections in the background,
@@ -130,6 +174,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.mu.Unlock()
 		s.connWG.Done()
 	}()
+	helloed := false
 	for {
 		op, payload, err := jbits.ReadFrame(conn)
 		if err != nil {
@@ -137,7 +182,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 		if op != OpService {
 			msg := fmt.Sprintf("server: unknown opcode %#x", op)
-			if jbits.WriteFrame(conn, OpService|jbits.RespFlag, errorJSON(0, msg)) != nil {
+			if jbits.WriteFrame(conn, OpService|jbits.RespFlag, errorJSON(0, msg, protocol.CodeBadRequest)) != nil {
 				return
 			}
 			continue
@@ -146,12 +191,22 @@ func (s *Server) handleConn(conn net.Conn) {
 		resp := new(Response)
 		if err := json.Unmarshal(payload, &req); err != nil {
 			resp.Err = fmt.Sprintf("server: bad request: %v", err)
+			resp.ErrorCode = protocol.CodeBadRequest
+		} else if req.Op == "hello" {
+			resp = s.hello(&req)
+			helloed = resp.Err == ""
+		} else if !helloed {
+			// Pre-v2 clients never sent hello; give them one clear typed
+			// error instead of undefined behaviour mid-session.
+			resp = &Response{ID: req.ID, ErrorCode: protocol.CodeVersion,
+				Err: fmt.Sprintf("server: hello handshake required before %q (server speaks protocol v%d)",
+					req.Op, protocol.Version)}
 		} else {
 			resp = s.dispatch(&req)
 		}
 		out, err := json.Marshal(resp)
 		if err != nil {
-			out = errorJSON(req.ID, fmt.Sprintf("server: encoding response: %v", err))
+			out = errorJSON(req.ID, fmt.Sprintf("server: encoding response: %v", err), protocol.CodeInternal)
 		}
 		if err := jbits.WriteFrame(conn, OpService|jbits.RespFlag, out); err != nil {
 			return
@@ -165,17 +220,48 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
-func errorJSON(id uint64, msg string) []byte {
-	out, _ := json.Marshal(&Response{ID: id, Err: msg})
+// hello answers the version handshake.
+func (s *Server) hello(req *Request) *Response {
+	if req.Hello == nil {
+		return &Response{ID: req.ID, ErrorCode: protocol.CodeVersion,
+			Err: "server: hello without version"}
+	}
+	if req.Hello.Version != protocol.Version {
+		return &Response{ID: req.ID, ErrorCode: protocol.CodeVersion,
+			Err: fmt.Sprintf("server: protocol version mismatch: client speaks v%d, server speaks v%d",
+				req.Hello.Version, protocol.Version)}
+	}
+	return &Response{ID: req.ID, Hello: &HelloMsg{Version: protocol.Version, Caps: s.caps()}}
+}
+
+func errorJSON(id uint64, msg, code string) []byte {
+	out, _ := json.Marshal(&Response{ID: id, Err: msg, ErrorCode: code})
 	return out
 }
 
-// dispatch routes a request: server-level ops run inline; per-device ops
-// go through the owning session's bounded queue.
+// reqContext derives the request context from the deadline the client
+// propagated over the wire.
+func reqContext(req *Request) (context.Context, context.CancelFunc) {
+	if req.TimeoutMillis > 0 {
+		return context.WithTimeout(context.Background(), time.Duration(req.TimeoutMillis)*time.Millisecond)
+	}
+	return context.Background(), func() {}
+}
+
+// dispatch routes a request: server-level ops run inline; per-device ops go
+// through the owning worker's bounded queue, or the fleet coordinator when
+// one is attached.
 func (s *Server) dispatch(req *Request) *Response {
+	s.mu.Lock()
+	fleet := s.fleet
+	s.mu.Unlock()
 	switch req.Op {
 	case "devices":
 		resp := &Response{ID: req.ID}
+		if fleet != nil {
+			resp.Devices = fleet.Sessions()
+			return resp
+		}
 		s.mu.Lock()
 		for name := range s.sessions {
 			resp.Devices = append(resp.Devices, name)
@@ -185,34 +271,48 @@ func (s *Server) dispatch(req *Request) *Response {
 	case "statsz":
 		return &Response{ID: req.ID, Stats: s.Stats()}
 	}
+	ctx, cancel := reqContext(req)
+	defer cancel()
+	if fleet != nil {
+		resp := fleet.Submit(ctx, req)
+		resp.ID = req.ID
+		return resp
+	}
 	s.mu.Lock()
 	sess, ok := s.sessions[req.Session]
 	s.mu.Unlock()
 	if !ok {
-		return &Response{ID: req.ID, Err: fmt.Sprintf("server: no device %q", req.Session)}
+		return &Response{ID: req.ID, ErrorCode: protocol.CodeNoDevice,
+			Err: fmt.Sprintf("server: no device %q", req.Session)}
 	}
-	return sess.submit(req, s.opts.enqueueTimeout())
+	return sess.Submit(ctx, req)
 }
 
-// Stats snapshots every session's counters — the statsz payload.
+// Stats snapshots every session's counters — the statsz payload — plus the
+// fleet section when a coordinator is attached.
 func (s *Server) Stats() *StatsMsg {
 	s.mu.Lock()
-	sessions := make([]*session, 0, len(s.sessions))
-	for _, sess := range s.sessions {
-		sessions = append(sessions, sess)
+	sessions := make([]*Worker, 0, len(s.sessions))
+	for _, w := range s.sessions {
+		sessions = append(sessions, w)
 	}
+	fleet := s.fleet
 	s.mu.Unlock()
 	out := &StatsMsg{Sessions: make(map[string]SessionStatsMsg, len(sessions))}
-	for _, sess := range sessions {
-		out.Sessions[sess.name] = sess.m.snapshot(len(sess.queue))
+	for _, w := range sessions {
+		out.Sessions[w.Name()] = w.StatsSnapshot()
+	}
+	if fleet != nil {
+		out.Fleet = fleet.Stats()
 	}
 	return out
 }
 
 // Shutdown stops the daemon gracefully: no new connections are accepted,
 // every in-flight request is answered and every queued route drains, then
-// the session workers exit. The context bounds the wait; on expiry the
-// remaining connections are closed forcibly and the error reported.
+// the session workers (and the fleet, when attached) exit. The context
+// bounds the wait; on expiry the remaining connections are closed forcibly
+// and the error reported.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closing {
@@ -252,21 +352,27 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// All submitters are gone; close the queues and wait for the workers
 	// to drain what is left.
 	s.mu.Lock()
-	sessions := make([]*session, 0, len(s.sessions))
-	for _, sess := range s.sessions {
-		sessions = append(sessions, sess)
+	sessions := make([]*Worker, 0, len(s.sessions))
+	for _, w := range s.sessions {
+		sessions = append(sessions, w)
 	}
+	fleet := s.fleet
 	s.mu.Unlock()
-	for _, sess := range sessions {
-		close(sess.queue)
+	for _, w := range sessions {
+		w.Close()
 	}
-	for _, sess := range sessions {
+	for _, w := range sessions {
 		select {
-		case <-sess.done:
+		case <-w.Done():
 		case <-ctx.Done():
 			if err == nil {
-				err = fmt.Errorf("server: shutdown deadline exceeded draining session %s", sess.name)
+				err = fmt.Errorf("server: shutdown deadline exceeded draining session %s", w.Name())
 			}
+		}
+	}
+	if fleet != nil {
+		if ferr := fleet.Shutdown(ctx); ferr != nil && err == nil {
+			err = ferr
 		}
 	}
 	return err

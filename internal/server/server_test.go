@@ -42,12 +42,13 @@ func startDaemon(t *testing.T, opts server.Options, devices ...string) (string, 
 // routing, and a §3.3 core replacement — then checks the mirrored
 // bitstream against the server's readback.
 func driveSession(t *testing.T, addr, dev string) error {
-	c, err := client.Dial(addr)
+	ctx := context.Background()
+	c, err := client.Dial(ctx, addr)
 	if err != nil {
 		return err
 	}
 	defer c.Close()
-	s, err := c.Session(dev)
+	s, err := c.Session(ctx, dev)
 	if err != nil {
 		return err
 	}
@@ -55,20 +56,20 @@ func driveSession(t *testing.T, addr, dev string) error {
 	// Point-to-point route, trace, unroute (the §3.1 worked example).
 	src := client.Pin(core.NewPin(5, 7, arch.S1YQ))
 	sink := client.Pin(core.NewPin(6, 8, arch.S0F3))
-	if err := s.Route(src, sink); err != nil {
+	if err := s.Route(ctx, src, sink); err != nil {
 		return fmt.Errorf("route: %w", err)
 	}
-	net, err := s.Trace(src)
+	net, err := s.Trace(ctx, src)
 	if err != nil {
 		return fmt.Errorf("trace: %w", err)
 	}
 	if len(net.Sinks) != 1 || len(net.Pips) == 0 {
 		return fmt.Errorf("trace returned %d sinks, %d pips", len(net.Sinks), len(net.Pips))
 	}
-	if err := s.Unroute(src); err != nil {
+	if err := s.Unroute(ctx, src); err != nil {
 		return fmt.Errorf("unroute: %w", err)
 	}
-	if net, err := s.Trace(src); err != nil {
+	if net, err := s.Trace(ctx, src); err != nil {
 		return fmt.Errorf("trace after unroute: %w", err)
 	} else if len(net.Pips) != 0 || len(net.Sinks) != 0 {
 		return errors.New("net still populated after unroute")
@@ -82,16 +83,16 @@ func driveSession(t *testing.T, addr, dev string) error {
 			Sinks:  []server.EndPointMsg{client.Pin(core.NewPin(13-i, 6, arch.Input(i)))},
 		})
 	}
-	if err := s.RouteBatch(nets); err != nil {
+	if err := s.RouteBatch(ctx, nets); err != nil {
 		return fmt.Errorf("batch: %w", err)
 	}
 
 	// Core instantiation: constant multiplier feeding a register.
 	k := uint64(3)
-	if err := s.NewCore(server.CoreMsg{Name: "mul", Kind: "constmul", Row: 4, Col: 10, K: &k, KBits: 2}); err != nil {
+	if err := s.NewCore(ctx, server.CoreMsg{Name: "mul", Kind: "constmul", Row: 4, Col: 10, K: &k, KBits: 2}); err != nil {
 		return fmt.Errorf("core_new mul: %w", err)
 	}
-	if err := s.NewCore(server.CoreMsg{Name: "reg", Kind: "register", Row: 4, Col: 16, Bits: 6}); err != nil {
+	if err := s.NewCore(ctx, server.CoreMsg{Name: "reg", Kind: "register", Row: 4, Col: 16, Bits: 6}); err != nil {
 		return fmt.Errorf("core_new reg: %w", err)
 	}
 	var srcs, dsts []server.EndPointMsg
@@ -99,21 +100,21 @@ func driveSession(t *testing.T, addr, dev string) error {
 		srcs = append(srcs, client.PortRef("mul", "p", i))
 		dsts = append(dsts, client.PortRef("reg", "d", i))
 	}
-	if err := s.RouteBus(srcs, dsts); err != nil {
+	if err := s.RouteBus(ctx, srcs, dsts); err != nil {
 		return fmt.Errorf("bus p->d: %w", err)
 	}
 	// External drive into the multiplier input port.
-	if err := s.Route(client.Pin(core.NewPin(2, 2, arch.S0X)), client.PortRef("mul", "x", 0)); err != nil {
+	if err := s.Route(ctx, client.Pin(core.NewPin(2, 2, arch.S0X)), client.PortRef("mul", "x", 0)); err != nil {
 		return fmt.Errorf("route into x0: %w", err)
 	}
 
 	// §3.3 replacement: retune K and relocate; remembered connections are
 	// restored against the new placement.
 	k2 := uint64(2)
-	if err := s.ReplaceCore(server.CoreMsg{Name: "mul", Row: 9, Col: 10, K: &k2}); err != nil {
+	if err := s.ReplaceCore(ctx, server.CoreMsg{Name: "mul", Row: 9, Col: 10, K: &k2}); err != nil {
 		return fmt.Errorf("core_replace: %w", err)
 	}
-	if _, err := s.Trace(client.PortRef("mul", "p", 0)); err != nil {
+	if _, err := s.Trace(ctx, client.PortRef("mul", "p", 0)); err != nil {
 		return fmt.Errorf("trace after replace: %w", err)
 	}
 
@@ -131,7 +132,7 @@ func driveSession(t *testing.T, addr, dev string) error {
 	if err != nil {
 		return err
 	}
-	theirs, err := s.Readback()
+	theirs, err := s.Readback(ctx)
 	if err != nil {
 		return err
 	}
@@ -167,39 +168,40 @@ func TestServiceEndToEnd(t *testing.T) {
 // TestServiceErrors: unknown devices, unknown ops, bad endpoints and
 // contended routes surface as errors without killing the connection.
 func TestServiceErrors(t *testing.T) {
+	ctx := context.Background()
 	addr, _ := startDaemon(t, server.Options{}, "dev")
-	c, err := client.Dial(addr)
+	c, err := client.Dial(ctx, addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
 
-	if _, err := c.Session("nope"); err == nil {
+	if _, err := c.Session(ctx, "nope"); err == nil {
 		t.Error("connect to unknown device succeeded")
 	}
-	s, err := c.Session("dev")
+	s, err := c.Session(ctx, "dev")
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Unroute of an unrouted net errors but the session survives.
-	if err := s.Unroute(client.Pin(core.NewPin(5, 7, arch.S1YQ))); err == nil {
+	if err := s.Unroute(ctx, client.Pin(core.NewPin(5, 7, arch.S1YQ))); err == nil {
 		t.Error("unroute of unrouted net succeeded")
 	}
 	// Bad wire number.
-	if err := s.Route(server.EndPointMsg{Pin: &server.PinMsg{Row: 1, Col: 1, Wire: 1 << 20}},
+	if err := s.Route(ctx, server.EndPointMsg{Pin: &server.PinMsg{Row: 1, Col: 1, Wire: 1 << 20}},
 		client.Pin(core.NewPin(2, 2, arch.S0F1))); err == nil {
 		t.Error("absurd wire number accepted")
 	}
 	// Port ref into a nonexistent core.
-	if err := s.Route(client.PortRef("ghost", "p", 0), client.Pin(core.NewPin(2, 2, arch.S0F1))); err == nil {
+	if err := s.Route(ctx, client.PortRef("ghost", "p", 0), client.Pin(core.NewPin(2, 2, arch.S0F1))); err == nil {
 		t.Error("port of unknown core accepted")
 	}
 	// The session still works after all that.
-	if err := s.Route(client.Pin(core.NewPin(5, 7, arch.S1YQ)), client.Pin(core.NewPin(6, 8, arch.S0F3))); err != nil {
+	if err := s.Route(ctx, client.Pin(core.NewPin(5, 7, arch.S1YQ)), client.Pin(core.NewPin(6, 8, arch.S0F3))); err != nil {
 		t.Fatalf("session dead after errors: %v", err)
 	}
 
-	devs, err := c.Devices()
+	devs, err := c.Devices(ctx)
 	if err != nil || len(devs) != 1 || devs[0] != "dev" {
 		t.Errorf("devices = %v, %v", devs, err)
 	}
@@ -208,26 +210,27 @@ func TestServiceErrors(t *testing.T) {
 // TestServiceStats: statsz reports routes, rip-ups, shipped frames and
 // latency histograms after a little traffic.
 func TestServiceStats(t *testing.T) {
+	ctx := context.Background()
 	addr, _ := startDaemon(t, server.Options{}, "dev")
-	c, err := client.Dial(addr)
+	c, err := client.Dial(ctx, addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	s, err := c.Session("dev")
+	s, err := c.Session(ctx, "dev")
 	if err != nil {
 		t.Fatal(err)
 	}
 	src := client.Pin(core.NewPin(5, 7, arch.S1YQ))
 	for i := 0; i < 3; i++ {
-		if err := s.Route(src, client.Pin(core.NewPin(6, 8, arch.S0F3))); err != nil {
+		if err := s.Route(ctx, src, client.Pin(core.NewPin(6, 8, arch.S0F3))); err != nil {
 			t.Fatal(err)
 		}
-		if err := s.Unroute(src); err != nil {
+		if err := s.Unroute(ctx, src); err != nil {
 			t.Fatal(err)
 		}
 	}
-	stats, err := c.Stats()
+	stats, err := c.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,6 +262,7 @@ func TestServiceStats(t *testing.T) {
 // TestGracefulShutdown: a loaded daemon answers everything in flight,
 // drains, and refuses new work afterwards.
 func TestGracefulShutdown(t *testing.T) {
+	ctx := context.Background()
 	srv := server.New(server.Options{})
 	if err := srv.AddDevice("dev", "virtex", 16, 24); err != nil {
 		t.Fatal(err)
@@ -267,12 +271,12 @@ func TestGracefulShutdown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := client.Dial(addr)
+	c, err := client.Dial(ctx, addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	s, err := c.Session("dev")
+	s, err := c.Session(ctx, "dev")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,28 +293,28 @@ func TestGracefulShutdown(t *testing.T) {
 				return
 			default:
 			}
-			if err := s.Route(src, client.Pin(core.NewPin(6, 8, arch.S0F3))); err != nil {
+			if err := s.Route(ctx, src, client.Pin(core.NewPin(6, 8, arch.S0F3))); err != nil {
 				done <- n
 				return
 			}
 			n++
-			if err := s.Unroute(src); err != nil {
+			if err := s.Unroute(ctx, src); err != nil {
 				done <- n
 				return
 			}
 		}
 	}()
 	time.Sleep(50 * time.Millisecond)
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
+	if err := srv.Shutdown(sctx); err != nil {
 		t.Fatalf("graceful shutdown failed: %v", err)
 	}
 	close(stop)
 	if n := <-done; n == 0 {
 		t.Error("no requests completed before shutdown")
 	}
-	if _, err := client.Dial(addr); err == nil {
+	if _, err := client.Dial(sctx, addr); err == nil {
 		t.Error("daemon still accepting after shutdown")
 	}
 }

@@ -1,0 +1,541 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/cores"
+	"repro/internal/jbits"
+	"repro/internal/server/protocol"
+)
+
+// task is one queued request plus its reply channel. Exactly one of req or
+// fn is set: fn tasks run an arbitrary closure on the worker goroutine
+// (health probes, failover restores) with exclusive access to the router.
+type task struct {
+	ctx  context.Context
+	req  *Request
+	fn   func(*core.Router, *jbits.Session) error
+	resp chan *Response
+}
+
+// coreEntry tracks one named core instance living on a worker's device.
+type coreEntry struct {
+	c      cores.Core
+	groups []string // port groups the replace flow reconnects
+}
+
+// WorkerConfig describes one device-backed routing worker.
+type WorkerConfig struct {
+	Name string
+	Arch string // "" or "virtex", or "kestrel"
+	Rows int
+	Cols int
+	Opts Options
+
+	// ShipHook, when set, is called on the worker goroutine with every
+	// mutating op's dirty-frame stream before the op is acknowledged —
+	// fleet boards push it to their hardware over the XHWIF link here. An
+	// error fails the op with CodeFailover and leaves the dirty set
+	// intact, so nothing is acknowledged that the board did not accept.
+	ShipHook func(stream []byte, frames int) error
+
+	// JournalHook, when set, is called on the worker goroutine after each
+	// acknowledged mutating op with the op and a snapshot of the live
+	// connections — the fleet coordinator's failover journal.
+	JournalHook func(req *Request, conns []core.ConnectionRecord)
+}
+
+// Worker wraps one named device: a JBits session, a JRoute router, named
+// core instances, and the single goroutine that owns them all. Requests are
+// serialized through the bounded queue; everything behind it is therefore
+// single-threaded and needs no locks (metrics excepted). It serves both the
+// daemon's static per-device sessions and the fleet's boards.
+type Worker struct {
+	cfg            WorkerConfig
+	enqueueTimeout time.Duration
+
+	queue chan task
+	done  chan struct{} // closed when the worker has drained and exited
+
+	js     *jbits.Session
+	router *core.Router
+	cores  map[string]*coreEntry
+	m      *sessionMetrics
+}
+
+// NewWorker creates a worker and starts its goroutine.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	a, err := archByName(cfg.Arch)
+	if err != nil {
+		return nil, err
+	}
+	js, err := jbits.NewSession(a, cfg.Rows, cfg.Cols)
+	if err != nil {
+		return nil, err
+	}
+	queueDepth := cfg.Opts.QueueDepth
+	if queueDepth <= 0 {
+		queueDepth = 64
+	}
+	w := &Worker{
+		cfg:            cfg,
+		enqueueTimeout: cfg.Opts.enqueueTimeout(),
+		queue:          make(chan task, queueDepth),
+		done:           make(chan struct{}),
+		js:             js,
+		router: core.New(js.Dev,
+			core.WithParallelism(cfg.Opts.Parallelism),
+			core.WithRouteCache(cfg.Opts.RouteCache),
+			core.WithParanoidVerify(cfg.Opts.ParanoidVerify)),
+		cores: make(map[string]*coreEntry),
+		m:     newSessionMetrics(),
+	}
+	go w.run()
+	return w, nil
+}
+
+// Name returns the worker's device name.
+func (w *Worker) Name() string { return w.cfg.Name }
+
+// StatsSnapshot returns the worker's session counters.
+func (w *Worker) StatsSnapshot() SessionStatsMsg { return w.m.snapshot(len(w.queue)) }
+
+// Close closes the request queue. Callers must guarantee no Submit or Do is
+// in flight or will follow (the daemon closes only after every connection
+// handler has exited). Wait on Done for the drain to finish.
+func (w *Worker) Close() { close(w.queue) }
+
+// Done is closed when the worker goroutine has drained its queue and
+// exited.
+func (w *Worker) Done() <-chan struct{} { return w.done }
+
+// archByName maps wire-level architecture names to constructors.
+func archByName(name string) (*arch.Arch, error) {
+	switch name {
+	case "", "virtex":
+		return arch.NewVirtex(), nil
+	case "kestrel":
+		return arch.NewKestrel(), nil
+	default:
+		return nil, fmt.Errorf("server: unknown architecture %q", name)
+	}
+}
+
+// run is the worker loop: it owns the router and drains the queue until
+// the queue is closed (shutdown), answering every remaining task. Tasks
+// whose context died while they were queued are rejected with the typed
+// cancellation code instead of executing late.
+func (w *Worker) run() {
+	defer close(w.done)
+	for t := range w.queue {
+		if t.ctx != nil && t.ctx.Err() != nil {
+			t.resp <- ctxErrResponse(t.ctx, reqID(t.req))
+			continue
+		}
+		if t.fn != nil {
+			resp := &Response{}
+			if err := t.fn(w.router, w.js); err != nil {
+				resp.Err = err.Error()
+				resp.ErrorCode = protocol.CodeInternal
+			}
+			t.resp <- resp
+			continue
+		}
+		start := time.Now()
+		resp := w.handle(t.req)
+		w.m.observe(t.req.Op, time.Since(start), resp.Err != "")
+		t.resp <- resp
+	}
+}
+
+func reqID(req *Request) uint64 {
+	if req == nil {
+		return 0
+	}
+	return req.ID
+}
+
+// ctxErrResponse maps a dead context to its typed wire error.
+func ctxErrResponse(ctx context.Context, id uint64) *Response {
+	code := protocol.CodeCanceled
+	msg := "server: request canceled while queued"
+	if ctx.Err() == context.DeadlineExceeded {
+		code = protocol.CodeDeadline
+		msg = "server: request deadline expired while queued"
+	}
+	return &Response{ID: id, Err: msg, ErrorCode: code}
+}
+
+// Submit enqueues a request with backpressure. The wait for a queue slot is
+// bounded by both the enqueue timeout (busy response, CodeBusy) and the
+// request context (typed CodeCanceled / CodeDeadline response) — a caller
+// with a deadline never waits past it, and a canceled caller's op is
+// rejected rather than executed late.
+func (w *Worker) Submit(ctx context.Context, req *Request) *Response {
+	t := task{ctx: ctx, req: req, resp: make(chan *Response, 1)}
+	timer := time.NewTimer(w.enqueueTimeout)
+	defer timer.Stop()
+	select {
+	case w.queue <- t:
+	case <-ctx.Done():
+		return ctxErrResponse(ctx, req.ID)
+	case <-timer.C:
+		return &Response{ID: req.ID, Busy: true, ErrorCode: protocol.CodeBusy,
+			Err: fmt.Sprintf("server: session %s queue full (backpressure)", w.cfg.Name)}
+	}
+	select {
+	case resp := <-t.resp:
+		resp.ID = req.ID
+		return resp
+	case <-ctx.Done():
+		// The worker will see the dead context and skip the op (or has
+		// already executed it; its buffered response is dropped).
+		return ctxErrResponse(ctx, req.ID)
+	}
+}
+
+// Do runs fn on the worker goroutine with exclusive access to the router
+// and JBits session, under the same queue (and therefore the same
+// serialization and backpressure) as requests. Fleet health probes and
+// failover restores run through here.
+func (w *Worker) Do(ctx context.Context, fn func(r *core.Router, js *jbits.Session) error) error {
+	t := task{ctx: ctx, fn: fn, resp: make(chan *Response, 1)}
+	timer := time.NewTimer(w.enqueueTimeout)
+	defer timer.Stop()
+	select {
+	case w.queue <- t:
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return fmt.Errorf("server: session %s queue full (backpressure)", w.cfg.Name)
+	}
+	select {
+	case resp := <-t.resp:
+		if resp.Err != "" {
+			return fmt.Errorf("%s", resp.Err)
+		}
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// mutating reports whether an op changes device configuration and must
+// therefore ship dirty frames back.
+func mutating(op string) bool {
+	switch op {
+	case "route", "bus", "bus_batch", "batch", "unroute", "reverse_unroute",
+		"core_new", "core_replace":
+		return true
+	}
+	return false
+}
+
+// handle executes one request on the worker goroutine.
+func (w *Worker) handle(req *Request) *Response {
+	resp := &Response{ID: req.ID}
+	before := w.router.Stats()
+	err := w.dispatch(req, resp)
+	if err != nil {
+		resp.Err = err.Error()
+		if resp.ErrorCode == "" {
+			resp.ErrorCode = protocol.CodeRoute
+		}
+	}
+	after := w.router.Stats()
+	w.m.addRouterDelta(after.Routes-before.Routes,
+		after.PIPsCleared-before.PIPsCleared,
+		after.BatchIterations-before.BatchIterations,
+		after.CacheHits-before.CacheHits,
+		after.CacheMisses-before.CacheMisses,
+		after.ReplayFails-before.ReplayFails,
+		w.router.ConnectionCount())
+	if err == nil && mutating(req.Op) {
+		if ferr := w.shipDirty(resp); ferr != nil {
+			resp.Err = ferr.Error()
+		} else if w.cfg.JournalHook != nil {
+			w.cfg.JournalHook(req, w.router.SnapshotConnections())
+		}
+	}
+	return resp
+}
+
+// shipDirty serializes the frames dirtied by the op just executed into the
+// response and resets the dirty set — the partial-reconfiguration push that
+// keeps thin client mirrors in sync. With a ShipHook (fleet mode) the same
+// stream must first be accepted by the board hardware; a push failure fails
+// the op with CodeFailover and keeps the dirty set, so the journal never
+// records state the board does not hold.
+func (w *Worker) shipDirty(resp *Response) error {
+	n := w.js.Dev.DirtyFrameCount()
+	stream, err := w.js.Dev.PartialConfig()
+	if err != nil {
+		resp.ErrorCode = protocol.CodeInternal
+		return fmt.Errorf("server: serializing dirty frames: %w", err)
+	}
+	if w.cfg.ShipHook != nil {
+		if err := w.cfg.ShipHook(stream, n); err != nil {
+			resp.ErrorCode = protocol.CodeFailover
+			return fmt.Errorf("server: board link for %s: %w", w.cfg.Name, err)
+		}
+	}
+	w.js.Dev.ClearDirty()
+	resp.Frames = stream
+	resp.FrameN = n
+	w.m.addShipped(n, len(stream))
+	return nil
+}
+
+func (w *Worker) dispatch(req *Request, resp *Response) error {
+	switch req.Op {
+	case "connect":
+		stream, err := w.js.Dev.FullConfig()
+		if err != nil {
+			resp.ErrorCode = protocol.CodeInternal
+			return err
+		}
+		resp.Rows, resp.Cols, resp.Arch, resp.Config = w.cfg.Rows, w.cfg.Cols, w.archName(), stream
+		return nil
+
+	case "readback":
+		stream, err := w.js.Dev.FullConfig()
+		if err != nil {
+			resp.ErrorCode = protocol.CodeInternal
+			return err
+		}
+		resp.Config = stream
+		return nil
+
+	case "route":
+		src, err := w.endpoint(req.Source)
+		if err != nil {
+			resp.ErrorCode = protocol.CodeBadRequest
+			return err
+		}
+		sinks, err := w.endpoints(req.Sinks)
+		if err != nil {
+			resp.ErrorCode = protocol.CodeBadRequest
+			return err
+		}
+		switch len(sinks) {
+		case 0:
+			resp.ErrorCode = protocol.CodeBadRequest
+			return fmt.Errorf("server: route with no sinks")
+		case 1:
+			return w.router.RouteNet(src, sinks[0])
+		default:
+			return w.router.RouteFanout(src, sinks)
+		}
+
+	case "bus", "bus_batch":
+		srcs, err := w.endpoints(req.Sources)
+		if err != nil {
+			resp.ErrorCode = protocol.CodeBadRequest
+			return err
+		}
+		sinks, err := w.endpoints(req.Sinks)
+		if err != nil {
+			resp.ErrorCode = protocol.CodeBadRequest
+			return err
+		}
+		if req.Op == "bus" {
+			return w.router.RouteBus(srcs, sinks)
+		}
+		return w.router.RouteBusBatch(srcs, sinks)
+
+	case "batch":
+		nets := make([]core.BatchNet, len(req.Nets))
+		for i, n := range req.Nets {
+			src, err := w.endpoint(&n.Source)
+			if err != nil {
+				resp.ErrorCode = protocol.CodeBadRequest
+				return err
+			}
+			sinks, err := w.endpoints(n.Sinks)
+			if err != nil {
+				resp.ErrorCode = protocol.CodeBadRequest
+				return err
+			}
+			nets[i] = core.BatchNet{Source: src, Sinks: sinks}
+		}
+		return w.router.RouteBatch(nets)
+
+	case "unroute":
+		src, err := w.endpoint(req.Source)
+		if err != nil {
+			resp.ErrorCode = protocol.CodeBadRequest
+			return err
+		}
+		return w.router.Unroute(src)
+
+	case "reverse_unroute":
+		sink, err := w.endpoint(req.Source)
+		if err != nil {
+			resp.ErrorCode = protocol.CodeBadRequest
+			return err
+		}
+		return w.router.ReverseUnroute(sink)
+
+	case "trace", "reverse_trace":
+		ep, err := w.endpoint(req.Source)
+		if err != nil {
+			resp.ErrorCode = protocol.CodeBadRequest
+			return err
+		}
+		var net *core.Net
+		if req.Op == "trace" {
+			net, err = w.router.Trace(ep)
+		} else {
+			net, err = w.router.ReverseTrace(ep)
+		}
+		if err != nil {
+			return err
+		}
+		resp.Net = netToMsg(net)
+		return nil
+
+	case "core_new":
+		return w.coreNew(req.Core, resp)
+
+	case "core_replace":
+		return w.coreReplace(req.Core, resp)
+
+	default:
+		resp.ErrorCode = protocol.CodeUnknownOp
+		return fmt.Errorf("server: unknown op %q", req.Op)
+	}
+}
+
+func (w *Worker) archName() string {
+	if w.cfg.Arch == "" {
+		return "virtex"
+	}
+	return w.cfg.Arch
+}
+
+func (w *Worker) coreNew(msg *CoreMsg, resp *Response) error {
+	if msg == nil {
+		resp.ErrorCode = protocol.CodeBadRequest
+		return fmt.Errorf("server: core_new without core description")
+	}
+	if _, dup := w.cores[msg.Name]; dup {
+		resp.ErrorCode = protocol.CodeBadRequest
+		return fmt.Errorf("server: core %q already exists", msg.Name)
+	}
+	c, groups, err := makeCore(msg)
+	if err != nil {
+		resp.ErrorCode = protocol.CodeBadRequest
+		return err
+	}
+	if err := c.Place(msg.Row, msg.Col); err != nil {
+		return err
+	}
+	if err := c.Implement(w.router); err != nil {
+		return err
+	}
+	w.cores[msg.Name] = &coreEntry{c: c, groups: groups}
+	return nil
+}
+
+func (w *Worker) coreReplace(msg *CoreMsg, resp *Response) error {
+	if msg == nil {
+		resp.ErrorCode = protocol.CodeBadRequest
+		return fmt.Errorf("server: core_replace without core description")
+	}
+	entry, ok := w.cores[msg.Name]
+	if !ok {
+		resp.ErrorCode = protocol.CodeBadRequest
+		return fmt.Errorf("server: no core %q", msg.Name)
+	}
+	var retune func() error
+	if msg.K != nil {
+		mul, ok := entry.c.(*cores.ConstMul)
+		if !ok {
+			resp.ErrorCode = protocol.CodeBadRequest
+			return fmt.Errorf("server: core %q is not a constmul, cannot retune K", msg.Name)
+		}
+		retune = func() error { return mul.SetConstant(w.router, *msg.K) }
+	}
+	return cores.Replace(w.router, entry.c, msg.Row, msg.Col, entry.groups, retune)
+}
+
+// makeCore instantiates a library core from its wire description and
+// returns it with the port groups the replace flow must reconnect.
+func makeCore(msg *CoreMsg) (cores.Core, []string, error) {
+	switch msg.Kind {
+	case "constmul":
+		k := uint64(0)
+		if msg.K != nil {
+			k = *msg.K
+		}
+		c, err := cores.NewConstMul(msg.Name, k, msg.KBits)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, []string{"x", "p"}, nil
+	case "register":
+		c, err := cores.NewRegister(msg.Name, msg.Bits)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, []string{"d", "q"}, nil
+	default:
+		return nil, nil, fmt.Errorf("server: unknown core kind %q", msg.Kind)
+	}
+}
+
+// endpoint resolves a wire endpoint to a core.EndPoint: a raw pin, or a
+// port of a named server-side core.
+func (w *Worker) endpoint(m *EndPointMsg) (core.EndPoint, error) {
+	if m == nil {
+		return nil, fmt.Errorf("server: missing endpoint")
+	}
+	switch {
+	case m.Pin != nil:
+		if m.Pin.Wire < 0 || m.Pin.Wire >= w.js.Dev.A.WireCount() {
+			return nil, fmt.Errorf("server: wire %d outside architecture", m.Pin.Wire)
+		}
+		return core.NewPin(m.Pin.Row, m.Pin.Col, arch.Wire(m.Pin.Wire)), nil
+	case m.Port != nil:
+		entry, ok := w.cores[m.Port.Core]
+		if !ok {
+			return nil, fmt.Errorf("server: no core %q", m.Port.Core)
+		}
+		ports := entry.c.Ports(m.Port.Group)
+		if m.Port.Index < 0 || m.Port.Index >= len(ports) {
+			return nil, fmt.Errorf("server: core %q group %q has no port %d",
+				m.Port.Core, m.Port.Group, m.Port.Index)
+		}
+		return ports[m.Port.Index], nil
+	default:
+		return nil, fmt.Errorf("server: endpoint is neither pin nor port")
+	}
+}
+
+func (w *Worker) endpoints(ms []EndPointMsg) ([]core.EndPoint, error) {
+	out := make([]core.EndPoint, len(ms))
+	for i := range ms {
+		ep, err := w.endpoint(&ms[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ep
+	}
+	return out, nil
+}
+
+// netToMsg converts a traced net to its wire form.
+func netToMsg(n *core.Net) *NetMsg {
+	msg := &NetMsg{Source: EndPointMsg{Pin: &PinMsg{Row: n.Source.Row, Col: n.Source.Col, Wire: int(n.Source.W)}}}
+	for _, p := range n.PIPs {
+		msg.Pips = append(msg.Pips, PipMsg{Row: p.Row, Col: p.Col, From: int(p.From), To: int(p.To)})
+	}
+	for _, sp := range n.Sinks {
+		msg.Sinks = append(msg.Sinks, EndPointMsg{Pin: &PinMsg{Row: sp.Row, Col: sp.Col, Wire: int(sp.W)}})
+	}
+	return msg
+}
