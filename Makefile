@@ -3,7 +3,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build vet fmt-check test race ci bench bench-go bench-json bench-smoke bench3 bench4 fuzz-smoke verify
+.PHONY: build vet fmt-check test race ci bench bench-go bench-json bench-smoke bench3 bench4 bench5 fuzz-smoke verify soak soak-smoke
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,7 @@ bench-smoke:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReplay -fuzztime=30s ./internal/maze
 	$(GO) test -run='^$$' -fuzz=FuzzTemplateRelocate -fuzztime=30s ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeV3 -fuzztime=30s ./internal/server/protocol/v3
 
 # verify audits the paper's worked examples across the config grid and
 # runs a short seeded differential fuzz campaign, all through the
@@ -41,8 +42,8 @@ verify:
 
 # ci is the full tier-1 gate: formatting + vet + build + tests + race
 # detector + one-shot benchmark smoke + bitstream-oracle verification +
-# fuzz-target smoke.
-ci: fmt-check vet build test race bench-smoke verify fuzz-smoke
+# fuzz-target smoke + a short fault-injection soak.
+ci: fmt-check vet build test race bench-smoke verify fuzz-smoke soak-smoke
 
 # bench runs the service load generator against an in-process jrouted and
 # regenerates the BENCH_2.json snapshot (throughput, p50/p99, frames shipped).
@@ -66,3 +67,22 @@ bench3:
 # op or failed post-run oracle probe is a hard failure.
 bench4:
 	$(GO) run ./cmd/jload -json4 BENCH_4.json
+
+# bench5 regenerates the wire-protocol snapshot: the same churn workload
+# over the v2 JSON and binary v3 protocols (wire bytes/op, allocs/op,
+# server codec allocation audit, v2-vs-v3 byte-identical differential),
+# gated on the >=10x speedup over the BENCH_4 modeled-port baseline.
+bench5:
+	$(GO) run ./cmd/jload -json5 BENCH_5.json
+
+# soak runs minutes of fault-injected traffic (dropped/truncated/
+# duplicated/delayed frames plus a garbage blaster) on both protocols
+# against an in-process daemon. Hard-fails unless every board ends
+# oracle-clean, the malformed filter fired, and a bounded graceful
+# drain leaves zero stuck sessions.
+soak:
+	$(GO) run ./cmd/jload -inproc -sessions 4 -soak 2m
+
+# soak-smoke is the short ci-sized slice of the same harness.
+soak-smoke:
+	$(GO) run ./cmd/jload -inproc -sessions 4 -soak 15s

@@ -1,0 +1,393 @@
+// BENCH_5: the wire path itself — framed JSON v2 vs binary v3.
+//
+// The fleet benches measure the system with a modeled configuration port
+// as the bottleneck; this bench removes the port so the wire path (encode,
+// socket, decode, mirror patch) is all that is being paid. The workload is
+// BENCH_4's deterministic 8-session churn shape, each session on its own
+// board, run once over each protocol against its own freshly booted
+// in-process daemon. Alongside throughput it reports payload bytes moved
+// per op and process-wide allocations per op, measures the server codec's
+// own allocations per request/response cycle (the ~0 allocs target), and
+// finishes with the byte-identity check: one differential script routed
+// over both protocols must leave bit-identical boards (any divergence is
+// explained PIP-by-PIP by the bitstream oracle).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/oracle"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	v3 "repro/internal/server/protocol/v3"
+	"repro/internal/workload"
+)
+
+const (
+	b5Rounds = 40 // route-all / unroute-all cycles per session
+	// Differential-script shape (mirrors the jverify/fuzz harness geometry).
+	b5DiffRows  = 16
+	b5DiffCols  = 24
+	b5DiffSteps = 150
+	b5DiffSeed  = 11
+	// Fallback BENCH_4 1-board baseline when BENCH_4.json is not present
+	// (the committed run; see EXPERIMENTS.md B12).
+	b5FallbackBaseline = 136.64
+)
+
+// bench5Summary is the comparison entry of BENCH_5.json.
+type bench5Summary struct {
+	Name                 string  `json:"name"`
+	V2OpsPerSecond       float64 `json:"v2_ops_per_second"`
+	V3OpsPerSecond       float64 `json:"v3_ops_per_second"`
+	SpeedupV3VsV2        float64 `json:"speedup_v3_vs_v2"`
+	BaselineOpsPerSecond float64 `json:"bench4_1board_ops_per_second"`
+	BaselineSource       string  `json:"bench4_baseline_source"`
+	SpeedupV3VsBench4    float64 `json:"speedup_v3_vs_bench4_1board"`
+	// Encode is the zero-copy response path (dirty frames travel as a raw
+	// tail, no marshal) — the server hot path, target ~0. Decode allocates
+	// only the request's own endpoint structs, which must outlive the
+	// decode call (the session worker owns them).
+	ServerEncodeAllocsPerOp float64 `json:"server_encode_allocs_per_op"`
+	ServerDecodeAllocsPerOp float64 `json:"server_decode_allocs_per_op"`
+	DiffClean               bool    `json:"diff_clean"`
+	DiffPIPs                int     `json:"diff_pips"`
+}
+
+// bench5File is the whole BENCH_5.json document.
+type bench5File struct {
+	Runs    []result      `json:"runs"`
+	Summary bench5Summary `json:"summary"`
+}
+
+// runWireChurn boots a static daemon (one board per session, no modeled
+// port) and churns the deterministic BENCH_4 net shape over the given
+// protocol.
+func runWireChurn(proto string) (result, error) {
+	srv := server.NewServer()
+	for i := 0; i < b4Sessions; i++ {
+		if err := srv.AddDevice(fmt.Sprintf("dev%d", i), "virtex", b4Rows, b4Cols); err != nil {
+			return result{}, err
+		}
+	}
+	bound, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return result{}, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	res, err := runWorkload(bound, "wire_churn", b4Sessions, b4Rows, b4Cols, 1, false,
+		protoOptions(proto), func(s *client.Session, _ *workload.Gen, r *sessionRun) error {
+			ctx := context.Background()
+			idx, err := strconv.Atoi(s.Device()[len("dev"):])
+			if err != nil {
+				return fmt.Errorf("device %q: %w", s.Device(), err)
+			}
+			nets := b4SessionNets(idx)
+			for round := 0; round < b5Rounds; round++ {
+				for _, n := range nets {
+					start := time.Now()
+					if err := s.Route(ctx, n.src, n.sinks...); err != nil {
+						r.observe(start, err)
+						return fmt.Errorf("route: %w", err)
+					}
+					r.observe(start, nil)
+				}
+				for _, n := range nets {
+					start := time.Now()
+					if err := s.Unroute(ctx, n.src); err != nil {
+						r.observe(start, err)
+						return fmt.Errorf("unroute: %w", err)
+					}
+					r.observe(start, nil)
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return result{}, err
+	}
+	res.Proto = proto
+	return res, nil
+}
+
+// measureCodecAllocs runs the server-side v3 codec in isolation with warm
+// buffers and returns heap allocations per op for each direction: encoding
+// a mutating response with dirty frames (the zero-copy hot path, target
+// ~0) and decoding a route request (allocates only the request's own
+// endpoint structs, which the session worker keeps).
+func measureCodecAllocs() (encode, decode float64, err error) {
+	req := server.Request{ID: 1, Op: "route", Session: "dev0",
+		Source: &server.EndPointMsg{Pin: &server.PinMsg{Row: 1, Col: 2, Wire: 7}},
+		Sinks:  []server.EndPointMsg{{Pin: &server.PinMsg{Row: 3, Col: 4, Wire: 9}}}}
+	frame, err := v3.AppendRequest(nil, &req)
+	if err != nil {
+		return 0, 0, err
+	}
+	h, err := v3.ParseHeader(frame)
+	if err != nil {
+		return 0, 0, err
+	}
+	payload := frame[v3.HeaderSize:]
+	resp := server.Response{ID: 1, Epoch: 1, FrameN: 4, Frames: bytes.Repeat([]byte{0x5A}, 2048)}
+	in := v3.NewInterner()
+	out := make([]byte, 0, 256)
+
+	const iters = 20000
+	measure := func(op func() error) (float64, error) {
+		// Warm-up pass so lazy growth is done before measuring.
+		for i := 0; i < 100; i++ {
+			if err := op(); err != nil {
+				return 0, err
+			}
+		}
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		for i := 0; i < iters; i++ {
+			if err := op(); err != nil {
+				return 0, err
+			}
+		}
+		runtime.ReadMemStats(&m1)
+		return float64(m1.Mallocs-m0.Mallocs) / float64(iters), nil
+	}
+
+	encode, err = measure(func() error {
+		head, _, err := v3.AppendResponse(out[:0], h.Op, &resp)
+		if err != nil {
+			return err
+		}
+		out = head[:0]
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	decode, err = measure(func() error {
+		var rq server.Request
+		return v3.DecodeRequest(h, payload, &rq, in)
+	})
+	return encode, decode, err
+}
+
+// runDiffCheck routes the identical workload script over v2 and v3 (one
+// fresh daemon and session each) and compares the terminal board state
+// byte for byte. Returns (clean, differing PIPs, error).
+func runDiffCheck() (bool, int, error) {
+	script, err := workload.New(b5DiffSeed, b5DiffRows, b5DiffCols).
+		Script(workload.ScriptOptions{Steps: b5DiffSteps, CoreSlots: 2})
+	if err != nil {
+		return false, 0, err
+	}
+	ctx := context.Background()
+
+	run := func(copts ...client.Option) ([]bool, []byte, error) {
+		srv := server.NewServer()
+		if err := srv.AddDevice("dev", "virtex", b5DiffRows, b5DiffCols); err != nil {
+			return nil, nil, err
+		}
+		bound, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(sctx)
+		}()
+		c, err := client.Dial(ctx, bound, copts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer c.Close()
+		s, err := c.Session(ctx, "dev")
+		if err != nil {
+			return nil, nil, err
+		}
+		outcomes, err := driveScript(ctx, s, script, b5DiffRows, b5DiffCols)
+		if err != nil {
+			return nil, nil, err
+		}
+		rb, err := s.Readback(ctx)
+		return outcomes, rb, err
+	}
+
+	o2, rb2, err := run(client.WithBinary(false))
+	if err != nil {
+		return false, 0, fmt.Errorf("v2 run: %w", err)
+	}
+	o3, rb3, err := run()
+	if err != nil {
+		return false, 0, fmt.Errorf("v3 run: %w", err)
+	}
+	for i := range o2 {
+		if o2[i] != o3[i] {
+			return false, 0, fmt.Errorf("step %d (%s): v2 ok=%v, v3 ok=%v",
+				i, script[i].Kind, o2[i], o3[i])
+		}
+	}
+	if !bytes.Equal(rb2, rb3) {
+		diff, derr := oracle.DiffStreams(arch.NewVirtex(), rb2, rb3)
+		if derr != nil {
+			return false, 0, fmt.Errorf("streams differ and diff failed: %w", derr)
+		}
+		return false, len(diff), nil
+	}
+	return true, 0, nil
+}
+
+// driveScript replays one workload script over a live session, returning
+// the per-op outcome vector.
+func driveScript(ctx context.Context, s *client.Session, script []workload.ScriptOp, rows, cols int) ([]bool, error) {
+	regs := make(map[int]string)
+	outcomes := make([]bool, 0, len(script))
+	for i, op := range script {
+		var err error
+		switch op.Kind {
+		case workload.OpRouteNet, workload.OpReroute, workload.OpRouteFanout:
+			sinks := make([]server.EndPointMsg, len(op.Sinks))
+			for j, p := range op.Sinks {
+				sinks[j] = client.Pin(p)
+			}
+			err = s.Route(ctx, client.Pin(op.Src), sinks...)
+		case workload.OpRouteBus:
+			srcs := make([]server.EndPointMsg, len(op.Srcs))
+			for j, p := range op.Srcs {
+				srcs[j] = client.Pin(p)
+			}
+			dsts := make([]server.EndPointMsg, len(op.Dsts))
+			for j, p := range op.Dsts {
+				dsts[j] = client.Pin(p)
+			}
+			err = s.RouteBusBatch(ctx, srcs, dsts)
+		case workload.OpUnroute:
+			err = s.Unroute(ctx, client.Pin(op.Src))
+		case workload.OpReverseUnroute:
+			err = s.ReverseUnroute(ctx, client.Pin(op.Sinks[0]))
+		case workload.OpCoreNew:
+			name := fmt.Sprintf("reg_s%d_%d", op.Slot, op.Serial)
+			row, col := workload.CoreSlotSite(op.Slot, rows, cols)
+			err = s.NewCore(ctx, server.CoreMsg{Name: name, Kind: "register", Row: row, Col: col, Bits: 4})
+			if err == nil {
+				regs[op.Slot] = name
+				err = s.Route(ctx, client.PortRef(name, "q", 0), client.Pin(op.Sinks[0]))
+			}
+		case workload.OpCoreReplace:
+			name, ok := regs[op.Slot]
+			if !ok {
+				err = fmt.Errorf("no core at slot %d", op.Slot)
+			} else {
+				row, col := workload.CoreSlotSite(op.Slot, rows, cols)
+				err = s.ReplaceCore(ctx, server.CoreMsg{Name: name, Row: row, Col: col})
+			}
+		default:
+			return nil, fmt.Errorf("step %d: unknown op kind %v", i, op.Kind)
+		}
+		outcomes = append(outcomes, err == nil)
+	}
+	return outcomes, nil
+}
+
+// bench4Baseline reads the 1-board fleet_churn ops/s from a committed
+// BENCH_4.json, falling back to the pinned number from the committed run.
+func bench4Baseline() (float64, string) {
+	raw, err := os.ReadFile("BENCH_4.json")
+	if err != nil {
+		return b5FallbackBaseline, "pinned (BENCH_4.json not found)"
+	}
+	var entries []struct {
+		Name         string  `json:"name"`
+		Boards       int     `json:"boards"`
+		OpsPerSecond float64 `json:"ops_per_second"`
+	}
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		return b5FallbackBaseline, "pinned (BENCH_4.json unreadable)"
+	}
+	for _, e := range entries {
+		if e.Name == "fleet_churn" && e.Boards == 1 && e.OpsPerSecond > 0 {
+			return e.OpsPerSecond, "BENCH_4.json"
+		}
+	}
+	return b5FallbackBaseline, "pinned (no 1-board entry in BENCH_4.json)"
+}
+
+// runBench5 runs the wire-path comparison and writes BENCH_5.json. The
+// run fails hard if the differential check finds divergent boards or the
+// v3 wire path does not clear 10x the BENCH_4 1-board baseline.
+func runBench5(jsonPath string) error {
+	var doc bench5File
+	for _, proto := range []string{"v2", "v3"} {
+		res, err := runWireChurn(proto)
+		if err != nil {
+			return fmt.Errorf("wire_churn %s: %w", proto, err)
+		}
+		doc.Runs = append(doc.Runs, res)
+		fmt.Printf("wire_churn %s  %d sessions  %6d ops (%d errors)  %8.0f ops/s  p50 %6.0fµs  p99 %6.0fµs  %5.0f wire B/op  %6.0f allocs/op\n",
+			res.Proto, res.Sessions, res.Ops, res.Errors, res.OpsPerSecond, res.P50us, res.P99us,
+			res.WireBytesPerOp, res.AllocsPerOp)
+	}
+
+	encAllocs, decAllocs, err := measureCodecAllocs()
+	if err != nil {
+		return fmt.Errorf("codec allocs: %w", err)
+	}
+	clean, diffPIPs, err := runDiffCheck()
+	if err != nil {
+		return fmt.Errorf("v2/v3 differential: %w", err)
+	}
+
+	baseline, src := bench4Baseline()
+	s := bench5Summary{
+		Name:                    "wire_path_summary",
+		V2OpsPerSecond:          doc.Runs[0].OpsPerSecond,
+		V3OpsPerSecond:          doc.Runs[1].OpsPerSecond,
+		BaselineOpsPerSecond:    baseline,
+		BaselineSource:          src,
+		ServerEncodeAllocsPerOp: encAllocs,
+		ServerDecodeAllocsPerOp: decAllocs,
+		DiffClean:               clean,
+		DiffPIPs:                diffPIPs,
+	}
+	if s.V2OpsPerSecond > 0 {
+		s.SpeedupV3VsV2 = s.V3OpsPerSecond / s.V2OpsPerSecond
+	}
+	if baseline > 0 {
+		s.SpeedupV3VsBench4 = s.V3OpsPerSecond / baseline
+	}
+	doc.Summary = s
+	fmt.Printf("wire_path  v3 vs v2: %.2fx   v3 vs BENCH_4 1-board (%s): %.1fx   server codec: %.3f encode / %.3f decode allocs/op   diff clean: %v\n",
+		s.SpeedupV3VsV2, src, s.SpeedupV3VsBench4, encAllocs, decAllocs, clean)
+
+	if !clean {
+		return fmt.Errorf("v2 and v3 boards diverged (%d PIPs differ)", diffPIPs)
+	}
+	if s.SpeedupV3VsBench4 < 10 {
+		return fmt.Errorf("v3 wire path is %.1fx the BENCH_4 1-board baseline, need >= 10x", s.SpeedupV3VsBench4)
+	}
+	if encAllocs >= 1 {
+		return fmt.Errorf("server response encode path allocates %.2f/op, target ~0", encAllocs)
+	}
+
+	enc, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(enc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+	return nil
+}

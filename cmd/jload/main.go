@@ -10,6 +10,9 @@
 //	jload -addr 127.0.0.1:7411 -sessions 4
 //	jload -inproc -fleet -boards 4        # drive a fleet-sharded daemon
 //	jload -json4 BENCH_4.json             # fleet scaling + kill-a-board bench
+//	jload -json5 BENCH_5.json             # v2-vs-v3 wire bench + differential
+//	jload -inproc -sessions 4 -soak 2m    # fault-injection soak (make soak)
+//	jload -addr 127.0.0.1:7411 -proto v2  # force the JSON protocol
 //
 // Against a remote daemon the devices must be named dev0..devN-1 and sized
 // to -rows x -cols (the in-process mode sets this up itself). With -fleet
@@ -25,6 +28,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -40,6 +44,7 @@ import (
 // result is one workload's aggregate measurement — a BENCH_2.json entry.
 type result struct {
 	Name          string  `json:"name"`
+	Proto         string  `json:"proto,omitempty"` // wire protocol: "v2" (JSON) or "v3" (binary)
 	Sessions      int     `json:"sessions"`
 	Ops           int     `json:"ops"`
 	Errors        int     `json:"errors"`
@@ -50,6 +55,12 @@ type result struct {
 	MeanUs        float64 `json:"mean_us"`
 	FramesShipped int     `json:"frames_shipped"`
 	BytesShipped  int     `json:"bytes_shipped"`
+	// WireBytesPerOp is payload bytes moved on the wire per op (both
+	// directions, from the daemon's wire counters); AllocsPerOp is the
+	// process-wide heap-allocation count per op during the run (client
+	// and, for -inproc, server included).
+	WireBytesPerOp float64 `json:"wire_bytes_per_op,omitempty"`
+	AllocsPerOp    float64 `json:"allocs_per_op,omitempty"`
 }
 
 // sessionRun holds one worker's client-side measurements.
@@ -81,7 +92,25 @@ func main() {
 	spares := flag.Int("spares", 0, "fleet mode: hot-spare boards for failover")
 	portFrameTime := flag.Duration("port-frame-time", 0, "fleet mode: modeled configuration-port time per shipped frame")
 	json4Path := flag.String("json4", "", "run the fleet scaling + kill-a-board benchmark and write it to this JSON file")
+	proto := flag.String("proto", "v3", "wire protocol for the generic workloads: v2 (framed JSON) or v3 (binary)")
+	json5Path := flag.String("json5", "", "run the v2-vs-v3 wire-path benchmark and write it to this JSON file")
+	soakDur := flag.Duration("soak", 0, "run the fault-injection soak for this long instead of the generic workloads")
 	flag.Parse()
+
+	if *proto != "v2" && *proto != "v3" {
+		log.Fatalf("jload: -proto must be v2 or v3, got %q", *proto)
+	}
+
+	if *json5Path != "" {
+		// The wire bench boots its own in-process daemons (one per
+		// protocol), so it needs neither -addr nor -inproc.
+		if err := runBench5(*json5Path); err != nil {
+			log.Fatalf("jload: wire bench: %v", err)
+		}
+		if *addr == "" && !*inproc {
+			return
+		}
+	}
 
 	if *json4Path != "" {
 		// The fleet bench boots its own in-process daemons (one per board
@@ -110,8 +139,9 @@ func main() {
 		log.Fatal("jload: need exactly one of -addr or -inproc")
 	}
 	target := *addr
+	var srv *server.Server
 	if *inproc {
-		srv := server.NewServer()
+		srv = server.NewServer()
 		if *fleetMode {
 			n := *boards
 			if n == 0 {
@@ -141,6 +171,9 @@ func main() {
 		}
 		target = bound
 		defer func() {
+			if *soakDur > 0 {
+				return // the soak owns the shutdown: a clean drain is its final check
+			}
 			ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 			defer cancel()
 			if err := srv.Shutdown(ctx); err != nil {
@@ -149,6 +182,14 @@ func main() {
 		}()
 	}
 
+	if *soakDur > 0 {
+		if err := runSoak(target, srv, *sessions, *rows, *cols, *seed, *soakDur); err != nil {
+			log.Fatalf("jload: soak: %v", err)
+		}
+		return
+	}
+
+	copts := protoOptions(*proto)
 	var results []result
 	for _, wl := range []struct {
 		name string
@@ -161,13 +202,15 @@ func main() {
 			return runChurn(s, g, r, *steps)
 		}},
 	} {
-		res, err := runWorkload(target, wl.name, *sessions, *rows, *cols, *seed, *fleetMode, wl.run)
+		res, err := runWorkload(target, wl.name, *sessions, *rows, *cols, *seed, *fleetMode, copts, wl.run)
 		if err != nil {
 			log.Fatalf("jload: %s: %v", wl.name, err)
 		}
+		res.Proto = *proto
 		results = append(results, res)
-		fmt.Printf("%-10s  %d sessions  %6d ops (%d errors)  %8.0f ops/s  p50 %6.0fµs  p99 %6.0fµs  %d frames / %d bytes shipped\n",
-			res.Name, res.Sessions, res.Ops, res.Errors, res.OpsPerSecond, res.P50us, res.P99us, res.FramesShipped, res.BytesShipped)
+		fmt.Printf("%-10s %s  %d sessions  %6d ops (%d errors)  %8.0f ops/s  p50 %6.0fµs  p99 %6.0fµs  %5.0f wire B/op  %6.0f allocs/op  %d frames / %d bytes shipped\n",
+			res.Name, res.Proto, res.Sessions, res.Ops, res.Errors, res.OpsPerSecond, res.P50us, res.P99us,
+			res.WireBytesPerOp, res.AllocsPerOp, res.FramesShipped, res.BytesShipped)
 	}
 
 	if *jsonPath != "" {
@@ -182,12 +225,21 @@ func main() {
 	}
 }
 
+// protoOptions maps a -proto value to client dial options.
+func protoOptions(proto string) []client.Option {
+	if proto == "v2" {
+		return []client.Option{client.WithBinary(false)}
+	}
+	return nil // the client negotiates v3 by default
+}
+
 // runWorkload drives one named workload through n concurrent sessions and
 // aggregates their client-side latencies plus the daemon's shipped-frame
 // delta (from statsz before and after). In fleet mode the sessions are
-// logical names pinned to distinct boards by explicit placement key.
+// logical names pinned to distinct boards by explicit placement key. The
+// copts select the wire protocol for the worker connections.
 func runWorkload(addr, name string, n, rows, cols int, seed int64, fleetMode bool,
-	run func(*client.Session, *workload.Gen, *sessionRun) error) (result, error) {
+	copts []client.Option, run func(*client.Session, *workload.Gen, *sessionRun) error) (result, error) {
 	ctx := context.Background()
 	c, err := client.Dial(ctx, addr)
 	if err != nil {
@@ -198,6 +250,9 @@ func runWorkload(addr, name string, n, rows, cols int, seed int64, fleetMode boo
 	if err != nil {
 		return result{}, err
 	}
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 
 	runs := make([]sessionRun, n)
 	errs := make([]error, n)
@@ -209,7 +264,7 @@ func runWorkload(addr, name string, n, rows, cols int, seed int64, fleetMode boo
 			defer wg.Done()
 			// One connection per worker: a session is not safe for
 			// concurrent use and sharing a conn would serialize the wire.
-			cc, err := client.Dial(ctx, addr)
+			cc, err := client.Dial(ctx, addr, copts...)
 			if err != nil {
 				errs[i] = err
 				return
@@ -231,6 +286,8 @@ func runWorkload(addr, name string, n, rows, cols int, seed int64, fleetMode boo
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
 	for _, err := range errs {
 		if err != nil {
 			return result{}, err
@@ -252,6 +309,14 @@ func runWorkload(addr, name string, n, rows, cols int, seed int64, fleetMode boo
 		res.OpsPerSecond = float64(res.Ops) / wall.Seconds()
 	}
 	res.P50us, res.P99us, res.MeanUs = percentiles(all)
+	if res.Ops > 0 {
+		res.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(res.Ops)
+		if before.Wire != nil && after.Wire != nil {
+			moved := (after.Wire.BytesIn - before.Wire.BytesIn) +
+				(after.Wire.BytesOut - before.Wire.BytesOut)
+			res.WireBytesPerOp = float64(moved) / float64(res.Ops)
+		}
+	}
 	for name, ss := range after.Sessions {
 		res.FramesShipped += ss.FramesShipped - before.Sessions[name].FramesShipped
 		res.BytesShipped += ss.BytesShipped - before.Sessions[name].BytesShipped
@@ -374,7 +439,7 @@ func runBench3(sessions int, seed int64, jsonPath string) error {
 		}
 		var verifyMu sync.Mutex
 		audits := 0
-		res, err := runWorkload(bound, "rtr_churn_cached", sessions, b3Rows, b3Cols, seed, false,
+		res, err := runWorkload(bound, "rtr_churn_cached", sessions, b3Rows, b3Cols, seed, false, nil,
 			func(s *client.Session, g *workload.Gen, r *sessionRun) error {
 				v, err := runCachedChurn(s, g, r)
 				verifyMu.Lock()

@@ -84,6 +84,7 @@ func main() {
 	sessionCap := flag.Int("session-cap", 0, "fleet mode: admission cap on sessions per board (0 = unlimited)")
 	portFrameTime := flag.Duration("port-frame-time", 0, "fleet mode: modeled configuration-port time per shipped frame")
 	probeInterval := flag.Duration("probe-interval", 2*time.Second, "fleet mode: board health-probe period (0 = disabled)")
+	binv3 := flag.Bool("binv3", true, "advertise the binary v3 wire protocol (clients negotiate it via the JSON hello; off = framed JSON only)")
 	flag.Var(&devices, "device", "hosted device as name:RxC[,arch]; repeatable")
 	flag.Parse()
 
@@ -91,6 +92,7 @@ func main() {
 		server.WithQueueDepth(*queue),
 		server.WithParallelism(*parallelism),
 		server.WithParanoidVerify(*paranoid),
+		server.WithBinaryProtocol(*binv3),
 	)
 
 	if *boards > 0 {
@@ -134,7 +136,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("jrouted: listen: %v", err)
 	}
-	log.Printf("jrouted: serving on %s", addr)
+	proto := "v2 JSON + binary v3"
+	if !*binv3 {
+		proto = "v2 JSON only"
+	}
+	log.Printf("jrouted: serving on %s (%s)", addr, proto)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -83,8 +83,12 @@ func (w *streamWriter) emitCRC() {
 	w.crc = 0
 }
 
-func (b *Bitstream) header() *streamWriter {
-	w := &streamWriter{}
+func (b *Bitstream) header() *streamWriter { return b.headerInto(nil) }
+
+// headerInto seeds a stream writer appending onto dst (which may carry
+// reusable capacity from a pooled buffer).
+func (b *Bitstream) headerInto(dst []byte) *streamWriter {
+	w := &streamWriter{buf: dst}
 	var tmp [4]byte
 	for _, v := range []uint32{syncWord, uint32(b.layout.Rows), uint32(b.layout.Cols), uint32(b.layout.BytesPerTile)} {
 		binary.BigEndian.PutUint32(tmp[:], v)
@@ -139,13 +143,24 @@ func (b *Bitstream) PartialConfig() ([]byte, error) {
 	return b.config(b.DirtyFrames())
 }
 
+// AppendPartialConfig serializes the dirty frames onto dst, reusing its
+// capacity — the allocation-free variant of PartialConfig for pooled
+// buffers on the server hot path. The dirty set is not cleared.
+func (b *Bitstream) AppendPartialConfig(dst []byte) ([]byte, error) {
+	return b.configInto(dst, b.DirtyFrames())
+}
+
 // ConfigFor serializes an explicit frame set.
 func (b *Bitstream) ConfigFor(frames []FrameAddr) ([]byte, error) {
 	return b.config(frames)
 }
 
 func (b *Bitstream) config(frames []FrameAddr) ([]byte, error) {
-	w := b.header()
+	return b.configInto(nil, frames)
+}
+
+func (b *Bitstream) configInto(dst []byte, frames []FrameAddr) ([]byte, error) {
+	w := b.headerInto(dst)
 	if err := b.emitFrames(w, frames); err != nil {
 		return nil, err
 	}

@@ -260,6 +260,12 @@ func (d *Device) FullConfig() ([]byte, error) { return d.bits.FullConfig() }
 // ClearDirty — the partial bitstream of a run-time reconfiguration step.
 func (d *Device) PartialConfig() ([]byte, error) { return d.bits.PartialConfig() }
 
+// AppendPartialConfig serializes the dirty frames onto dst, reusing its
+// capacity — the allocation-free PartialConfig for pooled buffers.
+func (d *Device) AppendPartialConfig(dst []byte) ([]byte, error) {
+	return d.bits.AppendPartialConfig(dst)
+}
+
 // DirtyFrameCount returns how many frames a PartialConfig would ship.
 func (d *Device) DirtyFrameCount() int { return len(d.bits.DirtyFrames()) }
 

@@ -1,0 +1,89 @@
+package jbits
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestReadFramePoolReuse: sequential frames read through the pool must each
+// carry their own bytes — recycling frame N and reading frame N+1 must not
+// corrupt a payload the caller still holds only if the caller detached it.
+func TestReadFramePoolReuse(t *testing.T) {
+	var wire bytes.Buffer
+	if err := WriteFrame(&wire, opConfigure, []byte("first-payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&wire, opConfigure, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+
+	op, p1, err := ReadFrame(&wire)
+	if err != nil || op != opConfigure {
+		t.Fatalf("frame 1: op=%#x err=%v", op, err)
+	}
+	if string(p1) != "first-payload" {
+		t.Fatalf("frame 1 payload %q", p1)
+	}
+	// Recycle and read the next frame: with the pool warm, the second read
+	// may reuse p1's backing array. The new payload must still be correct.
+	RecycleFrame(p1)
+	_, p2, err := ReadFrame(&wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p2) != "second" {
+		t.Fatalf("frame 2 payload %q after recycle", p2)
+	}
+	RecycleFrame(p2)
+}
+
+// TestReadFrameTruncationRecycles: the fault-injection truncation path — a
+// header that promises more payload than the stream delivers — must keep
+// ErrShortFrame semantics exactly, and the half-filled pooled buffer must
+// never escape to the caller.
+func TestReadFrameTruncationRecycles(t *testing.T) {
+	var wire bytes.Buffer
+	if err := WriteFrame(&wire, opConfigure, []byte("abcdefghij")); err != nil {
+		t.Fatal(err)
+	}
+	cut := wire.Bytes()[:wire.Len()-4]
+
+	_, payload, err := ReadFrame(bytes.NewReader(cut))
+	if !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("want ErrShortFrame, got %v", err)
+	}
+	var sfe *ShortFrameError
+	if !errors.As(err, &sfe) || sfe.Part != "payload" || sfe.Got != 6 || sfe.Want != 10 {
+		t.Fatalf("bad detail: %+v", sfe)
+	}
+	if payload != nil {
+		t.Fatalf("truncated read leaked a %d-byte pooled buffer", len(payload))
+	}
+
+	// The pool must still be healthy: a full frame reads correctly after
+	// the truncated one recycled its buffer internally.
+	var wire2 bytes.Buffer
+	if err := WriteFrame(&wire2, opConfigure, []byte("recovered")); err != nil {
+		t.Fatal(err)
+	}
+	_, p, err := ReadFrame(&wire2)
+	if err != nil || string(p) != "recovered" {
+		t.Fatalf("post-truncation read: %q, %v", p, err)
+	}
+	RecycleFrame(p)
+}
+
+// TestReadFrameZeroPayload: zero-length frames must not recycle or return
+// aliased garbage.
+func TestReadFrameZeroPayload(t *testing.T) {
+	var wire bytes.Buffer
+	if err := WriteFrame(&wire, opStats, nil); err != nil {
+		t.Fatal(err)
+	}
+	op, p, err := ReadFrame(&wire)
+	if err != nil || op != opStats || len(p) != 0 {
+		t.Fatalf("zero-payload frame: op=%#x len=%d err=%v", op, len(p), err)
+	}
+	RecycleFrame(p)
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/device"
 )
@@ -81,8 +82,37 @@ func WriteFrame(w io.Writer, op byte, payload []byte) error {
 	return err
 }
 
+// framePool recycles frame payload buffers between ReadFrame calls. Only
+// callers that fully consume a payload before their next read hand it back
+// (RecycleFrame); payloads that escape into long-lived state simply never
+// return to the pool.
+var framePool sync.Pool
+
+// frameBuf takes a pooled buffer of at least n bytes, falling back to a
+// fresh allocation when the pool is empty or too small.
+func frameBuf(n int) []byte {
+	if p, _ := framePool.Get().(*[]byte); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]byte, n)
+}
+
+// RecycleFrame returns a payload obtained from ReadFrame to the buffer
+// pool. The caller must not touch the slice afterwards — the next
+// ReadFrame on any connection may reuse it. Recycling a nil or foreign
+// slice is harmless.
+func RecycleFrame(payload []byte) {
+	if cap(payload) == 0 {
+		return
+	}
+	b := payload[:0]
+	framePool.Put(&b)
+}
+
 // ReadFrame reads one frame of the shared XHWIF wire format, rejecting
-// payloads over the 64 MiB frame limit.
+// payloads over the 64 MiB frame limit. The payload buffer comes from an
+// internal pool: callers that are done with it before their next read
+// should return it with RecycleFrame; callers that retain it just keep it.
 func ReadFrame(r io.Reader) (op byte, payload []byte, err error) {
 	var hdr [5]byte
 	if n, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -99,10 +129,12 @@ func ReadFrame(r io.Reader) (op byte, payload []byte, err error) {
 	if n > maxFramePayld {
 		return 0, nil, fmt.Errorf("jbits: frame of %d bytes exceeds limit", n)
 	}
-	payload = make([]byte, n)
+	payload = frameBuf(int(n))
 	if got, err := io.ReadFull(r, payload); err != nil {
 		// The header promised n payload bytes; any failure here means a
-		// truncated frame, never a clean close.
+		// truncated frame, never a clean close. The partially filled
+		// buffer never escapes — it goes straight back to the pool.
+		RecycleFrame(payload)
 		return 0, nil, &ShortFrameError{Part: "payload", Got: got, Want: int(n), Cause: err}
 	}
 	return hdr[0], payload, nil
@@ -121,51 +153,52 @@ func Serve(conn io.ReadWriter, b *Board) error {
 			}
 			return err
 		}
-		switch op {
-		case opConfigure, opPartial:
-			cfg := b.Configure
-			if op == opPartial {
-				cfg = b.ConfigurePartial
-			}
-			if err := cfg(payload); err != nil {
-				if werr := WriteFrame(conn, opError|respFlag, []byte(err.Error())); werr != nil {
-					return werr
-				}
-				continue
-			}
-			if err := WriteFrame(conn, op|respFlag, nil); err != nil {
-				return err
-			}
-		case opReadback:
-			stream, err := b.Readback()
-			if err != nil {
-				if werr := WriteFrame(conn, opError|respFlag, []byte(err.Error())); werr != nil {
-					return werr
-				}
-				continue
-			}
-			if err := WriteFrame(conn, opReadback|respFlag, stream); err != nil {
-				return err
-			}
-		case opStats:
-			c := b.Counters()
-			var buf [40]byte
-			binary.BigEndian.PutUint64(buf[0:], uint64(c.Configurations))
-			binary.BigEndian.PutUint64(buf[8:], uint64(c.FramesWritten))
-			binary.BigEndian.PutUint64(buf[16:], uint64(c.BytesWritten))
-			binary.BigEndian.PutUint64(buf[24:], uint64(c.FullConfigs))
-			binary.BigEndian.PutUint64(buf[32:], uint64(c.PartialConfigs))
-			if err := WriteFrame(conn, opStats|respFlag, buf[:]); err != nil {
-				return err
-			}
-		case opClose:
-			_ = WriteFrame(conn, opClose|respFlag, nil)
-			return nil
-		default:
-			if err := WriteFrame(conn, opError|respFlag, []byte(fmt.Sprintf("unknown opcode %#x", op))); err != nil {
-				return err
-			}
+		// The board copies everything it keeps (ApplyFramesRaw loads frame
+		// data into its own storage), so the payload buffer can go back to
+		// the pool as soon as the frame is handled.
+		done, err := serveFrame(conn, b, op, payload)
+		RecycleFrame(payload)
+		if err != nil {
+			return err
 		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// serveFrame handles one XHWIF frame; done reports a clean opClose.
+func serveFrame(conn io.ReadWriter, b *Board, op byte, payload []byte) (done bool, err error) {
+	switch op {
+	case opConfigure, opPartial:
+		cfg := b.Configure
+		if op == opPartial {
+			cfg = b.ConfigurePartial
+		}
+		if err := cfg(payload); err != nil {
+			return false, WriteFrame(conn, opError|respFlag, []byte(err.Error()))
+		}
+		return false, WriteFrame(conn, op|respFlag, nil)
+	case opReadback:
+		stream, err := b.Readback()
+		if err != nil {
+			return false, WriteFrame(conn, opError|respFlag, []byte(err.Error()))
+		}
+		return false, WriteFrame(conn, opReadback|respFlag, stream)
+	case opStats:
+		c := b.Counters()
+		var buf [40]byte
+		binary.BigEndian.PutUint64(buf[0:], uint64(c.Configurations))
+		binary.BigEndian.PutUint64(buf[8:], uint64(c.FramesWritten))
+		binary.BigEndian.PutUint64(buf[16:], uint64(c.BytesWritten))
+		binary.BigEndian.PutUint64(buf[24:], uint64(c.FullConfigs))
+		binary.BigEndian.PutUint64(buf[32:], uint64(c.PartialConfigs))
+		return false, WriteFrame(conn, opStats|respFlag, buf[:])
+	case opClose:
+		_ = WriteFrame(conn, opClose|respFlag, nil)
+		return true, nil
+	default:
+		return false, WriteFrame(conn, opError|respFlag, []byte(fmt.Sprintf("unknown opcode %#x", op)))
 	}
 }
 

@@ -14,6 +14,13 @@
 // The client speaks protocol version 2 and opens every connection with the
 // hello handshake; a pre-v2 server (which does not answer hello) or a
 // version-mismatched one surfaces as ErrVersionMismatch.
+//
+// By default the client also offers the compact binary v3 framing in its
+// hello ("binv3" capability) and switches to it when the server advertises
+// it back — dirty configuration frames then travel as raw bytes into
+// pooled read buffers with no JSON marshal on the wire path. Servers
+// without the capability (or clients built WithBinary(false)) keep the
+// framed JSON v2 exchange unmodified.
 package client
 
 import (
@@ -33,6 +40,7 @@ import (
 	"repro/internal/oracle"
 	"repro/internal/server"
 	"repro/internal/server/protocol"
+	v3 "repro/internal/server/protocol/v3"
 )
 
 // Sentinel errors for the structured codes v2 responses carry. Match with
@@ -114,16 +122,30 @@ type Client struct {
 	nextID  uint64
 	helloed bool
 	caps    []string
+
+	wantBinary bool // offer the v3 framing in hello
+	binary     bool // negotiated: connection speaks v3 after hello
+
+	hdr  [v3.HeaderSize]byte // reused v3 header scratch
+	wbuf []byte              // reused v3 request-encode buffer
 }
 
+// Option configures a Client before its handshake.
+type Option func(*Client)
+
+// WithBinary controls whether the client offers the binary v3 framing in
+// its hello (default true). WithBinary(false) pins the connection to
+// framed JSON v2 regardless of what the server advertises.
+func WithBinary(on bool) Option { return func(c *Client) { c.wantBinary = on } }
+
 // Dial connects to a daemon and performs the protocol handshake.
-func Dial(ctx context.Context, addr string) (*Client, error) {
+func Dial(ctx context.Context, addr string, opts ...Option) (*Client, error) {
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn}
+	c := NewClient(conn, opts...)
 	if err := c.Hello(ctx); err != nil {
 		conn.Close()
 		return nil, err
@@ -135,7 +157,37 @@ func Dial(ctx context.Context, addr string) (*Client, error) {
 // interpose fault injection (jbits.FaultConn) between the protocol layer
 // and the wire. The hello handshake runs lazily before the first call (or
 // eagerly via Hello).
-func NewClient(conn io.ReadWriteCloser) *Client { return &Client{conn: conn} }
+func NewClient(conn io.ReadWriteCloser, opts ...Option) *Client {
+	c := &Client{conn: conn, wantBinary: true}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Binary reports whether the connection negotiated the binary v3 framing.
+// Meaningful once the hello handshake has run.
+func (c *Client) Binary() bool { return c.binary }
+
+// payloadPool recycles v3 response-payload buffers between round trips.
+// A buffer travels with the response it backs (blob fields alias it) and
+// returns to the pool once the caller has consumed them.
+var payloadPool sync.Pool
+
+func takePayload() []byte {
+	if p, _ := payloadPool.Get().(*[]byte); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func putPayload(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	payloadPool.Put(&b)
+}
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
@@ -152,8 +204,13 @@ func (c *Client) helloLocked(ctx context.Context) error {
 	if c.helloed {
 		return nil
 	}
-	resp, err := c.roundTrip(ctx, &server.Request{Op: "hello",
-		Hello: &server.HelloMsg{Version: protocol.Version}})
+	hello := &server.HelloMsg{Version: protocol.Version}
+	if c.wantBinary {
+		// Offer the binary switch; a v2-only server ignores unknown caps.
+		hello.Caps = append(hello.Caps, protocol.CapBinV3)
+	}
+	resp, buf, err := c.roundTrip(ctx, &server.Request{Op: "hello", Hello: hello})
+	putPayload(buf) // hello is always JSON; buf is nil, recycle is a no-op
 	if err != nil {
 		return err
 	}
@@ -168,6 +225,10 @@ func (c *Client) helloLocked(ctx context.Context) error {
 	}
 	c.helloed = true
 	c.caps = resp.Hello.Caps
+	if c.wantBinary && c.HasCap(protocol.CapBinV3) {
+		// Both sides committed: every frame after this response is v3.
+		c.binary = true
+	}
 	return nil
 }
 
@@ -185,33 +246,45 @@ func (c *Client) HasCap(cap string) bool {
 	return false
 }
 
-// call performs one framed JSON round trip, handshaking first if needed.
+// call performs one round trip for ops whose response carries no blob
+// (the payload buffer is recycled before the response is returned).
+// Responses with Config or Frames must go through callBuf instead.
 func (c *Client) call(ctx context.Context, req *server.Request) (*server.Response, error) {
+	resp, buf, err := c.callBuf(ctx, req)
+	putPayload(buf)
+	return resp, err
+}
+
+// callBuf performs one round trip, handshaking first if needed. On the
+// binary framing the returned buffer backs the response's blob fields
+// (Config, Frames); the caller must consume them and then hand the buffer
+// back with putPayload. On JSON (and on error) the buffer is nil.
+func (c *Client) callBuf(ctx context.Context, req *server.Request) (*server.Response, []byte, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if req.Op != "hello" {
 		if err := c.helloLocked(ctx); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	return c.roundTrip(ctx, req)
 }
 
-// roundTrip writes one request frame and reads its response. The context
-// deadline is propagated in the request (bounding the server-side queue
-// wait) and applied to the transport when it supports deadlines, so an
-// expired context abandons the read instead of blocking forever.
-// Callers hold c.mu.
-func (c *Client) roundTrip(ctx context.Context, req *server.Request) (*server.Response, error) {
+// roundTrip writes one request frame and reads its response, on whichever
+// framing the connection negotiated. The context deadline is propagated in
+// the request (bounding the server-side queue wait) and applied to the
+// transport when it supports deadlines, so an expired context abandons the
+// read instead of blocking forever. Callers hold c.mu.
+func (c *Client) roundTrip(ctx context.Context, req *server.Request) (*server.Response, []byte, error) {
 	c.nextID++
 	req.ID = c.nextID
 	if dl, ok := ctx.Deadline(); ok {
 		remaining := time.Until(dl)
 		if remaining <= 0 {
-			return nil, context.DeadlineExceeded
+			return nil, nil, context.DeadlineExceeded
 		}
 		req.TimeoutMillis = int64(remaining / time.Millisecond)
 		if req.TimeoutMillis == 0 {
@@ -223,31 +296,74 @@ func (c *Client) roundTrip(ctx context.Context, req *server.Request) (*server.Re
 		dl, _ := ctx.Deadline()
 		_ = dc.SetDeadline(dl) // zero time clears any previous deadline
 	}
+	if c.binary && req.Op != "hello" {
+		return c.roundTripV3(ctx, req)
+	}
 	payload, err := json.Marshal(req)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := jbits.WriteFrame(c.conn, server.OpService, payload); err != nil {
-		return nil, wrapCtx(ctx, err)
+		return nil, nil, wrapCtx(ctx, err)
 	}
 	op, body, err := jbits.ReadFrame(c.conn)
 	if err != nil {
-		return nil, wrapCtx(ctx, err)
+		return nil, nil, wrapCtx(ctx, err)
 	}
 	if op != server.OpService|jbits.RespFlag {
-		return nil, fmt.Errorf("client: unexpected response opcode %#x", op)
+		jbits.RecycleFrame(body)
+		return nil, nil, fmt.Errorf("client: unexpected response opcode %#x", op)
 	}
 	resp := new(server.Response)
-	if err := json.Unmarshal(body, resp); err != nil {
-		return nil, err
+	uerr := json.Unmarshal(body, resp)
+	jbits.RecycleFrame(body) // JSON decoding copied everything out
+	if uerr != nil {
+		return nil, nil, uerr
 	}
 	if resp.ID != req.ID {
-		return nil, fmt.Errorf("client: response id %d for request %d", resp.ID, req.ID)
+		return nil, nil, fmt.Errorf("client: response id %d for request %d", resp.ID, req.ID)
 	}
 	if err := respError(resp); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return resp, nil
+	return resp, nil, nil
+}
+
+// roundTripV3 is the binary round trip: the request is encoded into the
+// client's reused buffer, the response payload lands in a pooled buffer
+// that travels with the response (its Config/Frames alias it). Callers
+// hold c.mu.
+func (c *Client) roundTripV3(ctx context.Context, req *server.Request) (*server.Response, []byte, error) {
+	var err error
+	c.wbuf, err = v3.AppendRequest(c.wbuf[:0], req)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := c.conn.Write(c.wbuf); err != nil {
+		return nil, nil, wrapCtx(ctx, err)
+	}
+	h, err := v3.ReadHeader(c.conn, &c.hdr)
+	if err != nil {
+		return nil, nil, wrapCtx(ctx, err)
+	}
+	payload, err := v3.ReadPayloadInto(c.conn, h, takePayload())
+	if err != nil {
+		return nil, nil, wrapCtx(ctx, err)
+	}
+	resp := new(server.Response)
+	if err := v3.DecodeResponse(h, payload, resp); err != nil {
+		putPayload(payload)
+		return nil, nil, err
+	}
+	if resp.ID != req.ID {
+		putPayload(payload)
+		return nil, nil, fmt.Errorf("client: response id %d for request %d", resp.ID, req.ID)
+	}
+	if err := respError(resp); err != nil {
+		putPayload(payload)
+		return nil, nil, err
+	}
+	return resp, payload, nil
 }
 
 // wrapCtx attributes a transport error to the context when the context is
@@ -338,10 +454,11 @@ func (c *Client) SessionWithKey(ctx context.Context, deviceName string, key uint
 }
 
 func (c *Client) session(ctx context.Context, req *server.Request) (*Session, error) {
-	resp, err := c.call(ctx, req)
+	resp, buf, err := c.callBuf(ctx, req)
 	if err != nil {
 		return nil, err
 	}
+	defer putPayload(buf) // the mirror copies the config as it applies it
 	var a *arch.Arch
 	switch resp.Arch {
 	case "", "virtex":
@@ -389,11 +506,20 @@ func (s *Session) VerifyMirror() error {
 // replacement board before the op's result is returned.
 func (s *Session) do(ctx context.Context, req *server.Request) (*server.Response, error) {
 	req.Session = s.device
-	resp, err := s.c.call(ctx, req)
+	resp, buf, err := s.c.callBuf(ctx, req)
 	if err != nil {
 		return nil, err
 	}
+	// On the binary framing resp.Frames and resp.Config alias buf, which
+	// returns to the pool when this function is done with it: frames are
+	// consumed into the mirror here; a Config (readback through do) is
+	// detached so the caller can keep it.
+	if len(resp.Config) > 0 {
+		resp.Config = append([]byte(nil), resp.Config...)
+	}
 	if resp.Epoch != s.Epoch {
+		resp.Frames = nil
+		putPayload(buf)
 		s.Board, s.Epoch = resp.Board, resp.Epoch
 		if err := s.resync(ctx); err != nil {
 			return nil, err
@@ -403,24 +529,31 @@ func (s *Session) do(ctx context.Context, req *server.Request) (*server.Response
 		return resp, nil
 	}
 	if len(resp.Frames) > 0 {
-		if _, err := s.Mirror.ApplyFramesRaw(resp.Frames); err != nil {
-			return nil, fmt.Errorf("client: applying pushed frames: %w", err)
+		_, aerr := s.Mirror.ApplyFramesRaw(resp.Frames)
+		resp.Frames = nil
+		putPayload(buf)
+		if aerr != nil {
+			return nil, fmt.Errorf("client: applying pushed frames: %w", aerr)
 		}
 		s.Mirror.ClearDirty()
 		s.FramesApplied += resp.FrameN
 		s.stale = true
+		return resp, nil
 	}
+	putPayload(buf)
 	return resp, nil
 }
 
 // resync re-seeds the mirror from a full readback.
 func (s *Session) resync(ctx context.Context) error {
-	resp, err := s.c.call(ctx, &server.Request{Op: "readback", Session: s.device})
+	resp, buf, err := s.c.callBuf(ctx, &server.Request{Op: "readback", Session: s.device})
 	if err != nil {
 		return fmt.Errorf("client: re-seeding mirror after failover: %w", err)
 	}
-	if err := s.Mirror.ApplyConfig(resp.Config); err != nil {
-		return fmt.Errorf("client: re-seeding mirror after failover: %w", err)
+	aerr := s.Mirror.ApplyConfig(resp.Config)
+	putPayload(buf)
+	if aerr != nil {
+		return fmt.Errorf("client: re-seeding mirror after failover: %w", aerr)
 	}
 	s.Mirror.ClearDirty()
 	s.Resyncs++

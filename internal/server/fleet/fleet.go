@@ -561,7 +561,7 @@ func (c *Coordinator) replay(sl *slot, spare *board) (*server.Worker, int, int, 
 		// port: the failover window scales with the remembered state, not
 		// the device size.
 		if js.Dev.DirtyFrameCount() > 0 {
-			stream, err := js.Dev.PartialConfig()
+			stream, err := js.Dev.AppendPartialConfig(nil)
 			if err != nil {
 				return err
 			}
@@ -569,6 +569,8 @@ func (c *Coordinator) replay(sl *slot, spare *board) (*server.Worker, int, int, 
 			if err := spare.remote.ConfigurePartial(stream); err != nil {
 				return err
 			}
+			// On the wire and applied; the buffer can seed the frame pool.
+			jbits.RecycleFrame(stream)
 		}
 		js.Dev.ClearDirty()
 		// Audit the spare through its own configuration port before
@@ -582,6 +584,7 @@ func (c *Coordinator) replay(sl *slot, spare *board) (*server.Worker, int, int, 
 		if err != nil {
 			return err
 		}
+		defer jbits.RecycleFrame(back)
 		if !bytes.Equal(back, full) {
 			return fmt.Errorf("fleet: spare %s readback diverges from pushed configuration", spare.name)
 		}
@@ -665,6 +668,10 @@ func (c *Coordinator) ProbeAll(ctx context.Context) {
 			if err != nil {
 				return err
 			}
+			// The readback travels through the pooled frame path; it is
+			// dead once audited, so hand it back instead of churning a
+			// full-config allocation per probe per board.
+			defer jbits.RecycleFrame(back)
 			want, err := js.Dev.FullConfig()
 			if err != nil {
 				return err

@@ -37,3 +37,8 @@ func WithEnqueueTimeout(d time.Duration) Opt { return func(o *Options) { o.Enque
 // WithParanoidVerify makes every session router audit each automatic
 // routing op with the bitstream oracle before acknowledging it.
 func WithParanoidVerify(on bool) Opt { return func(o *Options) { o.ParanoidVerify = on } }
+
+// WithBinaryProtocol toggles the binary v3 framing capability (default
+// on). With it off the daemon neither advertises nor accepts "binv3" and
+// every connection stays on framed JSON v2.
+func WithBinaryProtocol(on bool) Opt { return func(o *Options) { o.DisableBinary = !on } }

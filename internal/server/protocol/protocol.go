@@ -38,6 +38,12 @@ const (
 	// CapParanoid: every automatic routing op is audited by the bitstream
 	// oracle before it is acknowledged.
 	CapParanoid = "paranoid"
+	// CapBinV3: the server accepts the compact binary v3 framing
+	// (internal/server/protocol/v3) on this connection. A client that also
+	// echoes the flag in its hello request switches the connection to v3
+	// immediately after the (always-JSON) hello exchange; clients that do
+	// not echo it keep speaking framed JSON v2 unmodified.
+	CapBinV3 = "binv3"
 )
 
 // Error codes. The empty string means success.
@@ -77,6 +83,11 @@ const (
 	// CodeInternal: serialization or device-state failure inside the
 	// server.
 	CodeInternal = "internal"
+	// CodeMalformed: a binary v3 frame failed the pre-parse filter (bad
+	// magic, wrong version, oversized length) or its payload did not
+	// decode. The frame was rejected before dispatch; the connection stays
+	// usable.
+	CodeMalformed = "malformed"
 )
 
 // HelloMsg is the handshake payload, both directions: the client announces
@@ -231,6 +242,24 @@ type CoreMsg struct {
 type StatsMsg struct {
 	Sessions map[string]SessionStatsMsg `json:"sessions"`
 	Fleet    *FleetStatsMsg             `json:"fleet,omitempty"`
+	Wire     *WireStatsMsg              `json:"wire,omitempty"`
+}
+
+// WireStatsMsg is the transport section of statsz: how many connections
+// negotiated each framing, the traffic they moved, and how many frames the
+// binary pre-parse filter rejected.
+type WireStatsMsg struct {
+	ConnsV2     int `json:"conns_v2"`      // connections that stayed on framed JSON
+	ConnsV3     int `json:"conns_v3"`      // connections switched to binary v3
+	Malformed   int `json:"malformed"`     // v3 frames rejected before dispatch
+	FramesIn    int `json:"frames_in"`     // service frames read (both framings)
+	FramesOut   int `json:"frames_out"`    // service frames written
+	BytesIn     int `json:"bytes_in"`      // payload bytes read
+	BytesOut    int `json:"bytes_out"`     // payload bytes written
+	FramesV3In  int `json:"frames_v3_in"`  // v3 subset of FramesIn
+	FramesV3Out int `json:"frames_v3_out"` // v3 subset of FramesOut
+	BytesV3In   int `json:"bytes_v3_in"`
+	BytesV3Out  int `json:"bytes_v3_out"`
 }
 
 // SessionStatsMsg aggregates one device session.

@@ -1,0 +1,746 @@
+// Package v3 is the compact binary framing of the jrouted service
+// protocol. It replaces the framed-JSON v2 encoding on connections that
+// negotiate it (hello capability "binv3") with a fixed little-endian
+// header plus varint-encoded op records, so the wire path moves
+// configuration frames as raw bytes with no intermediate marshal.
+//
+// # Frame layout
+//
+// Every message is a fixed 20-byte header followed by Len payload bytes:
+//
+//	offset  size  field
+//	0       4     magic "JRv3" (4A 52 76 33)
+//	4       1     version (3)
+//	5       1     op byte (Op* constants)
+//	6       2     flags, little-endian (FlagResp on responses)
+//	8       8     request id, little-endian
+//	16      4     payload length, little-endian (<= MaxPayload)
+//
+// Integers inside payloads are unsigned varints (binary.Uvarint); signed
+// fields use zigzag. Strings and blobs are a uvarint length followed by
+// the bytes. Error codes travel as single bytes (Code* constants). Every
+// op record pins its layout in the ABI golden tests — a byte shift there
+// is a wire break and must bump the version.
+//
+// # Zero-copy convention
+//
+// Each response carries at most one large blob (config stream, dirty
+// frames, statsz JSON) and the blob is always the final field. Encoders
+// therefore return the blob separately from the encoded head so callers
+// can hand both to the socket in one vectored write (WriteMsg) without
+// copying the frame data; decoders return blobs aliasing the read buffer,
+// which the caller owns and recycles.
+package v3
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+
+	"repro/internal/server/protocol"
+)
+
+// Frame constants.
+const (
+	// HeaderSize is the fixed frame header length in bytes.
+	HeaderSize = 20
+	// Magic opens every v3 frame.
+	Magic = "JRv3"
+	// Version is the wire version byte carried in every header.
+	Version = 3
+	// MaxPayload bounds a frame payload, matching the XHWIF frame limit.
+	MaxPayload = 64 << 20
+	// FlagResp marks a response frame.
+	FlagResp uint16 = 1 << 0
+)
+
+// Op bytes. Values are pinned by the ABI tests; never renumber.
+const (
+	OpConnect        byte = 0x01
+	OpDevices        byte = 0x02
+	OpStatsz         byte = 0x03
+	OpReadback       byte = 0x04
+	OpRoute          byte = 0x10
+	OpBus            byte = 0x11
+	OpBusBatch       byte = 0x12
+	OpBatch          byte = 0x13
+	OpUnroute        byte = 0x14
+	OpReverseUnroute byte = 0x15
+	OpTrace          byte = 0x16
+	OpReverseTrace   byte = 0x17
+	OpCoreNew        byte = 0x20
+	OpCoreReplace    byte = 0x21
+)
+
+// Error-code bytes. Values are pinned by the ABI tests; never renumber.
+// CodeOK (0) means success.
+const (
+	CodeOK         byte = 0x00
+	CodeBadRequest byte = 0x01
+	CodeUnknownOp  byte = 0x02
+	CodeVersion    byte = 0x03
+	CodeNoDevice   byte = 0x04
+	CodeBusy       byte = 0x05
+	CodeCanceled   byte = 0x06
+	CodeDeadline   byte = 0x07
+	CodeAdmission  byte = 0x08
+	CodeBoardDown  byte = 0x09
+	CodeFailover   byte = 0x0A
+	CodeRoute      byte = 0x0B
+	CodeInternal   byte = 0x0C
+	CodeMalformed  byte = 0x0D
+)
+
+// Endpoint tags.
+const (
+	epPin  byte = 0x01
+	epPort byte = 0x02
+)
+
+// opBytes maps protocol op names to their wire bytes; opNames is the
+// reverse (array-indexed so the hot decode path does no map lookup).
+var opBytes = map[string]byte{
+	"connect":         OpConnect,
+	"devices":         OpDevices,
+	"statsz":          OpStatsz,
+	"readback":        OpReadback,
+	"route":           OpRoute,
+	"bus":             OpBus,
+	"bus_batch":       OpBusBatch,
+	"batch":           OpBatch,
+	"unroute":         OpUnroute,
+	"reverse_unroute": OpReverseUnroute,
+	"trace":           OpTrace,
+	"reverse_trace":   OpReverseTrace,
+	"core_new":        OpCoreNew,
+	"core_replace":    OpCoreReplace,
+}
+
+var opNames [256]string
+
+// codeBytes maps protocol error-code strings to wire bytes; codeNames is
+// the reverse.
+var codeBytes = map[string]byte{
+	protocol.CodeBadRequest: CodeBadRequest,
+	protocol.CodeUnknownOp:  CodeUnknownOp,
+	protocol.CodeVersion:    CodeVersion,
+	protocol.CodeNoDevice:   CodeNoDevice,
+	protocol.CodeBusy:       CodeBusy,
+	protocol.CodeCanceled:   CodeCanceled,
+	protocol.CodeDeadline:   CodeDeadline,
+	protocol.CodeAdmission:  CodeAdmission,
+	protocol.CodeBoardDown:  CodeBoardDown,
+	protocol.CodeFailover:   CodeFailover,
+	protocol.CodeRoute:      CodeRoute,
+	protocol.CodeInternal:   CodeInternal,
+	protocol.CodeMalformed:  CodeMalformed,
+}
+
+var codeNames [256]string
+
+func init() {
+	for name, b := range opBytes {
+		opNames[b] = name
+	}
+	for name, b := range codeBytes {
+		codeNames[b] = name
+	}
+}
+
+// OpByte returns the wire byte for a protocol op name.
+func OpByte(op string) (byte, bool) {
+	b, ok := opBytes[op]
+	return b, ok
+}
+
+// OpName returns the protocol op name for a wire byte ("" if unknown).
+func OpName(b byte) string { return opNames[b] }
+
+// CodeByte returns the wire byte for a protocol error-code string.
+// Unknown codes collapse to CodeInternal so the error text still travels.
+func CodeByte(code string) byte {
+	if code == "" {
+		return CodeOK
+	}
+	if b, ok := codeBytes[code]; ok {
+		return b
+	}
+	return CodeInternal
+}
+
+// CodeName returns the protocol error-code string for a wire byte.
+func CodeName(b byte) string { return codeNames[b] }
+
+// Header is a parsed frame header.
+type Header struct {
+	Op    byte
+	Flags uint16
+	ID    uint64
+	Len   uint32
+}
+
+// FilterError is the pre-parse rejection: the fixed header failed the
+// magic/version/length checks, so the frame was refused before any payload
+// allocation or dispatch. It maps to protocol.CodeMalformed on the wire.
+type FilterError struct {
+	Reason string
+}
+
+func (e *FilterError) Error() string { return "v3: malformed frame: " + e.Reason }
+
+// PutHeader encodes h into dst, which must hold HeaderSize bytes.
+func PutHeader(dst []byte, h Header) {
+	_ = dst[HeaderSize-1]
+	copy(dst, Magic)
+	dst[4] = Version
+	dst[5] = h.Op
+	binary.LittleEndian.PutUint16(dst[6:], h.Flags)
+	binary.LittleEndian.PutUint64(dst[8:], h.ID)
+	binary.LittleEndian.PutUint32(dst[16:], h.Len)
+}
+
+// ParseHeader is the pre-parse garbage filter: it validates magic, version
+// and length bounds on the fixed header before the caller allocates a
+// payload buffer or dispatches anything. b must hold HeaderSize bytes.
+func ParseHeader(b []byte) (Header, error) {
+	if len(b) < HeaderSize {
+		return Header{}, &FilterError{Reason: fmt.Sprintf("header is %d bytes, need %d", len(b), HeaderSize)}
+	}
+	if string(b[:4]) != Magic {
+		return Header{}, &FilterError{Reason: fmt.Sprintf("bad magic %x", b[:4])}
+	}
+	if b[4] != Version {
+		return Header{}, &FilterError{Reason: fmt.Sprintf("version %d, want %d", b[4], Version)}
+	}
+	h := Header{
+		Op:    b[5],
+		Flags: binary.LittleEndian.Uint16(b[6:]),
+		ID:    binary.LittleEndian.Uint64(b[8:]),
+		Len:   binary.LittleEndian.Uint32(b[16:]),
+	}
+	if h.Len > MaxPayload {
+		return Header{}, &FilterError{Reason: fmt.Sprintf("payload of %d bytes exceeds %d limit", h.Len, MaxPayload)}
+	}
+	return h, nil
+}
+
+// ReadHeader reads and filters one fixed header. A clean close between
+// frames (zero bytes read) returns plain io.EOF; a partial header is
+// io.ErrUnexpectedEOF. scratch is the caller's reusable header buffer.
+func ReadHeader(r io.Reader, scratch *[HeaderSize]byte) (Header, error) {
+	if n, err := io.ReadFull(r, scratch[:]); err != nil {
+		if n == 0 && err == io.EOF {
+			return Header{}, io.EOF
+		}
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Header{}, fmt.Errorf("v3: short header (%d of %d bytes): %w", n, HeaderSize, err)
+	}
+	return ParseHeader(scratch[:])
+}
+
+// ReadPayloadInto reads h.Len payload bytes, reusing buf when its capacity
+// suffices. A truncated payload is a hard protocol error
+// (io.ErrUnexpectedEOF), never a clean close.
+func ReadPayloadInto(r io.Reader, h Header, buf []byte) ([]byte, error) {
+	n := int(h.Len)
+	if n == 0 {
+		return buf[:0], nil
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if got, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("v3: short payload (%d of %d bytes): %w", got, n, err)
+	}
+	return buf, nil
+}
+
+// WriteMsg writes head (a complete header+meta encoding) and the optional
+// raw blob tail as one message, using a vectored write (writev on TCP) so
+// the blob is never copied into the head buffer. bufs is the caller's
+// reusable scratch; it is consumed and reset on every call.
+func WriteMsg(w io.Writer, bufs *net.Buffers, head, raw []byte) error {
+	if len(raw) == 0 {
+		_, err := w.Write(head)
+		return err
+	}
+	*bufs = append((*bufs)[:0], head, raw)
+	_, err := bufs.WriteTo(w)
+	return err
+}
+
+// appendUvarint / appendSvarint are the varint primitives. Signed values
+// use zigzag so small negatives stay small.
+func appendUvarint(dst []byte, v uint64) []byte { return binary.AppendUvarint(dst, v) }
+
+func appendSvarint(dst []byte, v int) []byte {
+	return binary.AppendUvarint(dst, uint64((int64(v)<<1)^(int64(v)>>63)))
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendEndpoint(dst []byte, ep *protocol.EndPointMsg) ([]byte, error) {
+	switch {
+	case ep == nil:
+		return dst, fmt.Errorf("v3: missing endpoint")
+	case ep.Pin != nil:
+		dst = append(dst, epPin)
+		dst = appendSvarint(dst, ep.Pin.Row)
+		dst = appendSvarint(dst, ep.Pin.Col)
+		return appendUvarint(dst, uint64(ep.Pin.Wire)), nil
+	case ep.Port != nil:
+		dst = append(dst, epPort)
+		dst = appendString(dst, ep.Port.Core)
+		dst = appendString(dst, ep.Port.Group)
+		return appendSvarint(dst, ep.Port.Index), nil
+	default:
+		return dst, fmt.Errorf("v3: endpoint is neither pin nor port")
+	}
+}
+
+func appendEndpoints(dst []byte, eps []protocol.EndPointMsg) ([]byte, error) {
+	dst = appendUvarint(dst, uint64(len(eps)))
+	for i := range eps {
+		var err error
+		if dst, err = appendEndpoint(dst, &eps[i]); err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+func appendNet(dst []byte, n *protocol.NetMsg) ([]byte, error) {
+	dst, err := appendEndpoint(dst, &n.Source)
+	if err != nil {
+		return dst, err
+	}
+	if dst, err = appendEndpoints(dst, n.Sinks); err != nil {
+		return dst, err
+	}
+	dst = appendUvarint(dst, uint64(len(n.Pips)))
+	for i := range n.Pips {
+		p := &n.Pips[i]
+		dst = appendSvarint(dst, p.Row)
+		dst = appendSvarint(dst, p.Col)
+		dst = appendUvarint(dst, uint64(p.From))
+		dst = appendUvarint(dst, uint64(p.To))
+	}
+	return dst, nil
+}
+
+func appendCore(dst []byte, c *protocol.CoreMsg) ([]byte, error) {
+	if c == nil {
+		return dst, fmt.Errorf("v3: missing core description")
+	}
+	dst = appendString(dst, c.Name)
+	dst = appendString(dst, c.Kind)
+	dst = appendSvarint(dst, c.Row)
+	dst = appendSvarint(dst, c.Col)
+	if c.K != nil {
+		dst = append(dst, 1)
+		dst = appendUvarint(dst, *c.K)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = appendSvarint(dst, c.KBits)
+	return appendSvarint(dst, c.Bits), nil
+}
+
+// AppendRequest encodes one request frame (header + payload) onto dst and
+// returns the extended slice. The hello handshake has no binary form — it
+// always travels as framed JSON v2 before the switch.
+func AppendRequest(dst []byte, req *protocol.Request) ([]byte, error) {
+	op, ok := opBytes[req.Op]
+	if !ok {
+		return dst, fmt.Errorf("v3: op %q has no binary encoding", req.Op)
+	}
+	start := len(dst)
+	dst = append(dst, make([]byte, HeaderSize)...)
+	dst = appendString(dst, req.Session)
+	dst = appendUvarint(dst, uint64(req.TimeoutMillis))
+	var err error
+	switch op {
+	case OpConnect:
+		if req.Key != nil {
+			dst = append(dst, 1)
+			dst = appendUvarint(dst, *req.Key)
+		} else {
+			dst = append(dst, 0)
+		}
+	case OpDevices, OpStatsz, OpReadback:
+	case OpRoute:
+		if dst, err = appendEndpoint(dst, req.Source); err != nil {
+			return dst, err
+		}
+		if dst, err = appendEndpoints(dst, req.Sinks); err != nil {
+			return dst, err
+		}
+	case OpBus, OpBusBatch:
+		if dst, err = appendEndpoints(dst, req.Sources); err != nil {
+			return dst, err
+		}
+		if dst, err = appendEndpoints(dst, req.Sinks); err != nil {
+			return dst, err
+		}
+	case OpBatch:
+		dst = appendUvarint(dst, uint64(len(req.Nets)))
+		for i := range req.Nets {
+			if dst, err = appendNet(dst, &req.Nets[i]); err != nil {
+				return dst, err
+			}
+		}
+	case OpUnroute, OpReverseUnroute, OpTrace, OpReverseTrace:
+		if dst, err = appendEndpoint(dst, req.Source); err != nil {
+			return dst, err
+		}
+	case OpCoreNew, OpCoreReplace:
+		if dst, err = appendCore(dst, req.Core); err != nil {
+			return dst, err
+		}
+	}
+	n := len(dst) - start - HeaderSize
+	if n > MaxPayload {
+		return dst, fmt.Errorf("v3: request payload of %d bytes exceeds limit", n)
+	}
+	PutHeader(dst[start:], Header{Op: op, ID: req.ID, Len: uint32(n)})
+	return dst, nil
+}
+
+// AppendResponse encodes one response onto dst. It returns the extended
+// head (header + meta fields, including the blob length prefix) and the
+// raw blob tail separately: the configuration stream, dirty frames or
+// statsz JSON are NOT copied into head — write both with WriteMsg for the
+// zero-copy path. raw aliases resp's buffers and must be written before
+// they are recycled.
+func AppendResponse(dst []byte, op byte, resp *protocol.Response) (head, raw []byte, err error) {
+	start := len(dst)
+	dst = append(dst, make([]byte, HeaderSize)...)
+	code := CodeByte(resp.ErrorCode)
+	if code == CodeOK && (resp.Err != "" || resp.Busy) {
+		code = CodeInternal
+		if resp.Busy {
+			code = CodeBusy
+		}
+	}
+	dst = append(dst, code)
+	if code != CodeOK {
+		dst = appendString(dst, resp.Err)
+	} else {
+		dst = appendString(dst, resp.Board)
+		dst = appendUvarint(dst, resp.Epoch)
+		switch op {
+		case OpConnect:
+			dst = appendSvarint(dst, resp.Rows)
+			dst = appendSvarint(dst, resp.Cols)
+			dst = appendString(dst, resp.Arch)
+			dst = appendUvarint(dst, uint64(len(resp.Config)))
+			raw = resp.Config
+		case OpReadback:
+			dst = appendUvarint(dst, uint64(len(resp.Config)))
+			raw = resp.Config
+		case OpDevices:
+			dst = appendUvarint(dst, uint64(len(resp.Devices)))
+			for _, d := range resp.Devices {
+				dst = appendString(dst, d)
+			}
+		case OpStatsz:
+			blob, merr := json.Marshal(resp.Stats)
+			if merr != nil {
+				return dst, nil, fmt.Errorf("v3: encoding statsz: %w", merr)
+			}
+			dst = appendUvarint(dst, uint64(len(blob)))
+			raw = blob
+		case OpTrace, OpReverseTrace:
+			if resp.Net != nil {
+				dst = append(dst, 1)
+				if dst, err = appendNet(dst, resp.Net); err != nil {
+					return dst, nil, err
+				}
+			} else {
+				dst = append(dst, 0)
+			}
+		default: // mutating ops: dirty-frame push
+			dst = appendUvarint(dst, uint64(resp.FrameN))
+			dst = appendUvarint(dst, uint64(len(resp.Frames)))
+			raw = resp.Frames
+		}
+	}
+	n := len(dst) - start - HeaderSize + len(raw)
+	if n > MaxPayload {
+		return dst, nil, fmt.Errorf("v3: response payload of %d bytes exceeds limit", n)
+	}
+	PutHeader(dst[start:], Header{Op: op, Flags: FlagResp, ID: resp.ID, Len: uint32(n)})
+	return dst, raw, nil
+}
+
+// Interner deduplicates the small recurring strings of the hot decode path
+// (session, core and group names) so a steady-state connection stops
+// allocating for them. Lookup of a []byte key against the map does not
+// allocate; only the first sighting of a name copies it.
+type Interner struct {
+	m map[string]string
+}
+
+// NewInterner creates an empty intern table.
+func NewInterner() *Interner { return &Interner{m: make(map[string]string)} }
+
+func (in *Interner) intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := in.m[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	in.m[s] = s
+	return s
+}
+
+// dec is a cursor over one payload; the first failure sticks.
+type dec struct {
+	b   []byte
+	off int
+	err error
+	in  *Interner
+}
+
+func (d *dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("v3: truncated or corrupt %s at offset %d", what, d.off)
+	}
+}
+
+func (d *dec) u8() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.fail("byte")
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) svarint() int {
+	u := d.uvarint()
+	return int(int64(u>>1) ^ -int64(u&1))
+}
+
+// count reads a collection length and bounds it by the bytes remaining
+// (each element costs at least one byte), so corrupt counts cannot force
+// huge allocations.
+func (d *dec) count(what string) int {
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(d.b)-d.off) {
+		d.fail(what + " count")
+		return 0
+	}
+	return int(n)
+}
+
+func (d *dec) bytes(what string) []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail(what)
+		return nil
+	}
+	v := d.b[d.off : d.off+int(n)]
+	d.off += int(n)
+	return v
+}
+
+func (d *dec) str(what string) string {
+	b := d.bytes(what)
+	if d.err != nil {
+		return ""
+	}
+	if d.in != nil {
+		return d.in.intern(b)
+	}
+	return string(b)
+}
+
+func (d *dec) endpoint(ep *protocol.EndPointMsg) {
+	switch tag := d.u8(); tag {
+	case epPin:
+		p := &protocol.PinMsg{Row: d.svarint(), Col: d.svarint(), Wire: int(d.uvarint())}
+		ep.Pin, ep.Port = p, nil
+	case epPort:
+		p := &protocol.PortRefMsg{Core: d.str("core name"), Group: d.str("group name"), Index: d.svarint()}
+		ep.Port, ep.Pin = p, nil
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("v3: unknown endpoint tag %#x at offset %d", tag, d.off-1)
+		}
+	}
+}
+
+func (d *dec) endpoints(what string) []protocol.EndPointMsg {
+	n := d.count(what)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	eps := make([]protocol.EndPointMsg, n)
+	for i := range eps {
+		d.endpoint(&eps[i])
+	}
+	return eps
+}
+
+func (d *dec) net(n *protocol.NetMsg) {
+	d.endpoint(&n.Source)
+	n.Sinks = d.endpoints("sinks")
+	np := d.count("pips")
+	if d.err != nil || np == 0 {
+		return
+	}
+	n.Pips = make([]protocol.PipMsg, np)
+	for i := range n.Pips {
+		p := &n.Pips[i]
+		p.Row, p.Col = d.svarint(), d.svarint()
+		p.From, p.To = int(d.uvarint()), int(d.uvarint())
+	}
+}
+
+// DecodeRequest decodes a request payload into req. An optional Interner
+// deduplicates the recurring name strings. Slices and strings in req may
+// alias payload only for blob fields (requests carry none), so req
+// outlives the read buffer safely.
+func DecodeRequest(h Header, payload []byte, req *protocol.Request, in *Interner) error {
+	op := opNames[h.Op]
+	if op == "" {
+		return fmt.Errorf("v3: unknown op byte %#x", h.Op)
+	}
+	req.ID = h.ID
+	req.Op = op
+	d := &dec{b: payload, in: in}
+	req.Session = d.str("session")
+	req.TimeoutMillis = int64(d.uvarint())
+	switch h.Op {
+	case OpConnect:
+		if d.u8() != 0 {
+			k := d.uvarint()
+			req.Key = &k
+		}
+	case OpDevices, OpStatsz, OpReadback:
+	case OpRoute:
+		req.Source = &protocol.EndPointMsg{}
+		d.endpoint(req.Source)
+		req.Sinks = d.endpoints("sinks")
+	case OpBus, OpBusBatch:
+		req.Sources = d.endpoints("sources")
+		req.Sinks = d.endpoints("sinks")
+	case OpBatch:
+		n := d.count("nets")
+		if n > 0 {
+			req.Nets = make([]protocol.NetMsg, n)
+			for i := range req.Nets {
+				d.net(&req.Nets[i])
+			}
+		}
+	case OpUnroute, OpReverseUnroute, OpTrace, OpReverseTrace:
+		req.Source = &protocol.EndPointMsg{}
+		d.endpoint(req.Source)
+	case OpCoreNew, OpCoreReplace:
+		c := &protocol.CoreMsg{}
+		c.Name = d.str("core name")
+		c.Kind = d.str("core kind")
+		c.Row, c.Col = d.svarint(), d.svarint()
+		if d.u8() != 0 {
+			k := d.uvarint()
+			c.K = &k
+		}
+		c.KBits = d.svarint()
+		c.Bits = d.svarint()
+		req.Core = c
+	}
+	if d.err == nil && d.off != len(payload) {
+		d.err = fmt.Errorf("v3: %d trailing bytes after %s request", len(payload)-d.off, op)
+	}
+	return d.err
+}
+
+// DecodeResponse decodes a response payload into resp. Blob fields
+// (Config, Frames) alias payload — the caller must consume them before
+// recycling the read buffer.
+func DecodeResponse(h Header, payload []byte, resp *protocol.Response) error {
+	if opNames[h.Op] == "" {
+		return fmt.Errorf("v3: unknown op byte %#x", h.Op)
+	}
+	resp.ID = h.ID
+	d := &dec{b: payload}
+	code := d.u8()
+	if code != CodeOK {
+		resp.Err = d.str("error text")
+		resp.ErrorCode = codeNames[code]
+		if resp.ErrorCode == "" {
+			resp.ErrorCode = protocol.CodeInternal
+		}
+		resp.Busy = code == CodeBusy
+		return d.err
+	}
+	resp.Board = d.str("board name")
+	resp.Epoch = d.uvarint()
+	switch h.Op {
+	case OpConnect:
+		resp.Rows, resp.Cols = d.svarint(), d.svarint()
+		resp.Arch = d.str("arch name")
+		resp.Config = d.bytes("config stream")
+	case OpReadback:
+		resp.Config = d.bytes("config stream")
+	case OpDevices:
+		n := d.count("devices")
+		for i := 0; i < n && d.err == nil; i++ {
+			resp.Devices = append(resp.Devices, d.str("device name"))
+		}
+	case OpStatsz:
+		blob := d.bytes("statsz blob")
+		if d.err == nil {
+			resp.Stats = &protocol.StatsMsg{}
+			if err := json.Unmarshal(blob, resp.Stats); err != nil {
+				return fmt.Errorf("v3: decoding statsz: %w", err)
+			}
+		}
+	case OpTrace, OpReverseTrace:
+		if d.u8() != 0 {
+			resp.Net = &protocol.NetMsg{}
+			d.net(resp.Net)
+		}
+	default:
+		resp.FrameN = int(d.uvarint())
+		resp.Frames = d.bytes("frame stream")
+	}
+	if d.err == nil && d.off != len(payload) {
+		d.err = fmt.Errorf("v3: %d trailing bytes after response", len(payload)-d.off)
+	}
+	return d.err
+}

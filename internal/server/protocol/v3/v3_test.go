@@ -1,0 +1,554 @@
+package v3
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/server/protocol"
+)
+
+// pin / port build endpoint messages for the golden fixtures.
+func pin(row, col, wire int) protocol.EndPointMsg {
+	return protocol.EndPointMsg{Pin: &protocol.PinMsg{Row: row, Col: col, Wire: wire}}
+}
+
+func port(core, group string, index int) protocol.EndPointMsg {
+	return protocol.EndPointMsg{Port: &protocol.PortRefMsg{Core: core, Group: group, Index: index}}
+}
+
+func u64p(v uint64) *uint64 { return &v }
+
+// TestABIHeader pins the exact header layout byte by byte (udpx-style):
+// any codec change that shifts a byte here is a wire break.
+func TestABIHeader(t *testing.T) {
+	var buf [HeaderSize]byte
+	PutHeader(buf[:], Header{Op: OpRoute, Flags: FlagResp, ID: 0x0102030405060708, Len: 0x01223344})
+	want := []byte{
+		0x4A, 0x52, 0x76, 0x33, // magic "JRv3"
+		0x03,       // version
+		0x10,       // op: route
+		0x01, 0x00, // flags: FlagResp, little-endian
+		0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // id, little-endian
+		0x44, 0x33, 0x22, 0x01, // length, little-endian
+	}
+	if !bytes.Equal(buf[:], want) {
+		t.Fatalf("header ABI changed:\n got %x\nwant %x", buf[:], want)
+	}
+	h, err := ParseHeader(buf[:])
+	if err != nil {
+		t.Fatalf("ParseHeader: %v", err)
+	}
+	if h.Op != OpRoute || h.Flags != FlagResp || h.ID != 0x0102030405060708 || h.Len != 0x01223344 {
+		t.Fatalf("ParseHeader round trip: %+v", h)
+	}
+}
+
+// TestABIOpBytes pins every op byte assignment.
+func TestABIOpBytes(t *testing.T) {
+	want := map[string]byte{
+		"connect": 0x01, "devices": 0x02, "statsz": 0x03, "readback": 0x04,
+		"route": 0x10, "bus": 0x11, "bus_batch": 0x12, "batch": 0x13,
+		"unroute": 0x14, "reverse_unroute": 0x15, "trace": 0x16, "reverse_trace": 0x17,
+		"core_new": 0x20, "core_replace": 0x21,
+	}
+	if len(want) != len(opBytes) {
+		t.Fatalf("op table has %d entries, ABI pins %d", len(opBytes), len(want))
+	}
+	for name, b := range want {
+		if got, ok := OpByte(name); !ok || got != b {
+			t.Errorf("op %q = %#x, ABI pins %#x", name, got, b)
+		}
+		if OpName(b) != name {
+			t.Errorf("op byte %#x = %q, ABI pins %q", b, OpName(b), name)
+		}
+	}
+}
+
+// TestABICodeBytes pins every error-code byte assignment.
+func TestABICodeBytes(t *testing.T) {
+	want := map[string]byte{
+		protocol.CodeBadRequest: 0x01, protocol.CodeUnknownOp: 0x02,
+		protocol.CodeVersion: 0x03, protocol.CodeNoDevice: 0x04,
+		protocol.CodeBusy: 0x05, protocol.CodeCanceled: 0x06,
+		protocol.CodeDeadline: 0x07, protocol.CodeAdmission: 0x08,
+		protocol.CodeBoardDown: 0x09, protocol.CodeFailover: 0x0A,
+		protocol.CodeRoute: 0x0B, protocol.CodeInternal: 0x0C,
+		protocol.CodeMalformed: 0x0D,
+	}
+	if len(want) != len(codeBytes) {
+		t.Fatalf("code table has %d entries, ABI pins %d", len(codeBytes), len(want))
+	}
+	for name, b := range want {
+		if CodeByte(name) != b {
+			t.Errorf("code %q = %#x, ABI pins %#x", name, CodeByte(name), b)
+		}
+		if CodeName(b) != name {
+			t.Errorf("code byte %#x = %q, ABI pins %q", b, CodeName(b), name)
+		}
+	}
+}
+
+// hdr builds an expected header prefix for the golden frames.
+func hdr(op byte, flags uint16, id uint64, length int) []byte {
+	var b [HeaderSize]byte
+	PutHeader(b[:], Header{Op: op, Flags: flags, ID: id, Len: uint32(length)})
+	return b[:]
+}
+
+func frame(op byte, flags uint16, id uint64, payload ...byte) []byte {
+	return append(hdr(op, flags, id, len(payload)), payload...)
+}
+
+// TestABIRequests pins a byte-exact golden encoding for every request op
+// record.
+func TestABIRequests(t *testing.T) {
+	cases := []struct {
+		name string
+		req  protocol.Request
+		want []byte
+	}{
+		{"route",
+			protocol.Request{ID: 1, Op: "route", Session: "dev0",
+				Source: &protocol.EndPointMsg{Pin: &protocol.PinMsg{Row: 1, Col: 2, Wire: 7}},
+				Sinks:  []protocol.EndPointMsg{pin(3, 4, 9)}},
+			frame(0x10, 0, 1,
+				0x04, 'd', 'e', 'v', '0', // session "dev0"
+				0x00,                   // timeout 0
+				0x01, 0x02, 0x04, 0x07, // source: pin, zigzag(1), zigzag(2), wire 7
+				0x01,                   // 1 sink
+				0x01, 0x06, 0x08, 0x09, // sink: pin, zigzag(3), zigzag(4), wire 9
+			)},
+		{"connect+key",
+			protocol.Request{ID: 2, Op: "connect", Session: "a", TimeoutMillis: 250, Key: u64p(5)},
+			frame(0x01, 0, 2,
+				0x01, 'a',
+				0xFA, 0x01, // timeout 250 as uvarint
+				0x01, 0x05, // key present, key 5
+			)},
+		{"devices",
+			protocol.Request{ID: 10, Op: "devices"},
+			frame(0x02, 0, 10, 0x00, 0x00)},
+		{"statsz",
+			protocol.Request{ID: 8, Op: "statsz"},
+			frame(0x03, 0, 8, 0x00, 0x00)},
+		{"readback",
+			protocol.Request{ID: 11, Op: "readback", Session: "d"},
+			frame(0x04, 0, 11, 0x01, 'd', 0x00)},
+		{"bus",
+			protocol.Request{ID: 12, Op: "bus", Session: "d",
+				Sources: []protocol.EndPointMsg{pin(1, 1, 2)},
+				Sinks:   []protocol.EndPointMsg{pin(2, 3, 4)}},
+			frame(0x11, 0, 12,
+				0x01, 'd', 0x00,
+				0x01, 0x01, 0x02, 0x02, 0x02,
+				0x01, 0x01, 0x04, 0x06, 0x04,
+			)},
+		{"bus_batch+port",
+			protocol.Request{ID: 3, Op: "bus_batch", Session: "d",
+				Sources: []protocol.EndPointMsg{port("m0", "q", 1)},
+				Sinks:   []protocol.EndPointMsg{pin(2, 3, 4)}},
+			frame(0x12, 0, 3,
+				0x01, 'd', 0x00,
+				0x01,                                  // 1 source
+				0x02, 0x02, 'm', '0', 0x01, 'q', 0x02, // port "m0"."q"[1]
+				0x01,                   // 1 sink
+				0x01, 0x04, 0x06, 0x04, // pin(2,3,4)
+			)},
+		{"batch",
+			protocol.Request{ID: 4, Op: "batch", Session: "d",
+				Nets: []protocol.NetMsg{{Source: pin(0, 1, 3), Sinks: []protocol.EndPointMsg{pin(2, 2, 5)}}}},
+			frame(0x13, 0, 4,
+				0x01, 'd', 0x00,
+				0x01,                   // 1 net
+				0x01, 0x00, 0x02, 0x03, // source pin(0,1,3)
+				0x01, 0x01, 0x04, 0x04, 0x05, // 1 sink: pin(2,2,5)
+				0x00, // no pips
+			)},
+		{"unroute",
+			protocol.Request{ID: 5, Op: "unroute", Session: "d",
+				Source: &protocol.EndPointMsg{Pin: &protocol.PinMsg{Row: 5, Col: 6, Wire: 7}}},
+			frame(0x14, 0, 5, 0x01, 'd', 0x00, 0x01, 0x0A, 0x0C, 0x07)},
+		{"reverse_unroute",
+			protocol.Request{ID: 13, Op: "reverse_unroute", Session: "d",
+				Source: &protocol.EndPointMsg{Pin: &protocol.PinMsg{Row: 0, Col: 0, Wire: 1}}},
+			frame(0x15, 0, 13, 0x01, 'd', 0x00, 0x01, 0x00, 0x00, 0x01)},
+		{"trace",
+			protocol.Request{ID: 9, Op: "trace", Session: "d",
+				Source: &protocol.EndPointMsg{Pin: &protocol.PinMsg{Row: 1, Col: 1, Wire: 1}}},
+			frame(0x16, 0, 9, 0x01, 'd', 0x00, 0x01, 0x02, 0x02, 0x01)},
+		{"reverse_trace",
+			protocol.Request{ID: 14, Op: "reverse_trace", Session: "d",
+				Source: &protocol.EndPointMsg{Pin: &protocol.PinMsg{Row: 0, Col: 0, Wire: 2}}},
+			frame(0x17, 0, 14, 0x01, 'd', 0x00, 0x01, 0x00, 0x00, 0x02)},
+		{"core_new",
+			protocol.Request{ID: 6, Op: "core_new", Session: "d",
+				Core: &protocol.CoreMsg{Name: "r0", Kind: "register", Row: 34, Col: 2, Bits: 4}},
+			frame(0x20, 0, 6,
+				0x01, 'd', 0x00,
+				0x02, 'r', '0',
+				0x08, 'r', 'e', 'g', 'i', 's', 't', 'e', 'r',
+				0x44, 0x04, // zigzag(34), zigzag(2)
+				0x00,       // no K
+				0x00, 0x08, // kbits 0, zigzag(4)
+			)},
+		{"core_replace",
+			protocol.Request{ID: 7, Op: "core_replace", Session: "d",
+				Core: &protocol.CoreMsg{Name: "m", Kind: "constmul", Row: 1, Col: 2, K: u64p(11), KBits: 8}},
+			frame(0x21, 0, 7,
+				0x01, 'd', 0x00,
+				0x01, 'm',
+				0x08, 'c', 'o', 'n', 's', 't', 'm', 'u', 'l',
+				0x02, 0x04, // zigzag(1), zigzag(2)
+				0x01, 0x0B, // K present, K=11
+				0x10, 0x00, // zigzag(8), bits 0
+			)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := AppendRequest(nil, &tc.req)
+			if err != nil {
+				t.Fatalf("AppendRequest: %v", err)
+			}
+			if !bytes.Equal(got, tc.want) {
+				t.Fatalf("request ABI changed:\n got %x\nwant %x", got, tc.want)
+			}
+			// Decode must reproduce the request, proven by re-encoding to
+			// the identical bytes (the canonical-form round trip).
+			h, err := ParseHeader(got)
+			if err != nil {
+				t.Fatalf("ParseHeader: %v", err)
+			}
+			var back protocol.Request
+			if err := DecodeRequest(h, got[HeaderSize:], &back, nil); err != nil {
+				t.Fatalf("DecodeRequest: %v", err)
+			}
+			again, err := AppendRequest(nil, &back)
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if !bytes.Equal(again, tc.want) {
+				t.Fatalf("decode/re-encode not canonical:\n got %x\nwant %x", again, tc.want)
+			}
+		})
+	}
+}
+
+// TestABIResponses pins a byte-exact golden encoding for every response
+// record shape, including the zero-copy head/raw split.
+func TestABIResponses(t *testing.T) {
+	cases := []struct {
+		name     string
+		op       byte
+		resp     protocol.Response
+		wantHead []byte
+		wantRaw  []byte
+	}{
+		{"mutating", OpRoute,
+			protocol.Response{ID: 2, Board: "b0", Epoch: 3, FrameN: 2, Frames: []byte{0xAA, 0xBB, 0xCC}},
+			append(hdr(0x10, FlagResp, 2, 10),
+				0x00,           // code OK
+				0x02, 'b', '0', // board
+				0x03, // epoch
+				0x02, // frame count
+				0x03, // frame-stream length
+			),
+			[]byte{0xAA, 0xBB, 0xCC}},
+		{"connect", OpConnect,
+			protocol.Response{ID: 1, Rows: 4, Cols: 4, Arch: "virtex", Config: []byte{0x01, 0x02}},
+			append(hdr(0x01, FlagResp, 1, 15),
+				0x00,       // code OK
+				0x00,       // board ""
+				0x00,       // epoch 0
+				0x08, 0x08, // zigzag(4), zigzag(4)
+				0x06, 'v', 'i', 'r', 't', 'e', 'x',
+				0x02, // config length
+			),
+			[]byte{0x01, 0x02}},
+		{"readback", OpReadback,
+			protocol.Response{ID: 5, Config: []byte{0xDE, 0xAD}},
+			append(hdr(0x04, FlagResp, 5, 6), 0x00, 0x00, 0x00, 0x02),
+			[]byte{0xDE, 0xAD}},
+		{"devices", OpDevices,
+			protocol.Response{ID: 3, Devices: []string{"a", "b"}},
+			append(hdr(0x02, FlagResp, 3, 8),
+				0x00, 0x00, 0x00, 0x02, 0x01, 'a', 0x01, 'b'),
+			nil},
+		{"trace", OpTrace,
+			protocol.Response{ID: 4, Net: &protocol.NetMsg{
+				Source: pin(1, 2, 3),
+				Sinks:  []protocol.EndPointMsg{pin(4, 5, 6)},
+				Pips:   []protocol.PipMsg{{Row: 1, Col: 2, From: 3, To: 4}}}},
+			append(hdr(0x16, FlagResp, 4, 18),
+				0x00, 0x00, 0x00,
+				0x01,                   // net present
+				0x01, 0x02, 0x04, 0x03, // source pin(1,2,3)
+				0x01, 0x01, 0x08, 0x0A, 0x06, // 1 sink: pin(4,5,6)
+				0x01, 0x02, 0x04, 0x03, 0x04, // 1 pip: (1,2) 3->4
+			),
+			nil},
+		{"error", OpRoute,
+			protocol.Response{ID: 7, Err: "nope", ErrorCode: protocol.CodeRoute},
+			append(hdr(0x10, FlagResp, 7, 6), 0x0B, 0x04, 'n', 'o', 'p', 'e'),
+			nil},
+		{"busy", OpRoute,
+			protocol.Response{ID: 8, Busy: true, Err: "q full", ErrorCode: protocol.CodeBusy},
+			append(hdr(0x10, FlagResp, 8, 8), 0x05, 0x06, 'q', ' ', 'f', 'u', 'l', 'l'),
+			nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			head, raw, err := AppendResponse(nil, tc.op, &tc.resp)
+			if err != nil {
+				t.Fatalf("AppendResponse: %v", err)
+			}
+			if !bytes.Equal(head, tc.wantHead) {
+				t.Fatalf("response head ABI changed:\n got %x\nwant %x", head, tc.wantHead)
+			}
+			if !bytes.Equal(raw, tc.wantRaw) {
+				t.Fatalf("response raw tail changed:\n got %x\nwant %x", raw, tc.wantRaw)
+			}
+			// Decode the assembled frame and re-encode: canonical round trip.
+			full := append(append([]byte(nil), head...), raw...)
+			h, err := ParseHeader(full)
+			if err != nil {
+				t.Fatalf("ParseHeader: %v", err)
+			}
+			var back protocol.Response
+			if err := DecodeResponse(h, full[HeaderSize:], &back); err != nil {
+				t.Fatalf("DecodeResponse: %v", err)
+			}
+			head2, raw2, err := AppendResponse(nil, tc.op, &back)
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if !bytes.Equal(head2, tc.wantHead) || !bytes.Equal(raw2, tc.wantRaw) {
+				t.Fatalf("decode/re-encode not canonical:\n got %x + %x\nwant %x + %x",
+					head2, raw2, tc.wantHead, tc.wantRaw)
+			}
+		})
+	}
+}
+
+// TestStatszRoundTrip covers the statsz record (JSON blob tail).
+func TestStatszRoundTrip(t *testing.T) {
+	resp := protocol.Response{ID: 9, Stats: &protocol.StatsMsg{
+		Sessions: map[string]protocol.SessionStatsMsg{"d": {Routes: 3}},
+		Wire:     &protocol.WireStatsMsg{ConnsV3: 1, Malformed: 2},
+	}}
+	head, raw, err := AppendResponse(nil, OpStatsz, &resp)
+	if err != nil {
+		t.Fatalf("AppendResponse: %v", err)
+	}
+	full := append(append([]byte(nil), head...), raw...)
+	h, err := ParseHeader(full)
+	if err != nil {
+		t.Fatalf("ParseHeader: %v", err)
+	}
+	var back protocol.Response
+	if err := DecodeResponse(h, full[HeaderSize:], &back); err != nil {
+		t.Fatalf("DecodeResponse: %v", err)
+	}
+	if back.Stats == nil || back.Stats.Sessions["d"].Routes != 3 ||
+		back.Stats.Wire == nil || back.Stats.Wire.ConnsV3 != 1 || back.Stats.Wire.Malformed != 2 {
+		t.Fatalf("statsz round trip lost data: %+v", back.Stats)
+	}
+}
+
+// TestFilterGarbage feeds the pre-parse filter truncated, oversized and
+// garbage frames; each must be rejected as a typed FilterError (or a short
+// read) before any payload handling.
+func TestFilterGarbage(t *testing.T) {
+	valid := hdr(OpRoute, 0, 1, 4)
+	garbageMagic := append([]byte("XXXX"), valid[4:]...)
+	badVersion := append([]byte(nil), valid...)
+	badVersion[4] = 2
+	oversized := append([]byte(nil), valid...)
+	oversized[16], oversized[17], oversized[18], oversized[19] = 0xFF, 0xFF, 0xFF, 0x7F
+
+	for _, tc := range []struct {
+		name string
+		in   []byte
+	}{
+		{"garbage magic", garbageMagic},
+		{"wrong version", badVersion},
+		{"oversized length", oversized},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var scratch [HeaderSize]byte
+			_, err := ReadHeader(bytes.NewReader(tc.in), &scratch)
+			var fe *FilterError
+			if !errors.As(err, &fe) {
+				t.Fatalf("want FilterError, got %v", err)
+			}
+			// And via ParseHeader directly, without a reader.
+			if _, err := ParseHeader(tc.in); !errors.As(err, &fe) {
+				t.Fatalf("ParseHeader: want FilterError, got %v", err)
+			}
+		})
+	}
+
+	t.Run("truncated header", func(t *testing.T) {
+		var scratch [HeaderSize]byte
+		_, err := ReadHeader(bytes.NewReader(valid[:10]), &scratch)
+		if err == nil || !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("want unexpected EOF, got %v", err)
+		}
+		var fe *FilterError
+		if errors.As(err, &fe) {
+			t.Fatalf("a truncated header is a transport failure, not garbage: %v", err)
+		}
+	})
+
+	t.Run("clean close", func(t *testing.T) {
+		var scratch [HeaderSize]byte
+		if _, err := ReadHeader(bytes.NewReader(nil), &scratch); err != io.EOF {
+			t.Fatalf("want io.EOF between frames, got %v", err)
+		}
+	})
+
+	t.Run("truncated payload", func(t *testing.T) {
+		h := Header{Op: OpRoute, ID: 1, Len: 100}
+		_, err := ReadPayloadInto(strings.NewReader("short"), h, nil)
+		if err == nil || !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("want unexpected EOF, got %v", err)
+		}
+	})
+}
+
+// TestDecodeGarbagePayloads makes sure corrupt payloads fail decoding
+// without panicking or over-allocating.
+func TestDecodeGarbagePayloads(t *testing.T) {
+	req := protocol.Request{ID: 1, Op: "route", Session: "dev0",
+		Source: &protocol.EndPointMsg{Pin: &protocol.PinMsg{Row: 1, Col: 2, Wire: 7}},
+		Sinks:  []protocol.EndPointMsg{pin(3, 4, 9)}}
+	full, err := AppendRequest(nil, &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := ParseHeader(full)
+	payload := full[HeaderSize:]
+
+	// Every strict prefix of a valid payload must fail cleanly.
+	for i := 0; i < len(payload); i++ {
+		var back protocol.Request
+		if err := DecodeRequest(h, payload[:i], &back, nil); err == nil {
+			t.Fatalf("truncated payload [:%d] decoded without error", i)
+		}
+	}
+	// Trailing junk is rejected too.
+	var back protocol.Request
+	if err := DecodeRequest(h, append(append([]byte(nil), payload...), 0xFF), &back, nil); err == nil {
+		t.Fatal("trailing junk decoded without error")
+	}
+	// Unknown op byte.
+	if err := DecodeRequest(Header{Op: 0xEE}, nil, &back, nil); err == nil {
+		t.Fatal("unknown op decoded without error")
+	}
+	// A huge element count bounded only by the varint must be rejected
+	// before allocation (count exceeds remaining bytes).
+	bad := []byte{0x00, 0x00, 0x01, 0x02, 0x04, 0x07, 0xFF, 0xFF, 0xFF, 0x7F}
+	if err := DecodeRequest(Header{Op: OpRoute}, bad, &back, nil); err == nil {
+		t.Fatal("oversized sink count decoded without error")
+	}
+}
+
+// TestEncodeAllocs proves the hot encode path is allocation-free once the
+// destination buffers are warm — the codec half of the ~0 allocs/op server
+// target.
+func TestEncodeAllocs(t *testing.T) {
+	req := protocol.Request{ID: 1, Op: "route", Session: "dev0",
+		Source: &protocol.EndPointMsg{Pin: &protocol.PinMsg{Row: 1, Col: 2, Wire: 7}},
+		Sinks:  []protocol.EndPointMsg{pin(3, 4, 9)}}
+	frames := bytes.Repeat([]byte{0x5A}, 512)
+	resp := protocol.Response{ID: 1, Epoch: 1, FrameN: 3, Frames: frames}
+
+	reqBuf := make([]byte, 0, 256)
+	if n := testing.AllocsPerRun(200, func() {
+		var err error
+		if _, err = AppendRequest(reqBuf[:0], &req); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("AppendRequest allocates %.1f times per op, want 0", n)
+	}
+
+	respBuf := make([]byte, 0, 256)
+	if n := testing.AllocsPerRun(200, func() {
+		head, raw, err := AppendResponse(respBuf[:0], OpRoute, &resp)
+		if err != nil || len(head) == 0 || len(raw) != len(frames) {
+			t.Fatalf("AppendResponse: %v", err)
+		}
+	}); n != 0 {
+		t.Fatalf("AppendResponse allocates %.1f times per op, want 0", n)
+	}
+}
+
+// TestInterner checks that repeated names stop allocating and decode to
+// the same backing string.
+func TestInterner(t *testing.T) {
+	in := NewInterner()
+	a := in.intern([]byte("session-0"))
+	b := in.intern([]byte("session-0"))
+	if a != b {
+		t.Fatal("interner returned different strings for equal bytes")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if in.intern([]byte("session-0")) != "session-0" {
+			t.Fatal("bad intern")
+		}
+	}); n != 0 {
+		t.Fatalf("warm intern allocates %.1f times, want 0", n)
+	}
+}
+
+func BenchmarkAppendRequestRoute(b *testing.B) {
+	req := protocol.Request{ID: 1, Op: "route", Session: "dev0",
+		Source: &protocol.EndPointMsg{Pin: &protocol.PinMsg{Row: 1, Col: 2, Wire: 7}},
+		Sinks:  []protocol.EndPointMsg{pin(3, 4, 9)}}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if buf, err = AppendRequest(buf[:0], &req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendResponseFrames(b *testing.B) {
+	resp := protocol.Response{ID: 1, Epoch: 1, FrameN: 8,
+		Frames: bytes.Repeat([]byte{0x5A}, 4096)}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		head, _, err := AppendResponse(buf[:0], OpRoute, &resp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = head[:0]
+	}
+}
+
+func BenchmarkDecodeRequestRoute(b *testing.B) {
+	req := protocol.Request{ID: 1, Op: "route", Session: "dev0",
+		Source: &protocol.EndPointMsg{Pin: &protocol.PinMsg{Row: 1, Col: 2, Wire: 7}},
+		Sinks:  []protocol.EndPointMsg{pin(3, 4, 9)}}
+	full, err := AppendRequest(nil, &req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, _ := ParseHeader(full)
+	payload := full[HeaderSize:]
+	in := NewInterner()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var back protocol.Request
+		if err := DecodeRequest(h, payload, &back, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

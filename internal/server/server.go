@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/jbits"
 	"repro/internal/server/protocol"
+	v3 "repro/internal/server/protocol/v3"
 )
 
 // Options tune the daemon.
@@ -31,6 +32,9 @@ type Options struct {
 	// automatic routing op the committed frames are re-extracted and
 	// audited by the bitstream oracle (see core.Options.ParanoidVerify).
 	ParanoidVerify bool
+	// DisableBinary stops the daemon from advertising (and accepting) the
+	// binary v3 framing; every connection then stays on framed JSON v2.
+	DisableBinary bool
 }
 
 func (o Options) enqueueTimeout() time.Duration {
@@ -68,6 +72,9 @@ type Server struct {
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	closing  bool
+
+	wmu  sync.Mutex
+	wire protocol.WireStatsMsg
 
 	connWG sync.WaitGroup
 }
@@ -125,7 +132,44 @@ func (s *Server) caps() []string {
 	if s.opts.ParanoidVerify {
 		caps = append(caps, protocol.CapParanoid)
 	}
+	if !s.opts.DisableBinary {
+		caps = append(caps, protocol.CapBinV3)
+	}
 	return caps
+}
+
+// noteConn records which framing a connection negotiated.
+func (s *Server) noteConn(binary bool) {
+	s.wmu.Lock()
+	if binary {
+		s.wire.ConnsV3++
+	} else {
+		s.wire.ConnsV2++
+	}
+	s.wmu.Unlock()
+}
+
+// noteIO records one request/response exchange's wire traffic.
+func (s *Server) noteIO(binary bool, bytesIn, bytesOut int) {
+	s.wmu.Lock()
+	s.wire.FramesIn++
+	s.wire.FramesOut++
+	s.wire.BytesIn += bytesIn
+	s.wire.BytesOut += bytesOut
+	if binary {
+		s.wire.FramesV3In++
+		s.wire.FramesV3Out++
+		s.wire.BytesV3In += bytesIn
+		s.wire.BytesV3Out += bytesOut
+	}
+	s.wmu.Unlock()
+}
+
+// noteMalformed counts one v3 frame rejected before dispatch.
+func (s *Server) noteMalformed() {
+	s.wmu.Lock()
+	s.wire.Malformed++
+	s.wmu.Unlock()
 }
 
 // Start listens on addr and serves connections in the background,
@@ -175,26 +219,38 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.connWG.Done()
 	}()
 	helloed := false
+	counted := false
 	for {
 		op, payload, err := jbits.ReadFrame(conn)
 		if err != nil {
 			return // EOF, deadline (shutdown), or transport failure
 		}
 		if op != OpService {
+			jbits.RecycleFrame(payload)
 			msg := fmt.Sprintf("server: unknown opcode %#x", op)
 			if jbits.WriteFrame(conn, OpService|jbits.RespFlag, errorJSON(0, msg, protocol.CodeBadRequest)) != nil {
 				return
 			}
 			continue
 		}
+		inBytes := len(payload)
 		var req Request
 		resp := new(Response)
+		toV3 := false
 		if err := json.Unmarshal(payload, &req); err != nil {
 			resp.Err = fmt.Sprintf("server: bad request: %v", err)
 			resp.ErrorCode = protocol.CodeBadRequest
 		} else if req.Op == "hello" {
 			resp = s.hello(&req)
 			helloed = resp.Err == ""
+			// The connection switches to the binary v3 framing when the
+			// client echoed the capability in its hello and the server
+			// advertises it — immediately after this (JSON) response.
+			toV3 = helloed && !s.opts.DisableBinary && helloHasCap(req.Hello, protocol.CapBinV3)
+			if helloed && !counted {
+				counted = true
+				s.noteConn(toV3)
+			}
 		} else if !helloed {
 			// Pre-v2 clients never sent hello; give them one clear typed
 			// error instead of undefined behaviour mid-session.
@@ -204,11 +260,103 @@ func (s *Server) handleConn(conn net.Conn) {
 		} else {
 			resp = s.dispatch(&req)
 		}
+		// The request has been fully decoded; the frame buffer can return
+		// to the pool before the (potentially large) response is built.
+		jbits.RecycleFrame(payload)
 		out, err := json.Marshal(resp)
 		if err != nil {
 			out = errorJSON(req.ID, fmt.Sprintf("server: encoding response: %v", err), protocol.CodeInternal)
 		}
-		if err := jbits.WriteFrame(conn, OpService|jbits.RespFlag, out); err != nil {
+		putStream(resp.Frames) // marshal copied the dirty frames; recycle
+		resp.Frames = nil
+		werr := jbits.WriteFrame(conn, OpService|jbits.RespFlag, out)
+		s.noteIO(false, inBytes, len(out))
+		if werr != nil {
+			return
+		}
+		if toV3 {
+			s.serveV3(conn)
+			return
+		}
+		s.mu.Lock()
+		closing := s.closing
+		s.mu.Unlock()
+		if closing {
+			return // graceful shutdown: in-flight request answered, stop
+		}
+	}
+}
+
+// helloHasCap reports whether a hello message requested a capability.
+func helloHasCap(h *HelloMsg, cap string) bool {
+	if h == nil {
+		return false
+	}
+	for _, c := range h.Caps {
+		if c == cap {
+			return true
+		}
+	}
+	return false
+}
+
+// serveV3 is the per-connection loop after the binary switch: fixed-header
+// framing, varint op records, and the zero-copy frame path — a mutating
+// op's dirty frames go from the worker's pooled stream buffer to the
+// socket in one vectored write, with no intermediate marshal. Read buffers
+// are reused across requests; a frame failing the pre-parse filter is
+// answered with a typed malformed error and the connection closed (the
+// byte stream can no longer be trusted to be frame-aligned).
+func (s *Server) serveV3(conn net.Conn) {
+	var hdr [v3.HeaderSize]byte
+	var payload []byte // reused request-payload buffer
+	var out []byte     // reused response-encode buffer
+	var bufs net.Buffers
+	interner := v3.NewInterner()
+	for {
+		h, err := v3.ReadHeader(conn, &hdr)
+		if err != nil {
+			var fe *v3.FilterError
+			if errors.As(err, &fe) {
+				s.noteMalformed()
+				head, _, eerr := v3.AppendResponse(out[:0], v3.OpDevices,
+					&Response{Err: fe.Error(), ErrorCode: protocol.CodeMalformed})
+				if eerr == nil {
+					_ = v3.WriteMsg(conn, &bufs, head, nil)
+				}
+			}
+			return // EOF, deadline (shutdown), garbage, or transport failure
+		}
+		payload, err = v3.ReadPayloadInto(conn, h, payload)
+		if err != nil {
+			return
+		}
+		// A fresh Request per message: the worker may still hold a
+		// reference after a canceled Submit returns, so the struct cannot
+		// be reused across loop iterations.
+		req := new(Request)
+		var resp *Response
+		if derr := v3.DecodeRequest(h, payload, req, interner); derr != nil {
+			s.noteMalformed()
+			resp = &Response{ID: h.ID, Err: derr.Error(), ErrorCode: protocol.CodeMalformed}
+		} else {
+			resp = s.dispatch(req)
+		}
+		head, raw, err := v3.AppendResponse(out[:0], h.Op, resp)
+		if err != nil {
+			head, raw, err = v3.AppendResponse(out[:0], h.Op,
+				&Response{ID: h.ID, Err: fmt.Sprintf("server: encoding response: %v", err),
+					ErrorCode: protocol.CodeInternal})
+			if err != nil {
+				return
+			}
+		}
+		out = head[:0] // keep the grown capacity for the next response
+		werr := v3.WriteMsg(conn, &bufs, head, raw)
+		putStream(resp.Frames) // frames are on the wire; recycle the buffer
+		resp.Frames = nil
+		s.noteIO(true, len(payload), len(head)+len(raw))
+		if werr != nil {
 			return
 		}
 		s.mu.Lock()
@@ -305,6 +453,10 @@ func (s *Server) Stats() *StatsMsg {
 	if fleet != nil {
 		out.Fleet = fleet.Stats()
 	}
+	s.wmu.Lock()
+	wire := s.wire
+	s.wmu.Unlock()
+	out.Wire = &wire
 	return out
 }
 

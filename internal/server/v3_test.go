@@ -1,0 +1,337 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/jbits"
+	"repro/internal/oracle"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/server/protocol"
+	v3 "repro/internal/server/protocol/v3"
+	"repro/internal/workload"
+)
+
+// TestV3Negotiation: a default client upgrades to binary framing through
+// the JSON hello, the full session surface works over it, and the server's
+// wire stats see a v3 connection moving v3 frames.
+func TestV3Negotiation(t *testing.T) {
+	addr, _ := startDaemon(t, server.Options{}, "dev")
+	ctx := context.Background()
+	c, err := client.Dial(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.Binary() {
+		t.Fatal("default client did not negotiate v3 against a default server")
+	}
+	if err := driveSession(t, addr, "dev"); err != nil {
+		t.Fatalf("full surface over v3: %v", err)
+	}
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := stats.Wire
+	if w == nil {
+		t.Fatal("statsz has no wire section")
+	}
+	if w.ConnsV3 == 0 {
+		t.Errorf("no v3 connections counted: %+v", w)
+	}
+	if w.FramesV3In == 0 || w.FramesV3Out == 0 || w.BytesV3In == 0 || w.BytesV3Out == 0 {
+		t.Errorf("v3 traffic not counted: %+v", w)
+	}
+}
+
+// TestV3OptOut: a client pinned to v2 stays on JSON framing, and a server
+// with the capability disabled never upgrades anyone.
+func TestV3OptOut(t *testing.T) {
+	ctx := context.Background()
+
+	addr, _ := startDaemon(t, server.Options{}, "dev")
+	c, err := client.Dial(ctx, addr, client.WithBinary(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Binary() {
+		t.Fatal("WithBinary(false) client negotiated v3 anyway")
+	}
+	s, err := c.Session(ctx, "dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Route(ctx, client.Pin(core.NewPin(5, 7, arch.S1YQ)),
+		client.Pin(core.NewPin(6, 8, arch.S0F3))); err != nil {
+		t.Fatalf("v2 session broken: %v", err)
+	}
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Wire == nil || stats.Wire.ConnsV2 == 0 {
+		t.Errorf("v2 connection not counted: %+v", stats.Wire)
+	}
+
+	addr2, _ := startDaemon(t, server.Options{DisableBinary: true}, "dev")
+	c2, err := client.Dial(ctx, addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Binary() {
+		t.Fatal("client negotiated v3 against a DisableBinary server")
+	}
+	if _, err := c2.Session(ctx, "dev"); err != nil {
+		t.Fatalf("v2 fallback session: %v", err)
+	}
+}
+
+// rawHelloV3 performs the JSON hello with the binv3 cap over a raw
+// connection and leaves the stream in v3 framing.
+func rawHelloV3(t *testing.T, conn net.Conn) {
+	t.Helper()
+	req := server.Request{ID: 1, Op: "hello",
+		Hello: &server.HelloMsg{Version: protocol.Version, Caps: []string{protocol.CapBinV3}}}
+	payload, err := json.Marshal(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jbits.WriteFrame(conn, server.OpService, payload); err != nil {
+		t.Fatal(err)
+	}
+	_, body, err := jbits.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp server.Response
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err != "" {
+		t.Fatalf("hello rejected: %s", resp.Err)
+	}
+}
+
+// TestV3MalformedFilter: garbage after the v3 upgrade is rejected by the
+// pre-parse filter with a typed malformed error before any dispatch, the
+// statsz counter ticks, and the connection is closed (the stream is no
+// longer frame-aligned).
+func TestV3MalformedFilter(t *testing.T) {
+	addr, _ := startDaemon(t, server.Options{}, "dev")
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rawHelloV3(t, conn)
+
+	if _, err := conn.Write([]byte("this is not a v3 frame, not even close")); err != nil {
+		t.Fatal(err)
+	}
+	var hdr [v3.HeaderSize]byte
+	h, err := v3.ReadHeader(conn, &hdr)
+	if err != nil {
+		t.Fatalf("reading the malformed-error response: %v", err)
+	}
+	payload, err := v3.ReadPayloadInto(conn, h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp server.Response
+	if err := v3.DecodeResponse(h, payload, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ErrorCode != protocol.CodeMalformed {
+		t.Fatalf("error code = %q, want %q (err: %s)", resp.ErrorCode, protocol.CodeMalformed, resp.Err)
+	}
+	// The server closes a desynced stream after the typed error.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Error("connection still open after a filtered frame")
+	}
+
+	// A decode-level failure (valid header, corrupt payload) also counts as
+	// malformed but keeps the connection: framing is still trustworthy.
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	rawHelloV3(t, conn2)
+	frame := make([]byte, v3.HeaderSize+2)
+	v3.PutHeader(frame, v3.Header{Op: v3.OpRoute, ID: 9, Len: 2})
+	frame[v3.HeaderSize] = 0xFF
+	frame[v3.HeaderSize+1] = 0xFF
+	if _, err := conn2.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := v3.ReadHeader(conn2, &hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err = v3.ReadPayloadInto(conn2, h2, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp2 server.Response
+	if err := v3.DecodeResponse(h2, payload, &resp2); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.ErrorCode != protocol.CodeMalformed || resp2.ID != 9 {
+		t.Fatalf("decode failure: code=%q id=%d", resp2.ErrorCode, resp2.ID)
+	}
+	// The connection survives: a well-formed request still answers.
+	good, err := v3.AppendRequest(nil, &server.Request{ID: 10, Op: "devices"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn2.Write(good); err != nil {
+		t.Fatal(err)
+	}
+	h3, err := v3.ReadHeader(conn2, &hdr)
+	if err != nil {
+		t.Fatalf("connection dead after recoverable decode error: %v", err)
+	}
+	payload, err = v3.ReadPayloadInto(conn2, h3, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp3 server.Response
+	if err := v3.DecodeResponse(h3, payload, &resp3); err != nil {
+		t.Fatal(err)
+	}
+	if resp3.ID != 10 || len(resp3.Devices) != 1 {
+		t.Fatalf("devices after decode error: %+v", resp3)
+	}
+
+	// Both events are on the malformed counter.
+	c, err := client.Dial(context.Background(), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	stats, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Wire == nil || stats.Wire.Malformed < 2 {
+		t.Errorf("malformed counter = %+v, want >= 2", stats.Wire)
+	}
+}
+
+// scriptSession drives one workload script over a live client session,
+// returning the per-op outcome vector (true = op succeeded).
+func scriptSession(ctx context.Context, s *client.Session, script []workload.ScriptOp, rows, cols int) ([]bool, error) {
+	pins := func(ps []core.Pin) []server.EndPointMsg {
+		out := make([]server.EndPointMsg, len(ps))
+		for i, p := range ps {
+			out[i] = client.Pin(p)
+		}
+		return out
+	}
+	regs := make(map[int]string)
+	outcomes := make([]bool, 0, len(script))
+	for i, op := range script {
+		var err error
+		switch op.Kind {
+		case workload.OpRouteNet, workload.OpReroute, workload.OpRouteFanout:
+			err = s.Route(ctx, client.Pin(op.Src), pins(op.Sinks)...)
+		case workload.OpRouteBus:
+			err = s.RouteBusBatch(ctx, pins(op.Srcs), pins(op.Dsts))
+		case workload.OpUnroute:
+			err = s.Unroute(ctx, client.Pin(op.Src))
+		case workload.OpReverseUnroute:
+			err = s.ReverseUnroute(ctx, client.Pin(op.Sinks[0]))
+		case workload.OpCoreNew:
+			name := fmt.Sprintf("reg_s%d_%d", op.Slot, op.Serial)
+			row, col := workload.CoreSlotSite(op.Slot, rows, cols)
+			err = s.NewCore(ctx, server.CoreMsg{Name: name, Kind: "register", Row: row, Col: col, Bits: 4})
+			if err == nil {
+				regs[op.Slot] = name
+				err = s.Route(ctx, client.PortRef(name, "q", 0), client.Pin(op.Sinks[0]))
+			}
+		case workload.OpCoreReplace:
+			name, ok := regs[op.Slot]
+			if !ok {
+				err = fmt.Errorf("no core at slot %d", op.Slot)
+			} else {
+				row, col := workload.CoreSlotSite(op.Slot, rows, cols)
+				err = s.ReplaceCore(ctx, server.CoreMsg{Name: name, Row: row, Col: col})
+			}
+		default:
+			return nil, fmt.Errorf("step %d: unknown op kind %v", i, op.Kind)
+		}
+		outcomes = append(outcomes, err == nil)
+	}
+	return outcomes, nil
+}
+
+// TestV2V3Differential is the byte-identity proof for the tentpole: the
+// same workload script routed once over JSON v2 and once over binary v3
+// (against two identical daemons) must agree on every op outcome and leave
+// byte-identical board state — checked with bytes.Equal and, on failure,
+// explained PIP-by-PIP with the bitstream oracle.
+func TestV2V3Differential(t *testing.T) {
+	const rows, cols = 16, 24
+	script, err := workload.New(7, rows, cols).Script(workload.ScriptOptions{Steps: 120, CoreSlots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	run := func(opt ...client.Option) ([]bool, []byte, *client.Session) {
+		t.Helper()
+		addr, _ := startDaemon(t, server.Options{}, "dev")
+		c, err := client.Dial(ctx, addr, opt...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		s, err := c.Session(ctx, "dev")
+		if err != nil {
+			t.Fatal(err)
+		}
+		outcomes, err := scriptSession(ctx, s, script, rows, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := s.Readback(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcomes, rb, s
+	}
+
+	o2, rb2, s2 := run(client.WithBinary(false))
+	o3, rb3, s3 := run()
+
+	for i := range script {
+		if o2[i] != o3[i] {
+			t.Fatalf("step %d (%s): v2 ok=%v, v3 ok=%v", i, script[i].Kind, o2[i], o3[i])
+		}
+	}
+	if !bytes.Equal(rb2, rb3) {
+		diff, derr := oracle.DiffStreams(arch.NewVirtex(), rb2, rb3)
+		t.Fatalf("board state differs between v2 and v3 (%d bytes vs %d, %d PIPs differ, diff err %v)",
+			len(rb2), len(rb3), len(diff), derr)
+	}
+	// Both client-side mirrors, advanced only by pushed partial frames,
+	// must match the (identical) server state too.
+	if err := s2.VerifyMirror(); err != nil {
+		t.Errorf("v2 mirror: %v", err)
+	}
+	if err := s3.VerifyMirror(); err != nil {
+		t.Errorf("v3 mirror: %v", err)
+	}
+}

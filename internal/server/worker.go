@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/arch"
@@ -11,6 +12,28 @@ import (
 	"repro/internal/jbits"
 	"repro/internal/server/protocol"
 )
+
+// streamPool recycles dirty-frame stream buffers. A worker takes a buffer
+// when serializing a mutating op's frames and hands ownership to the
+// response; the connection handler returns it once the frames are on the
+// wire. Responses that never reach a handler (direct Submit callers,
+// dropped on a canceled context) simply keep their buffer.
+var streamPool sync.Pool
+
+func takeStream() []byte {
+	if p, _ := streamPool.Get().(*[]byte); p != nil {
+		return (*p)[:0]
+	}
+	return nil
+}
+
+func putStream(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	streamPool.Put(&b)
+}
 
 // task is one queued request plus its reply channel. Exactly one of req or
 // fn is set: fn tasks run an arbitrary closure on the worker goroutine
@@ -272,7 +295,7 @@ func (w *Worker) handle(req *Request) *Response {
 // records state the board does not hold.
 func (w *Worker) shipDirty(resp *Response) error {
 	n := w.js.Dev.DirtyFrameCount()
-	stream, err := w.js.Dev.PartialConfig()
+	stream, err := w.js.Dev.AppendPartialConfig(takeStream())
 	if err != nil {
 		resp.ErrorCode = protocol.CodeInternal
 		return fmt.Errorf("server: serializing dirty frames: %w", err)
