@@ -3,7 +3,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build vet fmt-check test race ci bench bench-go bench-json bench-smoke bench3 bench4 bench5 fuzz-smoke verify soak soak-smoke
+.PHONY: build vet fmt-check test race ci bench bench-go bench-json bench-smoke bench3 bench4 bench5 bench6 fuzz-smoke verify soak soak-smoke gateway-smoke
 
 build:
 	$(GO) build ./...
@@ -42,8 +42,9 @@ verify:
 
 # ci is the full tier-1 gate: formatting + vet + build + tests + race
 # detector + one-shot benchmark smoke + bitstream-oracle verification +
-# fuzz-target smoke + a short fault-injection soak.
-ci: fmt-check vet build test race bench-smoke verify fuzz-smoke soak-smoke
+# fuzz-target smoke + a short fault-injection soak + the gateway
+# live-drain smoke.
+ci: fmt-check vet build test race bench-smoke verify fuzz-smoke soak-smoke gateway-smoke
 
 # bench runs the service load generator against an in-process jrouted and
 # regenerates the BENCH_2.json snapshot (throughput, p50/p99, frames shipped).
@@ -74,6 +75,20 @@ bench4:
 # gated on the >=10x speedup over the BENCH_4 modeled-port baseline.
 bench5:
 	$(GO) run ./cmd/jload -json5 BENCH_5.json
+
+# bench6 regenerates the gateway-tier snapshot: aggregate ops/s with 1/2/4
+# backend fleets behind one gateway, the noisy-tenant isolation run (a
+# quota-capped tenant hammering co-located boards must move the
+# well-behaved p50 by <=10%), and a live backend drain with journal
+# handoff. Any lost acknowledged op or dirty board is a hard failure.
+bench6:
+	$(GO) run ./cmd/jload -json6 BENCH_6.json
+
+# gateway-smoke is the ci-sized slice of the bench6 drain scenario: two
+# in-process fleets behind a gateway, one drained mid-churn, zero lost
+# acked ops and oracle-clean boards required.
+gateway-smoke:
+	$(GO) run ./cmd/jload -gateway-smoke
 
 # soak runs minutes of fault-injected traffic (dropped/truncated/
 # duplicated/delayed frames plus a garbage blaster) on both protocols

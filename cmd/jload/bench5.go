@@ -88,7 +88,7 @@ func runWireChurn(proto string) (result, error) {
 		_ = srv.Shutdown(ctx)
 	}()
 
-	res, err := runWorkload(bound, "wire_churn", b4Sessions, b4Rows, b4Cols, 1, false,
+	res, err := runWorkload(bound, "wire_churn", b4Sessions, b4Rows, b4Cols, 1, "static",
 		protoOptions(proto), func(s *client.Session, _ *workload.Gen, r *sessionRun) error {
 			ctx := context.Background()
 			idx, err := strconv.Atoi(s.Device()[len("dev"):])

@@ -1,0 +1,668 @@
+// BENCH_6: the gateway tier under multi-fleet load.
+//
+// Three experiments, all against in-process backend fleets fronted by an
+// in-process jgateway, so the benchmark can drain a live backend and
+// inspect every board afterwards:
+//
+//  1. Backend scaling — 3 sessions per backend fleet (each alone on a
+//     board, placement keys chosen so affinity spreads them exactly) churn
+//     routes while the gateway fronts 1, 2 and 4 fleets. The modeled
+//     configuration port is the bottleneck, so aggregate ops/s should
+//     scale with the fleet count.
+//
+//  2. Noisy tenant — well-behaved tenants run the same churn twice: alone
+//     (baseline) and co-located with a tenant hammering far past its
+//     ops/s quota. The token bucket rejects the excess at the edge before
+//     it reaches any board port, so the well-behaved p50 must not move by
+//     more than 10%.
+//
+//  3. Live drain — mid-churn, an admin gw_drain moves every session off
+//     one backend by journal handoff. The run must end with ZERO lost
+//     acknowledged ops: every acked net still traces on the new backend,
+//     the bitstream oracle audits all boards clean, and the mirrors
+//     resynced off the epoch bump.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/server/fleet"
+)
+
+// Scaling-run shape: 3 boards and 3 sessions per backend, so every session
+// is alone on a board and aggregate throughput is a pure function of how
+// many configuration ports the gateway can reach.
+const (
+	b6BoardsPer   = 3
+	b6SessionsPer = 2
+	b6Rounds      = 20
+	// The scaling run models a slower configuration port than BENCH_4
+	// (4x) so that port time — the resource that multiplies with backend
+	// count — stays the bottleneck even on small CI machines, where the
+	// doubled protocol hop (client -> gateway -> fleet) costs real CPU.
+	b6PortTime = 4 * b4PortTime
+)
+
+// result6 is one BENCH_6.json entry.
+type result6 struct {
+	result
+	Backends         int     `json:"backends,omitempty"`
+	BoardsPerBackend int     `json:"boards_per_backend,omitempty"`
+	SpeedupVs1       float64 `json:"speedup_vs_1backend,omitempty"`
+	Retries          int     `json:"retries,omitempty"`
+
+	// Noisy-tenant run.
+	BaselineP50us  float64 `json:"baseline_p50_us,omitempty"`
+	ContendedP50us float64 `json:"contended_p50_us,omitempty"`
+	P50Impact      float64 `json:"p50_impact,omitempty"` // contended / baseline
+	NoisyAdmitted  int     `json:"noisy_admitted_ops,omitempty"`
+	NoisyRejected  int     `json:"noisy_rejected_ops,omitempty"`
+
+	// Drain run.
+	DrainedBackend string `json:"drained_backend,omitempty"`
+	Handoffs       int    `json:"handoffs,omitempty"`
+	ReplayedOps    int    `json:"replayed_ops,omitempty"`
+	Resyncs        int    `json:"resyncs,omitempty"`
+	LostAckedOps   int    `json:"lost_acked_ops"`
+	OracleAudits   int    `json:"oracle_audits,omitempty"`
+}
+
+// gwHarness is one self-contained topology: N in-process backend fleets
+// behind one in-process gateway daemon.
+type gwHarness struct {
+	addr     string
+	gw       *gateway.Gateway
+	coords   []*fleet.Coordinator
+	backSrvs []*server.Server
+	gwSrv    *server.Server
+}
+
+func newGwHarness(nb, boardsPer, rows, cols int, portTime time.Duration,
+	tenants []gateway.TenantConfig) (*gwHarness, error) {
+	h := &gwHarness{}
+	cfg := gateway.Config{ProbeIntervalMillis: -1, Tenants: tenants} // benches probe explicitly
+	for b := 0; b < nb; b++ {
+		coord, err := fleet.New(fleet.Config{
+			Boards: boardsPer, Rows: rows, Cols: cols, PortFrameTime: portTime,
+		})
+		if err != nil {
+			h.shutdown()
+			return nil, err
+		}
+		h.coords = append(h.coords, coord)
+		srv := server.NewServer()
+		srv.SetFleet(coord)
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			h.shutdown()
+			return nil, err
+		}
+		h.backSrvs = append(h.backSrvs, srv)
+		cfg.Backends = append(cfg.Backends, gateway.BackendConfig{
+			Name: fmt.Sprintf("be%d", b), Addr: addr, Classes: []string{"v1000-class"},
+		})
+	}
+	gw, err := gateway.New(cfg)
+	if err != nil {
+		h.shutdown()
+		return nil, err
+	}
+	h.gw = gw
+	gwSrv := server.NewServer(server.WithAuth(gw.Authenticate))
+	gwSrv.SetFleet(gw)
+	addr, err := gwSrv.Start("127.0.0.1:0")
+	if err != nil {
+		h.shutdown()
+		return nil, err
+	}
+	h.gwSrv = gwSrv
+	h.addr = addr
+	return h, nil
+}
+
+func (h *gwHarness) shutdown() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if h.gwSrv != nil {
+		_ = h.gwSrv.Shutdown(ctx) // also shuts the gateway down via SetFleet
+	}
+	for _, srv := range h.backSrvs {
+		_ = srv.Shutdown(ctx)
+	}
+}
+
+// probeClean runs every backend fleet's oracle probe and fails if any
+// board is unhealthy or fails the bitstream audit.
+func (h *gwHarness) probeClean(ctx context.Context) error {
+	for b, coord := range h.coords {
+		coord.ProbeAll(ctx)
+		if st := coord.Stats(); st.ProbeFails != 0 {
+			return fmt.Errorf("backend be%d: %d boards failed the oracle probe", b, st.ProbeFails)
+		}
+	}
+	return nil
+}
+
+// b6Key finds the placement key that lands on backend b of nb and board d
+// of boardsPer — affinity is key mod pool at the gateway and key mod boards
+// inside the fleet, so a small CRT search pins both levels exactly.
+func b6Key(b, nb, d, boardsPer int) uint64 {
+	for k := 0; ; k++ {
+		if k%nb == b && k%boardsPer == d {
+			return uint64(k)
+		}
+	}
+}
+
+// b6Churn runs the band-confined churn workload through one gateway
+// session with transient-error retries: rounds of route-all/unroute-all
+// over the session's private nets, leaving the last round routed for
+// verification.
+func b6Churn(ctx context.Context, s *client.Session, nets []b4Net, rounds int,
+	r *sessionRun, retries *int, onAck func()) error {
+	do := func(op func() error) error {
+		for attempt := 0; ; attempt++ {
+			opStart := time.Now()
+			err := op()
+			if err != nil && transient(err) && attempt < b4MaxRetries {
+				*retries++
+				time.Sleep(b4RetryPause)
+				continue
+			}
+			r.observe(opStart, err)
+			return err
+		}
+	}
+	for round := 0; round < rounds; round++ {
+		for _, n := range nets {
+			n := n
+			if err := do(func() error { return s.Route(ctx, n.src, n.sinks...) }); err != nil {
+				return fmt.Errorf("route round %d: %w", round, err)
+			}
+			if onAck != nil {
+				onAck()
+			}
+		}
+		if round == rounds-1 {
+			break // leave the working set routed for verification
+		}
+		for _, n := range nets {
+			n := n
+			if err := do(func() error { return s.Unroute(ctx, n.src) }); err != nil {
+				return fmt.Errorf("unroute round %d: %w", round, err)
+			}
+		}
+	}
+	return nil
+}
+
+// runGwScaling measures aggregate churn throughput with nb backend fleets
+// behind the gateway.
+func runGwScaling(nb int) (result6, error) {
+	ctx := context.Background()
+	h, err := newGwHarness(nb, b6BoardsPer, b4Rows, b4Cols, b6PortTime, nil)
+	if err != nil {
+		return result6{}, err
+	}
+	defer h.shutdown()
+
+	type slot struct {
+		key  uint64
+		band int
+	}
+	var slots []slot
+	for b := 0; b < nb; b++ {
+		for d := 0; d < b6SessionsPer; d++ {
+			slots = append(slots, slot{key: b6Key(b, nb, d, b6BoardsPer), band: d})
+		}
+	}
+	n := len(slots)
+	runs := make([]sessionRun, n)
+	retries := make([]int, n)
+	lost := make([]int, n)
+	audits := make([]int, n)
+	errs := make([]error, n)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, sl := range slots {
+		wg.Add(1)
+		go func(i int, sl slot) {
+			defer wg.Done()
+			cc, err := client.Dial(ctx, h.addr)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer cc.Close()
+			s, err := cc.SessionWithKey(ctx, fmt.Sprintf("v1000-class/s%d", i), sl.key)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			nets := b4SessionNets(sl.band)
+			if err := b6Churn(ctx, s, nets, b6Rounds, &runs[i], &retries[i], nil); err != nil {
+				errs[i] = err
+				return
+			}
+			lost[i], audits[i], errs[i] = b4Verify(ctx, s, nets, true)
+		}(i, sl)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return result6{}, fmt.Errorf("session s%d: %w", i, err)
+		}
+	}
+	if err := h.probeClean(ctx); err != nil {
+		return result6{}, err
+	}
+
+	res := result6{Backends: nb, BoardsPerBackend: b6BoardsPer}
+	res.Name = "gateway_scaling"
+	res.Sessions = n
+	res.WallSeconds = wall.Seconds()
+	var all []time.Duration
+	for i := range runs {
+		all = append(all, runs[i].lat...)
+		res.Errors += runs[i].errs
+		res.Retries += retries[i]
+		res.LostAckedOps += lost[i]
+		res.OracleAudits += audits[i]
+	}
+	res.Ops = len(all)
+	if wall > 0 {
+		res.OpsPerSecond = float64(res.Ops) / wall.Seconds()
+	}
+	res.P50us, res.P99us, res.MeanUs = percentiles(all)
+	return res, nil
+}
+
+// runGwNoisy measures tenant isolation: the well tenant's churn p50 with
+// and without a co-located tenant hammering past its quota. The two phases
+// run against fresh identical topologies so only the noisy load differs.
+func runGwNoisy() (result6, error) {
+	ctx := context.Background()
+	tenants := []gateway.TenantConfig{
+		{Name: "well", Token: "tok-well"},
+		// 4 admitted ops/s: far under the board port's capacity, so the
+		// bucket — not luck — is what isolates the well tenant.
+		{Name: "noisy", Token: "tok-noisy", OpsPerSec: 4, Burst: 2},
+	}
+	// Well sessions on (be0,board0) and (be1,board1); noisy sessions pinned
+	// to the SAME boards (keys 2 and 3 alias them mod 2), so isolation
+	// cannot come from hardware separation — only from edge admission.
+	phase := func(noisy bool) (p50 float64, admitted, rejected, ops int, wall time.Duration, err error) {
+		h, err := newGwHarness(2, 2, b4Rows, b4Cols, b4PortTime, tenants)
+		if err != nil {
+			return 0, 0, 0, 0, 0, err
+		}
+		defer h.shutdown()
+
+		stop := make(chan struct{})
+		var noisyWG sync.WaitGroup
+		if noisy {
+			for i := 0; i < 2; i++ {
+				noisyWG.Add(1)
+				go func(i int) {
+					defer noisyWG.Done()
+					cc, err := client.Dial(ctx, h.addr, client.WithToken("tok-noisy"))
+					if err != nil {
+						return
+					}
+					defer cc.Close()
+					s, err := cc.SessionWithKey(ctx, fmt.Sprintf("v1000-class/noisy%d", i), uint64(2+i))
+					if err != nil {
+						return
+					}
+					nets := b4SessionNets(2 + i)
+					for k := 0; ; k++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						// Hammer without pacing; nearly all of these bounce
+						// off the token bucket at the edge.
+						n := nets[k%len(nets)]
+						_ = s.Route(ctx, n.src, n.sinks...)
+						_ = s.Unroute(ctx, n.src)
+					}
+				}(i)
+			}
+		}
+
+		runs := make([]sessionRun, 2)
+		retries := make([]int, 2)
+		errs := make([]error, 2)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				cc, err := client.Dial(ctx, h.addr, client.WithToken("tok-well"))
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				defer cc.Close()
+				s, err := cc.SessionWithKey(ctx, fmt.Sprintf("v1000-class/well%d", i), uint64(i))
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				errs[i] = b6Churn(ctx, s, b4SessionNets(i), 25, &runs[i], &retries[i], nil)
+			}(i)
+		}
+		wg.Wait()
+		wall = time.Since(start)
+		close(stop)
+		noisyWG.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return 0, 0, 0, 0, 0, fmt.Errorf("well session %d: %w", i, err)
+			}
+		}
+		if err := h.probeClean(ctx); err != nil {
+			return 0, 0, 0, 0, 0, err
+		}
+		var all []time.Duration
+		for i := range runs {
+			all = append(all, runs[i].lat...)
+		}
+		ops = len(all)
+		p50, _, _ = percentiles(all)
+		if ts, ok := h.gw.GatewayStats().Tenants["noisy"]; ok {
+			admitted, rejected = ts.AdmittedOps, ts.RejectedOps
+		}
+		return p50, admitted, rejected, ops, wall, nil
+	}
+
+	base, _, _, _, _, err := phase(false)
+	if err != nil {
+		return result6{}, fmt.Errorf("baseline phase: %w", err)
+	}
+	contended, admitted, rejected, ops, wall, err := phase(true)
+	if err != nil {
+		return result6{}, fmt.Errorf("contended phase: %w", err)
+	}
+
+	res := result6{BaselineP50us: base, ContendedP50us: contended,
+		NoisyAdmitted: admitted, NoisyRejected: rejected}
+	res.Name = "gateway_noisy_tenant"
+	res.Sessions = 2
+	res.Ops = ops
+	res.WallSeconds = wall.Seconds()
+	if wall > 0 {
+		res.OpsPerSecond = float64(ops) / wall.Seconds()
+	}
+	res.P50us = contended
+	if base > 0 {
+		res.P50Impact = contended / base
+	}
+	return res, nil
+}
+
+// runGwDrain churns 4 sessions across 2 backends and drains be0 once a
+// third of the planned routes are acked. rounds and portTime let the CI
+// smoke run the same scenario quickly.
+func runGwDrain(rounds int, portTime time.Duration) (result6, error) {
+	ctx := context.Background()
+	h, err := newGwHarness(2, 1, b4Rows, b4Cols, portTime, nil)
+	if err != nil {
+		return result6{}, err
+	}
+	defer h.shutdown()
+
+	const nSess = 4
+	var ackedRoutes atomic.Int64
+	var drainOnce sync.Once
+	var drainErr error
+	drainAt := int64(nSess * rounds * b4NetsPerSess / 3)
+	maybeDrain := func() {
+		if ackedRoutes.Load() < drainAt {
+			return
+		}
+		drainOnce.Do(func() {
+			// gw_drain is a JSON-framing admin verb.
+			admin, err := client.Dial(ctx, h.addr, client.WithBinary(false))
+			if err != nil {
+				drainErr = err
+				return
+			}
+			defer admin.Close()
+			resp, err := admin.Forward(ctx, &server.Request{Op: "gw_drain", Session: "be0"})
+			if err != nil {
+				drainErr = err
+				return
+			}
+			if resp.ErrorCode != "" {
+				drainErr = fmt.Errorf("gw_drain: %s (%s)", resp.Err, resp.ErrorCode)
+			}
+		})
+	}
+
+	runs := make([]sessionRun, nSess)
+	retries := make([]int, nSess)
+	lost := make([]int, nSess)
+	audits := make([]int, nSess)
+	resyncs := make([]int, nSess)
+	errs := make([]error, nSess)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < nSess; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cc, err := client.Dial(ctx, h.addr)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer cc.Close()
+			// Keys 0..3: sessions 0 and 2 pin to be0 (the drain victims),
+			// 1 and 3 to be1; bands stay disjoint when everyone lands on
+			// be1's single board after the drain.
+			s, err := cc.SessionWithKey(ctx, fmt.Sprintf("v1000-class/s%d", i), uint64(i))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			nets := b4SessionNets(i)
+			if err := b6Churn(ctx, s, nets, rounds, &runs[i], &retries[i], func() {
+				ackedRoutes.Add(1)
+				maybeDrain()
+			}); err != nil {
+				errs[i] = err
+				return
+			}
+			lost[i], audits[i], errs[i] = b4Verify(ctx, s, nets, false)
+			resyncs[i] = s.Resyncs
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return result6{}, fmt.Errorf("session s%d: %w", i, err)
+		}
+	}
+	if drainErr != nil {
+		return result6{}, drainErr
+	}
+	if err := h.probeClean(ctx); err != nil {
+		return result6{}, err
+	}
+
+	gs := h.gw.GatewayStats()
+	res := result6{DrainedBackend: "be0", Handoffs: gs.Handoffs, ReplayedOps: gs.ReplayedOps}
+	res.Name = "gateway_live_drain"
+	res.Sessions = nSess
+	res.WallSeconds = wall.Seconds()
+	var all []time.Duration
+	for i := range runs {
+		all = append(all, runs[i].lat...)
+		res.Errors += runs[i].errs
+		res.Retries += retries[i]
+		res.LostAckedOps += lost[i]
+		res.OracleAudits += audits[i]
+		res.Resyncs += resyncs[i]
+	}
+	res.Ops = len(all)
+	if wall > 0 {
+		res.OpsPerSecond = float64(res.Ops) / wall.Seconds()
+	}
+	res.P50us, res.P99us, res.MeanUs = percentiles(all)
+	if gs.Drains != 1 {
+		return result6{}, fmt.Errorf("drains = %d, want 1", gs.Drains)
+	}
+	if gs.HandoffFails != 0 {
+		return result6{}, fmt.Errorf("%d journal handoffs failed", gs.HandoffFails)
+	}
+	if res.Handoffs < 2 {
+		return result6{}, fmt.Errorf("handoffs = %d, want >= 2 (both be0 sessions must move)", res.Handoffs)
+	}
+	if res.Resyncs < 2 {
+		return result6{}, fmt.Errorf("resyncs = %d, want >= 2 (moved mirrors must re-seed)", res.Resyncs)
+	}
+	return res, nil
+}
+
+// runBench6 runs the gateway benchmark suite and writes BENCH_6.json. A
+// lost acked op, a >10% noisy-tenant p50 impact, or a dirty board anywhere
+// is a hard failure.
+func runBench6(jsonPath string) error {
+	var out []result6
+	for _, nb := range []int{1, 2, 4} {
+		res, err := runGwScaling(nb)
+		if err != nil {
+			return fmt.Errorf("%d backends: %w", nb, err)
+		}
+		if len(out) > 0 && out[0].OpsPerSecond > 0 {
+			res.SpeedupVs1 = res.OpsPerSecond / out[0].OpsPerSecond
+		}
+		out = append(out, res)
+		fmt.Printf("gateway_scaling  %d backends x %d boards  %2d sessions  %6d ops (%d errors, %d retries)  %8.0f ops/s  p50 %6.0fµs  p99 %6.0fµs  speedup %.2fx\n",
+			res.Backends, res.BoardsPerBackend, res.Sessions, res.Ops, res.Errors, res.Retries,
+			res.OpsPerSecond, res.P50us, res.P99us, res.SpeedupVs1)
+	}
+
+	noisy, err := runGwNoisy()
+	if err != nil {
+		return fmt.Errorf("noisy tenant: %w", err)
+	}
+	out = append(out, noisy)
+	fmt.Printf("gateway_noisy    baseline p50 %6.0fµs  contended p50 %6.0fµs  impact %.3fx  noisy admitted %d / rejected %d\n",
+		noisy.BaselineP50us, noisy.ContendedP50us, noisy.P50Impact, noisy.NoisyAdmitted, noisy.NoisyRejected)
+
+	drain, err := runGwDrain(b6Rounds, b4PortTime)
+	if err != nil {
+		return fmt.Errorf("live drain: %w", err)
+	}
+	out = append(out, drain)
+	fmt.Printf("gateway_drain    drained %s  %6d ops (%d errors, %d retries)  %8.0f ops/s  handoffs %d  replayed %d  resyncs %d  lost acked ops: %d  audits: %d\n",
+		drain.DrainedBackend, drain.Ops, drain.Errors, drain.Retries, drain.OpsPerSecond,
+		drain.Handoffs, drain.ReplayedOps, drain.Resyncs, drain.LostAckedOps, drain.OracleAudits)
+
+	for _, r := range out {
+		if r.LostAckedOps != 0 {
+			return fmt.Errorf("%s: %d acknowledged ops lost", r.Name, r.LostAckedOps)
+		}
+	}
+	if noisy.P50Impact > 1.10 {
+		return fmt.Errorf("noisy tenant moved well-behaved p50 by %.1f%% (budget 10%%)",
+			(noisy.P50Impact-1)*100)
+	}
+	if noisy.NoisyRejected == 0 {
+		return errors.New("noisy tenant was never rejected — the quota did not engage")
+	}
+
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(enc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+	return nil
+}
+
+// printGatewayStats fetches statsz from a gateway and prints the gateway
+// section: aggregate health plus the per-tenant and per-backend counters.
+func printGatewayStats(addr string, copts []client.Option) error {
+	ctx := context.Background()
+	c, err := client.Dial(ctx, addr, copts...)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	gs := stats.Gateway
+	if gs == nil {
+		return errors.New("statsz has no gateway section — is the target a gateway?")
+	}
+	fmt.Printf("gateway: %d backends (%d healthy, %d draining)  %d sessions  probes %d (%d failed)  ejections %d  readmits %d  drains %d  handoffs %d (%d failed)  replayed ops %d (%d skipped)\n",
+		gs.Backends, gs.HealthyBackends, gs.DrainingBackends, gs.Sessions,
+		gs.Probes, gs.ProbeFails, gs.Ejections, gs.Readmits,
+		gs.Drains, gs.Handoffs, gs.HandoffFails, gs.ReplayedOps, gs.ReplaySkips)
+	var names []string
+	for name := range gs.BackendsMap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := gs.BackendsMap[name]
+		state := "healthy"
+		if !b.Healthy {
+			state = "UNHEALTHY"
+		}
+		if b.Draining {
+			state += ",draining"
+		}
+		fmt.Printf("  backend %-8s %-20s %-17s classes=%v  sessions %d  ops %d  errors %d  probe fails %d\n",
+			name, b.Addr, state, b.Classes, b.Sessions, b.Ops, b.Errors, b.ProbeFails)
+	}
+	names = names[:0]
+	for name := range gs.Tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := gs.Tenants[name]
+		fmt.Printf("  tenant  %-8s sessions %d  admitted ops %d  rejected ops %d  rejected sessions %d\n",
+			name, t.Sessions, t.AdmittedOps, t.RejectedOps, t.RejectedSessions)
+	}
+	return nil
+}
+
+// runGatewaySmoke is the CI gate: the live-drain scenario at a sprint pace
+// (no port modeling, fewer rounds). Zero lost acked ops, clean handoffs,
+// oracle-clean boards or the exit is non-zero.
+func runGatewaySmoke() error {
+	res, err := runGwDrain(8, 0)
+	if err != nil {
+		return err
+	}
+	if res.LostAckedOps != 0 {
+		return fmt.Errorf("%d acknowledged ops lost", res.LostAckedOps)
+	}
+	fmt.Printf("gateway-smoke ok: %d ops, %d retries, %d handoffs, %d replayed, %d resyncs, 0 lost acked ops, %d oracle audits\n",
+		res.Ops, res.Retries, res.Handoffs, res.ReplayedOps, res.Resyncs, res.OracleAudits)
+	return nil
+}

@@ -95,10 +95,33 @@ func main() {
 	proto := flag.String("proto", "v3", "wire protocol for the generic workloads: v2 (framed JSON) or v3 (binary)")
 	json5Path := flag.String("json5", "", "run the v2-vs-v3 wire-path benchmark and write it to this JSON file")
 	soakDur := flag.Duration("soak", 0, "run the fault-injection soak for this long instead of the generic workloads")
+	gatewayMode := flag.Bool("gateway", false, "with -inproc, front -backends fleet daemons with an in-process gateway tier and drive sessions through it")
+	backends := flag.Int("backends", 2, "gateway mode: backend fleet count behind the gateway")
+	json6Path := flag.String("json6", "", "run the gateway benchmark (backend scaling, noisy tenant, live drain) and write it to this JSON file")
+	gatewaySmoke := flag.Bool("gateway-smoke", false, "run the short gateway live-drain smoke (the CI gate) and exit")
+	token := flag.String("token", "", "bearer token presented in the hello (gateway tenant auth)")
 	flag.Parse()
 
 	if *proto != "v2" && *proto != "v3" {
 		log.Fatalf("jload: -proto must be v2 or v3, got %q", *proto)
+	}
+
+	if *gatewaySmoke {
+		if err := runGatewaySmoke(); err != nil {
+			log.Fatalf("jload: gateway-smoke: %v", err)
+		}
+		return
+	}
+
+	if *json6Path != "" {
+		// The gateway bench boots its own backend fleets and gateways (one
+		// topology per experiment), so it needs neither -addr nor -inproc.
+		if err := runBench6(*json6Path); err != nil {
+			log.Fatalf("jload: gateway bench: %v", err)
+		}
+		if *addr == "" && !*inproc {
+			return
+		}
 	}
 
 	if *json5Path != "" {
@@ -138,9 +161,24 @@ func main() {
 	if *inproc == (*addr != "") {
 		log.Fatal("jload: need exactly one of -addr or -inproc")
 	}
+	if *gatewayMode && *fleetMode {
+		log.Fatal("jload: -gateway and -fleet are mutually exclusive (the gateway boots fleets itself)")
+	}
+	if *gatewayMode && *soakDur > 0 {
+		log.Fatal("jload: -soak does not support -gateway")
+	}
 	target := *addr
 	var srv *server.Server
-	if *inproc {
+	if *inproc && *gatewayMode {
+		// One board per session key on every backend, so the generic
+		// workloads (which assume exclusive devices) never share fabric.
+		h, err := newGwHarness(*backends, *sessions, *rows, *cols, *portFrameTime, nil)
+		if err != nil {
+			log.Fatalf("jload: gateway: %v", err)
+		}
+		target = h.addr
+		defer h.shutdown()
+	} else if *inproc {
 		srv = server.NewServer()
 		if *fleetMode {
 			n := *boards
@@ -189,7 +227,17 @@ func main() {
 		return
 	}
 
+	mode := "static"
+	if *fleetMode {
+		mode = "fleet"
+	}
+	if *gatewayMode {
+		mode = "gateway"
+	}
 	copts := protoOptions(*proto)
+	if *token != "" {
+		copts = append(copts, client.WithToken(*token))
+	}
 	var results []result
 	for _, wl := range []struct {
 		name string
@@ -202,7 +250,7 @@ func main() {
 			return runChurn(s, g, r, *steps)
 		}},
 	} {
-		res, err := runWorkload(target, wl.name, *sessions, *rows, *cols, *seed, *fleetMode, copts, wl.run)
+		res, err := runWorkload(target, wl.name, *sessions, *rows, *cols, *seed, mode, copts, wl.run)
 		if err != nil {
 			log.Fatalf("jload: %s: %v", wl.name, err)
 		}
@@ -211,6 +259,12 @@ func main() {
 		fmt.Printf("%-10s %s  %d sessions  %6d ops (%d errors)  %8.0f ops/s  p50 %6.0fµs  p99 %6.0fµs  %5.0f wire B/op  %6.0f allocs/op  %d frames / %d bytes shipped\n",
 			res.Name, res.Proto, res.Sessions, res.Ops, res.Errors, res.OpsPerSecond, res.P50us, res.P99us,
 			res.WireBytesPerOp, res.AllocsPerOp, res.FramesShipped, res.BytesShipped)
+	}
+
+	if *gatewayMode {
+		if err := printGatewayStats(target, copts); err != nil {
+			log.Fatalf("jload: gateway statsz: %v", err)
+		}
 	}
 
 	if *jsonPath != "" {
@@ -235,13 +289,15 @@ func protoOptions(proto string) []client.Option {
 
 // runWorkload drives one named workload through n concurrent sessions and
 // aggregates their client-side latencies plus the daemon's shipped-frame
-// delta (from statsz before and after). In fleet mode the sessions are
-// logical names pinned to distinct boards by explicit placement key. The
+// delta (from statsz before and after). The mode selects session naming:
+// "static" opens per-device sessions, "fleet" pins logical names to
+// distinct boards by explicit placement key, "gateway" does the same but
+// under a device-class alias the gateway resolves to a backend fleet. The
 // copts select the wire protocol for the worker connections.
-func runWorkload(addr, name string, n, rows, cols int, seed int64, fleetMode bool,
+func runWorkload(addr, name string, n, rows, cols int, seed int64, mode string,
 	copts []client.Option, run func(*client.Session, *workload.Gen, *sessionRun) error) (result, error) {
 	ctx := context.Background()
-	c, err := client.Dial(ctx, addr)
+	c, err := client.Dial(ctx, addr, copts...)
 	if err != nil {
 		return result{}, err
 	}
@@ -271,9 +327,12 @@ func runWorkload(addr, name string, n, rows, cols int, seed int64, fleetMode boo
 			}
 			defer cc.Close()
 			var s *client.Session
-			if fleetMode {
+			switch mode {
+			case "fleet":
 				s, err = cc.SessionWithKey(ctx, fmt.Sprintf("s%d", i), uint64(i))
-			} else {
+			case "gateway":
+				s, err = cc.SessionWithKey(ctx, fmt.Sprintf("v1000-class/s%d", i), uint64(i))
+			default:
 				s, err = cc.Session(ctx, fmt.Sprintf("dev%d", i))
 			}
 			if err != nil {
@@ -439,7 +498,7 @@ func runBench3(sessions int, seed int64, jsonPath string) error {
 		}
 		var verifyMu sync.Mutex
 		audits := 0
-		res, err := runWorkload(bound, "rtr_churn_cached", sessions, b3Rows, b3Cols, seed, false, nil,
+		res, err := runWorkload(bound, "rtr_churn_cached", sessions, b3Rows, b3Cols, seed, "static", nil,
 			func(s *client.Session, g *workload.Gen, r *sessionRun) error {
 				v, err := runCachedChurn(s, g, r)
 				verifyMu.Lock()

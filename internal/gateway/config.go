@@ -1,0 +1,93 @@
+// Package gateway is the stateless multi-fleet edge tier: one daemon
+// fronting N independent jrouted fleets. It terminates the ordinary
+// v2-hello/v3-binary client protocol (the thin-mirror client points at a
+// gateway with zero code changes), resolves device-class aliases to backend
+// fleets at session open, pins each session to one backend with the same
+// FNV-1a affinity the fleet uses for board placement, and enforces the
+// multi-tenant edges: bearer-token auth, per-tenant session and ops/s
+// quotas, health-based backend ejection, and drain with journal handoff.
+//
+// The gateway holds no durable state: everything it knows about a session
+// is the acked-op journal it replays to move the session between fleets,
+// and that journal is reconstructible from the client's own call history.
+// All bitstream truth lives in the backend fleets.
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/server/client"
+)
+
+// BackendConfig names one jrouted fleet the gateway fronts.
+type BackendConfig struct {
+	// Name is the stable identity sessions are pinned against; it prefixes
+	// the board name clients see ("be0/board3").
+	Name string `json:"name"`
+	// Addr is the fleet daemon's TCP address.
+	Addr string `json:"addr"`
+	// Classes lists the device-class aliases this fleet serves
+	// ("v1000-class"). A connect whose session name carries one of these
+	// prefixes may land here.
+	Classes []string `json:"classes"`
+}
+
+// TenantConfig is one tenant's token and quotas.
+type TenantConfig struct {
+	Name  string `json:"name"`
+	Token string `json:"token"`
+	// SessionCap bounds concurrently open sessions (0 = unlimited).
+	SessionCap int `json:"session_cap,omitempty"`
+	// OpsPerSec refills the tenant's token bucket (0 = unlimited).
+	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
+	// Burst is the bucket depth (0 = max(1, 2*OpsPerSec)).
+	Burst float64 `json:"burst,omitempty"`
+	// Admin tenants may issue gw_drain.
+	Admin bool `json:"admin,omitempty"`
+}
+
+// Config assembles a gateway. The JSON shape is what `jgateway -config`
+// loads; the function fields are wiring for tests and CLIs.
+type Config struct {
+	// DefaultClass resolves session names without a "class/" prefix
+	// ("" = every backend is eligible for un-prefixed names).
+	DefaultClass string          `json:"default_class,omitempty"`
+	Backends     []BackendConfig `json:"backends"`
+	// Tenants, when non-empty, turns on auth: every hello must present a
+	// known token. Empty means anonymous single-tenant mode.
+	Tenants []TenantConfig `json:"tenants,omitempty"`
+	// ProbeIntervalMillis is the health-probe cadence (0 = 2000ms;
+	// negative disables probing — tests drive probes manually).
+	ProbeIntervalMillis int64 `json:"probe_interval_ms,omitempty"`
+
+	// Dial opens a client connection to a backend address. Nil uses
+	// client.Dial (binary v3 when the backend advertises it).
+	Dial func(ctx context.Context, addr string) (*client.Client, error) `json:"-"`
+}
+
+func (c Config) probeInterval() time.Duration {
+	switch {
+	case c.ProbeIntervalMillis < 0:
+		return 0
+	case c.ProbeIntervalMillis == 0:
+		return 2 * time.Second
+	}
+	return time.Duration(c.ProbeIntervalMillis) * time.Millisecond
+}
+
+// LoadConfig reads a gateway config file (JSON).
+func LoadConfig(path string) (Config, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return Config{}, fmt.Errorf("gateway: parsing %s: %w", path, err)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,686 @@
+package gateway_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/gateway"
+	"repro/internal/oracle"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/server/fleet"
+	"repro/internal/server/protocol"
+)
+
+func pin(r, c int, w arch.Wire) server.EndPointMsg {
+	return server.EndPointMsg{Pin: &server.PinMsg{Row: r, Col: c, Wire: int(w)}}
+}
+
+// startBackend boots one in-process jrouted fleet and returns its address.
+func startBackend(t *testing.T, boards int) string {
+	t.Helper()
+	coord, err := fleet.New(fleet.Config{Boards: boards, Rows: 16, Cols: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.NewServer()
+	srv.SetFleet(coord)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	return addr
+}
+
+// startGateway boots a gateway daemon over the config and returns its
+// address plus the coordinator (for direct drain/probe calls).
+func startGateway(t *testing.T, cfg gateway.Config) (string, *gateway.Gateway) {
+	t.Helper()
+	if cfg.ProbeIntervalMillis == 0 {
+		cfg.ProbeIntervalMillis = -1 // tests drive probes explicitly
+	}
+	g, err := gateway.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.NewServer(server.WithAuth(g.Authenticate))
+	srv.SetFleet(g)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	return addr, g
+}
+
+func backendOf(t *testing.T, s *client.Session) string {
+	t.Helper()
+	i := strings.IndexByte(s.Board, '/')
+	if i < 0 {
+		t.Fatalf("board %q has no backend prefix", s.Board)
+	}
+	return s.Board[:i]
+}
+
+// TestPassthroughFramings proves the gateway terminates both framings of
+// the unmodified client protocol: a v2-JSON session and a v3-binary session
+// with sibling placement keys land on the same backend and produce
+// byte-equivalent board state for the same ops (DiffStreams-clean).
+func TestPassthroughFramings(t *testing.T) {
+	be0 := startBackend(t, 2)
+	addr, _ := startGateway(t, gateway.Config{
+		Backends: []gateway.BackendConfig{
+			{Name: "be0", Addr: be0, Classes: []string{"v1000-class"}},
+		},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	type result struct {
+		backend string
+		stream  []byte
+	}
+	cases := []struct {
+		name    string
+		binary  bool
+		session string
+		key     uint64
+	}{
+		{"v2-json", false, "v1000-class/v2", 0},
+		{"v3-binary", true, "v1000-class/v3", 1},
+	}
+	results := make(map[string]result)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := client.Dial(ctx, addr, client.WithBinary(tc.binary))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if c.Binary() != tc.binary {
+				t.Fatalf("negotiated binary=%v, want %v", c.Binary(), tc.binary)
+			}
+			s, err := c.SessionWithKey(ctx, tc.session, tc.key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Route(ctx, pin(5, 7, arch.S1YQ), pin(6, 8, arch.S0F3)); err != nil {
+				t.Fatalf("route: %v", err)
+			}
+			if err := s.Route(ctx, pin(8, 12, arch.S1YQ), pin(9, 13, arch.S0F3)); err != nil {
+				t.Fatalf("route: %v", err)
+			}
+			if err := s.VerifyMirror(); err != nil {
+				t.Fatalf("mirror fails oracle audit: %v", err)
+			}
+			stream, err := s.Readback(ctx)
+			if err != nil {
+				t.Fatalf("readback: %v", err)
+			}
+			results[tc.name] = result{backend: backendOf(t, s), stream: stream}
+		})
+	}
+	a, b := results["v2-json"], results["v3-binary"]
+	if a.backend == "" || b.backend == "" {
+		t.Fatal("missing results")
+	}
+	if a.backend != b.backend {
+		t.Errorf("framings landed on different backends: %s vs %s", a.backend, b.backend)
+	}
+	diffs, err := oracle.DiffStreams(arch.NewVirtex(), a.stream, b.stream)
+	if err != nil {
+		t.Fatalf("DiffStreams: %v", err)
+	}
+	if len(diffs) != 0 {
+		t.Errorf("v2 and v3 board state diverge: %d PIP diffs (first: %+v)", len(diffs), diffs[0])
+	}
+}
+
+// TestAuthAndQuotaErrors covers the typed gateway rejections end to end:
+// unauthorized hellos, unknown aliases, session caps, ops/s buckets,
+// cross-tenant session access, and the gw_drain admin gate.
+func TestAuthAndQuotaErrors(t *testing.T) {
+	be0 := startBackend(t, 1)
+	addr, _ := startGateway(t, gateway.Config{
+		Backends: []gateway.BackendConfig{
+			{Name: "be0", Addr: be0, Classes: []string{"v1000-class"}},
+		},
+		Tenants: []gateway.TenantConfig{
+			{Name: "alice", Token: "tok-alice", SessionCap: 1},
+			{Name: "bob", Token: "tok-bob"},
+			{Name: "carol", Token: "tok-carol", OpsPerSec: 1, Burst: 1},
+			{Name: "root", Token: "tok-root", Admin: true},
+		},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	t.Run("unauthorized token", func(t *testing.T) {
+		for _, tok := range []string{"", "tok-wrong"} {
+			var opts []client.Option
+			if tok != "" {
+				opts = append(opts, client.WithToken(tok))
+			}
+			_, err := client.Dial(ctx, addr, opts...)
+			if !errors.Is(err, client.ErrUnauthorized) {
+				t.Errorf("dial with token %q: err = %v, want ErrUnauthorized", tok, err)
+			}
+		}
+	})
+
+	alice, err := client.Dial(ctx, addr, client.WithToken("tok-alice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alice.Close()
+
+	t.Run("unknown alias", func(t *testing.T) {
+		_, err := alice.Session(ctx, "z9000-class/x")
+		if !errors.Is(err, client.ErrUnknownAlias) {
+			t.Errorf("err = %v, want ErrUnknownAlias", err)
+		}
+	})
+
+	t.Run("session cap", func(t *testing.T) {
+		if _, err := alice.Session(ctx, "v1000-class/a0"); err != nil {
+			t.Fatalf("first session: %v", err)
+		}
+		_, err := alice.Session(ctx, "v1000-class/a1")
+		if !errors.Is(err, client.ErrQuotaExceeded) {
+			t.Errorf("err = %v, want ErrQuotaExceeded at the session cap", err)
+		}
+	})
+
+	t.Run("cross-tenant session", func(t *testing.T) {
+		bob, err := client.Dial(ctx, addr, client.WithToken("tok-bob"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer bob.Close()
+		_, err = bob.Session(ctx, "v1000-class/a0") // alice's session
+		if !errors.Is(err, client.ErrUnauthorized) {
+			t.Errorf("err = %v, want ErrUnauthorized for another tenant's session", err)
+		}
+	})
+
+	t.Run("ops quota", func(t *testing.T) {
+		carol, err := client.Dial(ctx, addr, client.WithToken("tok-carol"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer carol.Close()
+		s, err := carol.Session(ctx, "v1000-class/c0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Burst 1 at 1 op/s: the first op drains the bucket, an immediate
+		// second op must bounce.
+		if err := s.Route(ctx, pin(11, 7, arch.S1YQ), pin(12, 8, arch.S0F3)); err != nil {
+			t.Fatalf("first op: %v", err)
+		}
+		err = s.Route(ctx, pin(13, 7, arch.S1YQ), pin(14, 8, arch.S0F3))
+		if !errors.Is(err, client.ErrQuotaExceeded) {
+			t.Errorf("err = %v, want ErrQuotaExceeded from the token bucket", err)
+		}
+	})
+
+	t.Run("gw_drain admin gate", func(t *testing.T) {
+		// gw_drain is an admin verb with no v3 encoding; it travels on the
+		// JSON framing only.
+		aliceJSON, err := client.Dial(ctx, addr, client.WithBinary(false), client.WithToken("tok-alice"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer aliceJSON.Close()
+		resp, err := aliceJSON.Forward(ctx, &server.Request{Op: "gw_drain", Session: "be0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.ErrorCode != protocol.CodeUnauthorized {
+			t.Errorf("non-admin gw_drain: code %q, want %q", resp.ErrorCode, protocol.CodeUnauthorized)
+		}
+		root, err := client.Dial(ctx, addr, client.WithBinary(false), client.WithToken("tok-root"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer root.Close()
+		resp, err = root.Forward(ctx, &server.Request{Op: "gw_drain", Session: "nosuch"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.ErrorCode != protocol.CodeBadRequest {
+			t.Errorf("drain of unknown backend: code %q, want %q", resp.ErrorCode, protocol.CodeBadRequest)
+		}
+	})
+}
+
+// TestDrainJournalHandoff proves the drain contract: every session pinned
+// to the drained backend moves by journal replay, no acked op is lost, the
+// client-visible epoch bump resyncs mirrors, and new sessions avoid the
+// draining backend. The drain is issued over the wire as the gw_drain
+// admin verb.
+func TestDrainJournalHandoff(t *testing.T) {
+	be0 := startBackend(t, 1)
+	be1 := startBackend(t, 1)
+	addr, g := startGateway(t, gateway.Config{
+		Backends: []gateway.BackendConfig{
+			{Name: "be0", Addr: be0, Classes: []string{"v1000-class"}},
+			{Name: "be1", Addr: be1, Classes: []string{"v1000-class"}},
+		},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	c, err := client.Dial(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// s0 pins to be0 (key 0 of the 2-backend pool), s1 to be1 (key 1); the
+	// nets live in disjoint row bands so the sessions can share a board
+	// after the drain moves s0 onto be1.
+	s0, err := c.SessionWithKey(ctx, "v1000-class/s0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := backendOf(t, s0); got != "be0" {
+		t.Fatalf("s0 on %s, want be0", got)
+	}
+	s1, err := c.SessionWithKey(ctx, "v1000-class/s1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := backendOf(t, s1); got != "be1" {
+		t.Fatalf("s1 on %s, want be1", got)
+	}
+
+	// Acked working set on s0: keep net A, cancel net B (the journal must
+	// compact the route/unroute pair away), keep net C.
+	netA := pin(5, 7, arch.S1YQ)
+	netB := pin(8, 12, arch.S1YQ)
+	netC := pin(11, 3, arch.S1YQ)
+	if err := s0.Route(ctx, netA, pin(6, 8, arch.S0F3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s0.Route(ctx, netB, pin(9, 13, arch.S0F3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s0.Unroute(ctx, netB); err != nil {
+		t.Fatal(err)
+	}
+	if err := s0.Route(ctx, netC, pin(12, 4, arch.S0F3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Route(ctx, pin(13, 16, arch.S1YQ), pin(14, 17, arch.S0F3)); err != nil {
+		t.Fatal(err)
+	}
+
+	admin, err := client.Dial(ctx, addr, client.WithBinary(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	resp, err := admin.Forward(ctx, &server.Request{Op: "gw_drain", Session: "be0"})
+	if err != nil {
+		t.Fatalf("gw_drain: %v", err)
+	}
+	if resp.ErrorCode != "" {
+		t.Fatalf("gw_drain: %s (%s)", resp.Err, resp.ErrorCode)
+	}
+	if len(resp.Devices) != 1 || resp.Devices[0] != "v1000-class/s0" {
+		t.Fatalf("moved sessions = %v, want [v1000-class/s0]", resp.Devices)
+	}
+
+	// The next op rides the bumped epoch: the client resyncs its mirror
+	// from the new backend and every acked net is still there.
+	net, err := s0.Trace(ctx, netA)
+	if err != nil {
+		t.Fatalf("trace after drain: %v", err)
+	}
+	if net == nil || len(net.Sinks) != 1 {
+		t.Fatalf("net A lost in handoff: %+v", net)
+	}
+	if s0.Resyncs != 1 {
+		t.Errorf("s0 resyncs = %d, want 1 (epoch bump at handoff)", s0.Resyncs)
+	}
+	if got := backendOf(t, s0); got != "be1" {
+		t.Errorf("s0 on %s after drain, want be1", got)
+	}
+	if net, err := s0.Trace(ctx, netC); err != nil || net == nil || len(net.Sinks) != 1 {
+		t.Errorf("net C lost in handoff: %+v, %v", net, err)
+	}
+	if err := s0.VerifyMirror(); err != nil {
+		t.Errorf("post-drain mirror fails oracle audit: %v", err)
+	}
+	// s1 was never touched.
+	if s1.Resyncs != 0 {
+		t.Errorf("bystander s1 resynced %d times, want 0", s1.Resyncs)
+	}
+
+	// New placements skip the draining backend even for keys that would
+	// have picked it.
+	s2, err := c.SessionWithKey(ctx, "v1000-class/s2", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := backendOf(t, s2); got != "be1" {
+		t.Errorf("post-drain session on %s, want be1", got)
+	}
+
+	gs := g.GatewayStats()
+	if gs.Drains != 1 || gs.Handoffs != 1 || gs.HandoffFails != 0 {
+		t.Errorf("drains/handoffs/fails = %d/%d/%d, want 1/1/0",
+			gs.Drains, gs.Handoffs, gs.HandoffFails)
+	}
+	// Journal compaction: route B + unroute B vanished, so exactly nets A
+	// and C replayed.
+	if gs.ReplayedOps != 2 {
+		t.Errorf("replayed ops = %d, want 2 (route/unroute pair compacted)", gs.ReplayedOps)
+	}
+	if gs.DrainingBackends != 1 || gs.HealthyBackends != 1 {
+		t.Errorf("draining/healthy = %d/%d, want 1/1", gs.DrainingBackends, gs.HealthyBackends)
+	}
+
+	// The edge section rides ordinary statsz through the gateway.
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Gateway == nil || stats.Gateway.Backends != 2 {
+		t.Errorf("statsz gateway section = %+v, want 2 backends", stats.Gateway)
+	}
+}
+
+// TestEjectionRelocatesSessions proves health-based ejection: when a
+// backend dies, a probe round ejects it and relocates its sessions onto
+// healthy fleets from the gateway-side journal — the dead backend is never
+// consulted.
+func TestEjectionRelocatesSessions(t *testing.T) {
+	// be0 gets its own shutdown handle instead of the t.Cleanup helper.
+	coord0, err := fleet.New(fleet.Config{Boards: 1, Rows: 16, Cols: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv0 := server.NewServer()
+	srv0.SetFleet(coord0)
+	be0, err := srv0.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	be1 := startBackend(t, 1)
+	addr, g := startGateway(t, gateway.Config{
+		Backends: []gateway.BackendConfig{
+			{Name: "be0", Addr: be0, Classes: []string{"v1000-class"}},
+			{Name: "be1", Addr: be1, Classes: []string{"v1000-class"}},
+		},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	c, err := client.Dial(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s0, err := c.SessionWithKey(ctx, "v1000-class/s0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := backendOf(t, s0); got != "be0" {
+		t.Fatalf("s0 on %s, want be0", got)
+	}
+	if err := s0.Route(ctx, pin(5, 7, arch.S1YQ), pin(6, 8, arch.S0F3)); err != nil {
+		t.Fatal(err)
+	}
+
+	sctx, scancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer scancel()
+	if err := srv0.Shutdown(sctx); err != nil {
+		t.Fatalf("shutting down be0: %v", err)
+	}
+	g.ProbeAll(ctx)
+
+	net, err := s0.Trace(ctx, pin(5, 7, arch.S1YQ))
+	if err != nil {
+		t.Fatalf("trace after ejection: %v", err)
+	}
+	if net == nil || len(net.Sinks) != 1 {
+		t.Fatalf("net lost in ejection handoff: %+v", net)
+	}
+	if got := backendOf(t, s0); got != "be1" {
+		t.Errorf("s0 on %s after ejection, want be1", got)
+	}
+	if s0.Resyncs != 1 {
+		t.Errorf("resyncs = %d, want 1", s0.Resyncs)
+	}
+	gs := g.GatewayStats()
+	if gs.Ejections != 1 || gs.Handoffs != 1 {
+		t.Errorf("ejections/handoffs = %d/%d, want 1/1", gs.Ejections, gs.Handoffs)
+	}
+	if be := gs.BackendsMap["be0"]; be.Healthy {
+		t.Error("be0 still marked healthy after failed probe")
+	}
+}
+
+// TestDrainSkipsDivergentUnroute proves the handoff tolerates the journal
+// running behind the backend. Under load an op can time out at the edge yet
+// still apply on the fleet; the lost ack means it was never journaled, so
+// the client's later acked unroute of that net reaches the journal with no
+// creation to pair with. Replaying it on a fresh target fails "not routed" —
+// but its postcondition (net absent) already holds there, so the drain must
+// skip it and finish rather than abort the whole handoff.
+func TestDrainSkipsDivergentUnroute(t *testing.T) {
+	be0 := startBackend(t, 1)
+	be1 := startBackend(t, 1)
+	addr, g := startGateway(t, gateway.Config{
+		Backends: []gateway.BackendConfig{
+			{Name: "be0", Addr: be0, Classes: []string{"v1000-class"}},
+			{Name: "be1", Addr: be1, Classes: []string{"v1000-class"}},
+		},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	c, err := client.Dial(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	s0, err := c.SessionWithKey(ctx, "v1000-class/s0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := backendOf(t, s0); got != "be0" {
+		t.Fatalf("s0 on %s, want be0", got)
+	}
+	netA := pin(5, 7, arch.S1YQ)
+	if err := s0.Route(ctx, netA, pin(6, 8, arch.S0F3)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the lost ack: apply a route for s0 directly on be0, behind
+	// the gateway's back, exactly as a timed-out-but-applied op would.
+	direct, err := client.Dial(ctx, be0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	netX := pin(8, 12, arch.S1YQ)
+	resp, err := direct.Forward(ctx, &server.Request{
+		Op: "route", Session: "v1000-class/s0",
+		Source: &netX, Sinks: []server.EndPointMsg{pin(9, 13, arch.S0F3)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ErrorCode != "" {
+		t.Fatalf("out-of-band route: %s (%s)", resp.Err, resp.ErrorCode)
+	}
+
+	// The client's unroute acks (the net exists on be0) and is journaled
+	// with no matching route entry.
+	resp, err = c.Forward(ctx, &server.Request{
+		Op: "unroute", Session: "v1000-class/s0", Source: &netX,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ErrorCode != "" {
+		t.Fatalf("unroute through gateway: %s (%s)", resp.Err, resp.ErrorCode)
+	}
+
+	admin, err := client.Dial(ctx, addr, client.WithBinary(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	resp, err = admin.Forward(ctx, &server.Request{Op: "gw_drain", Session: "be0"})
+	if err != nil {
+		t.Fatalf("gw_drain: %v", err)
+	}
+	if resp.ErrorCode != "" {
+		t.Fatalf("gw_drain must survive the divergent unroute: %s (%s)", resp.Err, resp.ErrorCode)
+	}
+
+	gs := g.GatewayStats()
+	if gs.Handoffs != 1 || gs.HandoffFails != 0 {
+		t.Errorf("handoffs/fails = %d/%d, want 1/0", gs.Handoffs, gs.HandoffFails)
+	}
+	if gs.ReplaySkips != 1 {
+		t.Errorf("replay skips = %d, want 1 (the orphan unroute)", gs.ReplaySkips)
+	}
+
+	// Every acked net survived; X is absent on the target, which is what
+	// the acked unroute promised the client.
+	if net, err := s0.Trace(ctx, netA); err != nil || net == nil || len(net.Sinks) != 1 {
+		t.Errorf("net A lost in handoff: %+v, %v", net, err)
+	}
+	if net, err := s0.Trace(ctx, netX); err == nil && net != nil && len(net.Sinks) > 0 {
+		t.Errorf("net X resurrected on target: %+v", net)
+	}
+	if got := backendOf(t, s0); got != "be1" {
+		t.Errorf("s0 on %s after drain, want be1", got)
+	}
+}
+
+// TestFailedHandoffRollsBackTarget proves a failed drain leaves no debris:
+// when replay aborts partway (here a sink collision with a co-tenant net on
+// the target board), the entries that did apply are compensated away, the
+// session stays pinned to its old backend with all acked state intact, and
+// a retry after the conflict clears succeeds instead of colliding with the
+// previous attempt's orphans.
+func TestFailedHandoffRollsBackTarget(t *testing.T) {
+	be0 := startBackend(t, 1)
+	be1 := startBackend(t, 1)
+	addr, g := startGateway(t, gateway.Config{
+		Backends: []gateway.BackendConfig{
+			{Name: "be0", Addr: be0, Classes: []string{"v1000-class"}},
+			{Name: "be1", Addr: be1, Classes: []string{"v1000-class"}},
+		},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	c, err := client.Dial(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	s0, err := c.SessionWithKey(ctx, "v1000-class/s0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := backendOf(t, s0); got != "be0" {
+		t.Fatalf("s0 on %s, want be0", got)
+	}
+	netA := pin(5, 7, arch.S1YQ)
+	netB := pin(8, 12, arch.S1YQ)
+	sharedSink := pin(9, 10, arch.S0F3)
+	if err := s0.Route(ctx, netA, pin(6, 8, arch.S0F3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s0.Route(ctx, netB, sharedSink); err != nil {
+		t.Fatal(err)
+	}
+
+	// A co-tenant on be1's board drives the sink net B needs, so replaying
+	// s0 there fails at net B — after net A has already applied.
+	direct, err := client.Dial(ctx, be1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	bl, err := direct.Session(ctx, "blocker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockSrc := pin(11, 3, arch.S1YQ)
+	if err := bl.Route(ctx, blockSrc, sharedSink); err != nil {
+		t.Fatal(err)
+	}
+
+	admin, err := client.Dial(ctx, addr, client.WithBinary(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	resp, err := admin.Forward(ctx, &server.Request{Op: "gw_drain", Session: "be0"})
+	if err == nil && resp.ErrorCode == "" {
+		t.Fatal("gw_drain succeeded despite the sink collision on the target")
+	}
+	gs := g.GatewayStats()
+	if gs.Handoffs != 0 || gs.HandoffFails != 1 {
+		t.Errorf("handoffs/fails = %d/%d, want 0/1", gs.Handoffs, gs.HandoffFails)
+	}
+
+	// No debris: net A must not linger on be1 from the aborted replay.
+	tr, err := direct.Forward(ctx, &server.Request{
+		Op: "trace", Session: "v1000-class/s0", Source: &netA,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ErrorCode == "" && tr.Net != nil && len(tr.Net.Sinks) > 0 {
+		t.Errorf("net A left on target after aborted replay: %+v", tr.Net)
+	}
+	// The session kept serving from be0 with all acked state.
+	if net, err := s0.Trace(ctx, netA); err != nil || net == nil {
+		t.Fatalf("net A lost on source after failed drain: %+v, %v", net, err)
+	}
+
+	// Clear the conflict; the retry must now go through cleanly.
+	if err := bl.Unroute(ctx, blockSrc); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = admin.Forward(ctx, &server.Request{Op: "gw_drain", Session: "be0"})
+	if err != nil {
+		t.Fatalf("gw_drain retry: %v", err)
+	}
+	if resp.ErrorCode != "" {
+		t.Fatalf("gw_drain retry: %s (%s)", resp.Err, resp.ErrorCode)
+	}
+	if len(resp.Devices) != 1 || resp.Devices[0] != "v1000-class/s0" {
+		t.Fatalf("moved sessions = %v, want [v1000-class/s0]", resp.Devices)
+	}
+	if net, err := s0.Trace(ctx, netA); err != nil || net == nil || len(net.Sinks) != 1 {
+		t.Errorf("net A lost in retried handoff: %+v, %v", net, err)
+	}
+	if net, err := s0.Trace(ctx, netB); err != nil || net == nil || len(net.Sinks) != 1 {
+		t.Errorf("net B lost in retried handoff: %+v, %v", net, err)
+	}
+	if got := backendOf(t, s0); got != "be1" {
+		t.Errorf("s0 on %s after retried drain, want be1", got)
+	}
+}

@@ -1,0 +1,92 @@
+package gateway
+
+import (
+	"fmt"
+
+	"repro/internal/server"
+)
+
+// opLog is one session's acked-op journal: the ordered mutating requests
+// the gateway has seen succeed, compacted so a drain replays live state
+// rather than the session's whole history. Replaying the log against a
+// fresh connect on another fleet reproduces the session's routed state —
+// not necessarily byte-identically (the target fleet's router makes its own
+// PIP choices), but net-for-net, which is the contract the epoch-bump
+// resync already gives clients.
+//
+// Compaction rule: a plain unroute cancels the plain route of the same
+// source if nothing order-sensitive happened in between. Ops that touch
+// state the log does not model pairwise (batches, buses, reverse-unroute,
+// core replace) set a barrier; entries at or before the barrier are never
+// compacted away, preserving order around them.
+type opLog struct {
+	entries []*server.Request // nil = compacted out
+	live    int               // non-nil entry count
+	barrier int               // entries[i] with i < barrier never compact
+	routes  map[string]int    // live srcKey -> index of its "route" entry
+}
+
+// srcKey names a route source (or sink, for reverse ops) textually.
+func srcKey(ep *server.EndPointMsg) string {
+	if ep == nil {
+		return ""
+	}
+	if ep.Pin != nil {
+		return fmt.Sprintf("p:%d,%d,%d", ep.Pin.Row, ep.Pin.Col, ep.Pin.Wire)
+	}
+	if ep.Port != nil {
+		return fmt.Sprintf("q:%s/%s/%d", ep.Port.Core, ep.Port.Group, ep.Port.Index)
+	}
+	return ""
+}
+
+// record appends one acked mutating request. The log owns req (the caller
+// hands over a detached copy whose ID/deadline/tenant are cleared).
+func (l *opLog) record(req *server.Request) {
+	if l.routes == nil {
+		l.routes = make(map[string]int)
+	}
+	switch req.Op {
+	case "route":
+		key := srcKey(req.Source)
+		l.entries = append(l.entries, req)
+		l.live++
+		if key != "" {
+			l.routes[key] = len(l.entries) - 1
+		}
+	case "unroute":
+		key := srcKey(req.Source)
+		if idx, ok := l.routes[key]; ok && idx >= l.barrier {
+			// The route this unroute cancels is still compactible: drop the
+			// pair instead of replaying both.
+			l.entries[idx] = nil
+			l.live--
+			delete(l.routes, key)
+			return
+		}
+		delete(l.routes, key)
+		l.entries = append(l.entries, req)
+		l.live++
+	case "core_new":
+		l.entries = append(l.entries, req)
+		l.live++
+	default:
+		// reverse_unroute, bus, bus_batch, batch, core_replace: the log has
+		// no pairwise model for these, so everything before them is pinned
+		// in place and replayed verbatim.
+		l.entries = append(l.entries, req)
+		l.live++
+		l.barrier = len(l.entries)
+	}
+}
+
+// replayList returns the live entries in order.
+func (l *opLog) replayList() []*server.Request {
+	out := make([]*server.Request, 0, l.live)
+	for _, e := range l.entries {
+		if e != nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -62,6 +63,16 @@ var (
 	// ErrFailover: the op raced a board death; acknowledged state is
 	// preserved on the replacement board. Retryable.
 	ErrFailover = errors.New("client: board failed over, retry")
+	// ErrUnauthorized: the hello bearer token was missing or unknown, or
+	// the op targeted another tenant's session (gateway tier).
+	ErrUnauthorized = errors.New("client: unauthorized")
+	// ErrQuotaExceeded: a tenant quota rejected the request — session cap
+	// on connect, ops/s token bucket otherwise. Rate rejections are
+	// retryable after a pause.
+	ErrQuotaExceeded = errors.New("client: tenant quota exceeded")
+	// ErrUnknownAlias: connect named a device-class alias no backend fleet
+	// serves (gateway tier).
+	ErrUnknownAlias = errors.New("client: unknown device-class alias")
 )
 
 // ServiceError is a server-side rejection carrying the structured wire
@@ -95,6 +106,12 @@ func (e *ServiceError) Unwrap() error {
 		return ErrBoardDown
 	case protocol.CodeFailover:
 		return ErrFailover
+	case protocol.CodeUnauthorized:
+		return ErrUnauthorized
+	case protocol.CodeQuota:
+		return ErrQuotaExceeded
+	case protocol.CodeUnknownAlias:
+		return ErrUnknownAlias
 	}
 	return nil
 }
@@ -123,8 +140,9 @@ type Client struct {
 	helloed bool
 	caps    []string
 
-	wantBinary bool // offer the v3 framing in hello
-	binary     bool // negotiated: connection speaks v3 after hello
+	wantBinary bool   // offer the v3 framing in hello
+	binary     bool   // negotiated: connection speaks v3 after hello
+	token      string // bearer token sent in hello (gateway tenants)
 
 	hdr  [v3.HeaderSize]byte // reused v3 header scratch
 	wbuf []byte              // reused v3 request-encode buffer
@@ -137,6 +155,10 @@ type Option func(*Client)
 // its hello (default true). WithBinary(false) pins the connection to
 // framed JSON v2 regardless of what the server advertises.
 func WithBinary(on bool) Option { return func(c *Client) { c.wantBinary = on } }
+
+// WithToken sets the bearer token the hello handshake presents. Gateways
+// resolve it to a tenant; servers without an authenticator ignore it.
+func WithToken(tok string) Option { return func(c *Client) { c.token = tok } }
 
 // Dial connects to a daemon and performs the protocol handshake.
 func Dial(ctx context.Context, addr string, opts ...Option) (*Client, error) {
@@ -204,7 +226,7 @@ func (c *Client) helloLocked(ctx context.Context) error {
 	if c.helloed {
 		return nil
 	}
-	hello := &server.HelloMsg{Version: protocol.Version}
+	hello := &server.HelloMsg{Version: protocol.Version, Token: c.token}
 	if c.wantBinary {
 		// Offer the binary switch; a v2-only server ignores unknown caps.
 		hello.Caps = append(hello.Caps, protocol.CapBinV3)
@@ -212,6 +234,9 @@ func (c *Client) helloLocked(ctx context.Context) error {
 	resp, buf, err := c.roundTrip(ctx, &server.Request{Op: "hello", Hello: hello})
 	putPayload(buf) // hello is always JSON; buf is nil, recycle is a no-op
 	if err != nil {
+		return err
+	}
+	if err := respError(resp); err != nil {
 		return err
 	}
 	if resp.Hello == nil {
@@ -270,14 +295,55 @@ func (c *Client) callBuf(ctx context.Context, req *server.Request) (*server.Resp
 			return nil, nil, err
 		}
 	}
-	return c.roundTrip(ctx, req)
+	resp, buf, err := c.roundTrip(ctx, req)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := respError(resp); err != nil {
+		putPayload(buf)
+		return nil, nil, err
+	}
+	return resp, buf, nil
+}
+
+// Forward performs one raw round trip: the request travels as-is (after the
+// lazy handshake) and the response comes back even when it carries a typed
+// error code — the caller inspects ErrorCode itself. Blob fields (Config,
+// Frames) are detached from the transport buffer, so the response owns its
+// memory. This is the gateway tier's proxy primitive; transport and
+// encoding failures still return an error. Forward stamps req.ID.
+func (c *Client) Forward(ctx context.Context, req *server.Request) (*server.Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if req.Op != "hello" {
+		if err := c.helloLocked(ctx); err != nil {
+			return nil, err
+		}
+	}
+	resp, buf, err := c.roundTrip(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Config) > 0 {
+		resp.Config = append([]byte(nil), resp.Config...)
+	}
+	if len(resp.Frames) > 0 {
+		resp.Frames = append([]byte(nil), resp.Frames...)
+	}
+	putPayload(buf)
+	return resp, nil
 }
 
 // roundTrip writes one request frame and reads its response, on whichever
 // framing the connection negotiated. The context deadline is propagated in
 // the request (bounding the server-side queue wait) and applied to the
 // transport when it supports deadlines, so an expired context abandons the
-// read instead of blocking forever. Callers hold c.mu.
+// read instead of blocking forever. Coded server rejections stay on the
+// response (callBuf converts them with respError; Forward passes them
+// through raw). Callers hold c.mu.
 func (c *Client) roundTrip(ctx context.Context, req *server.Request) (*server.Response, []byte, error) {
 	c.nextID++
 	req.ID = c.nextID
@@ -323,9 +389,6 @@ func (c *Client) roundTrip(ctx context.Context, req *server.Request) (*server.Re
 	if resp.ID != req.ID {
 		return nil, nil, fmt.Errorf("client: response id %d for request %d", resp.ID, req.ID)
 	}
-	if err := respError(resp); err != nil {
-		return nil, nil, err
-	}
 	return resp, nil, nil
 }
 
@@ -358,10 +421,6 @@ func (c *Client) roundTripV3(ctx context.Context, req *server.Request) (*server.
 	if resp.ID != req.ID {
 		putPayload(payload)
 		return nil, nil, fmt.Errorf("client: response id %d for request %d", resp.ID, req.ID)
-	}
-	if err := respError(resp); err != nil {
-		putPayload(payload)
-		return nil, nil, err
 	}
 	return resp, payload, nil
 }
@@ -544,21 +603,59 @@ func (s *Session) do(ctx context.Context, req *server.Request) (*server.Response
 	return resp, nil
 }
 
-// resync re-seeds the mirror from a full readback.
+// resync re-seeds the mirror from a full readback. The readback is retried
+// with capped exponential backoff plus jitter on transient rejections
+// (failover in progress, queue momentarily full): a drain or failover that
+// just bumped the epoch is often still settling the replacement board when
+// the resync lands, and failing the client op over a beat of turbulence
+// would turn a zero-loss handoff into a spurious error.
 func (s *Session) resync(ctx context.Context) error {
-	resp, buf, err := s.c.callBuf(ctx, &server.Request{Op: "readback", Session: s.device})
-	if err != nil {
-		return fmt.Errorf("client: re-seeding mirror after failover: %w", err)
+	const maxAttempts = 8
+	const maxBackoff = 250 * time.Millisecond
+	backoff := 5 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			// Full jitter: a uniform draw from (0, backoff] so concurrent
+			// sessions resyncing off the same epoch bump spread out.
+			wait := time.Duration(rand.Int63n(int64(backoff))) + 1
+			timer := time.NewTimer(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return fmt.Errorf("client: re-seeding mirror after failover: %w", ctx.Err())
+			}
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+		resp, buf, err := s.c.callBuf(ctx, &server.Request{Op: "readback", Session: s.device})
+		if err != nil {
+			if errors.Is(err, ErrFailover) || errors.Is(err, ErrBusy) {
+				lastErr = err
+				continue
+			}
+			return fmt.Errorf("client: re-seeding mirror after failover: %w", err)
+		}
+		// The readback may itself ride a newer epoch (cascaded failover or a
+		// drain completing mid-resync); adopt it so the next op does not
+		// trigger a second, redundant resync.
+		if resp.Epoch != 0 {
+			s.Board, s.Epoch = resp.Board, resp.Epoch
+		}
+		aerr := s.Mirror.ApplyConfig(resp.Config)
+		putPayload(buf)
+		if aerr != nil {
+			return fmt.Errorf("client: re-seeding mirror after failover: %w", aerr)
+		}
+		s.Mirror.ClearDirty()
+		s.Resyncs++
+		s.stale = true
+		return nil
 	}
-	aerr := s.Mirror.ApplyConfig(resp.Config)
-	putPayload(buf)
-	if aerr != nil {
-		return fmt.Errorf("client: re-seeding mirror after failover: %w", aerr)
-	}
-	s.Mirror.ClearDirty()
-	s.Resyncs++
-	s.stale = true
-	return nil
+	return fmt.Errorf("client: re-seeding mirror after failover: %d attempts failed: %w",
+		maxAttempts, lastErr)
 }
 
 // Pin converts a core.Pin to its wire form.

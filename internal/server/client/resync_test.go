@@ -1,0 +1,188 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/jbits"
+	"repro/internal/server"
+	"repro/internal/server/protocol"
+)
+
+// fakeV2Server speaks just enough framed-JSON v2 to drive a Session through
+// an epoch-bump resync: hello, connect, one mutating op that bumps the
+// epoch, then scripted readback responses. It lets the tests inject
+// transient failures on exactly the resync path.
+type fakeV2Server struct {
+	conn      net.Conn
+	config    []byte // full config served on connect and readback
+	rows      int
+	cols      int
+	readbacks int      // readback ops seen
+	script    []string // per-readback error codes ("" = succeed)
+	done      chan struct{}
+}
+
+func startFakeV2(t *testing.T, script []string) (*fakeV2Server, net.Conn) {
+	t.Helper()
+	const rows, cols = 12, 12
+	d, err := device.New(arch.NewVirtex(), rows, cols)
+	if err != nil {
+		t.Fatalf("device.New: %v", err)
+	}
+	cfg, err := d.FullConfig()
+	if err != nil {
+		t.Fatalf("FullConfig: %v", err)
+	}
+	srv, cli := net.Pipe()
+	f := &fakeV2Server{conn: srv, config: cfg, rows: rows, cols: cols,
+		script: script, done: make(chan struct{})}
+	go f.serve()
+	t.Cleanup(func() {
+		cli.Close()
+		srv.Close()
+		<-f.done
+	})
+	return f, cli
+}
+
+func (f *fakeV2Server) serve() {
+	defer close(f.done)
+	for {
+		op, payload, err := jbits.ReadFrame(f.conn)
+		if err != nil {
+			return
+		}
+		var req server.Request
+		if op != server.OpService || json.Unmarshal(payload, &req) != nil {
+			return
+		}
+		jbits.RecycleFrame(payload)
+		resp := &server.Response{ID: req.ID}
+		switch req.Op {
+		case "hello":
+			resp.Hello = &server.HelloMsg{Version: protocol.Version}
+		case "connect":
+			resp.Arch = "virtex"
+			resp.Rows, resp.Cols = f.rows, f.cols
+			resp.Config = f.config
+			resp.Board, resp.Epoch = "b0", 1
+		case "route":
+			// The op succeeded but the session failed over under it: the
+			// epoch the response rides is newer than the one the session
+			// holds, which must trigger a mirror resync.
+			resp.Board, resp.Epoch = "b1", 2
+		case "readback":
+			code := ""
+			if f.readbacks < len(f.script) {
+				code = f.script[f.readbacks]
+			}
+			f.readbacks++
+			if code != "" {
+				resp.ErrorCode = code
+				resp.Err = "fake: injected " + code
+			} else {
+				resp.Config = f.config
+				resp.Board, resp.Epoch = "b1", 2
+			}
+		default:
+			resp.ErrorCode = protocol.CodeUnknownOp
+			resp.Err = "fake: unknown op " + req.Op
+		}
+		out, err := json.Marshal(resp)
+		if err != nil {
+			return
+		}
+		if jbits.WriteFrame(f.conn, server.OpService|jbits.RespFlag, out) != nil {
+			return
+		}
+	}
+}
+
+func pinAt(row, col, w int) core.Pin { return core.NewPin(row, col, arch.Wire(w)) }
+
+func openFakeSession(t *testing.T, cli net.Conn) *Session {
+	t.Helper()
+	c := NewClient(cli)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	s, err := c.Session(ctx, "dev")
+	if err != nil {
+		t.Fatalf("Session: %v", err)
+	}
+	return s
+}
+
+// TestResyncRetriesTransient proves the epoch-bump resync survives
+// transient rejections: the first two readbacks answer failover/busy (a
+// drain or failover still settling) and only the third succeeds. Before the
+// backoff retry this failed the op on the first transient error.
+func TestResyncRetriesTransient(t *testing.T) {
+	f, cli := startFakeV2(t, []string{protocol.CodeFailover, protocol.CodeBusy, ""})
+	s := openFakeSession(t, cli)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	src := Pin(pinAt(1, 1, 0))
+	sink := Pin(pinAt(2, 2, 0))
+	if err := s.Route(ctx, src, sink); err != nil {
+		t.Fatalf("Route across epoch bump: %v", err)
+	}
+	if s.Resyncs != 1 {
+		t.Errorf("Resyncs = %d, want 1", s.Resyncs)
+	}
+	if s.Epoch != 2 || s.Board != "b1" {
+		t.Errorf("session at epoch %d board %q, want 2/b1", s.Epoch, s.Board)
+	}
+	if f.readbacks != 3 {
+		t.Errorf("server saw %d readbacks, want 3 (two transient, one good)", f.readbacks)
+	}
+}
+
+// TestResyncFailsFastOnPermanentError proves the retry loop does not mask
+// non-transient failures: a readback rejected with no_device fails the op
+// immediately, without burning the attempt budget.
+func TestResyncFailsFastOnPermanentError(t *testing.T) {
+	f, cli := startFakeV2(t, []string{protocol.CodeNoDevice})
+	s := openFakeSession(t, cli)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := s.Route(ctx, Pin(pinAt(1, 1, 0)), Pin(pinAt(2, 2, 0)))
+	if err == nil {
+		t.Fatal("Route succeeded, want resync failure")
+	}
+	var se *ServiceError
+	if !errors.As(err, &se) || se.Code != protocol.CodeNoDevice {
+		t.Errorf("err = %v, want ServiceError no_device", err)
+	}
+	if f.readbacks != 1 {
+		t.Errorf("server saw %d readbacks, want 1 (no retry on permanent error)", f.readbacks)
+	}
+}
+
+// TestResyncGivesUpAfterBudget proves the retry budget is bounded: a
+// readback that never stops answering failover eventually surfaces the
+// transient error instead of looping forever.
+func TestResyncGivesUpAfterBudget(t *testing.T) {
+	always := make([]string, 32)
+	for i := range always {
+		always[i] = protocol.CodeFailover
+	}
+	f, cli := startFakeV2(t, always)
+	s := openFakeSession(t, cli)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err := s.Route(ctx, Pin(pinAt(1, 1, 0)), Pin(pinAt(2, 2, 0)))
+	if !errors.Is(err, ErrFailover) {
+		t.Fatalf("err = %v, want wrapped ErrFailover after budget", err)
+	}
+	if f.readbacks < 2 || f.readbacks > 16 {
+		t.Errorf("server saw %d readbacks, want a small bounded retry count", f.readbacks)
+	}
+}

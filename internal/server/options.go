@@ -42,3 +42,11 @@ func WithParanoidVerify(on bool) Opt { return func(o *Options) { o.ParanoidVerif
 // on). With it off the daemon neither advertises nor accepts "binv3" and
 // every connection stays on framed JSON v2.
 func WithBinaryProtocol(on bool) Opt { return func(o *Options) { o.DisableBinary = !on } }
+
+// WithAuth installs a hello-token authenticator: fn maps the bearer token
+// from each connection's hello to a tenant name, or errors to reject the
+// handshake with the unauthorized code. The gateway tier uses this; plain
+// daemons leave it nil and admit everyone as the anonymous tenant.
+func WithAuth(fn func(token string) (tenant string, err error)) Opt {
+	return func(o *Options) { o.Auth = fn }
+}

@@ -46,6 +46,10 @@ type (
 	FleetStatsMsg   = protocol.FleetStatsMsg
 	BoardStatsMsg   = protocol.BoardStatsMsg
 	BoardHWMsg      = protocol.BoardHWMsg
+
+	GatewayStatsMsg   = protocol.GatewayStatsMsg
+	GatewayTenantMsg  = protocol.GatewayTenantMsg
+	GatewayBackendMsg = protocol.GatewayBackendMsg
 )
 
 // OpService is re-exported from the protocol package.

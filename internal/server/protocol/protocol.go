@@ -88,14 +88,31 @@ const (
 	// decode. The frame was rejected before dispatch; the connection stays
 	// usable.
 	CodeMalformed = "malformed"
+	// CodeUnauthorized: the hello bearer token was missing or unknown, or
+	// an op targeted a session owned by a different tenant. Gateway tier
+	// only; daemons without an authenticator never emit it.
+	CodeUnauthorized = "unauthorized"
+	// CodeQuota: a tenant quota rejected the request — the tenant is at its
+	// session cap (connect) or its ops/s token bucket is empty (any op).
+	// Rate rejections are retryable after a pause.
+	CodeQuota = "quota_exceeded"
+	// CodeUnknownAlias: connect named a device-class alias no registered
+	// backend fleet serves. Gateway tier only.
+	CodeUnknownAlias = "unknown_alias"
 )
 
 // HelloMsg is the handshake payload, both directions: the client announces
-// the version it speaks; the server answers with its version and the
-// capabilities it serves.
+// the version it speaks (and, against an authenticating gateway, its
+// bearer token); the server answers with its version and the capabilities
+// it serves.
 type HelloMsg struct {
 	Version int      `json:"version"`
 	Caps    []string `json:"caps,omitempty"`
+	// Token is the tenant bearer token, client to server only. Servers
+	// without an authenticator ignore it; an authenticating gateway maps
+	// it to a tenant and rejects the hello with CodeUnauthorized when it
+	// is missing or unknown.
+	Token string `json:"token,omitempty"`
 }
 
 // Request is one service call. Op selects the operation; Session names the
@@ -118,6 +135,10 @@ type HelloMsg struct {
 //	core_replace     (Session, Core)            §3.3 replace flow
 //	readback         (Session)                  -> Config
 //	statsz           ()                         -> Stats
+//	gw_drain         (Session = backend name)   gateway tier only: drain a
+//	                                            backend fleet with journal
+//	                                            handoff (admin tenants; JSON
+//	                                            v2 framing only)
 //
 // Mutating ops (route, bus, bus_batch, batch, unroute, reverse_unroute,
 // core_new, core_replace) return the dirtied frames in Frames.
@@ -140,8 +161,16 @@ type Request struct {
 	// Key is the fleet placement key for connect: the session is placed on
 	// board slot Key mod fleet size. Nil means the key is derived from the
 	// session name (FNV-1a), keeping placement a pure function of the
-	// name.
+	// name. The gateway tier uses the same key (same FNV-1a default) to
+	// pin the session to a backend fleet before the fleet uses it again
+	// for board placement.
 	Key *uint64 `json:"key,omitempty"`
+
+	// Tenant is the authenticated tenant the connection's hello token
+	// resolved to. It never travels on the wire — the server stamps it on
+	// every decoded request from per-connection state, so clients cannot
+	// spoof it.
+	Tenant string `json:"-"`
 }
 
 // Response answers one Request, matched by ID.
@@ -238,11 +267,13 @@ type CoreMsg struct {
 }
 
 // StatsMsg is the statsz payload: per-session counters and per-op latency
-// histograms, plus the fleet section when the daemon runs fleet mode.
+// histograms, plus the fleet section when the daemon runs fleet mode and
+// the gateway section when the process is a jgateway edge.
 type StatsMsg struct {
 	Sessions map[string]SessionStatsMsg `json:"sessions"`
 	Fleet    *FleetStatsMsg             `json:"fleet,omitempty"`
 	Wire     *WireStatsMsg              `json:"wire,omitempty"`
+	Gateway  *GatewayStatsMsg           `json:"gateway,omitempty"`
 }
 
 // WireStatsMsg is the transport section of statsz: how many connections
@@ -322,4 +353,47 @@ type BoardHWMsg struct {
 	PartialConfigs int `json:"partial_configs"`
 	FramesWritten  int `json:"frames_written"`
 	BytesWritten   int `json:"bytes_written"`
+}
+
+// GatewayStatsMsg is the edge section of statsz: coordinator counters plus
+// one entry per tenant and per backend fleet. It travels inside the same
+// statsz payload on both framings (v3 carries statsz as a JSON blob, so no
+// binary ABI change is needed).
+type GatewayStatsMsg struct {
+	Backends         int `json:"backends"`          // registered backend fleets
+	HealthyBackends  int `json:"healthy_backends"`  // currently in rotation
+	DrainingBackends int `json:"draining_backends"` // marked draining or drained
+	Sessions         int `json:"sessions"`          // admitted logical sessions
+	Probes           int `json:"probes"`            // hello+statsz health probes run
+	ProbeFails       int `json:"probe_fails"`
+	Ejections        int `json:"ejections"` // backends removed from rotation by probes
+	Readmits         int `json:"readmits"`  // ejected backends that probed healthy again
+	Drains           int `json:"drains"`    // completed backend drains
+	Handoffs         int `json:"handoffs"`  // sessions moved by journal replay
+	HandoffFails     int `json:"handoff_fails"`
+	ReplayedOps      int `json:"replayed_ops"` // journaled ops re-executed on handoff targets
+	ReplaySkips      int `json:"replay_skips"` // replayed unroutes whose net was already absent
+
+	Tenants     map[string]GatewayTenantMsg  `json:"tenants,omitempty"`
+	BackendsMap map[string]GatewayBackendMsg `json:"backends_detail,omitempty"`
+}
+
+// GatewayTenantMsg is one tenant's admission counters at the edge.
+type GatewayTenantMsg struct {
+	Sessions         int `json:"sessions"`          // live sessions admitted
+	AdmittedOps      int `json:"admitted_ops"`      // ops that passed the token bucket
+	RejectedOps      int `json:"rejected_ops"`      // ops refused with quota_exceeded
+	RejectedSessions int `json:"rejected_sessions"` // connects refused at the session cap
+}
+
+// GatewayBackendMsg is one backend fleet as the gateway sees it.
+type GatewayBackendMsg struct {
+	Addr       string   `json:"addr"`
+	Classes    []string `json:"classes"` // device-class aliases it serves
+	Healthy    bool     `json:"healthy"`
+	Draining   bool     `json:"draining"`
+	Sessions   int      `json:"sessions"` // sessions currently pinned here
+	Ops        int      `json:"ops"`      // requests forwarded
+	Errors     int      `json:"errors"`   // forwarded requests that failed in transport
+	ProbeFails int      `json:"probe_fails"`
 }

@@ -91,6 +91,11 @@ const (
 	CodeRoute      byte = 0x0B
 	CodeInternal   byte = 0x0C
 	CodeMalformed  byte = 0x0D
+	// Gateway-tier codes (PR 7). Daemons without an authenticator never
+	// emit them, but the bytes are part of the ABI like every other code.
+	CodeUnauthorized byte = 0x0E
+	CodeQuota        byte = 0x0F
+	CodeUnknownAlias byte = 0x10
 )
 
 // Endpoint tags.
@@ -136,6 +141,10 @@ var codeBytes = map[string]byte{
 	protocol.CodeRoute:      CodeRoute,
 	protocol.CodeInternal:   CodeInternal,
 	protocol.CodeMalformed:  CodeMalformed,
+
+	protocol.CodeUnauthorized: CodeUnauthorized,
+	protocol.CodeQuota:        CodeQuota,
+	protocol.CodeUnknownAlias: CodeUnknownAlias,
 }
 
 var codeNames [256]string

@@ -76,7 +76,8 @@ func TestABICodeBytes(t *testing.T) {
 		protocol.CodeDeadline: 0x07, protocol.CodeAdmission: 0x08,
 		protocol.CodeBoardDown: 0x09, protocol.CodeFailover: 0x0A,
 		protocol.CodeRoute: 0x0B, protocol.CodeInternal: 0x0C,
-		protocol.CodeMalformed: 0x0D,
+		protocol.CodeMalformed: 0x0D, protocol.CodeUnauthorized: 0x0E,
+		protocol.CodeQuota: 0x0F, protocol.CodeUnknownAlias: 0x10,
 	}
 	if len(want) != len(codeBytes) {
 		t.Fatalf("code table has %d entries, ABI pins %d", len(codeBytes), len(want))

@@ -35,6 +35,12 @@ type Options struct {
 	// DisableBinary stops the daemon from advertising (and accepting) the
 	// binary v3 framing; every connection then stays on framed JSON v2.
 	DisableBinary bool
+	// Auth, when set, must map the hello bearer token to a tenant name.
+	// A non-nil error rejects the handshake with CodeUnauthorized. The
+	// resolved tenant is stamped on every request the connection sends
+	// (Request.Tenant), so downstream admission can trust it. Nil Auth
+	// (every plain daemon) admits every hello as the anonymous tenant "".
+	Auth func(token string) (tenant string, err error)
 }
 
 func (o Options) enqueueTimeout() time.Duration {
@@ -59,6 +65,13 @@ type Fleet interface {
 	Stats() *FleetStatsMsg
 	// Shutdown stops health probing and drains the board workers.
 	Shutdown(ctx context.Context) error
+}
+
+// GatewayStatser is the optional Fleet extension a gateway coordinator
+// implements: its counters ride statsz under the "gateway" key instead of
+// the fleet section (which describes boards, not backends).
+type GatewayStatser interface {
+	GatewayStats() *protocol.GatewayStatsMsg
 }
 
 // Server is the jrouted daemon: many named device sessions behind one
@@ -220,6 +233,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	}()
 	helloed := false
 	counted := false
+	tenant := "" // resolved once, at hello, from the bearer token
 	for {
 		op, payload, err := jbits.ReadFrame(conn)
 		if err != nil {
@@ -241,7 +255,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			resp.Err = fmt.Sprintf("server: bad request: %v", err)
 			resp.ErrorCode = protocol.CodeBadRequest
 		} else if req.Op == "hello" {
-			resp = s.hello(&req)
+			resp, tenant = s.hello(&req)
 			helloed = resp.Err == ""
 			// The connection switches to the binary v3 framing when the
 			// client echoed the capability in its hello and the server
@@ -258,6 +272,7 @@ func (s *Server) handleConn(conn net.Conn) {
 				Err: fmt.Sprintf("server: hello handshake required before %q (server speaks protocol v%d)",
 					req.Op, protocol.Version)}
 		} else {
+			req.Tenant = tenant
 			resp = s.dispatch(&req)
 		}
 		// The request has been fully decoded; the frame buffer can return
@@ -275,7 +290,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			return
 		}
 		if toV3 {
-			s.serveV3(conn)
+			s.serveV3(conn, tenant)
 			return
 		}
 		s.mu.Lock()
@@ -307,7 +322,7 @@ func helloHasCap(h *HelloMsg, cap string) bool {
 // are reused across requests; a frame failing the pre-parse filter is
 // answered with a typed malformed error and the connection closed (the
 // byte stream can no longer be trusted to be frame-aligned).
-func (s *Server) serveV3(conn net.Conn) {
+func (s *Server) serveV3(conn net.Conn, tenant string) {
 	var hdr [v3.HeaderSize]byte
 	var payload []byte // reused request-payload buffer
 	var out []byte     // reused response-encode buffer
@@ -340,6 +355,7 @@ func (s *Server) serveV3(conn net.Conn) {
 			s.noteMalformed()
 			resp = &Response{ID: h.ID, Err: derr.Error(), ErrorCode: protocol.CodeMalformed}
 		} else {
+			req.Tenant = tenant
 			resp = s.dispatch(req)
 		}
 		head, raw, err := v3.AppendResponse(out[:0], h.Op, resp)
@@ -368,18 +384,28 @@ func (s *Server) serveV3(conn net.Conn) {
 	}
 }
 
-// hello answers the version handshake.
-func (s *Server) hello(req *Request) *Response {
+// hello answers the version handshake and, when an authenticator is
+// configured, resolves the bearer token to the connection's tenant.
+func (s *Server) hello(req *Request) (*Response, string) {
 	if req.Hello == nil {
 		return &Response{ID: req.ID, ErrorCode: protocol.CodeVersion,
-			Err: "server: hello without version"}
+			Err: "server: hello without version"}, ""
 	}
 	if req.Hello.Version != protocol.Version {
 		return &Response{ID: req.ID, ErrorCode: protocol.CodeVersion,
 			Err: fmt.Sprintf("server: protocol version mismatch: client speaks v%d, server speaks v%d",
-				req.Hello.Version, protocol.Version)}
+				req.Hello.Version, protocol.Version)}, ""
 	}
-	return &Response{ID: req.ID, Hello: &HelloMsg{Version: protocol.Version, Caps: s.caps()}}
+	tenant := ""
+	if s.opts.Auth != nil {
+		var err error
+		tenant, err = s.opts.Auth(req.Hello.Token)
+		if err != nil {
+			return &Response{ID: req.ID, ErrorCode: protocol.CodeUnauthorized,
+				Err: fmt.Sprintf("server: %v", err)}, ""
+		}
+	}
+	return &Response{ID: req.ID, Hello: &HelloMsg{Version: protocol.Version, Caps: s.caps()}}, tenant
 }
 
 func errorJSON(id uint64, msg, code string) []byte {
@@ -452,6 +478,9 @@ func (s *Server) Stats() *StatsMsg {
 	}
 	if fleet != nil {
 		out.Fleet = fleet.Stats()
+		if gw, ok := fleet.(GatewayStatser); ok {
+			out.Gateway = gw.GatewayStats()
+		}
 	}
 	s.wmu.Lock()
 	wire := s.wire
