@@ -3,7 +3,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build vet fmt-check test race ci bench bench-go bench-json bench-smoke bench3 bench4 bench5 bench6 fuzz-smoke verify soak soak-smoke gateway-smoke
+.PHONY: build vet fmt-check test race ci bench bench-go bench-json bench-smoke bench3 bench4 bench5 bench6 bench7 fuzz-smoke verify soak soak-smoke gateway-smoke
 
 build:
 	$(GO) build ./...
@@ -22,9 +22,12 @@ race:
 	$(GO) test -race ./...
 
 # bench-smoke compiles and runs every benchmark exactly once — a cheap
-# guard that the benchmark suite itself never rots.
+# guard that the benchmark suite itself never rots. The bench7 smoke
+# slice rides along: the small-geometry partition-scaling run with no
+# acceptance gate.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+	$(GO) run ./cmd/jbench -bench7-smoke
 
 # fuzz-smoke runs each native fuzz target briefly against its checked-in
 # seed corpus — a guard that the targets keep building and the corpus
@@ -83,6 +86,14 @@ bench5:
 # handoff. Any lost acknowledged op or dirty board is a hard failure.
 bench6:
 	$(GO) run ./cmd/jload -json6 BENCH_6.json
+
+# bench7 regenerates the partition-parallel scaling snapshot: the
+# clustered knot workload batch-routed on 64x96 and 256x384, partitioned
+# vs global negotiation across 1/2/4/8 workers, sustained means over 15
+# route-all/unroute-all cycles. Fails unless partitioned sustains >=2.5x
+# over global at 8 workers on 256x384.
+bench7:
+	$(GO) run ./cmd/jbench -json7 BENCH_7.json
 
 # gateway-smoke is the ci-sized slice of the bench6 drain scenario: two
 # in-process fleets behind a gateway, one drained mid-churn, zero lost

@@ -1,0 +1,210 @@
+// BENCH_7: partition-parallel negotiated routing at scale. A clustered
+// knot workload (rows of eight nets leaving one tile's output pins for a
+// tile seven columns away — the pattern that forces real negotiation
+// rounds while partitioning cleanly) is batch-routed repeatedly on a
+// 64x96 and a synthetic 256x384 array, partitioned vs global, across
+// worker counts. The metric is the sustained mean batch time over many
+// route-all / unroute-all cycles: steady-state behaviour is where the
+// global loop pays its recurring costs (whole-grid search arenas churned
+// through the pools and the GC pressure of a multi-gigabyte working set)
+// while the partitioned loop touches only region-sized state.
+//
+// `jbench -json7 BENCH_7.json` writes the snapshot and enforces the
+// acceptance gate; `jbench -bench7-smoke` runs a one-geometry slice with
+// no gate (wired into `make bench-smoke` so the harness never rots).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/workload"
+)
+
+// bench7Entry is one (geometry, mode, parallelism) measurement.
+type bench7Entry struct {
+	Geometry string  `json:"geometry"` // "64x96" or "256x384"
+	Nets     int     `json:"nets"`
+	Mode     string  `json:"mode"` // "partitioned" or "global"
+	Par      int     `json:"parallelism"`
+	Reps     int     `json:"reps"`
+	MeanMs   float64 `json:"mean_ms"`   // sustained mean RouteBatch time
+	MaxMs    float64 `json:"max_ms"`    // worst rep (pool-eviction spikes)
+	OpsPerS  float64 `json:"ops_per_s"` // nets routed per second at the mean
+	// SpeedupVsGlobal compares against the global entry at the same
+	// geometry and parallelism; SpeedupVsPar1 against the same mode's
+	// single-worker entry.
+	SpeedupVsGlobal float64 `json:"speedup_vs_global,omitempty"`
+	SpeedupVsPar1   float64 `json:"speedup_vs_par1,omitempty"`
+	Regions         int     `json:"regions,omitempty"`
+	CrossingNets    int     `json:"crossing_nets,omitempty"`
+}
+
+// bench7Geometry is one device size under test. Cluster counts put each
+// cluster in a 32x32 grid cell: with the default 12-tile bounding-box
+// margin and a spread-5 knot, adjacent clusters' inflated boxes stay
+// disjoint, so the batch splits into one region per cluster.
+type bench7Geometry struct {
+	rows, cols int
+	clusters   int
+	per        int
+	reps       int
+}
+
+func bench7Geometries(smoke bool) []bench7Geometry {
+	if smoke {
+		return []bench7Geometry{{rows: 64, cols: 96, clusters: 6, per: 32, reps: 3}}
+	}
+	return []bench7Geometry{
+		{rows: 64, cols: 96, clusters: 6, per: 32, reps: 15},
+		{rows: 256, cols: 384, clusters: 96, per: 32, reps: 15},
+	}
+}
+
+// bench7Pars is the worker-count sweep.
+func bench7Pars(smoke bool) []int {
+	if smoke {
+		return []int{1, 8}
+	}
+	return []int{1, 2, 4, 8}
+}
+
+// runBench7Config measures the sustained mean over reps route-all /
+// unroute-all cycles for one router configuration. Only RouteBatch is
+// timed; the teardown between reps is not.
+func runBench7Config(g bench7Geometry, part core.PartitionMode, par int, seed int64) (bench7Entry, error) {
+	const spread = 5
+	mode := "partitioned"
+	if part == core.PartitionOff {
+		mode = "global"
+	}
+	e := bench7Entry{
+		Geometry: fmt.Sprintf("%dx%d", g.rows, g.cols),
+		Mode:     mode,
+		Par:      par,
+		Reps:     g.reps,
+	}
+	d, err := device.New(arch.NewVirtex(), g.rows, g.cols)
+	if err != nil {
+		return e, err
+	}
+	srcs, dsts, err := workload.New(seed, g.rows, g.cols).Clustered(g.clusters, g.per, spread)
+	if err != nil {
+		return e, err
+	}
+	e.Nets = len(srcs)
+	r := core.NewRouter(d, core.Options{
+		Parallelism: par,
+		RouteCache:  core.CacheOff, // measure negotiation, not replay
+		Partition:   part,
+	})
+	var total, worst time.Duration
+	for rep := 0; rep < g.reps; rep++ {
+		start := time.Now()
+		err := r.RouteBusBatch(srcs, dsts)
+		elapsed := time.Since(start)
+		if err != nil {
+			return e, fmt.Errorf("%s %s par %d rep %d: %w", e.Geometry, mode, par, rep, err)
+		}
+		total += elapsed
+		if elapsed > worst {
+			worst = elapsed
+		}
+		if err := r.UnrouteAll(); err != nil {
+			return e, err
+		}
+	}
+	mean := total / time.Duration(g.reps)
+	e.MeanMs = float64(mean.Microseconds()) / 1e3
+	e.MaxMs = float64(worst.Microseconds()) / 1e3
+	if mean > 0 {
+		e.OpsPerS = float64(e.Nets) / mean.Seconds()
+	}
+	st := r.Stats()
+	if g.reps > 0 {
+		e.Regions = st.PartitionRegions / g.reps
+		e.CrossingNets = st.PartitionCrossing / g.reps
+	}
+	return e, nil
+}
+
+// runBench7 sweeps the grid, prints the table, computes speedups, writes
+// the JSON snapshot (when path != ""), and — in full mode — enforces the
+// acceptance gate: partitioned must beat global by >= 2.5x sustained at 8
+// workers on the 256x384 array.
+func runBench7(path string, seed int64, smoke bool) error {
+	fmt.Printf("BENCH_7: partition-parallel batch negotiation (GOMAXPROCS=%d, NumCPU=%d)\n",
+		runtime.GOMAXPROCS(0), runtime.NumCPU())
+	var entries []bench7Entry
+	for _, g := range bench7Geometries(smoke) {
+		for _, mode := range []core.PartitionMode{core.PartitionAuto, core.PartitionOff} {
+			for _, par := range bench7Pars(smoke) {
+				// Reset pool and heap state between configurations so each
+				// mode starts from the same footing and neither inherits the
+				// other's pooled whole-grid arenas.
+				runtime.GC()
+				e, err := runBench7Config(g, mode, par, seed)
+				if err != nil {
+					return err
+				}
+				entries = append(entries, e)
+				fmt.Printf("  %-8s %-11s par %d  %4d nets  mean %8.1f ms  max %8.1f ms  %8.0f nets/s\n",
+					e.Geometry, e.Mode, e.Par, e.Nets, e.MeanMs, e.MaxMs, e.OpsPerS)
+			}
+		}
+	}
+	// Speedups: partitioned vs global at equal par, and each mode's
+	// scaling vs its own par-1 entry.
+	find := func(geom, mode string, par int) *bench7Entry {
+		for i := range entries {
+			if entries[i].Geometry == geom && entries[i].Mode == mode && entries[i].Par == par {
+				return &entries[i]
+			}
+		}
+		return nil
+	}
+	for i := range entries {
+		e := &entries[i]
+		if g := find(e.Geometry, "global", e.Par); g != nil && e.Mode == "partitioned" && e.MeanMs > 0 {
+			e.SpeedupVsGlobal = g.MeanMs / e.MeanMs
+		}
+		if p1 := find(e.Geometry, e.Mode, 1); p1 != nil && e.Par != 1 && e.MeanMs > 0 {
+			e.SpeedupVsPar1 = p1.MeanMs / e.MeanMs
+		}
+	}
+	for _, e := range entries {
+		if e.Mode == "partitioned" {
+			fmt.Printf("  %-8s par %d: %.2fx vs global, %.2fx vs par-1 (%d regions, %d crossing)\n",
+				e.Geometry, e.Par, e.SpeedupVsGlobal, e.SpeedupVsPar1, e.Regions, e.CrossingNets)
+		}
+	}
+	if path != "" {
+		enc, err := json.MarshalIndent(entries, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	if !smoke {
+		gate := find("256x384", "partitioned", 8)
+		if gate == nil {
+			return fmt.Errorf("bench7: missing 256x384 partitioned par-8 entry")
+		}
+		if gate.SpeedupVsGlobal < 2.5 {
+			return fmt.Errorf("bench7: partitioned par-8 on 256x384 is %.2fx vs global, below the 2.5x gate",
+				gate.SpeedupVsGlobal)
+		}
+		fmt.Printf("gate: 256x384 partitioned par-8 sustains %.2fx vs global (>= 2.5x required)\n",
+			gate.SpeedupVsGlobal)
+	}
+	return nil
+}

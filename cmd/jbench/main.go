@@ -63,7 +63,17 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	paranoid := flag.Bool("paranoid", false, "run every router with ParanoidVerify: re-extract and oracle-audit the frames after each op (slow; for validating benchmark results, not timing them)")
 	jsonPath := flag.String("json", "", "run the benchmark suite and write machine-readable results to this file")
+	json7Path := flag.String("json7", "", "run the partition-parallel scaling bench (BENCH_7) and write results to this file")
+	bench7Smoke := flag.Bool("bench7-smoke", false, "run the small-geometry BENCH_7 slice with no acceptance gate (ci smoke)")
 	flag.Parse()
+
+	if *json7Path != "" || *bench7Smoke {
+		if err := runBench7(*json7Path, *seed, *bench7Smoke); err != nil {
+			fmt.Fprintf(os.Stderr, "bench7 failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *jsonPath != "" {
 		if err := runBenchJSON(*jsonPath); err != nil {

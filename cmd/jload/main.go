@@ -55,6 +55,13 @@ type result struct {
 	MeanUs        float64 `json:"mean_us"`
 	FramesShipped int     `json:"frames_shipped"`
 	BytesShipped  int     `json:"bytes_shipped"`
+	// Partition-parallel batch negotiation counters, summed across the
+	// run's sessions: regions created, nets crossing a cut, and the
+	// region-local vs whole-device iteration split.
+	PartitionRegions  int `json:"partition_regions,omitempty"`
+	PartitionCrossing int `json:"partition_crossing_nets,omitempty"`
+	RegionIterations  int `json:"region_iterations,omitempty"`
+	GlobalIterations  int `json:"global_iterations,omitempty"`
 	// WireBytesPerOp is payload bytes moved on the wire per op (both
 	// directions, from the daemon's wire counters); AllocsPerOp is the
 	// process-wide heap-allocation count per op during the run (client
@@ -259,6 +266,10 @@ func main() {
 		fmt.Printf("%-10s %s  %d sessions  %6d ops (%d errors)  %8.0f ops/s  p50 %6.0fµs  p99 %6.0fµs  %5.0f wire B/op  %6.0f allocs/op  %d frames / %d bytes shipped\n",
 			res.Name, res.Proto, res.Sessions, res.Ops, res.Errors, res.OpsPerSecond, res.P50us, res.P99us,
 			res.WireBytesPerOp, res.AllocsPerOp, res.FramesShipped, res.BytesShipped)
+		if res.PartitionRegions > 0 || res.GlobalIterations > 0 {
+			fmt.Printf("%-10s partition: %d regions, %d crossing nets, %d region iters, %d global iters\n",
+				"", res.PartitionRegions, res.PartitionCrossing, res.RegionIterations, res.GlobalIterations)
+		}
 	}
 
 	if *gatewayMode {
@@ -379,6 +390,10 @@ func runWorkload(addr, name string, n, rows, cols int, seed int64, mode string,
 	for name, ss := range after.Sessions {
 		res.FramesShipped += ss.FramesShipped - before.Sessions[name].FramesShipped
 		res.BytesShipped += ss.BytesShipped - before.Sessions[name].BytesShipped
+		res.PartitionRegions += ss.PartitionRegions - before.Sessions[name].PartitionRegions
+		res.PartitionCrossing += ss.PartitionCrossing - before.Sessions[name].PartitionCrossing
+		res.RegionIterations += ss.RegionIterations - before.Sessions[name].RegionIterations
+		res.GlobalIterations += ss.GlobalIterations - before.Sessions[name].GlobalIterations
 	}
 	if after.Fleet != nil {
 		// Fleet workers report under the fleet stats tree, not Sessions.
@@ -389,6 +404,10 @@ func runWorkload(addr, name string, n, rows, cols int, seed int64, mode string,
 			}
 			res.FramesShipped += bs.Worker.FramesShipped - prev.FramesShipped
 			res.BytesShipped += bs.Worker.BytesShipped - prev.BytesShipped
+			res.PartitionRegions += bs.Worker.PartitionRegions - prev.PartitionRegions
+			res.PartitionCrossing += bs.Worker.PartitionCrossing - prev.PartitionCrossing
+			res.RegionIterations += bs.Worker.RegionIterations - prev.RegionIterations
+			res.GlobalIterations += bs.Worker.GlobalIterations - prev.GlobalIterations
 		}
 	}
 	return res, nil

@@ -7,6 +7,22 @@ import (
 	"repro/internal/maze"
 )
 
+// PartitionMode selects spatial partitioning for batch negotiation. The
+// zero value enables it (PartitionAuto), so existing Options literals get
+// partition-parallel routing by default — safe, because partitioning is
+// an exact decomposition that never changes the routed result.
+type PartitionMode uint8
+
+const (
+	// PartitionAuto (the zero value) enables partition-parallel batch
+	// negotiation.
+	PartitionAuto PartitionMode = iota
+	// PartitionOff forces the single whole-device negotiation loop.
+	PartitionOff
+)
+
+func (o Options) partitionEnabled() bool { return o.Partition != PartitionOff }
+
 // BatchNet is one net of a batch-routing request.
 type BatchNet struct {
 	Source EndPoint
@@ -22,7 +38,11 @@ type BatchNet struct {
 // route or none do.
 //
 // Connection records are created for every net, so port memory and
-// unrouting behave exactly as with the sequential calls.
+// unrouting behave exactly as with the sequential calls. If a commit
+// fails partway (it cannot contend — the negotiation guarantees disjoint
+// tracks — but the device may still reject a PIP), both the PIPs already
+// set and the Connection records already created by this call are rolled
+// back.
 func (r *Router) RouteBatch(nets []BatchNet) (err error) {
 	r.enterOp()
 	defer r.exitOp(&err)
@@ -57,38 +77,58 @@ func (r *Router) RouteBatch(nets []BatchNet) (err error) {
 	res, err := maze.NegotiatedRoute(r.Dev, specs, maze.NegotiationOptions{
 		Options:     r.Opt.mazeOptions(),
 		Parallelism: r.Opt.Parallelism,
+		Partition:   r.Opt.partitionEnabled(),
 	})
 	if err != nil {
 		return err
 	}
 	r.stats.NodesExplored += res.Explored
 	r.stats.BatchIterations += res.Iterations
-	// Commit. The negotiation guarantees disjoint tracks, so this cannot
-	// contend; roll back everything if a commit fails anyway.
+	r.stats.PartitionRegions += res.Regions
+	r.stats.PartitionCrossing += res.CrossingNets
+	r.stats.RegionIterations += res.RegionIterations
+	r.stats.GlobalIterations += res.GlobalIterations
+	// Commit net by net, creating each net's Connection record as soon as
+	// its PIPs are on the device. A failure therefore has to undo both:
+	// clear the applied PIPs and drop the records this call created.
+	connMark := len(r.conns)
 	var applied []device.PIP
-	for _, pips := range res.Nets {
-		for _, p := range pips {
-			if err := r.Dev.SetPIP(p.Row, p.Col, p.From, p.To); err != nil {
-				for i := len(applied) - 1; i >= 0; i-- {
-					q := applied[i]
-					if cerr := r.Dev.ClearPIP(q.Row, q.Col, q.From, q.To); cerr == nil {
-						r.stats.PIPsCleared++
-					}
-				}
+	rollback := func() {
+		for i := len(applied) - 1; i >= 0; i-- {
+			q := applied[i]
+			if cerr := r.Dev.ClearPIP(q.Row, q.Col, q.From, q.To); cerr == nil {
+				r.stats.PIPsCleared++
+			}
+		}
+		r.conns = r.conns[:connMark]
+	}
+	for i, pips := range res.Nets {
+		for pi, p := range pips {
+			if err := r.commitBatchPIP(i, pi, p); err != nil {
+				rollback()
 				return fmt.Errorf("core: committing batch: %w", err)
 			}
 			applied = append(applied, p)
 			r.stats.PIPsSet++
 		}
-	}
-	for i, n := range nets {
-		r.stats.Routes += len(n.Sinks)
+		r.stats.Routes += len(nets[i].Sinks)
 		// Each net's negotiated path goes onto its record so the route
 		// cache can replay it after an unroute, just like sequential routes.
-		r.curPath = append(r.curPath[:0], res.Nets[i]...)
-		r.record(n.Source, n.Sinks...)
+		r.curPath = append(r.curPath[:0], pips...)
+		r.record(nets[i].Source, nets[i].Sinks...)
 	}
 	return nil
+}
+
+// commitBatchPIP sets one negotiated PIP on the device, first consulting
+// the test-only fault hook that audits the rollback path.
+func (r *Router) commitBatchPIP(net, pip int, p device.PIP) error {
+	if r.batchCommitFault != nil {
+		if err := r.batchCommitFault(net, pip); err != nil {
+			return err
+		}
+	}
+	return r.Dev.SetPIP(p.Row, p.Col, p.From, p.To)
 }
 
 // RouteBusBatch is RouteBus via the negotiated batch router: each bit

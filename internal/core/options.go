@@ -43,6 +43,11 @@ func WithParallelism(n int) Option { return func(o *Options) { o.Parallelism = n
 // WithRouteCache controls the relocation-aware route cache.
 func WithRouteCache(m CacheMode) Option { return func(o *Options) { o.RouteCache = m } }
 
+// WithPartition controls spatial partitioning of batch negotiation
+// (PartitionAuto enables it; PartitionOff forces the global loop — the
+// routed result is identical either way).
+func WithPartition(m PartitionMode) Option { return func(o *Options) { o.Partition = m } }
+
 // WithParanoidVerify audits every automatic op boundary through the
 // bitstream oracle.
 func WithParanoidVerify(on bool) Option { return func(o *Options) { o.ParanoidVerify = on } }

@@ -50,6 +50,15 @@ type Options struct {
 	// full search. The zero value (CacheAuto) enables it; CacheOff forces
 	// every automatic route through search.
 	RouteCache CacheMode
+	// Partition controls spatial partitioning of batch negotiation
+	// (RouteBatch/RouteBusBatch): nets are grouped into scopes with
+	// disjoint bounding boxes and each scope negotiates concurrently over
+	// region-local state. The zero value (PartitionAuto) enables it;
+	// PartitionOff forces the single whole-device negotiation loop. The
+	// routed result and the committed bitstream are identical either way
+	// — only wall-clock time, memory locality, and the Partition* stats
+	// change.
+	Partition PartitionMode
 	// ParanoidVerify runs the independent bitstream oracle after every
 	// top-level automatic routing call: the configuration is serialized,
 	// re-extracted from raw frames, structurally checked, and compared
@@ -79,6 +88,35 @@ type Stats struct {
 	CacheHits       int // routes satisfied by replaying a cached path
 	CacheMisses     int // cache lookups that found no applicable entry
 	ReplayFails     int // cached paths whose legality sweep failed (fell back to search)
+
+	// Partition observability (see Options.Partition). The counters
+	// describe scheduling structure only — the routed result is identical
+	// whatever they read.
+	PartitionRegions  int // bisection leaf regions that received nets
+	PartitionCrossing int // nets that crossed a bisection cut
+	RegionIterations  int // negotiation rounds inside crossing-free region scopes
+	GlobalIterations  int // negotiation rounds in merged (crossing or whole-device) scopes
+}
+
+// Sub returns the counter deltas s minus prev, for metrics pipelines that
+// snapshot Stats around an operation.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Routes:            s.Routes - prev.Routes,
+		TemplateHits:      s.TemplateHits - prev.TemplateHits,
+		MazeFallbacks:     s.MazeFallbacks - prev.MazeFallbacks,
+		NodesExplored:     s.NodesExplored - prev.NodesExplored,
+		PIPsSet:           s.PIPsSet - prev.PIPsSet,
+		PIPsCleared:       s.PIPsCleared - prev.PIPsCleared,
+		BatchIterations:   s.BatchIterations - prev.BatchIterations,
+		CacheHits:         s.CacheHits - prev.CacheHits,
+		CacheMisses:       s.CacheMisses - prev.CacheMisses,
+		ReplayFails:       s.ReplayFails - prev.ReplayFails,
+		PartitionRegions:  s.PartitionRegions - prev.PartitionRegions,
+		PartitionCrossing: s.PartitionCrossing - prev.PartitionCrossing,
+		RegionIterations:  s.RegionIterations - prev.RegionIterations,
+		GlobalIterations:  s.GlobalIterations - prev.GlobalIterations,
+	}
 }
 
 // Connection records one routed net at the endpoint level, which is what
@@ -120,6 +158,10 @@ type Router struct {
 	// opDepth tracks nesting of verified routing calls so ParanoidVerify
 	// audits only at the outermost call boundary (see paranoid.go).
 	opDepth int
+	// batchCommitFault, when non-nil, injects a failure before the
+	// (net, pip)-th SetPIP of a RouteBatch commit — test-only, for
+	// auditing the commit rollback path.
+	batchCommitFault func(net, pip int) error
 }
 
 // NewRouter creates a router for a device.

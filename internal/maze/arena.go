@@ -1,9 +1,45 @@
 package maze
 
 import (
+	"math/bits"
 	"sync"
 
 	"repro/internal/device"
+)
+
+// Scratch objects (arenas, mark sets, congestion tables) are pooled per
+// power-of-two size class rather than in one mixed pool. Partition-scoped
+// negotiation requests tiny region-local tables while a global pass over
+// a 256×384 device requests tens of millions of slots; a mixed pool would
+// hand a region-sized object to the global pass (forcing a giant
+// reallocation every time) and park grid-sized objects on region work.
+// Classing by requested capacity keeps reallocation bounded: an object
+// grows at most once within its class and then stays there.
+
+const poolClasses = 36 // class 35 covers every int32-indexable size
+
+type sizedPools [poolClasses]sync.Pool
+
+func sizeClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+func poolGet[T any](p *sizedPools, n int, fresh func() T) T {
+	if v := p[sizeClass(n)].Get(); v != nil {
+		return v.(T)
+	}
+	return fresh()
+}
+
+func poolPut[T any](p *sizedPools, n int, v T) { p[sizeClass(n)].Put(v) }
+
+var (
+	arenaPools sizedPools
+	markPools  sizedPools
+	congPools  sizedPools
 )
 
 // The search arena is the zero-steady-state-allocation scratch space behind
@@ -37,17 +73,15 @@ type arena struct {
 	heap  []heapItem   // frontier backing storage, reused across searches
 }
 
-var arenaPool = sync.Pool{New: func() interface{} { return new(arena) }}
-
 // getArena returns a pooled arena ready for a fresh search over n tracks.
 func getArena(n int) *arena {
-	ar := arenaPool.Get().(*arena)
+	ar := poolGet(&arenaPools, n, func() *arena { return new(arena) })
 	ar.ensure(n)
 	ar.begin()
 	return ar
 }
 
-func putArena(ar *arena) { arenaPool.Put(ar) }
+func putArena(ar *arena) { poolPut(&arenaPools, ar.n, ar) }
 
 // ensure sizes the tables for n tracks. Growing reallocates (zeroed stamps
 // restart the epoch); shrinking never happens — a large-device arena serves
@@ -162,10 +196,8 @@ type markSet struct {
 	stamp []uint32
 }
 
-var markPool = sync.Pool{New: func() interface{} { return new(markSet) }}
-
 func getMarkSet(n int) *markSet {
-	m := markPool.Get().(*markSet)
+	m := poolGet(&markPools, n, func() *markSet { return new(markSet) })
 	if m.n < n {
 		m.stamp = make([]uint32, n)
 		m.epoch = 0
@@ -174,7 +206,7 @@ func getMarkSet(n int) *markSet {
 	return m
 }
 
-func putMarkSet(m *markSet) { markPool.Put(m) }
+func putMarkSet(m *markSet) { poolPut(&markPools, m.n, m) }
 
 // reset empties the set in O(1).
 func (m *markSet) reset() {

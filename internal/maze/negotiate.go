@@ -29,6 +29,17 @@ import (
 // track conflict are rerouted: for each overused track, the lowest-index
 // net using it keeps its route (a deterministic tie-break that both speeds
 // convergence and prevents symmetric oscillation between identical nets).
+//
+// On top of that, Partition splits the batch into independent *scopes*
+// (see partition.go): groups of nets whose inflated bounding boxes are
+// pairwise disjoint across groups. Each scope runs its own negotiation
+// loop concurrently over scope-local congestion, arena and mark-set
+// arrays — no global iteration barrier, and state sized by the region
+// instead of the whole grid. Because every net's search is confined to
+// its box in both modes and disjoint boxes cannot share tracks, the
+// scoped loops compute exactly what the single global loop computes:
+// partitioning never changes the routed result, only wall-clock time and
+// memory locality.
 
 // NetSpec is one net to batch-route: a source track and its sink tracks.
 type NetSpec struct {
@@ -40,10 +51,29 @@ type NetSpec struct {
 type BatchResult struct {
 	// PIPs per net, in application order.
 	Nets [][]device.PIP
-	// Iterations used until convergence.
+	// Iterations used until convergence: the maximum over scopes, which
+	// equals the global iteration count (a scope that converged early
+	// contributes nothing to later global iterations anyway).
 	Iterations int
 	// Explored counts total search states over all iterations.
 	Explored int
+
+	// Partition observability. All zero when partitioning is disabled.
+	//
+	// Regions is the number of bisection leaf regions that received at
+	// least one net; CrossingNets counts nets that crossed a bisection
+	// cut and were merged conservatively; Scopes is the number of
+	// independent negotiation loops actually run.
+	Regions      int
+	CrossingNets int
+	Scopes       int
+	// RegionIterations sums iterations of scopes with no crossing nets
+	// (pure regional negotiation); GlobalIterations sums iterations of
+	// scopes that absorbed crossing nets — the merged, global-flavoured
+	// work. With partitioning off the single whole-device pass counts as
+	// global.
+	RegionIterations int
+	GlobalIterations int
 }
 
 // NegotiationOptions tune the batch router.
@@ -57,12 +87,28 @@ type NegotiationOptions struct {
 	// HistoryFactor scales the accumulated-congestion penalty
 	// (default 1.0).
 	HistoryFactor float64
-	// Parallelism bounds the worker goroutines that re-route one
-	// iteration's ripped-up nets concurrently. 0 means
+	// Parallelism bounds the worker goroutines. With a single scope they
+	// re-route one iteration's ripped-up nets concurrently; with several
+	// scopes they run whole scopes concurrently. 0 means
 	// runtime.GOMAXPROCS(0); 1 routes on the calling goroutine. Every
 	// value produces the identical result (and therefore the identical
 	// committed bitstream) — only wall-clock time changes.
 	Parallelism int
+	// Partition enables scope decomposition: recursive bisection of the
+	// device plus a conservative merge of cut-crossing nets, each scope
+	// negotiated independently over region-local state. The routed
+	// result is identical with partitioning on or off.
+	Partition bool
+	// PartitionDepth caps the bisection recursion. 0 derives a depth
+	// from Parallelism (enough leaves to keep every worker busy with
+	// room to balance).
+	PartitionDepth int
+	// BBoxMargin inflates every net's bounding box on all sides before
+	// confinement and partitioning. 0 means 2×HexLen of the device
+	// architecture — detour room plus the canonical-origin span of the
+	// longest non-long wire. Applies identically in both partition
+	// modes; it is part of the search definition, not of partitioning.
+	BBoxMargin int
 }
 
 func (o NegotiationOptions) maxIterations() int {
@@ -93,6 +139,27 @@ func (o NegotiationOptions) parallelism() int {
 	return o.Parallelism
 }
 
+func (o NegotiationOptions) margin(hexLen int) int {
+	if o.BBoxMargin > 0 {
+		return o.BBoxMargin
+	}
+	return 2 * hexLen
+}
+
+// partitionDepth caps bisection by Parallelism: 4 + ceil(log2(par))
+// levels gives up to 16·par leaves — enough slack for the merge phase to
+// eat some without starving workers, while keeping the cut scan cheap.
+func (o NegotiationOptions) partitionDepth() int {
+	if o.PartitionDepth > 0 {
+		return o.PartitionDepth
+	}
+	d := 4
+	for p := 1; p < o.parallelism(); p <<= 1 {
+		d++
+	}
+	return d
+}
+
 // congestion holds the dense per-track negotiation state, epoch-stamped so
 // a pooled instance resets in O(1). A slot's counters are zero unless its
 // stamp matches the current epoch.
@@ -104,10 +171,8 @@ type congestion struct {
 	history []float64 // accumulated overuse
 }
 
-var congPool = sync.Pool{New: func() interface{} { return new(congestion) }}
-
 func getCongestion(n int) *congestion {
-	c := congPool.Get().(*congestion)
+	c := poolGet(&congPools, n, func() *congestion { return new(congestion) })
 	if c.n < n {
 		c.stamp = make([]uint32, n)
 		c.present = make([]int32, n)
@@ -125,7 +190,7 @@ func getCongestion(n int) *congestion {
 	return c
 }
 
-func putCongestion(c *congestion) { congPool.Put(c) }
+func putCongestion(c *congestion) { poolPut(&congPools, c.n, c) }
 
 func (c *congestion) touch(i int32) {
 	if c.stamp[i] != c.epoch {
@@ -159,43 +224,58 @@ func (c *congestion) addHistory(i int32, d float64) {
 	c.history[i] += d
 }
 
-// negState is the shared, per-call negotiation state. During the routing
-// phase of an iteration it is read-only; all mutation happens in the merge
-// phase on the calling goroutine.
+// negState is the per-scope negotiation state. During the routing phase
+// of an iteration it is read-only; all mutation happens in the merge
+// phase on the scope's own goroutine.
 type negState struct {
 	dev     *device.Device
 	opt     NegotiationOptions
+	sc      *scope
 	cong    *congestion
 	presFac float64
 	histFac float64
 }
 
-// preppedNet is a NetSpec resolved once up front: source index and sinks
-// in the fixed nearest-first routing order.
+// preppedNet is a NetSpec resolved once up front: sinks in the fixed
+// nearest-first routing order, plus the inflated bounding box that
+// confines its searches (and drives partitioning).
 type preppedNet struct {
-	src    device.Track
-	srcIdx int32
-	sinks  []device.Track
+	src   device.Track
+	sinks []device.Track
+	box   rect
 }
 
 // netRoute is one net's routing result within an iteration.
 type netRoute struct {
 	pips     []device.PIP
-	used     []int32 // track indices occupied, source first, deduplicated
+	used     []int32 // scope-local track indices occupied, source first, deduplicated
 	explored int
 	err      error
+}
+
+// scopeResult is one scope's converged (or failed) negotiation.
+type scopeResult struct {
+	routes     [][]device.PIP // indexed like scope.nets
+	iterations int
+	explored   int
+	err        error
+	errIter    int // iteration of the failure; maxIterations+1 for nonconvergence
+	errNet     int // global index of the failing net
 }
 
 // NegotiatedRoute routes all nets together under negotiated congestion and
 // returns the per-net PIP lists without touching device state; Apply the
 // result (or use core.Router.RouteBatch, which does both). It fails if the
 // negotiation does not converge within MaxIterations. The result is
-// deterministic: independent of Parallelism and repeatable across runs.
+// deterministic: independent of Parallelism and Partition settings, and
+// repeatable across runs.
 func NegotiatedRoute(dev *device.Device, nets []NetSpec, opt NegotiationOptions) (*BatchResult, error) {
 	if len(nets) == 0 {
 		return nil, fmt.Errorf("maze: empty batch: %w", ErrUnroutable)
 	}
+	margin := opt.margin(dev.A.HexLen)
 	prepped := make([]preppedNet, len(nets))
+	boxes := make([]rect, len(nets))
 	for i, n := range nets {
 		if len(n.Sinks) == 0 {
 			return nil, fmt.Errorf("maze: batch net %d has no sinks: %w", i, ErrUnroutable)
@@ -208,66 +288,169 @@ func NegotiatedRoute(dev *device.Device, nets []NetSpec, opt NegotiationOptions)
 			db := abs(sinks[b].Row-src.Row) + abs(sinks[b].Col-src.Col)
 			return da < db
 		})
-		prepped[i] = preppedNet{src: src, srcIdx: dev.TrackIndex(src), sinks: sinks}
+		box := netBox(dev, src, sinks, margin)
+		prepped[i] = preppedNet{src: src, sinks: sinks, box: box}
+		boxes[i] = box
 	}
 
+	res := &BatchResult{}
+	var scopes []*scope
+	if opt.Partition {
+		scopes, res.Regions, res.CrossingNets = buildScopes(dev, boxes, opt.partitionDepth())
+		res.Scopes = len(scopes)
+	} else {
+		all := make([]int, len(nets))
+		for i := range all {
+			all[i] = i
+		}
+		wc := dev.NumTracks() / (dev.Rows * dev.Cols)
+		scopes = []*scope{{rc: rect{0, 0, dev.Rows - 1, dev.Cols - 1}, nets: all, wc: wc, par: 1}}
+	}
+
+	results := runScopes(dev, opt, prepped, scopes)
+
+	// A deterministic failure: among failed scopes, report the one whose
+	// failure happened first — lexicographically by (iteration, net) —
+	// exactly the error the single global loop would have hit.
+	errAt := -1
+	for i := range results {
+		if results[i].err == nil {
+			continue
+		}
+		if errAt < 0 || results[i].errIter < results[errAt].errIter ||
+			(results[i].errIter == results[errAt].errIter && results[i].errNet < results[errAt].errNet) {
+			errAt = i
+		}
+	}
+	if errAt >= 0 {
+		return nil, results[errAt].err
+	}
+
+	res.Nets = make([][]device.PIP, len(nets))
+	for si, sc := range scopes {
+		r := &results[si]
+		for j, i := range sc.nets {
+			res.Nets[i] = r.routes[j]
+		}
+		if r.iterations > res.Iterations {
+			res.Iterations = r.iterations
+		}
+		res.Explored += r.explored
+		if opt.Partition && sc.crossing == 0 {
+			res.RegionIterations += r.iterations
+		} else {
+			res.GlobalIterations += r.iterations
+		}
+	}
+	return res, nil
+}
+
+// runScopes executes every scope's negotiation loop, concurrently when
+// there are several scopes and workers to spare. A single scope instead
+// gets the full Parallelism budget for its intra-iteration reroutes —
+// which is exactly the pre-partitioning behaviour.
+func runScopes(dev *device.Device, opt NegotiationOptions, prepped []preppedNet, scopes []*scope) []scopeResult {
+	results := make([]scopeResult, len(scopes))
+	par := opt.parallelism()
+	if len(scopes) == 1 {
+		scopes[0].par = par
+		results[0] = runScope(dev, opt, prepped, scopes[0])
+		return results
+	}
+	workers := par
+	if workers > len(scopes) {
+		workers = len(scopes)
+	}
+	if workers <= 1 {
+		for i, sc := range scopes {
+			results[i] = runScope(dev, opt, prepped, sc)
+		}
+		return results
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(scopes) {
+					return
+				}
+				results[i] = runScope(dev, opt, prepped, scopes[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// runScope runs the negotiation loop for one scope. All state is sized by
+// the scope rectangle, so small regions touch small arrays.
+func runScope(dev *device.Device, opt NegotiationOptions, prepped []preppedNet, sc *scope) scopeResult {
 	st := &negState{
 		dev:     dev,
 		opt:     opt,
-		cong:    getCongestion(dev.NumTracks()),
+		sc:      sc,
+		cong:    getCongestion(sc.tracks()),
 		presFac: 0, // first iteration ignores sharing entirely
 		histFac: opt.historyFactor(),
 	}
 	defer putCongestion(st.cong)
 
-	routes := make([][]device.PIP, len(nets))
-	used := make([][]int32, len(nets))
-	res := &BatchResult{}
+	n := len(sc.nets)
+	out := scopeResult{routes: make([][]device.PIP, n)}
+	used := make([][]int32, n)
 
 	// keeper[k] remembers, per iteration, the first net that claimed
-	// overused track k; tracked via the pooled mark set's epoch.
-	keeperSet := getMarkSet(dev.NumTracks())
-	keeperVal := make([]int32, 0)
+	// overused track k; tracked via the pooled mark set's epoch. The
+	// value is the *global* net index — the keeper rule's tie-break must
+	// not depend on how nets were grouped.
+	keeperSet := getMarkSet(sc.tracks())
+	keeperVal := make([]int32, sc.tracks())
 	defer putMarkSet(keeperSet)
 
-	reroute := make([]int, len(nets))
-	for i := range reroute {
-		reroute[i] = i
+	reroute := make([]int, n) // scope-local positions
+	for j := range reroute {
+		reroute[j] = j
 	}
 
-	for iter := 1; iter <= st.opt.maxIterations(); iter++ {
-		res.Iterations = iter
+	for iter := 1; iter <= opt.maxIterations(); iter++ {
+		out.iterations = iter
 		results := st.routeAll(prepped, reroute, used)
 		// Merge in net order. Results are per-net pure functions of the
 		// iteration snapshot, so this ordering — not the worker
 		// scheduling — defines the outcome.
-		for j, i := range reroute {
-			r := &results[j]
+		for x, j := range reroute {
+			r := &results[x]
 			if r.err != nil {
-				return nil, fmt.Errorf("maze: batch net %d: %w", i, r.err)
+				out.err = fmt.Errorf("maze: batch net %d: %w", sc.nets[j], r.err)
+				out.errIter, out.errNet = iter, sc.nets[j]
+				return out
 			}
-			for _, k := range used[i] {
+			for _, k := range used[j] {
 				st.cong.addPresent(k, -1)
 			}
-			routes[i] = r.pips
-			used[i] = r.used
+			out.routes[j] = r.pips
+			used[j] = r.used
 			for _, k := range r.used {
 				st.cong.addPresent(k, 1)
 			}
-			res.Explored += r.explored
+			out.explored += r.explored
 		}
 		// Find overuse; accumulate history on shared tracks; decide who
 		// reroutes next round (everyone sharing a track except its first
 		// claimant, so each conflict strands at most one net in place).
+		// Scope nets ascend in global order, so the first claimant here
+		// is the first claimant of the global loop too.
 		keeperSet.reset()
-		if cap(keeperVal) < dev.NumTracks() {
-			keeperVal = make([]int32, dev.NumTracks())
-		}
 		reroute = reroute[:0]
 		overused := false
-		for i := range nets {
+		for j := 0; j < n; j++ {
 			needs := false
-			for _, k := range used[i] {
+			for _, k := range used[j] {
 				c := st.cong.presentAt(k)
 				if c <= 1 {
 					continue
@@ -275,41 +458,43 @@ func NegotiatedRoute(dev *device.Device, nets []NetSpec, opt NegotiationOptions)
 				overused = true
 				if !keeperSet.has(k) {
 					keeperSet.add(k)
-					keeperVal[k] = int32(i)
+					keeperVal[k] = int32(sc.nets[j])
 					st.cong.addHistory(k, float64(c-1))
 				}
-				if keeperVal[k] != int32(i) {
+				if keeperVal[k] != int32(sc.nets[j]) {
 					needs = true
 				}
 			}
 			if needs {
-				reroute = append(reroute, i)
+				reroute = append(reroute, j)
 			}
 		}
 		if !overused {
-			res.Nets = routes
-			return res, nil
+			return out
 		}
-		st.presFac = st.opt.presentFactor() * float64(iter)
+		st.presFac = opt.presentFactor() * float64(iter)
 	}
-	return nil, fmt.Errorf("maze: negotiation did not converge in %d iterations: %w",
-		st.opt.maxIterations(), ErrUnroutable)
+	out.err = fmt.Errorf("maze: negotiation did not converge in %d iterations: %w",
+		opt.maxIterations(), ErrUnroutable)
+	out.errIter, out.errNet = opt.maxIterations()+1, sc.nets[0]
+	return out
 }
 
 // routeAll routes the given nets against the current congestion snapshot,
-// sequentially or on a bounded worker pool. results[j] corresponds to
-// reroute[j]; slot contents do not depend on the worker count.
+// sequentially or on a bounded worker pool. reroute holds scope-local net
+// positions; results[x] corresponds to reroute[x], and slot contents do
+// not depend on the worker count.
 func (st *negState) routeAll(prepped []preppedNet, reroute []int, oldUsed [][]int32) []netRoute {
 	results := make([]netRoute, len(reroute))
-	par := st.opt.parallelism()
+	par := st.sc.par
 	if par > len(reroute) {
 		par = len(reroute)
 	}
 	if par <= 1 {
 		w := st.newWorker()
 		defer w.release()
-		for j, i := range reroute {
-			results[j] = w.routeNet(prepped[i], oldUsed[i])
+		for x, j := range reroute {
+			results[x] = w.routeNet(prepped[st.sc.nets[j]], oldUsed[j])
 		}
 		return results
 	}
@@ -323,12 +508,12 @@ func (st *negState) routeAll(prepped []preppedNet, reroute []int, oldUsed [][]in
 			w := st.newWorker()
 			defer w.release()
 			for {
-				j := int(next.Add(1))
-				if j >= len(reroute) {
+				x := int(next.Add(1))
+				if x >= len(reroute) {
 					return
 				}
-				i := reroute[j]
-				results[j] = w.routeNet(prepped[i], oldUsed[i])
+				j := reroute[x]
+				results[x] = w.routeNet(prepped[st.sc.nets[j]], oldUsed[j])
 			}
 		}()
 	}
@@ -339,7 +524,7 @@ func (st *negState) routeAll(prepped []preppedNet, reroute []int, oldUsed [][]in
 // negWorker is the per-goroutine scratch state of the routing phase: a
 // search arena, a membership set for the net's previous-iteration tracks
 // (its usage must not penalize itself), and one for the tracks of the
-// route being built.
+// route being built. All three are indexed in the scope-local space.
 type negWorker struct {
 	st        *negState
 	ar        *arena
@@ -349,7 +534,7 @@ type negWorker struct {
 }
 
 func (st *negState) newWorker() *negWorker {
-	n := st.dev.NumTracks()
+	n := st.sc.tracks()
 	return &negWorker{st: st, ar: getArena(n), self: getMarkSet(n), cur: getMarkSet(n)}
 }
 
@@ -359,7 +544,7 @@ func (w *negWorker) release() {
 	putMarkSet(w.cur)
 }
 
-// penalty is the congestion surcharge for occupying track i.
+// penalty is the congestion surcharge for occupying track i (scope-local).
 func (w *negWorker) penalty(i int32) float64 {
 	st := w.st
 	users := st.cong.presentAt(i)
@@ -377,16 +562,18 @@ func (w *negWorker) penalty(i int32) float64 {
 // congestion snapshot, without mutating shared state.
 func (w *negWorker) routeNet(net preppedNet, oldUsed []int32) netRoute {
 	dev := w.st.dev
+	sc := w.st.sc
 	w.self.reset()
 	for _, k := range oldUsed {
 		w.self.add(k)
 	}
 	w.cur.reset()
-	w.cur.add(net.srcIdx)
+	srcIdx := sc.idx(net.src)
+	w.cur.add(srcIdx)
 	w.netTracks = append(w.netTracks[:0], net.src)
-	out := netRoute{used: append(make([]int32, 0, len(oldUsed)+1), net.srcIdx)}
+	out := netRoute{used: append(make([]int32, 0, len(oldUsed)+1), srcIdx)}
 	for _, sink := range net.sinks {
-		segment, exp, err := w.search(w.netTracks, sink)
+		segment, exp, err := w.search(w.netTracks, sink, net.box)
 		out.explored += exp
 		if err != nil {
 			return netRoute{explored: out.explored, err: err}
@@ -397,7 +584,7 @@ func (w *negWorker) routeNet(net preppedNet, oldUsed []int32) netRoute {
 			if !ok {
 				return netRoute{explored: out.explored, err: fmt.Errorf("maze: bad segment PIP %v", p)}
 			}
-			k := dev.TrackIndex(t)
+			k := sc.idx(t)
 			if w.cur.has(k) {
 				continue
 			}
@@ -412,12 +599,17 @@ func (w *negWorker) routeNet(net preppedNet, oldUsed []int32) netRoute {
 	return out
 }
 
-// search is a congestion-aware A* from the net's tracks to one sink.
-// Tracks used by other nets are allowed (that is the negotiation), but
-// tracks already driven on the real device are hard obstacles.
-func (w *negWorker) search(sources []device.Track, sink device.Track) ([]device.PIP, int, error) {
+// search is a congestion-aware A* from the net's tracks to one sink,
+// confined to the net's bounding box: a candidate whose canonical tile
+// falls outside the box is not expanded. Confinement applies identically
+// whether partitioning is on or off — it is what makes scopes with
+// disjoint boxes provably non-interacting. Tracks used by other nets are
+// allowed (that is the negotiation), but tracks already driven on the
+// real device are hard obstacles.
+func (w *negWorker) search(sources []device.Track, sink device.Track, box rect) ([]device.PIP, int, error) {
 	st := w.st
 	dev := st.dev
+	sc := st.sc
 	sinkKey := sink.Key()
 	sinkTile := device.Coord{Row: sink.Row, Col: sink.Col}
 	if _, driven := dev.DriverOf(sink); driven {
@@ -435,12 +627,12 @@ func (w *negWorker) search(sources []device.Track, sink device.Track) ([]device.
 	}
 	ar := w.ar
 	ar.begin()
-	sinkIdx := dev.TrackIndex(sink)
+	sinkIdx := sc.idx(sink)
 	for _, s := range sources {
 		if s.Key() == sinkKey {
 			return nil, 0, nil
 		}
-		si := dev.TrackIndex(s)
+		si := sc.idx(s)
 		if ar.seen(si) {
 			continue
 		}
@@ -460,7 +652,11 @@ func (w *negWorker) search(sources []device.Track, sink device.Track) ([]device.
 		}
 		goal := false
 		for _, c := range dev.PIPChoices(it.track) {
-			if c.TIdx != sinkIdx {
+			if !box.contains(c.Target.Row, c.Target.Col) {
+				continue
+			}
+			ti := sc.idx(c.Target)
+			if ti != sinkIdx {
 				if !st.opt.allowKind(c.Kind) {
 					continue
 				}
@@ -471,16 +667,16 @@ func (w *negWorker) search(sources []device.Track, sink device.Track) ([]device.
 			if _, driven := dev.DriverOf(c.Target); driven {
 				continue
 			}
-			ng := it.g + float64(hopCost(c.Kind)) + w.penalty(c.TIdx)
-			if ar.seen(c.TIdx) && ar.g[c.TIdx] <= ng {
+			ng := it.g + float64(hopCost(c.Kind)) + w.penalty(ti)
+			if ar.seen(ti) && ar.g[ti] <= ng {
 				continue
 			}
-			ar.visit(c.TIdx, ng, c.P, it.ti)
-			if c.TIdx == sinkIdx {
+			ar.visit(ti, ng, c.P, it.ti)
+			if ti == sinkIdx {
 				goal = true
 				break
 			}
-			ar.push(heapItem{track: c.Target, ti: c.TIdx, g: ng, f: ng + h(c.Target)})
+			ar.push(heapItem{track: c.Target, ti: ti, g: ng, f: ng + h(c.Target)})
 		}
 		if goal {
 			return ar.reconstruct(sinkIdx), explored, nil

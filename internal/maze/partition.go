@@ -1,0 +1,337 @@
+package maze
+
+import (
+	"sort"
+
+	"repro/internal/device"
+)
+
+// Spatial partitioning for negotiated batch routing — ROADMAP item 3,
+// after the recursive-bisection parallel routers (PAPERS.md, arxiv
+// 2407.00009): nets whose bounding boxes don't overlap can never compete
+// for a track, so they negotiate fully concurrently with no congestion
+// interaction and no shared iteration barrier.
+//
+// The decomposition is *exact*, not approximate. Every net's search is
+// confined to its inflated bounding box (in both partition modes — see
+// negotiate.go), and a net can only ever occupy tracks whose canonical
+// tile lies inside that box. Nets are grouped into scopes such that nets
+// in different scopes have pairwise-disjoint boxes: a track has a single
+// canonical tile, so two nets in different scopes cannot share any track,
+// their congestion and keeper trajectories never interact, and running
+// each scope's negotiation loop independently is algebraically identical
+// to running one global loop over all nets. Partitioning is therefore
+// pure scheduling + locality: bitstreams stay byte-identical for any
+// worker count and any partition depth.
+//
+// Scope formation is recursive bisection followed by a conservative
+// merge. The device rectangle is cut along the lighter-loaded axis (the
+// cut crossed by the fewest net boxes, ties broken deterministically),
+// nets fully inside a side descend into it, and nets crossing the cut
+// are set aside. After bisection bottoms out, every crossing net is
+// unioned with each net whose box intersects its own, which glues any
+// transitively-overlapping groups into one scope. Over-merging is always
+// safe — it can only reduce parallelism, never change the result; in the
+// worst case (one net overlapping everything) the batch collapses into a
+// single scope, which is exactly the pre-partitioning global pass.
+
+// rect is an inclusive tile rectangle.
+type rect struct {
+	r0, c0, r1, c1 int
+}
+
+func (a rect) rows() int { return a.r1 - a.r0 + 1 }
+func (a rect) cols() int { return a.c1 - a.c0 + 1 }
+
+func (a rect) intersects(b rect) bool {
+	return a.r0 <= b.r1 && b.r0 <= a.r1 && a.c0 <= b.c1 && b.c0 <= a.c1
+}
+
+func (a rect) union(b rect) rect {
+	if b.r0 < a.r0 {
+		a.r0 = b.r0
+	}
+	if b.c0 < a.c0 {
+		a.c0 = b.c0
+	}
+	if b.r1 > a.r1 {
+		a.r1 = b.r1
+	}
+	if b.c1 > a.c1 {
+		a.c1 = b.c1
+	}
+	return a
+}
+
+// contains reports whether tile (r,c) is inside the rectangle.
+func (a rect) contains(r, c int) bool {
+	return r >= a.r0 && r <= a.r1 && c >= a.c0 && c <= a.c1
+}
+
+// netBox is the net's inflated bounding box: the bbox of its source and
+// sink tiles grown by margin on every side and clamped to the device.
+// The margin buys the search detour room and covers the canonical-origin
+// offset of directional wires (a hex used eastward through the box has
+// its canonical tile up to HexLen tiles west of it).
+func netBox(dev *device.Device, src device.Track, sinks []device.Track, margin int) rect {
+	b := rect{r0: src.Row, c0: src.Col, r1: src.Row, c1: src.Col}
+	for _, s := range sinks {
+		b = b.union(rect{r0: s.Row, c0: s.Col, r1: s.Row, c1: s.Col})
+	}
+	b.r0 -= margin
+	b.c0 -= margin
+	b.r1 += margin
+	b.c1 += margin
+	if b.r0 < 0 {
+		b.r0 = 0
+	}
+	if b.c0 < 0 {
+		b.c0 = 0
+	}
+	if b.r1 > dev.Rows-1 {
+		b.r1 = dev.Rows - 1
+	}
+	if b.c1 > dev.Cols-1 {
+		b.c1 = dev.Cols - 1
+	}
+	return b
+}
+
+// scope is one independently negotiated group of nets. Its rectangle
+// covers every member's box; track state (arena, mark sets, congestion)
+// is indexed in the scope-local space ((row-r0)*cols+(col-c0))*wc+wire,
+// so a small region pays for small arrays regardless of device size.
+type scope struct {
+	rc       rect
+	nets     []int // global net indices, ascending
+	crossing int   // members that crossed a bisection cut
+	wc       int   // wires per tile (device-wide constant)
+	par      int   // intra-scope routing parallelism
+}
+
+// tracks is the size of the scope-local index space.
+func (s *scope) tracks() int { return s.rc.rows() * s.rc.cols() * s.wc }
+
+// idx maps a track whose canonical tile lies inside the scope rectangle
+// to its scope-local index.
+func (s *scope) idx(t device.Track) int32 {
+	return int32(((t.Row-s.rc.r0)*s.rc.cols()+(t.Col-s.rc.c0))*s.wc + int(t.W))
+}
+
+// unionFind is a plain path-halving union-find over net indices.
+type unionFind struct{ parent []int }
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		if rb < ra {
+			ra, rb = rb, ra
+		}
+		u.parent[rb] = ra
+	}
+}
+
+// cutStats describes one candidate bisection of a node.
+type cutStats struct {
+	axis     int // 0 = cut between rows, 1 = cut between columns
+	pos      int // first row/col of the right/lower side
+	crossing int
+	balance  int // |left - right| net count
+	ok       bool
+}
+
+// bestCutOnAxis scans every cut position on one axis and returns the one
+// crossing the fewest boxes, breaking ties toward the most balanced
+// split and then the lower position. Cuts that leave one side empty are
+// still considered (they can trim dead space) but only if they cross
+// fewer boxes than a balanced alternative would.
+func bestCutOnAxis(rc rect, boxes []rect, nets []int, axis int) cutStats {
+	lo, hi := rc.r0, rc.r1
+	if axis == 1 {
+		lo, hi = rc.c0, rc.c1
+	}
+	best := cutStats{axis: axis}
+	for p := lo + 1; p <= hi; p++ {
+		crossing, left, right := 0, 0, 0
+		for _, i := range nets {
+			b := boxes[i]
+			b0, b1 := b.r0, b.r1
+			if axis == 1 {
+				b0, b1 = b.c0, b.c1
+			}
+			switch {
+			case b1 < p:
+				left++
+			case b0 >= p:
+				right++
+			default:
+				crossing++
+			}
+		}
+		bal := left - right
+		if bal < 0 {
+			bal = -bal
+		}
+		cand := cutStats{axis: axis, pos: p, crossing: crossing, balance: bal, ok: true}
+		if !best.ok || cand.crossing < best.crossing ||
+			(cand.crossing == best.crossing && cand.balance < best.balance) {
+			best = cand
+		}
+	}
+	return best
+}
+
+// bestCut picks the lighter-loaded axis: the axis whose best cut crosses
+// fewer net boxes; ties go to the longer dimension, then to rows. A cut
+// that crosses every net is useless and reported as not ok.
+func bestCut(rc rect, boxes []rect, nets []int) cutStats {
+	row := bestCutOnAxis(rc, boxes, nets, 0)
+	col := bestCutOnAxis(rc, boxes, nets, 1)
+	best := row
+	switch {
+	case !row.ok:
+		best = col
+	case !col.ok:
+		best = row
+	case col.crossing < row.crossing:
+		best = col
+	case col.crossing == row.crossing && rc.cols() > rc.rows():
+		best = col
+	}
+	if best.ok && best.crossing >= len(nets) {
+		best.ok = false
+	}
+	return best
+}
+
+// buildScopes partitions the batch. It returns the scopes (each a group
+// of nets whose boxes are disjoint from every other scope's), the number
+// of leaf regions that received nets, and the number of cut-crossing
+// nets. boxes[i] is net i's inflated bounding box.
+func buildScopes(dev *device.Device, boxes []rect, maxDepth int) (scopes []*scope, regions, crossing int) {
+	n := len(boxes)
+	wc := dev.NumTracks() / (dev.Rows * dev.Cols)
+	uf := newUnionFind(n)
+
+	type node struct {
+		rc    rect
+		nets  []int
+		depth int
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	var crossers []int
+	stack := []node{{rc: rect{0, 0, dev.Rows - 1, dev.Cols - 1}, nets: all}}
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if len(nd.nets) == 0 {
+			continue
+		}
+		leaf := func() {
+			regions++
+			for _, i := range nd.nets[1:] {
+				uf.union(nd.nets[0], i)
+			}
+		}
+		if nd.depth >= maxDepth || len(nd.nets) <= 1 {
+			leaf()
+			continue
+		}
+		cut := bestCut(nd.rc, boxes, nd.nets)
+		if !cut.ok {
+			leaf()
+			continue
+		}
+		var left, right []int
+		lrc, rrc := nd.rc, nd.rc
+		if cut.axis == 0 {
+			lrc.r1, rrc.r0 = cut.pos-1, cut.pos
+		} else {
+			lrc.c1, rrc.c0 = cut.pos-1, cut.pos
+		}
+		for _, i := range nd.nets {
+			b := boxes[i]
+			b0, b1 := b.r0, b.r1
+			if cut.axis == 1 {
+				b0, b1 = b.c0, b.c1
+			}
+			switch {
+			case b1 < cut.pos:
+				left = append(left, i)
+			case b0 >= cut.pos:
+				right = append(right, i)
+			default:
+				crossers = append(crossers, i)
+			}
+		}
+		crossing += len(nd.nets) - len(left) - len(right)
+		stack = append(stack,
+			node{rc: rrc, nets: right, depth: nd.depth + 1},
+			node{rc: lrc, nets: left, depth: nd.depth + 1})
+	}
+
+	// Conservative exactness merge: a crossing net joins the scope of
+	// every net whose box its own intersects (and transitively, via the
+	// union-find, everything those touch).
+	for _, ci := range crossers {
+		for j := 0; j < n; j++ {
+			if j != ci && boxes[ci].intersects(boxes[j]) {
+				uf.union(ci, j)
+			}
+		}
+	}
+
+	// Materialize components as scopes; the scope rectangle is the union
+	// of the member boxes, so every member search stays in-bounds of the
+	// scope-local index space.
+	crossSet := make(map[int]bool, len(crossers))
+	for _, ci := range crossers {
+		crossSet[ci] = true
+	}
+	byRoot := make(map[int]*scope)
+	for i := 0; i < n; i++ {
+		root := uf.find(i)
+		sc := byRoot[root]
+		if sc == nil {
+			sc = &scope{rc: boxes[i], wc: wc, par: 1}
+			byRoot[root] = sc
+			scopes = append(scopes, sc)
+		}
+		sc.rc = sc.rc.union(boxes[i])
+		sc.nets = append(sc.nets, i)
+		if crossSet[i] {
+			sc.crossing++
+		}
+	}
+	for _, sc := range scopes {
+		sort.Ints(sc.nets)
+	}
+	// Largest scopes first so the worker pool drains stragglers early;
+	// first-net tie-break keeps the order deterministic.
+	sort.Slice(scopes, func(a, b int) bool {
+		if len(scopes[a].nets) != len(scopes[b].nets) {
+			return len(scopes[a].nets) > len(scopes[b].nets)
+		}
+		return scopes[a].nets[0] < scopes[b].nets[0]
+	})
+	return scopes, regions, crossing
+}

@@ -2,7 +2,8 @@
 // oracle: one seeded op script (route/unroute/reverse-unroute/reroute,
 // single-sink/fanout/bus, core place/replace) is applied in lockstep to
 // several router configurations — route cache on and off, parallelism 1
-// and N — and after every step the harness requires (1) all
+// and N, batch negotiation partitioned and global — and after every step
+// the harness requires (1) all
 // configurations agree on the op's success or failure, (2) all
 // configurations report identical endpoint claims, (3) configurations
 // sharing a cache mode are byte-identical at the frame level (parallelism
@@ -59,16 +60,25 @@ type Config struct {
 	Name        string
 	Cache       core.CacheMode
 	Parallelism int
+	// Partition selects spatial partitioning for batch negotiation; the
+	// zero value (PartitionAuto) enables it. Partitioning is an exact
+	// decomposition, so boards sharing a cache mode must stay
+	// byte-identical whether batches negotiate globally or per region.
+	Partition core.PartitionMode
 }
 
-// DefaultConfigs is the standard 2x2 grid: cache {on, off} x parallelism
-// {1, 8}.
+// DefaultConfigs is the standard grid: cache {on, off} x parallelism
+// {1, 8} with partitioned batch negotiation (the default), plus a
+// global-negotiation board per cache mode so partitioning itself is under
+// byte-level differential test on every run.
 func DefaultConfigs() []Config {
 	return []Config{
 		{Name: "cache-on/par-1", Cache: core.CacheOn, Parallelism: 1},
 		{Name: "cache-on/par-8", Cache: core.CacheOn, Parallelism: 8},
+		{Name: "cache-on/par-8/global", Cache: core.CacheOn, Parallelism: 8, Partition: core.PartitionOff},
 		{Name: "cache-off/par-1", Cache: core.CacheOff, Parallelism: 1},
 		{Name: "cache-off/par-8", Cache: core.CacheOff, Parallelism: 8},
+		{Name: "cache-off/par-8/global", Cache: core.CacheOff, Parallelism: 8, Partition: core.PartitionOff},
 	}
 }
 
@@ -342,6 +352,7 @@ func Run(o Options) (*Result, error) {
 			rtr: core.NewRouter(dev, core.Options{
 				RouteCache:  cfg.Cache,
 				Parallelism: cfg.Parallelism,
+				Partition:   cfg.Partition,
 			}),
 			regs: make(map[int]*cores.Register),
 		}

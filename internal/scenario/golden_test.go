@@ -27,6 +27,11 @@ var goldenConfigs = []struct {
 	{"cache-on/par-8", core.Options{RouteCache: core.CacheOn, Parallelism: 8}},
 	{"cache-off/par-1", core.Options{RouteCache: core.CacheOff, Parallelism: 1}},
 	{"cache-off/par-8", core.Options{RouteCache: core.CacheOff, Parallelism: 8}},
+	// The entries above negotiate batches partitioned (PartitionAuto is the
+	// zero value); these two force the single global loop — partitioning is
+	// an exact decomposition, so the frames must not move.
+	{"cache-on/par-8/global", core.Options{RouteCache: core.CacheOn, Parallelism: 8, Partition: core.PartitionOff}},
+	{"cache-off/par-1/global", core.Options{RouteCache: core.CacheOff, Parallelism: 1, Partition: core.PartitionOff}},
 }
 
 // TestGoldenBitstreams pins every scenario's committed configuration

@@ -4,6 +4,8 @@ import (
 	"math"
 	"sync"
 	"time"
+
+	"repro/internal/core"
 )
 
 // histBuckets is the number of power-of-two latency buckets; bucket i
@@ -68,17 +70,21 @@ type opMetrics struct {
 // sessionMetrics collects one device session's counters. The worker
 // goroutine writes; statsz readers snapshot under the mutex.
 type sessionMetrics struct {
-	mu              sync.Mutex
-	routes          int
-	ripUps          int
-	batchIterations int
-	cacheHits       int
-	cacheMisses     int
-	replayFails     int
-	connections     int // live connection records (absolute, not a delta)
-	framesShipped   int
-	bytesShipped    int
-	ops             map[string]*opMetrics
+	mu                sync.Mutex
+	routes            int
+	ripUps            int
+	batchIterations   int
+	cacheHits         int
+	cacheMisses       int
+	replayFails       int
+	partitionRegions  int
+	partitionCrossing int
+	regionIterations  int
+	globalIterations  int
+	connections       int // live connection records (absolute, not a delta)
+	framesShipped     int
+	bytesShipped      int
+	ops               map[string]*opMetrics
 }
 
 func newSessionMetrics() *sessionMetrics {
@@ -100,19 +106,24 @@ func (m *sessionMetrics) observe(op string, d time.Duration, failed bool) {
 	om.hist.observe(d)
 }
 
-// addRouterDelta folds one op's router-stat deltas into the session
-// counters; connections is the router's live record count *after* the op
-// (stored absolute). Called from the worker goroutine, which owns the
-// router, so statsz readers never touch router state directly.
-func (m *sessionMetrics) addRouterDelta(routes, ripUps, batchIters, cacheHits, cacheMisses, replayFails, connections int) {
+// addRouterDelta folds one op's router-stat delta (after.Sub(before))
+// into the session counters; connections is the router's live record
+// count *after* the op (stored absolute). Called from the worker
+// goroutine, which owns the router, so statsz readers never touch router
+// state directly.
+func (m *sessionMetrics) addRouterDelta(d core.Stats, connections int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.routes += routes
-	m.ripUps += ripUps
-	m.batchIterations += batchIters
-	m.cacheHits += cacheHits
-	m.cacheMisses += cacheMisses
-	m.replayFails += replayFails
+	m.routes += d.Routes
+	m.ripUps += d.PIPsCleared
+	m.batchIterations += d.BatchIterations
+	m.cacheHits += d.CacheHits
+	m.cacheMisses += d.CacheMisses
+	m.replayFails += d.ReplayFails
+	m.partitionRegions += d.PartitionRegions
+	m.partitionCrossing += d.PartitionCrossing
+	m.regionIterations += d.RegionIterations
+	m.globalIterations += d.GlobalIterations
 	m.connections = connections
 }
 
@@ -127,17 +138,21 @@ func (m *sessionMetrics) snapshot(queueDepth int) SessionStatsMsg {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := SessionStatsMsg{
-		Routes:          m.routes,
-		RipUps:          m.ripUps,
-		BatchIterations: m.batchIterations,
-		CacheHits:       m.cacheHits,
-		CacheMisses:     m.cacheMisses,
-		ReplayFails:     m.replayFails,
-		Connections:     m.connections,
-		FramesShipped:   m.framesShipped,
-		BytesShipped:    m.bytesShipped,
-		QueueDepth:      queueDepth,
-		Ops:             make(map[string]OpStatsMsg, len(m.ops)),
+		Routes:            m.routes,
+		RipUps:            m.ripUps,
+		BatchIterations:   m.batchIterations,
+		CacheHits:         m.cacheHits,
+		CacheMisses:       m.cacheMisses,
+		ReplayFails:       m.replayFails,
+		PartitionRegions:  m.partitionRegions,
+		PartitionCrossing: m.partitionCrossing,
+		RegionIterations:  m.regionIterations,
+		GlobalIterations:  m.globalIterations,
+		Connections:       m.connections,
+		FramesShipped:     m.framesShipped,
+		BytesShipped:      m.bytesShipped,
+		QueueDepth:        queueDepth,
+		Ops:               make(map[string]OpStatsMsg, len(m.ops)),
 	}
 	for op, om := range m.ops {
 		out.Ops[op] = OpStatsMsg{

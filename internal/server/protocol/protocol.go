@@ -295,17 +295,25 @@ type WireStatsMsg struct {
 
 // SessionStatsMsg aggregates one device session.
 type SessionStatsMsg struct {
-	Routes          int                   `json:"routes"`
-	RipUps          int                   `json:"rip_ups"` // PIPs ripped up (cleared)
-	BatchIterations int                   `json:"batch_iterations"`
-	CacheHits       int                   `json:"cache_hits"`   // routes served by path replay
-	CacheMisses     int                   `json:"cache_misses"` // cache lookups without an entry
-	ReplayFails     int                   `json:"replay_fails"` // replays that fell back to search
-	Connections     int                   `json:"connections"`  // live connection records
-	FramesShipped   int                   `json:"frames_shipped"`
-	BytesShipped    int                   `json:"bytes_shipped"`
-	QueueDepth      int                   `json:"queue_depth"`
-	Ops             map[string]OpStatsMsg `json:"ops"`
+	Routes          int `json:"routes"`
+	RipUps          int `json:"rip_ups"` // PIPs ripped up (cleared)
+	BatchIterations int `json:"batch_iterations"`
+	CacheHits       int `json:"cache_hits"`   // routes served by path replay
+	CacheMisses     int `json:"cache_misses"` // cache lookups without an entry
+	ReplayFails     int `json:"replay_fails"` // replays that fell back to search
+	// Partition-parallel batch negotiation observability: regions the
+	// batch planner created, nets whose bounding boxes crossed a cut, and
+	// the split of negotiation iterations between region-local loops and
+	// the whole-device loop.
+	PartitionRegions  int                   `json:"partition_regions"`
+	PartitionCrossing int                   `json:"partition_crossing_nets"`
+	RegionIterations  int                   `json:"region_iterations"`
+	GlobalIterations  int                   `json:"global_iterations"`
+	Connections       int                   `json:"connections"` // live connection records
+	FramesShipped     int                   `json:"frames_shipped"`
+	BytesShipped      int                   `json:"bytes_shipped"`
+	QueueDepth        int                   `json:"queue_depth"`
+	Ops               map[string]OpStatsMsg `json:"ops"`
 }
 
 // OpStatsMsg is one operation's count and latency distribution.

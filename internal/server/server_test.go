@@ -259,6 +259,57 @@ func TestServiceStats(t *testing.T) {
 	}
 }
 
+// TestServiceStatsPartition: the partition-negotiation counters reach
+// statsz — a batch op on the default (partitioned) router reports its
+// regions and region-local iterations over the wire.
+func TestServiceStatsPartition(t *testing.T) {
+	ctx := context.Background()
+	addr, _ := startDaemon(t, server.Options{}, "dev")
+	c, err := client.Dial(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s, err := c.Session(ctx, "dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := []server.EndPointMsg{
+		client.Pin(core.NewPin(2, 3, arch.S1YQ)),
+		client.Pin(core.NewPin(5, 3, arch.S1YQ)),
+	}
+	dsts := []server.EndPointMsg{
+		client.Pin(core.NewPin(2, 9, arch.S0F3)),
+		client.Pin(core.NewPin(5, 9, arch.S0F3)),
+	}
+	if err := s.RouteBusBatch(ctx, srcs, dsts); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, ok := stats.Sessions["dev"]
+	if !ok {
+		t.Fatal("statsz missing session")
+	}
+	// On a 16x24 array the inflated bounding boxes span the device, so the
+	// batch merges into one region (its iterations counted region- or
+	// global-flavoured depending on whether a trimming cut marked nets as
+	// crossing) — either way the counters must tick over the wire.
+	if ss.PartitionRegions < 1 {
+		t.Errorf("partition_regions = %d, want >= 1", ss.PartitionRegions)
+	}
+	if ss.RegionIterations+ss.GlobalIterations < 1 {
+		t.Errorf("no negotiation iterations in statsz: region %d, global %d",
+			ss.RegionIterations, ss.GlobalIterations)
+	}
+	if ss.RegionIterations+ss.GlobalIterations < ss.BatchIterations {
+		t.Errorf("iteration split %d+%d below batch_iterations %d",
+			ss.RegionIterations, ss.GlobalIterations, ss.BatchIterations)
+	}
+}
+
 // TestGracefulShutdown: a loaded daemon answers everything in flight,
 // drains, and refuses new work afterwards.
 func TestGracefulShutdown(t *testing.T) {

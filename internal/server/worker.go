@@ -270,13 +270,7 @@ func (w *Worker) handle(req *Request) *Response {
 		}
 	}
 	after := w.router.Stats()
-	w.m.addRouterDelta(after.Routes-before.Routes,
-		after.PIPsCleared-before.PIPsCleared,
-		after.BatchIterations-before.BatchIterations,
-		after.CacheHits-before.CacheHits,
-		after.CacheMisses-before.CacheMisses,
-		after.ReplayFails-before.ReplayFails,
-		w.router.ConnectionCount())
+	w.m.addRouterDelta(after.Sub(before), w.router.ConnectionCount())
 	if err == nil && mutating(req.Op) {
 		if ferr := w.shipDirty(resp); ferr != nil {
 			resp.Err = ferr.Error()

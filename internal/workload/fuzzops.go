@@ -140,9 +140,19 @@ func (g *Gen) Script(o ScriptOptions) ([]ScriptOp, error) {
 	var retired []liveNet
 	coreLive := make([]bool, o.CoreSlots)
 
-	freshOut := func() (core.Pin, bool) {
+	// win constrains endpoint picks to a tile window; nil means the whole
+	// array. Clustered-bus steps use a window so the batch exercises the
+	// partitioned negotiator's region path, not just device-wide nets.
+	type win struct{ r0, c0, r1, c1 int }
+	pick := func(w *win) (int, int) {
+		if w == nil {
+			return g.Rng.Intn(g.Rows), g.Rng.Intn(g.Cols)
+		}
+		return w.r0 + g.Rng.Intn(w.r1-w.r0+1), w.c0 + g.Rng.Intn(w.c1-w.c0+1)
+	}
+	freshOutIn := func(w *win) (core.Pin, bool) {
 		for i := 0; i < ChurnRetryLimit; i++ {
-			r, c := g.Rng.Intn(g.Rows), g.Rng.Intn(g.Cols)
+			r, c := pick(w)
 			if reserved[device.Coord{Row: r, Col: c}] {
 				continue
 			}
@@ -153,9 +163,10 @@ func (g *Gen) Script(o ScriptOptions) ([]ScriptOp, error) {
 		}
 		return core.Pin{}, false
 	}
-	freshIn := func(avoid map[device.Coord]bool) (core.Pin, bool) {
+	freshOut := func() (core.Pin, bool) { return freshOutIn(nil) }
+	freshInWin := func(avoid map[device.Coord]bool, w *win) (core.Pin, bool) {
 		for i := 0; i < ChurnRetryLimit; i++ {
-			r, c := g.Rng.Intn(g.Rows), g.Rng.Intn(g.Cols)
+			r, c := pick(w)
 			co := device.Coord{Row: r, Col: c}
 			if reserved[co] || (avoid != nil && avoid[co]) {
 				continue
@@ -167,6 +178,7 @@ func (g *Gen) Script(o ScriptOptions) ([]ScriptOp, error) {
 		}
 		return core.Pin{}, false
 	}
+	freshIn := func(avoid map[device.Coord]bool) (core.Pin, bool) { return freshInWin(avoid, nil) }
 	exhausted := func(step int) error {
 		return &EndpointExhaustedError{Step: step, Attempts: ChurnRetryLimit}
 	}
@@ -287,15 +299,36 @@ func (g *Gen) Script(o ScriptOptions) ([]ScriptOp, error) {
 				commit(src, sinks)
 			default: // bus, routed as one negotiated batch
 				w := 2 + g.Rng.Intn(o.MaxBusWidth-1)
+				// Half the buses are clustered into a tight window (when the
+				// array has room) so the negotiated batch lands inside one
+				// partition region; the rest stay device-wide and tend to
+				// become partition-crossing nets. Window picks that exhaust
+				// fall back to device-wide placement — determinism is
+				// preserved because the fallback is part of the same seeded
+				// draw sequence.
+				var window *win
+				const winH, winW = 8, 10
+				if g.Rows > winH && g.Cols > winW && g.Rng.Intn(2) == 0 {
+					r0 := g.Rng.Intn(g.Rows - winH)
+					c0 := g.Rng.Intn(g.Cols - winW)
+					window = &win{r0: r0, c0: c0, r1: r0 + winH - 1, c1: c0 + winW - 1}
+				}
 				var srcs, dsts []core.Pin
 				ok := true
 				for b := 0; b < w && ok; b++ {
 					var src, dst core.Pin
-					if src, ok = freshOut(); !ok {
+					if src, ok = freshOutIn(window); !ok && window != nil {
+						src, ok = freshOut()
+					}
+					if !ok {
 						break
 					}
 					usedOut[src] = true
-					if dst, ok = freshIn(map[device.Coord]bool{{Row: src.Row, Col: src.Col}: true}); !ok {
+					avoid := map[device.Coord]bool{{Row: src.Row, Col: src.Col}: true}
+					if dst, ok = freshInWin(avoid, window); !ok && window != nil {
+						dst, ok = freshIn(avoid)
+					}
+					if !ok {
 						break
 					}
 					usedIn[dst] = true

@@ -162,6 +162,69 @@ func (g *Gen) CrossbarPins(width, span int) (srcs, dsts []core.Pin, err error) {
 	return srcs, dsts, nil
 }
 
+// Clustered returns nets grouped into spatially tight clusters laid out
+// on a grid over the device — the workload shape that partition-parallel
+// batch negotiation splits cleanly into independent regions. Each cluster
+// holds per nets: rows of eight nets leave one tile's output pins for the
+// input pins of a tile spread columns away, so nets within a cluster
+// contend for the same corridor (forcing real negotiation rounds) while
+// clusters stay far enough apart that their bounding boxes never touch.
+func (g *Gen) Clustered(clusters, per, spread int) (srcs, dsts []core.EndPoint, err error) {
+	ps, pd, err := g.ClusteredPins(clusters, per, spread)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := range ps {
+		srcs = append(srcs, ps[i])
+		dsts = append(dsts, pd[i])
+	}
+	return srcs, dsts, nil
+}
+
+// ClusteredPins is Clustered with concrete pins instead of the EndPoint
+// interface — the form remote clients need to serialize the workload.
+func (g *Gen) ClusteredPins(clusters, per, spread int) (srcs, dsts []core.Pin, err error) {
+	if clusters < 1 || per < 1 {
+		return nil, nil, fmt.Errorf("workload: clustered %dx%d", clusters, per)
+	}
+	if spread < 1 {
+		return nil, nil, fmt.Errorf("workload: clustered spread %d", spread)
+	}
+	// Lay the clusters on a grid matching the device aspect ratio.
+	gr := 1
+	for gr*gr*g.Cols < clusters*g.Rows {
+		gr++
+	}
+	if gr > clusters {
+		gr = clusters
+	}
+	gc := (clusters + gr - 1) / gr
+	cellH, cellW := g.Rows/gr, g.Cols/gc
+	rowsNeeded := (per + 7) / 8
+	if cellH < rowsNeeded+2 || cellW < spread+3 {
+		return nil, nil, fmt.Errorf("workload: %d clusters of %d nets (spread %d) need %dx%d cells, have %dx%d on %dx%d",
+			clusters, per, spread, rowsNeeded+2, spread+3, cellH, cellW, g.Rows, g.Cols)
+	}
+	for i := 0; i < clusters; i++ {
+		r, c := i/gc, i%gc
+		// Center the cluster in its cell with one tile of seeded jitter.
+		cr := r*cellH + (cellH-rowsNeeded)/2
+		cc := c*cellW + (cellW-spread)/2
+		if j := g.Rng.Intn(3) - 1; cr+j >= r*cellH+1 && cr+j+rowsNeeded < (r+1)*cellH {
+			cr += j
+		}
+		if j := g.Rng.Intn(3) - 1; cc+j >= c*cellW+1 && cc+j+spread < (c+1)*cellW {
+			cc += j
+		}
+		for k := 0; k < per; k++ {
+			row := cr + k/8
+			srcs = append(srcs, core.NewPin(row, cc, arch.OutPin(k%8)))
+			dsts = append(dsts, core.NewPin(row, cc+spread, arch.Input(k%arch.NumInputs)))
+		}
+	}
+	return srcs, dsts, nil
+}
+
 // ChurnRetryLimit bounds how many placements a generator tries before
 // concluding the array cannot host another fresh net.
 const ChurnRetryLimit = 1000

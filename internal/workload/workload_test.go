@@ -106,6 +106,81 @@ func TestBus(t *testing.T) {
 	}
 }
 
+// TestClustered: the partition-bench workload — clusters land on a grid,
+// stay inside their cells (so cluster bounding boxes never touch), keep
+// every source track distinct within a cluster, and regenerate
+// identically per seed.
+func TestClustered(t *testing.T) {
+	g := New(11, 64, 96)
+	const clusters, per, spread = 6, 16, 7
+	srcs, dsts, err := g.Clustered(clusters, per, spread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) != clusters*per || len(dsts) != clusters*per {
+		t.Fatalf("%d/%d endpoints, want %d", len(srcs), len(dsts), clusters*per)
+	}
+	type key struct{ row, col, w int }
+	seenSrc := map[key]bool{}
+	for i := range srcs {
+		s := srcs[i].Pins()[0]
+		d := dsts[i].Pins()[0]
+		k := key{s.Row, s.Col, int(s.W)}
+		if seenSrc[k] {
+			t.Fatalf("net %d: duplicate source track (%d,%d,%d)", i, s.Row, s.Col, s.W)
+		}
+		seenSrc[k] = true
+		if d.Col-s.Col != spread || d.Row != s.Row {
+			t.Errorf("net %d: sink offset (%d,%d), want (0,%d)", i, d.Row-s.Row, d.Col-s.Col, spread)
+		}
+	}
+	// Same seed, same set.
+	again, dstsAgain, err := New(11, 64, 96).Clustered(clusters, per, spread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range srcs {
+		if srcs[i].Pins()[0] != again[i].Pins()[0] || dsts[i].Pins()[0] != dstsAgain[i].Pins()[0] {
+			t.Fatal("same seed, different clustered sets")
+		}
+	}
+	// Validation: zero counts, zero spread, and too many clusters for the
+	// array must all be rejected.
+	if _, _, err := g.Clustered(0, 4, 3); err == nil {
+		t.Error("zero clusters accepted")
+	}
+	if _, _, err := g.Clustered(4, 0, 3); err == nil {
+		t.Error("zero nets per cluster accepted")
+	}
+	if _, _, err := g.Clustered(4, 8, 0); err == nil {
+		t.Error("zero spread accepted")
+	}
+	if _, _, err := New(12, 16, 24).Clustered(50, 8, 7); err == nil {
+		t.Error("oversubscribed clustered set accepted")
+	}
+}
+
+// TestClusteredRoutes: the clustered workload must actually route as a
+// batch — it exists to drive the partitioned negotiator.
+func TestClusteredRoutes(t *testing.T) {
+	d, err := device.New(arch.NewVirtex(), 64, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ForDevice(13, d)
+	srcs, dsts, err := g.Clustered(4, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := core.NewRouter(d, core.Options{Parallelism: 2})
+	if err := r.RouteBusBatch(srcs, dsts); err != nil {
+		t.Fatalf("clustered batch failed to route: %v", err)
+	}
+	if s := r.Stats(); s.PartitionRegions < 2 {
+		t.Errorf("clustered workload produced %d partition regions", s.PartitionRegions)
+	}
+}
+
 func TestChurnIsConsistent(t *testing.T) {
 	g := New(4, 16, 24)
 	ops, err := g.Churn(200, 6, 0.4)
