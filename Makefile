@@ -3,7 +3,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build vet fmt-check test race ci bench bench-go bench-json bench-smoke bench3 bench4 bench5 bench6 bench7 fuzz-smoke verify soak soak-smoke gateway-smoke
+.PHONY: build vet fmt-check test race ci bench bench-go bench-json bench-smoke bench3 bench4 bench5 bench6 bench7 bench8 fuzz-smoke verify soak soak-smoke gateway-smoke noc-smoke
 
 build:
 	$(GO) build ./...
@@ -22,12 +22,13 @@ race:
 	$(GO) test -race ./...
 
 # bench-smoke compiles and runs every benchmark exactly once — a cheap
-# guard that the benchmark suite itself never rots. The bench7 smoke
-# slice rides along: the small-geometry partition-scaling run with no
-# acceptance gate.
+# guard that the benchmark suite itself never rots. The bench7 and
+# bench8 smoke slices ride along: the small-geometry partition-scaling
+# run and the short NoC churn run, both with no acceptance gate.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/jbench -bench7-smoke
+	$(GO) run ./cmd/jbench -bench8-smoke
 
 # fuzz-smoke runs each native fuzz target briefly against its checked-in
 # seed corpus — a guard that the targets keep building and the corpus
@@ -46,8 +47,8 @@ verify:
 # ci is the full tier-1 gate: formatting + vet + build + tests + race
 # detector + one-shot benchmark smoke + bitstream-oracle verification +
 # fuzz-target smoke + a short fault-injection soak + the gateway
-# live-drain smoke.
-ci: fmt-check vet build test race bench-smoke verify fuzz-smoke soak-smoke gateway-smoke
+# live-drain smoke + the NoC obstacle-churn smoke.
+ci: fmt-check vet build test race bench-smoke verify fuzz-smoke soak-smoke gateway-smoke noc-smoke
 
 # bench runs the service load generator against an in-process jrouted and
 # regenerates the BENCH_2.json snapshot (throughput, p50/p99, frames shipped).
@@ -94,6 +95,20 @@ bench6:
 # over global at 8 workers on 256x384.
 bench7:
 	$(GO) run ./cmd/jbench -json7 BENCH_7.json
+
+# bench8 regenerates the dynamic-NoC churn snapshot: a 3x3 packet-switched
+# mesh over the routed fabric, four corner flows, 40 seeded
+# connectivity-preserving obstacle place/clear events with per-event
+# rip-up/re-route latency, sim-proven packet delivery after every event
+# (>=95% delivery gate), and byte-exact restoration once cleared.
+bench8:
+	$(GO) run ./cmd/jbench -json8 BENCH_8.json
+
+# noc-smoke is the ci-sized slice of bench8: short churn script, every
+# packet sim-verified at exact hop latency, oracle audit per event, bytes
+# restored at the end.
+noc-smoke:
+	$(GO) run ./cmd/jload -noc-smoke
 
 # gateway-smoke is the ci-sized slice of the bench6 drain scenario: two
 # in-process fleets behind a gateway, one drained mid-churn, zero lost

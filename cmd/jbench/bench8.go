@@ -1,0 +1,164 @@
+// BENCH_8: the dynamic NoC overlay under obstacle churn. A 3x3
+// packet-switched mesh is built over the routed fabric (cores.NoC), four
+// corner-to-corner flows are declared, and a seeded connectivity-preserving
+// obstacle churn script (workload.NoCChurn) rips nodes and links out from
+// under it. After every event the board is oracle-audited and one packet is
+// injected per flow through the gate-level simulator; a packet counts as
+// delivered only if it arrives in exactly hop-count cycles. Metrics: mesh
+// build time, per-event rip-up/re-route latency (place and clear
+// separately), and the packet-delivery rate under churn.
+//
+// `jbench -json8 BENCH_8.json` writes the snapshot and enforces the
+// acceptance gate (delivery rate >= 95%); `jbench -bench8-smoke` runs a
+// short slice with no gate (wired into `make bench-smoke`).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/noc"
+	"repro/internal/workload"
+)
+
+// bench8Result is the BENCH_8.json snapshot.
+type bench8Result struct {
+	Mesh          string  `json:"mesh"`
+	Flows         int     `json:"flows"`
+	BuildMs       float64 `json:"build_ms"` // board + mesh build + first audit
+	Events        int     `json:"events"`
+	PlaceEvents   int     `json:"place_events"`
+	ClearEvents   int     `json:"clear_events"`
+	PlaceMeanMs   float64 `json:"place_mean_ms"` // rip-up + detour latency
+	PlaceMaxMs    float64 `json:"place_max_ms"`
+	ClearMeanMs   float64 `json:"clear_mean_ms"` // restore latency
+	ClearMaxMs    float64 `json:"clear_max_ms"`
+	PacketsSent   int     `json:"packets_sent"`
+	PacketsOK     int     `json:"packets_delivered"`
+	DeliveryRate  float64 `json:"delivery_rate"`
+	Audits        int     `json:"audits"`
+	RestoredExact bool    `json:"restored_exact"` // bytes equal after full clear
+}
+
+// runBench8 builds the mesh, runs the churn script, prints the table,
+// optionally writes the JSON snapshot, and in full mode enforces the
+// delivery-rate gate.
+func runBench8(path string, seed int64, smoke bool) error {
+	events := 40
+	if smoke {
+		events = 10
+	}
+	res := bench8Result{Mesh: "3x3", Events: events}
+
+	start := time.Now()
+	h, err := noc.New(noc.DefaultConfig())
+	if err != nil {
+		return fmt.Errorf("bench8: building mesh: %w", err)
+	}
+	res.BuildMs = float64(time.Since(start).Microseconds()) / 1e3
+
+	// Four corner flows; churn only occludes non-corner nodes, so every
+	// flow stays deliverable (detoured, never severed) through every event.
+	var flows []int
+	for _, f := range [][4]int{{0, 0, 2, 2}, {2, 0, 0, 2}, {0, 2, 2, 0}, {2, 2, 0, 0}} {
+		id, err := h.AddFlow(f[0], f[1], f[2], f[3])
+		if err != nil {
+			return fmt.Errorf("bench8: flow %v: %w", f, err)
+		}
+		flows = append(flows, id)
+	}
+	res.Flows = len(flows)
+	baseline, err := h.Stream()
+	if err != nil {
+		return err
+	}
+
+	script := workload.New(seed, h.Cfg.Rows, h.Cfg.Cols).NoCChurn(events)
+	var placeTotal, placeMax, clearTotal, clearMax time.Duration
+	sendAll := func() error {
+		for _, id := range flows {
+			res.PacketsSent++
+			if err := h.VerifyFlow(id); err == nil {
+				res.PacketsOK++
+			}
+		}
+		return nil
+	}
+	if err := sendAll(); err != nil {
+		return err
+	}
+	for _, op := range script {
+		ev := noc.ChurnEvent{Place: op.Kind == workload.OpNoCObstacle,
+			Row: op.Rect[0], Col: op.Rect[1], Height: op.Rect[2], Width: op.Rect[3]}
+		d, err := h.Apply(ev)
+		if err != nil {
+			return fmt.Errorf("bench8: event %d (%s at %d,%d): %w", op.Serial, op.Kind, ev.Row, ev.Col, err)
+		}
+		if ev.Place {
+			res.PlaceEvents++
+			placeTotal += d
+			if d > placeMax {
+				placeMax = d
+			}
+		} else {
+			res.ClearEvents++
+			clearTotal += d
+			if d > clearMax {
+				clearMax = d
+			}
+		}
+		if err := sendAll(); err != nil {
+			return err
+		}
+	}
+	// Clear whatever the script left placed; with every obstacle gone the
+	// overlay should be back on its original wires byte-for-byte.
+	for _, rect := range h.Mesh.Obstacles() {
+		if _, err := h.RemoveObstacle(rect.Row, rect.Col, rect.Height, rect.Width); err != nil {
+			return fmt.Errorf("bench8: final clear at (%d,%d): %w", rect.Row, rect.Col, err)
+		}
+	}
+	final, err := h.Stream()
+	if err != nil {
+		return err
+	}
+	res.RestoredExact = bytes.Equal(baseline, final)
+	res.Audits = h.Audits
+	if res.PlaceEvents > 0 {
+		res.PlaceMeanMs = float64((placeTotal / time.Duration(res.PlaceEvents)).Microseconds()) / 1e3
+		res.PlaceMaxMs = float64(placeMax.Microseconds()) / 1e3
+	}
+	if res.ClearEvents > 0 {
+		res.ClearMeanMs = float64((clearTotal / time.Duration(res.ClearEvents)).Microseconds()) / 1e3
+		res.ClearMaxMs = float64(clearMax.Microseconds()) / 1e3
+	}
+	if res.PacketsSent > 0 {
+		res.DeliveryRate = float64(res.PacketsOK) / float64(res.PacketsSent)
+	}
+
+	fmt.Printf("BENCH_8: dynamic NoC overlay under obstacle churn\n")
+	fmt.Printf("  mesh %s, %d flows, build %.1f ms\n", res.Mesh, res.Flows, res.BuildMs)
+	fmt.Printf("  %d events: %d place (mean %.1f ms, max %.1f ms), %d clear (mean %.1f ms, max %.1f ms)\n",
+		res.Events, res.PlaceEvents, res.PlaceMeanMs, res.PlaceMaxMs,
+		res.ClearEvents, res.ClearMeanMs, res.ClearMaxMs)
+	fmt.Printf("  packets: %d/%d delivered (%.1f%%), %d oracle audits, restored exact: %v\n",
+		res.PacketsOK, res.PacketsSent, 100*res.DeliveryRate, res.Audits, res.RestoredExact)
+
+	if path != "" {
+		enc, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	if !smoke && res.DeliveryRate < 0.95 {
+		return fmt.Errorf("bench8: delivery rate %.1f%% below the 95%% gate", 100*res.DeliveryRate)
+	}
+	return nil
+}

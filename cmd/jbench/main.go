@@ -65,11 +65,21 @@ func main() {
 	jsonPath := flag.String("json", "", "run the benchmark suite and write machine-readable results to this file")
 	json7Path := flag.String("json7", "", "run the partition-parallel scaling bench (BENCH_7) and write results to this file")
 	bench7Smoke := flag.Bool("bench7-smoke", false, "run the small-geometry BENCH_7 slice with no acceptance gate (ci smoke)")
+	json8Path := flag.String("json8", "", "run the NoC obstacle-churn bench (BENCH_8) and write results to this file")
+	bench8Smoke := flag.Bool("bench8-smoke", false, "run the short BENCH_8 churn slice with no acceptance gate (ci smoke)")
 	flag.Parse()
 
 	if *json7Path != "" || *bench7Smoke {
 		if err := runBench7(*json7Path, *seed, *bench7Smoke); err != nil {
 			fmt.Fprintf(os.Stderr, "bench7 failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *json8Path != "" || *bench8Smoke {
+		if err := runBench8(*json8Path, *seed, *bench8Smoke); err != nil {
+			fmt.Fprintf(os.Stderr, "bench8 failed: %v\n", err)
 			os.Exit(1)
 		}
 		return

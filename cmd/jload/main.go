@@ -106,6 +106,7 @@ func main() {
 	backends := flag.Int("backends", 2, "gateway mode: backend fleet count behind the gateway")
 	json6Path := flag.String("json6", "", "run the gateway benchmark (backend scaling, noisy tenant, live drain) and write it to this JSON file")
 	gatewaySmoke := flag.Bool("gateway-smoke", false, "run the short gateway live-drain smoke (the CI gate) and exit")
+	nocSmoke := flag.Bool("noc-smoke", false, "run the NoC obstacle-churn smoke (the CI gate) and exit")
 	token := flag.String("token", "", "bearer token presented in the hello (gateway tenant auth)")
 	flag.Parse()
 
@@ -116,6 +117,13 @@ func main() {
 	if *gatewaySmoke {
 		if err := runGatewaySmoke(); err != nil {
 			log.Fatalf("jload: gateway-smoke: %v", err)
+		}
+		return
+	}
+
+	if *nocSmoke {
+		if err := runNoCSmoke(); err != nil {
+			log.Fatalf("jload: noc-smoke: %v", err)
 		}
 		return
 	}

@@ -75,7 +75,7 @@ func (r *Router) RouteBatch(nets []BatchNet) (err error) {
 		}
 	}
 	res, err := maze.NegotiatedRoute(r.Dev, specs, maze.NegotiationOptions{
-		Options:     r.Opt.mazeOptions(),
+		Options:     r.mazeOpts(),
 		Parallelism: r.Opt.Parallelism,
 		Partition:   r.Opt.partitionEnabled(),
 	})

@@ -79,8 +79,10 @@ func TestSnapshotAdoptRoundTrip(t *testing.T) {
 	}
 }
 
-// TestAdoptWithoutPath: records snapshotted with the cache off carry no
-// path; adoption must restore them through search.
+// TestAdoptWithoutPath: path memory is part of the connection record, not
+// the route cache, so even cache-off snapshots carry the path. A record
+// stripped of its path (say, from an older peer) must still adopt, through
+// search.
 func TestAdoptWithoutPath(t *testing.T) {
 	src := newTestDevice(t)
 	ra := core.New(src, core.WithRouteCache(core.CacheOff))
@@ -88,9 +90,10 @@ func TestAdoptWithoutPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	recs := ra.SnapshotConnections()
-	if len(recs) != 1 || len(recs[0].Path) != 0 {
-		t.Fatalf("snapshot = %+v, want one pathless record", recs)
+	if len(recs) != 1 || len(recs[0].Path) == 0 {
+		t.Fatalf("snapshot = %+v, want one record with a remembered path", recs)
 	}
+	recs[0].Path = nil
 	dst := newTestDevice(t)
 	rb := core.New(dst, core.WithRouteCache(core.CacheOff))
 	if err := rb.AdoptConnection(recs[0]); err != nil {

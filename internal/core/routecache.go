@@ -158,6 +158,12 @@ func sortPins(pins []Pin) {
 // a searched route). Returns false on any failure, leaving the device
 // untouched.
 func (r *Router) tryReplay(srcTrack device.Track, pips []device.PIP, dRow, dCol int) bool {
+	// A reserved region vetoes the replay outright: the remembered path was
+	// learned before the reservation and may cross it, and maze.Replay
+	// checks occupancy, not reservations.
+	if maze.PathAvoids(r.Dev, pips, dRow, dCol, r.avoid) {
+		return false
+	}
 	sources := r.netTracks(srcTrack)
 	route, err := maze.Replay(r.Dev, sources, pips, dRow, dCol)
 	if err != nil {
@@ -220,13 +226,18 @@ func (r *Router) lookupTemplate(srcTrack device.Track, sink Pin) ([]device.PIP, 
 // consult the exact cache themselves). On success the record is marked
 // live again and purged from every port's remembered list. Restoring a
 // connection that is not retired is a no-op.
+//
+// The replay tier runs whatever the cache mode — the remembered path is
+// port memory on the record, not a cache entry — and is skipped only
+// under timing-driven routing, where replaying a wire-count path would
+// silently change the cost model.
 func (r *Router) RestoreConnection(c *Connection) (err error) {
 	r.enterOp()
 	defer r.exitOp(&err)
 	if !c.retired {
 		return nil
 	}
-	if r.cacheEnabled() && len(c.Path) > 0 && len(c.sinkPins) > 0 {
+	if !r.Opt.TimingDriven && len(c.Path) > 0 && len(c.sinkPins) > 0 {
 		if ok, err := r.replayShifted(c); ok {
 			r.finishRestore(c)
 			return nil
@@ -315,9 +326,23 @@ func (r *Router) RipUpRegion(row, col, height, width int) (ripped []*Connection,
 	inRect := func(rr, cc int) bool {
 		return rr >= row && rr < row+height && cc >= col && cc < col+width
 	}
+	// A net intersects the region if any of its PIPs is made inside it OR
+	// any wire it drives physically spans it. The span check matters: a hex
+	// driven just west of the region and tapped just east of it crosses
+	// every region tile with both its PIPs outside, and a net routed that
+	// way would otherwise survive the rip-up only to be severed when the
+	// region's new occupant claims the fabric under it.
 	pipsIntersect := func(pips []device.PIP) bool {
 		for _, p := range pips {
 			if inRect(p.Row, p.Col) {
+				return true
+			}
+			t, ok := r.Dev.CanonOK(p.Row, p.Col, p.To)
+			if !ok {
+				continue
+			}
+			if r0, c0, r1, c1, ok := r.Dev.TrackSpan(t); ok &&
+				r1 >= row && r0 < row+height && c1 >= col && c0 < col+width {
 				return true
 			}
 		}
@@ -374,6 +399,30 @@ func (r *Router) RipUpRegion(row, col, height, width int) (ripped []*Connection,
 		if err := r.Unroute(src); err != nil {
 			return nil, fmt.Errorf("core: region rip-up: %w", err)
 		}
+	}
+	return ripped, nil
+}
+
+// RipUpNet unroutes the live net sourced at source and returns its
+// retired connection records — the single-net analogue of RipUpRegion.
+// Churn flows use it to take back the handle of a net they previously
+// restored (e.g. a detour routed around an obstacle) so they can rewrite
+// its remembered Path and RestoreConnection it along the original wires.
+// When no live net is sourced there (its owner unrouted it in the
+// meantime) it returns an empty list, not an error.
+func (r *Router) RipUpNet(source EndPoint) (ripped []*Connection, err error) {
+	r.enterOp()
+	defer r.exitOp(&err)
+	for _, c := range r.conns {
+		if endPointEqual(c.Source, source) {
+			ripped = append(ripped, c)
+		}
+	}
+	if len(ripped) == 0 {
+		return nil, nil
+	}
+	if err := r.Unroute(source); err != nil {
+		return nil, fmt.Errorf("core: rip-up net: %w", err)
 	}
 	return ripped, nil
 }

@@ -75,6 +75,41 @@ func (o Options) mazeOptions() maze.Options {
 	}
 }
 
+// mazeOpts is the per-call search configuration: the static Options plus
+// the router's live avoid-region list (see AddAvoid).
+func (r *Router) mazeOpts() maze.Options {
+	mo := r.Opt.mazeOptions()
+	mo.Avoid = r.avoid
+	return mo
+}
+
+// AddAvoid reserves a tile rectangle against automatic routing: until the
+// matching RemoveAvoid, no automatic route, batch negotiation, or cache
+// replay will make a PIP inside the rectangle or drive a wire whose
+// physical span crosses it. It is the router half of run-time region
+// reservation — a dynamically placed core claims its footprint so every
+// subsequent route detours around it (DyNoC's obstacle model). Manual
+// calls (Route, RoutePath) are not filtered: the user decides the path.
+func (r *Router) AddAvoid(row, col, height, width int) {
+	r.avoid = append(r.avoid, maze.Rect{Row: row, Col: col, Height: height, Width: width})
+}
+
+// RemoveAvoid drops the first avoid rectangle matching the given bounds.
+// It returns false if no such reservation exists.
+func (r *Router) RemoveAvoid(row, col, height, width int) bool {
+	want := maze.Rect{Row: row, Col: col, Height: height, Width: width}
+	for i, a := range r.avoid {
+		if a == want {
+			r.avoid = append(r.avoid[:i], r.avoid[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// AvoidRects returns a copy of the live avoid-region list.
+func (r *Router) AvoidRects() []maze.Rect { return append([]maze.Rect(nil), r.avoid...) }
+
 // Stats counts router work, feeding the B1/B2 experiments and the routing
 // service's statsz endpoint.
 type Stats struct {
@@ -126,8 +161,9 @@ type Connection struct {
 	Sinks  []EndPoint
 
 	// Path is the exact PIP path the route configured, in source-to-sink
-	// order, recorded by the route cache so Reconnect and churn re-routes
-	// can replay it instead of searching. Nil when the cache is off.
+	// order. It is part of port memory, not the route cache: it is
+	// snapshotted whatever the cache mode, so Reconnect and churn
+	// re-routes can replay the remembered path instead of searching.
 	Path []device.PIP
 
 	// srcPin and sinkPins are the endpoint resolutions at record time —
@@ -162,6 +198,9 @@ type Router struct {
 	// (net, pip)-th SetPIP of a RouteBatch commit — test-only, for
 	// auditing the commit rollback path.
 	batchCommitFault func(net, pip int) error
+	// avoid lists the tile rectangles currently reserved against automatic
+	// routing (see AddAvoid).
+	avoid []maze.Rect
 }
 
 // NewRouter creates a router for a device.
@@ -359,7 +398,7 @@ func (r *Router) routeOne(srcTrack device.Track, sink Pin) error {
 	}
 	sources := r.netTracks(srcTrack)
 	freshNet := len(sources) == 1
-	mo := r.Opt.mazeOptions()
+	mo := r.mazeOpts()
 
 	// Relocatable-template tier of the route cache: a fresh single-sink
 	// route whose (source wire, sink wire, Δrow, Δcol) shape was learned
@@ -581,10 +620,11 @@ func (r *Router) RouteClock(g int, sinks ...EndPoint) (err error) {
 
 // record stores the endpoint-level connection for port memory, snapshotting
 // the PIP path the call committed (and the pins the endpoints resolved to)
-// so the route cache can replay it later.
+// so restores can replay it later. The snapshot is unconditional — path
+// memory belongs to the connection record, not the route cache.
 func (r *Router) record(source EndPoint, sinks ...EndPoint) {
 	c := &Connection{Source: source, Sinks: append([]EndPoint(nil), sinks...)}
-	if r.cacheEnabled() && len(r.curPath) > 0 {
+	if len(r.curPath) > 0 {
 		if src, err := sourcePin(source); err == nil {
 			c.Path = append([]device.PIP(nil), r.curPath...)
 			c.srcPin = src

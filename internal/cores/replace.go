@@ -34,6 +34,8 @@ var (
 	_ Core = (*Mux2)(nil)
 	_ Core = (*ShiftRegister)(nil)
 	_ Core = (*RAM16x8)(nil)
+	_ Core = (*RouterNode)(nil)
+	_ Core = (*Obstacle)(nil)
 )
 
 // Replace performs the full §3.3 run-time replacement flow for a core:

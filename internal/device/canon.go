@@ -144,6 +144,43 @@ func (d *Device) Taps(t Track) []Coord {
 	}
 }
 
+// TrackSpan returns the inclusive tile bounding box [r0,r1] x [c0,c1] of a
+// canonical track's physical extent — every tile the wire passes over, not
+// just the tiles where it can be tapped or driven. A hex driven and tapped
+// outside a region still crosses every tile in between; region-scoped
+// rip-up and avoid-region routing both need that extent. Wires are straight
+// segments on this fabric, so the tap bounding box is exact. Tracks with no
+// tap tiles (global clocks, present everywhere) return ok=false.
+func (d *Device) TrackSpan(t Track) (r0, c0, r1, c1 int, ok bool) {
+	switch d.A.ClassOf(t.W).Kind {
+	case arch.KindLongH:
+		return t.Row, 0, t.Row, d.Cols - 1, true
+	case arch.KindLongV:
+		return 0, t.Col, d.Rows - 1, t.Col, true
+	}
+	taps := d.Taps(t)
+	if len(taps) == 0 {
+		return 0, 0, 0, 0, false
+	}
+	r0, c0 = taps[0].Row, taps[0].Col
+	r1, c1 = r0, c0
+	for _, tp := range taps[1:] {
+		if tp.Row < r0 {
+			r0 = tp.Row
+		}
+		if tp.Row > r1 {
+			r1 = tp.Row
+		}
+		if tp.Col < c0 {
+			c0 = tp.Col
+		}
+		if tp.Col > c1 {
+			c1 = tp.Col
+		}
+	}
+	return r0, c0, r1, c1, true
+}
+
 // MinTapDistance returns the Manhattan distance from the nearest tap tile
 // of track t to tile c — the allocation-free form of "min over Taps(t)"
 // that the search heuristics call once per frontier pop. Tracks with no tap

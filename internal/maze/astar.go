@@ -123,6 +123,9 @@ func search(dev *device.Device, sources []device.Track, sink device.Track, opt O
 					continue
 				}
 			}
+			if opt.avoids(dev, c.P.Row, c.P.Col, c.Target) {
+				continue
+			}
 			if _, driven := dev.DriverOf(c.Target); driven {
 				continue
 			}

@@ -21,6 +21,26 @@ import (
 	"repro/internal/device"
 )
 
+// Rect is a tile rectangle, used to keep automatic routing out of
+// reserved regions (a dynamically placed core's footprint, a partial
+// reconfiguration zone). Height and Width are in tiles; the rectangle
+// covers rows [Row, Row+Height) and columns [Col, Col+Width).
+type Rect struct {
+	Row, Col      int
+	Height, Width int
+}
+
+// Contains reports whether tile (r, c) lies inside the rectangle.
+func (a Rect) Contains(r, c int) bool {
+	return r >= a.Row && r < a.Row+a.Height && c >= a.Col && c < a.Col+a.Width
+}
+
+// intersectsBox reports whether the rectangle overlaps the inclusive tile
+// box [r0,r1] x [c0,c1].
+func (a Rect) intersectsBox(r0, c0, r1, c1 int) bool {
+	return r1 >= a.Row && r0 < a.Row+a.Height && c1 >= a.Col && c0 < a.Col+a.Width
+}
+
 // Options tune the automatic routers.
 type Options struct {
 	// UseLongLines permits long-line hops in maze search and long-line
@@ -40,6 +60,61 @@ type Options struct {
 	// MaxNodes caps the number of search states an automatic route may
 	// expand before giving up. Zero means the default (100000).
 	MaxNodes int
+
+	// Avoid lists tile rectangles the search must stay out of: no PIP is
+	// made inside one, and no wire whose physical span crosses one is
+	// driven — a long or hex passing *over* a reserved region is as much
+	// an intrusion as a PIP inside it, because ripping the region up later
+	// would sever it. This is the routing-side half of dynamic region
+	// reservation (DyNoC-style obstacle placement): the occupant claims
+	// the rectangle, and every automatic route detours around it.
+	Avoid []Rect
+}
+
+// avoids reports whether driving track t via a PIP at (pr, pc) would
+// intrude on an avoided rectangle: either the PIP tile itself is inside
+// one, or the driven track's physical tile span crosses one.
+func (o Options) avoids(dev *device.Device, pr, pc int, t device.Track) bool {
+	if len(o.Avoid) == 0 {
+		return false
+	}
+	for _, a := range o.Avoid {
+		if a.Contains(pr, pc) {
+			return true
+		}
+	}
+	r0, c0, r1, c1, ok := dev.TrackSpan(t)
+	if !ok {
+		return false
+	}
+	for _, a := range o.Avoid {
+		if a.intersectsBox(r0, c0, r1, c1) {
+			return true
+		}
+	}
+	return false
+}
+
+// PathAvoids reports whether a recorded PIP path, shifted by (dRow, dCol),
+// would intrude on any of the avoided rectangles — the replay-side twin of
+// the search filter, used to gate route-cache replays while a region is
+// reserved.
+func PathAvoids(dev *device.Device, pips []device.PIP, dRow, dCol int, avoid []Rect) bool {
+	if len(avoid) == 0 {
+		return false
+	}
+	o := Options{Avoid: avoid}
+	for _, p := range pips {
+		r, c := p.Row+dRow, p.Col+dCol
+		t, ok := dev.CanonOK(r, c, p.To)
+		if !ok {
+			return true // off-device shift; let the replay sweep reject it
+		}
+		if o.avoids(dev, r, c, t) {
+			return true
+		}
+	}
+	return false
 }
 
 // DefaultMaxNodes is the expansion cap when Options.MaxNodes is zero.
@@ -182,6 +257,9 @@ func templateRoute(dev *device.Device, start device.Track, endWire arch.Wire, en
 				return true
 			}
 			if used[target.Key()] {
+				return true
+			}
+			if opt.avoids(dev, p.Row, p.Col, target) {
 				return true
 			}
 			if _, driven := dev.DriverOf(target); driven {

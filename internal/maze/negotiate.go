@@ -664,6 +664,9 @@ func (w *negWorker) search(sources []device.Track, sink device.Track, box rect) 
 					continue
 				}
 			}
+			if st.opt.avoids(dev, c.P.Row, c.P.Col, c.Target) {
+				continue
+			}
 			if _, driven := dev.DriverOf(c.Target); driven {
 				continue
 			}

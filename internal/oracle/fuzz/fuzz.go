@@ -97,6 +97,16 @@ type Options struct {
 	// every op). Byte-equality across configs is always checked every
 	// step regardless.
 	CheckEvery int
+	// NoC builds the fixed 3x3 mesh overlay (workload.NoCMesh* geometry,
+	// two packet flows) on every board before the script runs, and mixes
+	// mesh obstacle place/clear ops into the script. The overlay forces
+	// the route cache off for its own mutations, so boards sharing a cache
+	// mode stay byte-identical through obstacle churn.
+	NoC bool
+	// MaxLive caps concurrently live script nets (0 = generator default).
+	// NoC runs keep it modest: obstacle placement must be able to detour
+	// every crossing net, so the board cannot start near wire capacity.
+	MaxLive int
 	// Log, when set, receives progress lines.
 	Log func(format string, args ...interface{})
 }
@@ -149,6 +159,7 @@ type board struct {
 	dev  *device.Device
 	rtr  *core.Router
 	regs map[int]*cores.Register
+	noc  *cores.NoC
 }
 
 func (b *board) apply(op workload.ScriptOp, rows, cols int) error {
@@ -191,6 +202,10 @@ func (b *board) apply(op workload.ScriptOp, rows, cols int) error {
 		}
 		row, col := workload.CoreSlotSite(op.Slot, rows, cols)
 		return cores.Replace(b.rtr, reg, row, col, []string{"d", "q"}, nil)
+	case workload.OpNoCObstacle:
+		return b.noc.PlaceObstacle(op.Rect[0], op.Rect[1], op.Rect[2], op.Rect[3])
+	case workload.OpNoCClear:
+		return b.noc.RemoveObstacle(op.Rect[0], op.Rect[1], op.Rect[2], op.Rect[3])
 	default:
 		return fmt.Errorf("fuzz: unknown op kind %d", op.Kind)
 	}
@@ -334,6 +349,8 @@ func Run(o Options) (*Result, error) {
 	script, err := workload.New(o.Seed, o.Rows, o.Cols).Script(workload.ScriptOptions{
 		Steps:     o.Steps,
 		CoreSlots: o.CoreSlots,
+		NoC:       o.NoC,
+		MaxLive:   o.MaxLive,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("fuzz: generating script: %w", err)
@@ -355,6 +372,26 @@ func Run(o Options) (*Result, error) {
 				Partition:   cfg.Partition,
 			}),
 			regs: make(map[int]*cores.Register),
+		}
+		if o.NoC {
+			mesh, err := cores.NewNoC(boards[i].rtr, "noc",
+				workload.NoCMeshRows, workload.NoCMeshCols,
+				workload.NoCBaseRow, workload.NoCBaseCol, workload.NoCPitch, 0)
+			if err != nil {
+				return nil, err
+			}
+			if err := mesh.Build(); err != nil {
+				return nil, fmt.Errorf("fuzz: building NoC on %s: %w", cfg.Name, err)
+			}
+			// Two fixed flows keep forwarding-LUT reprogramming in play
+			// through every obstacle event.
+			if _, err := mesh.AddFlow(0, 0, 2, 2); err != nil {
+				return nil, err
+			}
+			if _, err := mesh.AddFlow(2, 0, 0, 2); err != nil {
+				return nil, err
+			}
+			boards[i].noc = mesh
 		}
 	}
 

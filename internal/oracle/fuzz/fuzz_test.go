@@ -37,6 +37,32 @@ func TestDifferentialSmoke(t *testing.T) {
 	}
 }
 
+// TestDifferentialNoCSmoke mixes mesh obstacle churn into the script: a
+// 3x3 NoC overlay is built on every board and the generator interleaves
+// connectivity-preserving obstacle place/clear ops with the usual route
+// churn. Every step still demands outcome, claim, and byte agreement plus
+// a full strict oracle audit per cache mode — the per-step audit the
+// obstacle ops ride on.
+func TestDifferentialNoCSmoke(t *testing.T) {
+	steps := 100
+	if testing.Short() {
+		steps = 40
+	}
+	if raceEnabled {
+		steps = 25
+	}
+	res, err := Run(Options{Seed: 7, Steps: steps, NoC: true, MaxLive: 30})
+	if err != nil {
+		t.Fatalf("NoC differential run diverged: %v", err)
+	}
+	if res.Ops["noc-obstacle"] == 0 {
+		t.Fatalf("script mixed no obstacle ops: %v", res.Ops)
+	}
+	if res.Audits == 0 {
+		t.Fatal("no oracle audits performed")
+	}
+}
+
 // TestCacheModesBytesDiverge is the reproducer for the harness's first
 // discovery (see the package comment): cache-on and cache-off boards are
 // NOT byte-identical under churn, and that is correct behavior, not a bug.

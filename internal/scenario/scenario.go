@@ -95,6 +95,33 @@ func All() []Scenario {
 				return cores.Replace(r, reg, 7, 11, []string{"d", "q"}, nil)
 			},
 		},
+		{
+			Name: "noc",
+			Doc:  "dynamic NoC overlay: mesh build, obstacle detour, removal restores the original bytes",
+			Rows: 16, Cols: 24,
+			Drive: func(r *core.Router) error {
+				mesh, err := cores.NewNoC(r, "noc", 2, 3, 3, 8, 3, 0)
+				if err != nil {
+					return err
+				}
+				if err := mesh.Build(); err != nil {
+					return err
+				}
+				if _, err := mesh.AddFlow(0, 0, 1, 2); err != nil {
+					return err
+				}
+				// Occlude the middle of the packet's XY path: the flow
+				// detours over the north row, crossing nets re-route around
+				// the rectangle.
+				row, col := mesh.NodeSite(0, 1)
+				if err := mesh.PlaceObstacle(row, col, 1, 1); err != nil {
+					return err
+				}
+				// Removing it must put every net back on its original wires,
+				// so the committed stream equals the never-obstructed build.
+				return mesh.RemoveObstacle(row, col, 1, 1)
+			},
+		},
 	}
 }
 

@@ -41,6 +41,13 @@ const (
 	// OpCoreReplace swaps the core at slot Slot for a fresh instance:
 	// rip-up, re-implement, reconnect (§3.3).
 	OpCoreReplace
+	// OpNoCObstacle places a 1x1 obstacle over the NoC mesh node tile in
+	// Rect — ripping the node, its links, and every net crossing the tile,
+	// then detouring the survivors (cores.NoC.PlaceObstacle).
+	OpNoCObstacle
+	// OpNoCClear removes the obstacle in Rect, restoring the node, its
+	// links, and the detoured nets (cores.NoC.RemoveObstacle).
+	OpNoCClear
 )
 
 // String names the op kind.
@@ -62,9 +69,119 @@ func (k ScriptOpKind) String() string {
 		return "core-new"
 	case OpCoreReplace:
 		return "core-replace"
+	case OpNoCObstacle:
+		return "noc-obstacle"
+	case OpNoCClear:
+		return "noc-clear"
 	default:
 		return "unknown"
 	}
+}
+
+// Fixed mesh geometry NoC-enabled scripts assume (matching
+// internal/noc.DefaultConfig): a 3x3 node grid, south-west node at tile
+// (3,8), pitch 3, with each node's packet-injection tap one tile north.
+// The generator reserves node and tap tiles against random endpoints, and
+// obstacle ops target node tiles only, so a placement never swallows a
+// script net's endpoint.
+const (
+	NoCMeshRows = 3
+	NoCMeshCols = 3
+	NoCBaseRow  = 3
+	NoCBaseCol  = 8
+	NoCPitch    = 3
+)
+
+// NoCNodeSite returns the tile of mesh node (i, j) in the fixed fuzz
+// geometry.
+func NoCNodeSite(i, j int) (row, col int) {
+	return NoCBaseRow + i*NoCPitch, NoCBaseCol + j*NoCPitch
+}
+
+// nocConnectedWithout reports whether the fixed mesh's nodes minus the
+// occluded set and minus one more candidate stay a single connected
+// component — the generator-side mirror of the DyNoC placement check.
+func nocConnectedWithout(occl map[[2]int]bool, minus [2]int) bool {
+	live := func(i, j int) bool {
+		return i >= 0 && i < NoCMeshRows && j >= 0 && j < NoCMeshCols &&
+			!occl[[2]int{i, j}] && [2]int{i, j} != minus
+	}
+	var start [2]int
+	found, total := false, 0
+	for i := 0; i < NoCMeshRows; i++ {
+		for j := 0; j < NoCMeshCols; j++ {
+			if live(i, j) {
+				if !found {
+					start, found = [2]int{i, j}, true
+				}
+				total++
+			}
+		}
+	}
+	if total == 0 {
+		return false
+	}
+	seen := map[[2]int]bool{start: true}
+	queue := [][2]int{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, d := range [][2]int{{0, 1}, {1, 0}, {0, -1}, {-1, 0}} {
+			nx := [2]int{cur[0] + d[0], cur[1] + d[1]}
+			if live(nx[0], nx[1]) && !seen[nx] {
+				seen[nx] = true
+				queue = append(queue, nx)
+			}
+		}
+	}
+	return len(seen) == total
+}
+
+// NoCChurn generates a seeded pure obstacle-churn script: only
+// OpNoCObstacle / OpNoCClear steps against the fixed mesh geometry,
+// targeting non-corner nodes only, so packet flows anchored at the four
+// corners stay active through every event. Placements never overlap and
+// always leave the live node graph connected. bench8 and jload's
+// noc-smoke both drive this sequence.
+func (g *Gen) NoCChurn(events int) []ScriptOp {
+	occl := make(map[[2]int]bool)
+	var active [][2]int
+	var cands [][2]int
+	for i := 0; i < NoCMeshRows; i++ {
+		for j := 0; j < NoCMeshCols; j++ {
+			corner := (i == 0 || i == NoCMeshRows-1) && (j == 0 || j == NoCMeshCols-1)
+			if !corner {
+				cands = append(cands, [2]int{i, j})
+			}
+		}
+	}
+	var ops []ScriptOp
+	for len(ops) < events {
+		var legal [][2]int
+		for _, id := range cands {
+			if !occl[id] && nocConnectedWithout(occl, id) {
+				legal = append(legal, id)
+			}
+		}
+		if len(active) > 0 && (len(legal) == 0 || g.Rng.Float64() < 0.45) {
+			i := g.Rng.Intn(len(active))
+			id := active[i]
+			active = append(active[:i], active[i+1:]...)
+			delete(occl, id)
+			r, c := NoCNodeSite(id[0], id[1])
+			ops = append(ops, ScriptOp{Serial: len(ops), Kind: OpNoCClear, Rect: [4]int{r, c, 1, 1}})
+			continue
+		}
+		if len(legal) == 0 {
+			break // unreachable on a 3x3 mesh; guards degenerate geometries
+		}
+		id := legal[g.Rng.Intn(len(legal))]
+		occl[id] = true
+		active = append(active, id)
+		r, c := NoCNodeSite(id[0], id[1])
+		ops = append(ops, ScriptOp{Serial: len(ops), Kind: OpNoCObstacle, Rect: [4]int{r, c, 1, 1}})
+	}
+	return ops
 }
 
 // ScriptOp is one step of a generated op sequence.
@@ -76,6 +193,7 @@ type ScriptOp struct {
 	Srcs   []core.Pin // bus sources, aligned with Dsts
 	Dsts   []core.Pin // bus sinks
 	Slot   int        // core slot for OpCoreNew / OpCoreReplace
+	Rect   [4]int     // row, col, height, width for OpNoCObstacle / OpNoCClear
 }
 
 // ScriptOptions tune Script.
@@ -96,6 +214,11 @@ type ScriptOptions struct {
 	// board at a steady-state density so arbitrarily long scripts never
 	// exhaust the endpoint pool.
 	MaxLive int
+	// NoC mixes in mesh obstacle place/clear ops against the fixed
+	// NoCMesh* geometry. The generator keeps its own occlusion model and
+	// emits only connectivity-preserving, non-overlapping placements —
+	// the DyNoC precondition PlaceObstacle enforces.
+	NoC bool
 }
 
 // CoreSlotSite returns the tile of reserved core slot i on a rows x cols
@@ -132,6 +255,25 @@ func (g *Gen) Script(o ScriptOptions) ([]ScriptOp, error) {
 			return nil, fmt.Errorf("workload: core slot %d site (%d,%d) off the %dx%d array", s, r, c, g.Rows, g.Cols)
 		}
 		reserved[device.Coord{Row: r, Col: c}] = true
+	}
+	// nocOccl models which mesh nodes are currently under an obstacle; the
+	// generator emits only placements that keep the remaining node graph
+	// connected, mirroring the check PlaceObstacle itself enforces.
+	nocOccl := make(map[[2]int]bool)
+	var nocActive [][2]int // occluded nodes, placement order
+	if o.NoC {
+		topRow := NoCBaseRow + (NoCMeshRows-1)*NoCPitch + 1
+		rightCol := NoCBaseCol + (NoCMeshCols-1)*NoCPitch
+		if topRow >= g.Rows || rightCol >= g.Cols {
+			return nil, fmt.Errorf("workload: NoC mesh does not fit the %dx%d array", g.Rows, g.Cols)
+		}
+		for i := 0; i < NoCMeshRows; i++ {
+			for j := 0; j < NoCMeshCols; j++ {
+				r, c := NoCNodeSite(i, j)
+				reserved[device.Coord{Row: r, Col: c}] = true
+				reserved[device.Coord{Row: r + 1, Col: c}] = true // inject tap
+			}
+		}
 	}
 
 	usedOut := make(map[core.Pin]bool)
@@ -246,6 +388,30 @@ func (g *Gen) Script(o ScriptOptions) ([]ScriptOp, error) {
 			}
 			add(ScriptOp{Kind: OpReroute, Src: n.src, Sinks: append([]core.Pin(nil), n.sinks...)})
 			commit(n.src, n.sinks)
+
+		case o.NoC && roll > 1-0.16 && roll <= 1-0.06:
+			// Mesh obstacle churn: clear an active obstacle or occlude a
+			// fresh node, never disconnecting the generator's node-graph
+			// model. A draw that finds no legal move emits nothing and the
+			// loop rolls again — legality depends only on generator state,
+			// so the emitted script succeeds identically on every config.
+			if len(nocActive) > 0 && g.Rng.Intn(2) == 0 {
+				i := g.Rng.Intn(len(nocActive))
+				id := nocActive[i]
+				nocActive = append(nocActive[:i], nocActive[i+1:]...)
+				delete(nocOccl, id)
+				r, c := NoCNodeSite(id[0], id[1])
+				add(ScriptOp{Kind: OpNoCClear, Rect: [4]int{r, c, 1, 1}})
+				continue
+			}
+			id := [2]int{g.Rng.Intn(NoCMeshRows), g.Rng.Intn(NoCMeshCols)}
+			if nocOccl[id] || !nocConnectedWithout(nocOccl, id) {
+				continue
+			}
+			nocOccl[id] = true
+			nocActive = append(nocActive, id)
+			r, c := NoCNodeSite(id[0], id[1])
+			add(ScriptOp{Kind: OpNoCObstacle, Rect: [4]int{r, c, 1, 1}})
 
 		case o.CoreSlots > 0 && roll > 1-0.06:
 			slot := g.Rng.Intn(o.CoreSlots)
