@@ -3,7 +3,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build vet fmt-check test race ci bench bench-go bench-json bench-smoke bench3 bench4 bench5 bench6 bench7 bench8 fuzz-smoke verify soak soak-smoke gateway-smoke noc-smoke
+.PHONY: build vet fmt-check test race ci bench bench-go bench-json bench-smoke bench3 bench4 bench5 bench6 bench7 bench8 bench9 fuzz-smoke verify soak soak-smoke gateway-smoke noc-smoke library-smoke
 
 build:
 	$(GO) build ./...
@@ -22,13 +22,15 @@ race:
 	$(GO) test -race ./...
 
 # bench-smoke compiles and runs every benchmark exactly once — a cheap
-# guard that the benchmark suite itself never rots. The bench7 and
-# bench8 smoke slices ride along: the small-geometry partition-scaling
-# run and the short NoC churn run, both with no acceptance gate.
+# guard that the benchmark suite itself never rots. The bench7, bench8
+# and bench9 smoke slices ride along: the small-geometry
+# partition-scaling run, the short NoC churn run, and the template
+# library warm-start run, all with no timing acceptance gate.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/jbench -bench7-smoke
 	$(GO) run ./cmd/jbench -bench8-smoke
+	$(GO) run ./cmd/jbench -bench9-smoke
 
 # fuzz-smoke runs each native fuzz target briefly against its checked-in
 # seed corpus — a guard that the targets keep building and the corpus
@@ -37,6 +39,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReplay -fuzztime=30s ./internal/maze
 	$(GO) test -run='^$$' -fuzz=FuzzTemplateRelocate -fuzztime=30s ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeV3 -fuzztime=30s ./internal/server/protocol/v3
+	$(GO) test -run='^$$' -fuzz=FuzzLibraryDecode -fuzztime=30s ./internal/core/library
 
 # verify audits the paper's worked examples across the config grid and
 # runs a short seeded differential fuzz campaign, all through the
@@ -47,8 +50,9 @@ verify:
 # ci is the full tier-1 gate: formatting + vet + build + tests + race
 # detector + one-shot benchmark smoke + bitstream-oracle verification +
 # fuzz-target smoke + a short fault-injection soak + the gateway
-# live-drain smoke + the NoC obstacle-churn smoke.
-ci: fmt-check vet build test race bench-smoke verify fuzz-smoke soak-smoke gateway-smoke noc-smoke
+# live-drain smoke + the NoC obstacle-churn smoke + the template-library
+# restart smoke.
+ci: fmt-check vet build test race bench-smoke verify fuzz-smoke soak-smoke gateway-smoke noc-smoke library-smoke
 
 # bench runs the service load generator against an in-process jrouted and
 # regenerates the BENCH_2.json snapshot (throughput, p50/p99, frames shipped).
@@ -103,6 +107,22 @@ bench7:
 # (>=95% delivery gate), and byte-exact restoration once cleared.
 bench8:
 	$(GO) run ./cmd/jbench -json8 BENCH_8.json
+
+# bench9 regenerates the template-library warm-start snapshot: a learn
+# campaign (stdlib wiring manifest + fan-net warm-up) is harvested to a
+# library file; cold-start-to-first-route is measured search vs replay
+# (warm must be >=3x), then the kill-a-board failover is replayed on a
+# spare with and without the library attached (warm must not be slower,
+# and the spare's library-hit counter must move).
+bench9:
+	$(GO) run ./cmd/jbench -json9 BENCH_9.json
+
+# library-smoke is the ci-sized template-library restart check: learn a
+# tiny library in-process, write it to disk, boot a fresh router from
+# the file, and require seeded replays plus a bitstream byte-identical
+# to the in-session warmed baseline.
+library-smoke:
+	$(GO) run ./cmd/jbench -library-smoke
 
 # noc-smoke is the ci-sized slice of bench8: short churn script, every
 # packet sim-verified at exact hop latency, oracle audit per event, bytes

@@ -28,7 +28,7 @@ func mustDevice(b *testing.B, rows, cols int) *device.Device {
 }
 
 func mustRouter(b *testing.B, opt core.Options) *core.Router {
-	return core.NewRouter(mustDevice(b, 16, 24), opt)
+	return core.New(mustDevice(b, 16, 24), core.WithOptions(opt))
 }
 
 // --- B1: cost ordering across the levels of control -------------------------
@@ -110,7 +110,7 @@ func BenchmarkLevelAuto(b *testing.B) {
 
 func benchAutoAt(b *testing.B, alg core.Algorithm, dist int) {
 	d := mustDevice(b, 32, 48)
-	r := core.NewRouter(d, core.Options{Algorithm: alg})
+	r := core.New(d, core.WithAlgorithm(alg))
 	gen := workload.ForDevice(1, d)
 	src, sink, err := gen.Pair(dist)
 	if err != nil {
@@ -350,7 +350,7 @@ func BenchmarkRTRSwap(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	r := core.NewRouter(session.Dev, core.Options{})
+	r := core.New(session.Dev)
 	board, err := jbits.NewBoard("bench", a, 16, 24)
 	if err != nil {
 		b.Fatal(err)
@@ -451,7 +451,7 @@ func BenchmarkReverseTrace(b *testing.B) {
 
 func benchLong(b *testing.B, useLongs bool) {
 	d := mustDevice(b, 32, 48)
-	r := core.NewRouter(d, core.Options{UseLongLines: useLongs})
+	r := core.New(d, core.WithLongLines(useLongs))
 	src := core.NewPin(6, 0, arch.S0X)
 	sink := core.NewPin(6, 42, arch.S0F1)
 	b.ResetTimer()
@@ -477,7 +477,7 @@ func BenchmarkPortability(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			r := core.NewRouter(d, core.Options{})
+			r := core.New(d)
 			src := core.NewPin(2, 2, arch.S0X)
 			sink := core.NewPin(9, 13, arch.S0F1)
 			b.ResetTimer()
@@ -538,7 +538,7 @@ func BenchmarkDeviceScale(b *testing.B) {
 	for _, size := range arch.VirtexSizes() {
 		b.Run(fmt.Sprintf("%s_%dx%d", size.Name, size.Rows, size.Cols), func(b *testing.B) {
 			d := mustDevice(b, size.Rows, size.Cols)
-			r := core.NewRouter(d, core.Options{})
+			r := core.New(d)
 			src := core.NewPin(2, 2, arch.S0X)
 			sink := core.NewPin(7, 7, arch.S0F1)
 			b.ResetTimer()

@@ -99,11 +99,10 @@ func runBench7Config(g bench7Geometry, part core.PartitionMode, par int, seed in
 		return e, err
 	}
 	e.Nets = len(srcs)
-	r := core.NewRouter(d, core.Options{
-		Parallelism: par,
-		RouteCache:  core.CacheOff, // measure negotiation, not replay
-		Partition:   part,
-	})
+	r := core.New(d,
+		core.WithParallelism(par),
+		core.WithRouteCache(core.CacheOff), // measure negotiation, not replay
+		core.WithPartition(part))
 	var total, worst time.Duration
 	for rep := 0; rep < g.reps; rep++ {
 		start := time.Now()

@@ -53,7 +53,7 @@ func levelCase(name string, route func(r *core.Router) error, src core.Pin) benc
 	return benchCase{
 		name: name,
 		run: func(b *testing.B) {
-			r := core.NewRouter(benchDevice(16, 24), core.Options{})
+			r := core.New(benchDevice(16, 24))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := op(r); err != nil {
@@ -62,7 +62,7 @@ func levelCase(name string, route func(r *core.Router) error, src core.Pin) benc
 			}
 		},
 		explored: func() (int, error) {
-			r := core.NewRouter(benchDevice(16, 24), core.Options{})
+			r := core.New(benchDevice(16, 24))
 			if err := op(r); err != nil {
 				return 0, err
 			}
@@ -75,7 +75,7 @@ func levelCase(name string, route func(r *core.Router) error, src core.Pin) benc
 func autoCase(name string, alg core.Algorithm, dist int) benchCase {
 	setup := func() (*core.Router, core.Pin, core.Pin, error) {
 		d := benchDevice(32, 48)
-		r := core.NewRouter(d, core.Options{Algorithm: alg})
+		r := core.New(d, core.WithAlgorithm(alg))
 		src, sink, err := workload.ForDevice(1, d).Pair(dist)
 		return r, src, sink, err
 	}
@@ -122,7 +122,7 @@ func crossbarPins(width int) (srcs, dsts []core.EndPoint) {
 func crossbarCase(name string, width, parallelism int, batch bool) benchCase {
 	op := func() (*core.Router, error) {
 		srcs, dsts := crossbarPins(width)
-		r := core.NewRouter(benchDevice(16, 24), core.Options{Parallelism: parallelism})
+		r := core.New(benchDevice(16, 24), core.WithParallelism(parallelism))
 		if batch {
 			return r, r.RouteBusBatch(srcs, dsts)
 		}

@@ -34,7 +34,7 @@ func runB17(cfg config) error {
 		if err != nil {
 			return res{}, err
 		}
-		r := core.NewRouter(d, core.Options{RouteCache: mode})
+		r := core.New(d, core.WithRouteCache(mode))
 		g := workload.New(cfg.seed, rows, cols)
 		set, err := g.FanNets(nets, fan, radius)
 		if err != nil {
@@ -120,7 +120,7 @@ func runB17(cfg config) error {
 	if err != nil {
 		return err
 	}
-	r := core.NewRouter(d, core.Options{})
+	r := core.New(d)
 	routeShape := func(baseRow, baseCol int) (time.Duration, error) {
 		src := core.NewPin(baseRow, baseCol, arch.OutPin(0))
 		sink := core.NewPin(baseRow+2, baseCol+9, arch.Input(1))

@@ -103,7 +103,7 @@ func newRouterAt(cfg config, opt core.Options) (*core.Router, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.NewRouter(d, opt), nil
+	return core.New(d, core.WithOptions(opt)), nil
 }
 
 // runB9 runs an identical workload through identical router code on the
@@ -117,7 +117,7 @@ func runB9(cfg config) error {
 		if err != nil {
 			return err
 		}
-		r := core.NewRouter(d, core.Options{})
+		r := core.New(d)
 		gen := workload.ForDevice(cfg.seed, d)
 		routed, total := 0, 0
 		var ns, nodes []float64
@@ -212,7 +212,7 @@ func runB11(cfg config) error {
 			return err
 		}
 		build := time.Since(start)
-		r := core.NewRouter(d, core.Options{})
+		r := core.New(d)
 		gen := workload.ForDevice(cfg.seed, d)
 		var ns []float64
 		routed, total := 0, 0

@@ -40,10 +40,9 @@ func runB14(cfg config) error {
 				if err != nil {
 					return 0, 0, err
 				}
-				r := core.NewRouter(d, core.Options{
-					UseLongLines: true,
-					TimingDriven: timingDriven,
-				})
+				r := core.New(d,
+					core.WithLongLines(true),
+					core.WithTimingDriven(timingDriven))
 				if err := r.RouteNet(src, sink); err != nil {
 					return -1, -1, nil
 				}

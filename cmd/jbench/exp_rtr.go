@@ -80,7 +80,7 @@ func runB5(cfg config) error {
 	if err != nil {
 		return err
 	}
-	router := core.NewRouter(session.Dev, core.Options{})
+	router := core.New(session.Dev)
 	board, err := jbits.NewBoard("b5", a, cfg.rows, cfg.cols)
 	if err != nil {
 		return err

@@ -67,7 +67,35 @@ func main() {
 	bench7Smoke := flag.Bool("bench7-smoke", false, "run the small-geometry BENCH_7 slice with no acceptance gate (ci smoke)")
 	json8Path := flag.String("json8", "", "run the NoC obstacle-churn bench (BENCH_8) and write results to this file")
 	bench8Smoke := flag.Bool("bench8-smoke", false, "run the short BENCH_8 churn slice with no acceptance gate (ci smoke)")
+	json9Path := flag.String("json9", "", "run the template-library warm-start bench (BENCH_9) and write results to this file")
+	bench9Smoke := flag.Bool("bench9-smoke", false, "run BENCH_9 with no timing acceptance gate (ci smoke)")
+	learnPath := flag.String("learn", "", "run the library learn campaign (stdlib manifest + fan-net warm-up) and write the template library to this file")
+	librarySmoke := flag.Bool("library-smoke", false, "learn a tiny library, restart a router from the file, assert seeded replay and byte-identical bitstream (ci smoke)")
 	flag.Parse()
+
+	if *learnPath != "" {
+		if err := runLearn(*learnPath, *seed, *rows, *cols); err != nil {
+			fmt.Fprintf(os.Stderr, "learn failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *librarySmoke {
+		if err := runLibrarySmoke(*seed); err != nil {
+			fmt.Fprintf(os.Stderr, "library-smoke failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *json9Path != "" || *bench9Smoke {
+		if err := runBench9(*json9Path, *seed, *bench9Smoke); err != nil {
+			fmt.Fprintf(os.Stderr, "bench9 failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *json7Path != "" || *bench7Smoke {
 		if err := runBench7(*json7Path, *seed, *bench7Smoke); err != nil {
@@ -130,7 +158,7 @@ func newRouter(cfg config, opt core.Options) (*core.Router, error) {
 		return nil, err
 	}
 	opt.ParanoidVerify = cfg.paranoid
-	return core.NewRouter(d, opt), nil
+	return core.New(d, core.WithOptions(opt)), nil
 }
 
 // table is a minimal fixed-width table printer.

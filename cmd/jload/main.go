@@ -62,6 +62,11 @@ type result struct {
 	PartitionCrossing int `json:"partition_crossing_nets,omitempty"`
 	RegionIterations  int `json:"region_iterations,omitempty"`
 	GlobalIterations  int `json:"global_iterations,omitempty"`
+	// Persistent template-library counters, summed across the run's
+	// sessions: replays served from the loaded library and entries
+	// seeded at router construction.
+	LibraryHits   int `json:"library_hits,omitempty"`
+	LibrarySeeded int `json:"library_seeded,omitempty"`
 	// WireBytesPerOp is payload bytes moved on the wire per op (both
 	// directions, from the daemon's wire counters); AllocsPerOp is the
 	// process-wide heap-allocation count per op during the run (client
@@ -402,6 +407,8 @@ func runWorkload(addr, name string, n, rows, cols int, seed int64, mode string,
 		res.PartitionCrossing += ss.PartitionCrossing - before.Sessions[name].PartitionCrossing
 		res.RegionIterations += ss.RegionIterations - before.Sessions[name].RegionIterations
 		res.GlobalIterations += ss.GlobalIterations - before.Sessions[name].GlobalIterations
+		res.LibraryHits += ss.LibraryHits - before.Sessions[name].LibraryHits
+		res.LibrarySeeded += ss.LibrarySeeded
 	}
 	if after.Fleet != nil {
 		// Fleet workers report under the fleet stats tree, not Sessions.
@@ -416,6 +423,8 @@ func runWorkload(addr, name string, n, rows, cols int, seed int64, mode string,
 			res.PartitionCrossing += bs.Worker.PartitionCrossing - prev.PartitionCrossing
 			res.RegionIterations += bs.Worker.RegionIterations - prev.RegionIterations
 			res.GlobalIterations += bs.Worker.GlobalIterations - prev.GlobalIterations
+			res.LibraryHits += bs.Worker.LibraryHits - prev.LibraryHits
+			res.LibrarySeeded += bs.Worker.LibrarySeeded
 		}
 	}
 	return res, nil

@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/core/library"
 	"repro/internal/server"
 	"repro/internal/server/fleet"
 )
@@ -85,14 +86,31 @@ func main() {
 	portFrameTime := flag.Duration("port-frame-time", 0, "fleet mode: modeled configuration-port time per shipped frame")
 	probeInterval := flag.Duration("probe-interval", 2*time.Second, "fleet mode: board health-probe period (0 = disabled)")
 	binv3 := flag.Bool("binv3", true, "advertise the binary v3 wire protocol (clients negotiate it via the JSON hello; off = framed JSON only)")
+	libraryPath := flag.String("library", "", "route-template library file (jbench -learn output) seeding every session router")
 	flag.Var(&devices, "device", "hosted device as name:RxC[,arch]; repeatable")
 	flag.Parse()
+
+	// An explicitly requested library must load: a daemon silently running
+	// cold after a typo'd path would defeat the whole warm-start story.
+	var lib *library.Library
+	if *libraryPath != "" {
+		var st library.LoadStats
+		var err error
+		lib, st, err = library.Load(*libraryPath)
+		if err != nil {
+			log.Fatalf("jrouted: -library %s: %v", *libraryPath, err)
+		}
+		libRows, libCols := lib.Geometry()
+		log.Printf("jrouted: template library %s: %d entries (%d skipped), %s %dx%d, id %s",
+			*libraryPath, st.Entries, st.Skipped, lib.Arch(), libRows, libCols, lib.ID())
+	}
 
 	srv := server.NewServer(
 		server.WithQueueDepth(*queue),
 		server.WithParallelism(*parallelism),
 		server.WithParanoidVerify(*paranoid),
 		server.WithBinaryProtocol(*binv3),
+		server.WithLibrary(lib),
 	)
 
 	if *boards > 0 {
@@ -110,7 +128,7 @@ func main() {
 			Rows:          rows,
 			Cols:          cols,
 			SessionCap:    *sessionCap,
-			Opts:          server.Options{QueueDepth: *queue, Parallelism: *parallelism, ParanoidVerify: *paranoid},
+			Opts:          server.Options{QueueDepth: *queue, Parallelism: *parallelism, ParanoidVerify: *paranoid, Library: lib},
 			PortFrameTime: *portFrameTime,
 			ProbeInterval: *probeInterval,
 		})

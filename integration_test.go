@@ -22,7 +22,7 @@ func newStack(t *testing.T) (*device.Device, *core.Router) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return d, core.NewRouter(d, core.Options{})
+	return d, core.New(d)
 }
 
 // TestIntegrationQuickstart is examples/quickstart as a test: the §3.1
@@ -150,7 +150,7 @@ func TestIntegrationRTRSwapWithBoard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := core.NewRouter(session.Dev, core.Options{})
+	r := core.New(session.Dev)
 	board, err := jbits.NewBoard("it", a, 16, 24)
 	if err != nil {
 		t.Fatal(err)

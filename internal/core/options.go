@@ -1,28 +1,39 @@
 package core
 
-import "repro/internal/device"
+import (
+	"repro/internal/core/library"
+	"repro/internal/device"
+)
 
 // Functional options over the Options struct. The struct stays the internal
-// representation (and keeps working at existing call sites); New composes it
-// from readable, order-independent constructors:
+// representation; New composes it from readable, order-independent
+// constructors:
 //
 //	r := core.New(dev, core.WithParallelism(8), core.WithRouteCache(core.CacheOn))
 //
-// instead of mutating struct fields at every call site.
+// New is the one public constructor. The legacy core.NewRouter(dev,
+// Options{}) spelling survives as a deprecated thin wrapper; code that
+// carries a ready-made Options value (config grids, harness structs)
+// bridges with WithOptions.
 
 // Option mutates the router Options during construction.
 type Option func(*Options)
 
-// New creates a router for a device from functional options. It is the
-// options-first spelling of NewRouter; core.New(dev) is equivalent to
-// core.NewRouter(dev, core.Options{}).
+// New creates a router for a device from functional options.
 func New(dev *device.Device, opts ...Option) *Router {
 	var o Options
 	for _, opt := range opts {
 		opt(&o)
 	}
-	return NewRouter(dev, o)
+	return newRouter(dev, o)
 }
+
+// WithOptions replaces the whole Options value — the bridge for call sites
+// that build an Options struct dynamically (scenario grids, fuzz configs)
+// before handing it to New. Combine with later options to override fields:
+//
+//	core.New(dev, core.WithOptions(base), core.WithParallelism(1))
+func WithOptions(o Options) Option { return func(dst *Options) { *dst = o } }
 
 // WithAlgorithm selects the search algorithm for the automatic calls.
 func WithAlgorithm(a Algorithm) Option { return func(o *Options) { o.Algorithm = a } }
@@ -42,6 +53,17 @@ func WithParallelism(n int) Option { return func(o *Options) { o.Parallelism = n
 
 // WithRouteCache controls the relocation-aware route cache.
 func WithRouteCache(m CacheMode) Option { return func(o *Options) { o.RouteCache = m } }
+
+// WithLibrary attaches a persistent route-template library: a read-only,
+// shareable tier of relocatable templates consulted below the in-session
+// learned entries. Entries are audited before use and FIFO eviction never
+// touches them. See Options.Library.
+func WithLibrary(lib *library.Library) Option { return func(o *Options) { o.Library = lib } }
+
+// WithLibraryPath loads the template library at path during construction
+// (best-effort: a missing or unreadable file leaves the router
+// library-less). See Options.LibraryPath.
+func WithLibraryPath(path string) Option { return func(o *Options) { o.LibraryPath = path } }
 
 // WithPartition controls spatial partitioning of batch negotiation
 // (PartitionAuto enables it; PartitionOff forces the global loop — the

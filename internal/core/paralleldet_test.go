@@ -21,7 +21,7 @@ func runBatch(t *testing.T, par int, cache core.CacheMode, part core.PartitionMo
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := core.NewRouter(d, core.Options{Parallelism: par, RouteCache: cache, Partition: part})
+	r := core.New(d, core.WithParallelism(par), core.WithRouteCache(cache), core.WithPartition(part))
 	srcs, dsts := gen(workload.ForDevice(7, d))
 	if err := r.RouteBusBatch(srcs, dsts); err != nil {
 		t.Fatalf("parallelism %d: %v", par, err)

@@ -207,15 +207,24 @@ func (r *Router) learnTemplate(srcTrack device.Track, sink Pin, pips []device.PI
 }
 
 // lookupTemplate returns the relocatable path (relative to the source
-// tile) learned for this source/sink shape, if any.
-func (r *Router) lookupTemplate(srcTrack device.Track, sink Pin) ([]device.PIP, bool) {
-	if r.cache == nil {
-		return nil, false
+// tile) for this source/sink shape, if any. In-session learned entries are
+// consulted first and shadow the persistent library key-by-key; the
+// library tier below them is read-only and never evicted. fromLib reports
+// which tier answered, for the library hit counters.
+func (r *Router) lookupTemplate(srcTrack device.Track, sink Pin) (rel []device.PIP, fromLib, ok bool) {
+	if r.cache != nil {
+		key := tmplKey{srcW: srcTrack.W, sinkW: sink.W,
+			dRow: sink.Row - srcTrack.Row, dCol: sink.Col - srcTrack.Col}
+		if rel, ok := r.cache.tmpl[key]; ok {
+			return rel, false, true
+		}
 	}
-	key := tmplKey{srcW: srcTrack.W, sinkW: sink.W,
-		dRow: sink.Row - srcTrack.Row, dCol: sink.Col - srcTrack.Col}
-	rel, ok := r.cache.tmpl[key]
-	return rel, ok
+	if r.lib != nil {
+		if rel, ok := r.lib.Lookup(srcTrack.W, sink.W, sink.Row-srcTrack.Row, sink.Col-srcTrack.Col); ok {
+			return rel, true, true
+		}
+	}
+	return nil, false, false
 }
 
 // RestoreConnection re-routes one retired connection record, replay-first:

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/arch"
+	"repro/internal/core/library"
 	"repro/internal/device"
 	"repro/internal/maze"
 )
@@ -59,6 +60,19 @@ type Options struct {
 	// — only wall-clock time, memory locality, and the Partition* stats
 	// change.
 	Partition PartitionMode
+	// Library is a persistent route-template library shared read-only by
+	// any number of routers: a pre-seeded template tier consulted below
+	// the in-session learned entries (which shadow it key-by-key) and
+	// never evicted. An unaudited library is audited at construction;
+	// entries that fail the blank-device legality sweep are skipped and
+	// counted in Stats.LibrarySkipped, never trusted. A library learned
+	// for a different architecture or geometry is skipped wholesale.
+	Library *library.Library
+	// LibraryPath loads a library file at construction when Library is
+	// nil. It is best-effort: a missing or unreadable file leaves the
+	// router library-less (daemons that must fail loudly call
+	// library.Load themselves and inject the result via Library).
+	LibraryPath string
 	// ParanoidVerify runs the independent bitstream oracle after every
 	// top-level automatic routing call: the configuration is serialized,
 	// re-extracted from raw frames, structurally checked, and compared
@@ -112,6 +126,12 @@ func (r *Router) AvoidRects() []maze.Rect { return append([]maze.Rect(nil), r.av
 
 // Stats counts router work, feeding the B1/B2 experiments and the routing
 // service's statsz endpoint.
+//
+// The counters fall into two groups. Work counters (routes, searches,
+// PIPs, iterations) are resettable: ResetStats zeroes them so callers can
+// measure an interval. Cache and library counters are monotonic for the
+// life of the router — hit-rate maths downstream (statsz, jload) divide
+// them, so they must never rewind mid-session.
 type Stats struct {
 	Routes          int // automatic route calls completed
 	TemplateHits    int // routes satisfied by a predefined template
@@ -120,9 +140,17 @@ type Stats struct {
 	PIPsSet         int
 	PIPsCleared     int
 	BatchIterations int // negotiation rip-up/re-route rounds consumed by RouteBatch
-	CacheHits       int // routes satisfied by replaying a cached path
-	CacheMisses     int // cache lookups that found no applicable entry
-	ReplayFails     int // cached paths whose legality sweep failed (fell back to search)
+	CacheHits       int // routes satisfied by replaying a cached path (monotonic)
+	CacheMisses     int // cache lookups that found no applicable entry (monotonic)
+	ReplayFails     int // cached paths whose legality sweep failed (fell back to search; monotonic)
+
+	// Persistent template-library observability (see Options.Library).
+	// Seeded and Skipped are set at construction; Hits and Misses count
+	// library-tier lookups. All four are monotonic.
+	LibraryHits    int // replays served from the seeded library tier
+	LibraryMisses  int // template lookups that consulted the library and found nothing
+	LibrarySeeded  int // entries accepted into the router's library tier at construction
+	LibrarySkipped int // entries rejected at construction (audit failure, arch/geometry mismatch)
 
 	// Partition observability (see Options.Partition). The counters
 	// describe scheduling structure only — the routed result is identical
@@ -147,6 +175,10 @@ func (s Stats) Sub(prev Stats) Stats {
 		CacheHits:         s.CacheHits - prev.CacheHits,
 		CacheMisses:       s.CacheMisses - prev.CacheMisses,
 		ReplayFails:       s.ReplayFails - prev.ReplayFails,
+		LibraryHits:       s.LibraryHits - prev.LibraryHits,
+		LibraryMisses:     s.LibraryMisses - prev.LibraryMisses,
+		LibrarySeeded:     s.LibrarySeeded - prev.LibrarySeeded,
+		LibrarySkipped:    s.LibrarySkipped - prev.LibrarySkipped,
 		PartitionRegions:  s.PartitionRegions - prev.PartitionRegions,
 		PartitionCrossing: s.PartitionCrossing - prev.PartitionCrossing,
 		RegionIterations:  s.RegionIterations - prev.RegionIterations,
@@ -184,6 +216,10 @@ type Router struct {
 	conns      []*Connection
 	remembered map[*Port][]*Connection
 	cache      *routeCache
+	// lib is the attached (audited) persistent template library — the
+	// read-only tier below the learned template cache. Nil when no
+	// library was configured or the configured one was rejected.
+	lib *library.Library
 
 	// Scratch buffers reused across automatic route calls.
 	netTracksBuf []device.Track
@@ -203,16 +239,89 @@ type Router struct {
 	avoid []maze.Rect
 }
 
-// NewRouter creates a router for a device.
-func NewRouter(dev *device.Device, opt Options) *Router {
-	return &Router{Dev: dev, Opt: opt, remembered: make(map[*Port][]*Connection)}
+// NewRouter creates a router for a device from an Options struct.
+//
+// Deprecated: use New with functional options; code that carries a
+// ready-made Options value can bridge with core.WithOptions.
+func NewRouter(dev *device.Device, opt Options) *Router { return newRouter(dev, opt) }
+
+// newRouter is the one real constructor behind New and NewRouter.
+func newRouter(dev *device.Device, opt Options) *Router {
+	r := &Router{Dev: dev, Opt: opt, remembered: make(map[*Port][]*Connection)}
+	r.attachLibrary()
+	return r
+}
+
+// attachLibrary resolves Options.Library/LibraryPath into the router's
+// seeded template tier. Nothing in a library file is trusted: a library
+// for another architecture or geometry is skipped wholesale, and an
+// unaudited one has every entry replayed on a blank scratch device first —
+// the failures are counted in LibrarySkipped and dropped.
+func (r *Router) attachLibrary() {
+	lib := r.Opt.Library
+	if lib == nil && r.Opt.LibraryPath != "" {
+		if l, _, err := library.Load(r.Opt.LibraryPath); err == nil {
+			lib = l
+		}
+	}
+	if lib == nil {
+		return
+	}
+	if !lib.CompatibleWith(r.Dev.A.Name, r.Dev.Rows, r.Dev.Cols) {
+		r.stats.LibrarySkipped += lib.Len()
+		return
+	}
+	if !lib.Audited() {
+		audited, skipped, err := lib.Audit(r.Dev.A)
+		if err != nil {
+			r.stats.LibrarySkipped += lib.Len()
+			return
+		}
+		r.stats.LibrarySkipped += skipped
+		lib = audited
+	}
+	r.stats.LibrarySeeded += lib.Len()
+	r.lib = lib
+}
+
+// Library returns the attached (audited) template library, or nil.
+func (r *Router) Library() *library.Library { return r.lib }
+
+// HarvestTemplates appends every relocatable template this router has
+// learned from real searches this session to b — the export half of the
+// persistent library (`jbench -learn`). Library-seeded entries are not
+// re-harvested; they already live in their own file. Returns the number of
+// templates appended.
+func (r *Router) HarvestTemplates(b *library.Builder) int {
+	if r.cache == nil {
+		return 0
+	}
+	for _, k := range r.cache.tmplOrder {
+		b.Add(library.Key{SrcW: k.srcW, SinkW: k.sinkW, DRow: k.dRow, DCol: k.dCol}, r.cache.tmpl[k])
+	}
+	return len(r.cache.tmplOrder)
 }
 
 // Stats returns a copy of the counters.
 func (r *Router) Stats() Stats { return r.stats }
 
-// ResetStats zeroes the counters.
-func (r *Router) ResetStats() { r.stats = Stats{} }
+// ResetStats zeroes the resettable work counters (routes, searches, PIPs,
+// batch iterations). The cache and library counters are monotonic for the
+// life of the router and survive the reset: statsz consumers derive hit
+// rates from them, and a mid-session rewind would skew every report that
+// follows.
+func (r *Router) ResetStats() {
+	keep := r.stats
+	r.stats = Stats{
+		CacheHits:      keep.CacheHits,
+		CacheMisses:    keep.CacheMisses,
+		ReplayFails:    keep.ReplayFails,
+		LibraryHits:    keep.LibraryHits,
+		LibraryMisses:  keep.LibraryMisses,
+		LibrarySeeded:  keep.LibrarySeeded,
+		LibrarySkipped: keep.LibrarySkipped,
+	}
+}
 
 // Connections returns a defensive copy of the live endpoint-level
 // connection records. Callers that only need the count should use
@@ -405,15 +514,21 @@ func (r *Router) routeOne(srcTrack device.Track, sink Pin) error {
 	// anywhere on the fabric replays the remembered relative path at this
 	// position — the paper's §3.1 level-3 replay, discovered automatically.
 	if freshNet && r.cacheEnabled() {
-		if rel, ok := r.lookupTemplate(srcTrack, sink); ok {
+		if rel, fromLib, ok := r.lookupTemplate(srcTrack, sink); ok {
 			if r.tryReplay(srcTrack, rel, srcTrack.Row, srcTrack.Col) {
 				r.stats.Routes++
 				r.stats.CacheHits++
+				if fromLib {
+					r.stats.LibraryHits++
+				}
 				return nil
 			}
 			r.stats.ReplayFails++
 		} else {
 			r.stats.CacheMisses++
+			if r.lib != nil {
+				r.stats.LibraryMisses++
+			}
 		}
 	}
 

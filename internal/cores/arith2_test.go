@@ -79,7 +79,7 @@ func TestMACAccumulates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := core.NewRouter(d, core.Options{})
+	r := core.New(d)
 	mac, err := NewMAC("mac", 3, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -111,7 +111,7 @@ func TestMACRetuneAndRemove(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := core.NewRouter(d, core.Options{})
+	r := core.New(d)
 	mac, err := NewMAC("mac", 1, 3)
 	if err != nil {
 		t.Fatal(err)

@@ -15,7 +15,7 @@ func newRig(t testing.TB) *core.Router {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return core.NewRouter(d, core.Options{})
+	return core.New(d)
 }
 
 // padDrive routes pad CLB outputs to a core's input ports and returns the

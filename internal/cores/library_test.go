@@ -1,0 +1,100 @@
+package cores
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/core/library"
+	"repro/internal/device"
+)
+
+// TestLearnStdlib: the stdlib manifest harvests a non-empty template set
+// and every entry survives the blank-device audit — learned wiring is
+// legal by construction, and an audit drop here would mean the manifest
+// recorded something the rules engine rejects.
+func TestLearnStdlib(t *testing.T) {
+	b := library.NewBuilder("virtex", 16, 24)
+	n, err := LearnStdlib(arch.NewVirtex(), 16, 24, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("stdlib manifest learned nothing")
+	}
+	if b.Len() == 0 {
+		t.Fatal("builder empty after harvest")
+	}
+	audited, skipped, err := b.Library().Audit(arch.NewVirtex())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || audited.Len() != b.Len() {
+		t.Errorf("audit kept %d of %d, skipped %d", audited.Len(), b.Len(), skipped)
+	}
+}
+
+// TestLearnStdlibTinyGrid: on the smallest legal grid the manifest skips
+// cores that do not fit instead of erroring — tiny test devices still
+// learn whatever fits.
+func TestLearnStdlibTinyGrid(t *testing.T) {
+	b := library.NewBuilder("virtex", 12, 12)
+	if _, err := LearnStdlib(arch.NewVirtex(), 12, 12, b); err != nil {
+		t.Fatalf("tiny grid: %v", err)
+	}
+}
+
+// TestStdlibStitchDontSearch: Place + Implement on a library-seeded cold
+// router replays intra-core wiring from the manifest (stitch) instead of
+// searching, and the configured bytes are identical to a plain
+// implementation of the same core.
+func TestStdlibStitchDontSearch(t *testing.T) {
+	const rows, cols = 16, 24
+	b := library.NewBuilder("virtex", rows, cols)
+	if _, err := LearnStdlib(arch.NewVirtex(), rows, cols, b); err != nil {
+		t.Fatal(err)
+	}
+	lib, skipped, err := b.Library().Audit(arch.NewVirtex())
+	if err != nil || skipped != 0 {
+		t.Fatalf("audit: %v, skipped %d", err, skipped)
+	}
+
+	implement := func(t *testing.T, opts ...core.Option) ([]byte, core.Stats) {
+		d, err := device.New(arch.NewVirtex(), rows, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := core.New(d, opts...)
+		ctr, err := NewCounter("ctr", 4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A placement different from where the manifest learned it —
+		// the templates must relocate.
+		if err := ctr.Place(3, 4); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctr.Implement(r); err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := d.FullConfig()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cfg, r.Stats()
+	}
+
+	plain, plainStats := implement(t)
+	seeded, seededStats := implement(t, core.WithLibrary(lib))
+	if !bytes.Equal(plain, seeded) {
+		t.Error("seeded implementation bytes differ from plain implementation")
+	}
+	if seededStats.LibraryHits == 0 {
+		t.Error("seeded implementation never stitched from the library")
+	}
+	if seededStats.NodesExplored >= plainStats.NodesExplored {
+		t.Errorf("stitching explored %d nodes, plain search %d — no work saved",
+			seededStats.NodesExplored, plainStats.NodesExplored)
+	}
+}

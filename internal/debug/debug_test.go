@@ -17,7 +17,7 @@ func rig(t *testing.T) *core.Router {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return core.NewRouter(d, core.Options{})
+	return core.New(d)
 }
 
 func TestNetReportAndRender(t *testing.T) {

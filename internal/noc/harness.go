@@ -48,7 +48,7 @@ func New(cfg Config) (*Harness, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := core.NewRouter(dev, cfg.Opt)
+	r := core.New(dev, core.WithOptions(cfg.Opt))
 	mesh, err := cores.NewNoC(r, "noc", cfg.MeshRows, cfg.MeshCols, cfg.BaseRow, cfg.BaseCol, cfg.Pitch, 0)
 	if err != nil {
 		return nil, err

@@ -366,11 +366,10 @@ func Run(o Options) (*Result, error) {
 		boards[i] = &board{
 			cfg: cfg,
 			dev: dev,
-			rtr: core.NewRouter(dev, core.Options{
-				RouteCache:  cfg.Cache,
-				Parallelism: cfg.Parallelism,
-				Partition:   cfg.Partition,
-			}),
+			rtr: core.New(dev,
+				core.WithRouteCache(cfg.Cache),
+				core.WithParallelism(cfg.Parallelism),
+				core.WithPartition(cfg.Partition)),
 			regs: make(map[int]*cores.Register),
 		}
 		if o.NoC {

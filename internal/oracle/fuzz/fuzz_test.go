@@ -81,7 +81,7 @@ func TestCacheModesBytesDiverge(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return dev, core.NewRouter(dev, core.Options{RouteCache: mode})
+		return dev, core.New(dev, core.WithRouteCache(mode))
 	}
 	devOn, on := mk(core.CacheOn)
 	devOff, off := mk(core.CacheOff)

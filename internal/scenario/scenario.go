@@ -144,7 +144,7 @@ func (s Scenario) Run(opt core.Options) ([]byte, []oracle.Claim, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	r := core.NewRouter(dev, opt)
+	r := core.New(dev, core.WithOptions(opt))
 	if err := s.Drive(r); err != nil {
 		return nil, nil, fmt.Errorf("scenario %s: %w", s.Name, err)
 	}

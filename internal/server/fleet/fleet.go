@@ -233,6 +233,7 @@ type Coordinator struct {
 		admissionRejects int
 		restoredConns    int
 		replayedPaths    int
+		restoreUs        int64 // cumulative failover restore-routing time
 	}
 
 	failoverCh   chan failoverReq
@@ -252,6 +253,16 @@ type failoverReq struct {
 func New(cfg Config) (*Coordinator, error) {
 	if cfg.Boards < 1 {
 		return nil, fmt.Errorf("fleet: need at least one board")
+	}
+	// Audit a template library once for the whole fleet: every board
+	// worker (and every failover spare) then shares the audited copy
+	// read-only instead of each paying its own blank-device sweep.
+	if lib := cfg.Opts.Library; lib != nil && !lib.Audited() && lib.Arch() == cfg.archName() {
+		audited, _, err := lib.Audit(archByName(cfg.archName()))
+		if err != nil {
+			return nil, fmt.Errorf("fleet: template library: %w", err)
+		}
+		cfg.Opts.Library = audited
 	}
 	c := &Coordinator{
 		cfg:          cfg,
@@ -485,7 +496,7 @@ func (c *Coordinator) failover(sl *slot, deadEpoch uint64) {
 	c.spares = c.spares[1:]
 	c.mu.Unlock()
 
-	newWorker, restored, replayed, err := c.replay(sl, spare)
+	newWorker, restored, replayed, restoreTime, err := c.replay(sl, spare)
 	if err != nil {
 		// The spare itself is bad; consume it and report the slot dead
 		// rather than serving a board the oracle rejected.
@@ -511,6 +522,7 @@ func (c *Coordinator) failover(sl *slot, deadEpoch uint64) {
 	c.counters.failovers++
 	c.counters.restoredConns += restored
 	c.counters.replayedPaths += replayed
+	c.counters.restoreUs += restoreTime.Microseconds()
 	c.graveyard = append(c.graveyard, oldWorker)
 	c.deadBoards = append(c.deadBoards, oldBoard)
 	c.mu.Unlock()
@@ -519,21 +531,25 @@ func (c *Coordinator) failover(sl *slot, deadEpoch uint64) {
 
 // replay rebuilds the slot's journaled state on a fresh worker tethered to
 // the spare and audits the result. Returns the replayed worker, how many
-// connections were restored, and how many of those were served by
-// cached-path replay rather than a fresh search.
-func (c *Coordinator) replay(sl *slot, spare *board) (*server.Worker, int, int, error) {
+// connections were restored, how many of those were served by cached-path
+// replay rather than a fresh search, and the time spent on the restore
+// routing itself (core re-implementation + connection adoption — the part
+// a warm template library accelerates; the config push and oracle audit
+// that follow cost the same either way).
+func (c *Coordinator) replay(sl *slot, spare *board) (*server.Worker, int, int, time.Duration, error) {
 	coreMsgs, conns := sl.j.snapshot()
 	w, err := c.newWorker(sl, spare)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, 0, err
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	fail := func(err error) (*server.Worker, int, int, error) {
+	fail := func(err error) (*server.Worker, int, int, time.Duration, error) {
 		w.Close()
 		<-w.Done()
-		return nil, 0, 0, err
+		return nil, 0, 0, 0, err
 	}
+	restoreStart := time.Now()
 	// Cores first: re-instantiating them re-routes their internal nets.
 	for i := range coreMsgs {
 		msg := coreMsgs[i]
@@ -546,6 +562,7 @@ func (c *Coordinator) replay(sl *slot, spare *board) (*server.Worker, int, int, 
 	// cores' Implement already routed, and replay-first: the remembered
 	// paths are swept for legality and committed without a search.
 	var replayed int
+	var restore time.Duration
 	err = w.Do(ctx, func(r *core.Router, js *jbits.Session) error {
 		before := r.Stats().CacheHits
 		for _, rec := range conns {
@@ -554,6 +571,7 @@ func (c *Coordinator) replay(sl *slot, spare *board) (*server.Worker, int, int, 
 			}
 		}
 		replayed = r.Stats().CacheHits - before
+		restore = time.Since(restoreStart)
 		// The adoption dirtied frames the ship hook never saw. The spare
 		// started blank — the same state this worker's device grew from —
 		// so pushing just the dirty delta re-creates the dead board's
@@ -593,7 +611,7 @@ func (c *Coordinator) replay(sl *slot, spare *board) (*server.Worker, int, int, 
 	if err != nil {
 		return fail(err)
 	}
-	return w, len(conns), replayed, nil
+	return w, len(conns), replayed, restore, nil
 }
 
 // KillBoard severs slot i's board link immediately — the test and demo
@@ -704,6 +722,7 @@ func (c *Coordinator) Stats() *protocol.FleetStatsMsg {
 		AdmissionRejects: c.counters.admissionRejects,
 		RestoredConns:    c.counters.restoredConns,
 		ReplayedPaths:    c.counters.replayedPaths,
+		RestoreUs:        c.counters.restoreUs,
 		Slots:            make(map[string]protocol.BoardStatsMsg, len(c.slots)),
 	}
 	c.mu.Unlock()

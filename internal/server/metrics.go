@@ -77,6 +77,11 @@ type sessionMetrics struct {
 	cacheHits         int
 	cacheMisses       int
 	replayFails       int
+	nodesExplored     int
+	libraryHits       int
+	libraryMisses     int
+	librarySeeded     int
+	librarySkipped    int
 	partitionRegions  int
 	partitionCrossing int
 	regionIterations  int
@@ -120,6 +125,11 @@ func (m *sessionMetrics) addRouterDelta(d core.Stats, connections int) {
 	m.cacheHits += d.CacheHits
 	m.cacheMisses += d.CacheMisses
 	m.replayFails += d.ReplayFails
+	m.nodesExplored += d.NodesExplored
+	m.libraryHits += d.LibraryHits
+	m.libraryMisses += d.LibraryMisses
+	m.librarySeeded += d.LibrarySeeded
+	m.librarySkipped += d.LibrarySkipped
 	m.partitionRegions += d.PartitionRegions
 	m.partitionCrossing += d.PartitionCrossing
 	m.regionIterations += d.RegionIterations
@@ -144,6 +154,11 @@ func (m *sessionMetrics) snapshot(queueDepth int) SessionStatsMsg {
 		CacheHits:         m.cacheHits,
 		CacheMisses:       m.cacheMisses,
 		ReplayFails:       m.replayFails,
+		NodesExplored:     m.nodesExplored,
+		LibraryHits:       m.libraryHits,
+		LibraryMisses:     m.libraryMisses,
+		LibrarySeeded:     m.librarySeeded,
+		LibrarySkipped:    m.librarySkipped,
 		PartitionRegions:  m.partitionRegions,
 		PartitionCrossing: m.partitionCrossing,
 		RegionIterations:  m.regionIterations,

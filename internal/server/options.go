@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/core/library"
 )
 
 // Opt is a functional option for NewServer. The Options struct stays the
@@ -42,6 +43,16 @@ func WithParanoidVerify(on bool) Opt { return func(o *Options) { o.ParanoidVerif
 // on). With it off the daemon neither advertises nor accepts "binv3" and
 // every connection stays on framed JSON v2.
 func WithBinaryProtocol(on bool) Opt { return func(o *Options) { o.DisableBinary = !on } }
+
+// WithLibrary seeds every session router with a persistent route-template
+// library, shared read-only across workers (audited once in New).
+func WithLibrary(lib *library.Library) Opt { return func(o *Options) { o.Library = lib } }
+
+// WithLibraryPath loads the template library from a file at daemon
+// construction, best-effort: a missing or unreadable file leaves the
+// sessions library-less. Use WithLibrary with an explicitly loaded
+// library to fail loudly instead.
+func WithLibraryPath(path string) Opt { return func(o *Options) { o.LibraryPath = path } }
 
 // WithAuth installs a hello-token authenticator: fn maps the bearer token
 // from each connection's hello to a tenant name, or errors to reject the

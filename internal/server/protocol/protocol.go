@@ -298,9 +298,18 @@ type SessionStatsMsg struct {
 	Routes          int `json:"routes"`
 	RipUps          int `json:"rip_ups"` // PIPs ripped up (cleared)
 	BatchIterations int `json:"batch_iterations"`
-	CacheHits       int `json:"cache_hits"`   // routes served by path replay
-	CacheMisses     int `json:"cache_misses"` // cache lookups without an entry
-	ReplayFails     int `json:"replay_fails"` // replays that fell back to search
+	CacheHits       int `json:"cache_hits"`     // routes served by path replay
+	CacheMisses     int `json:"cache_misses"`   // cache lookups without an entry
+	ReplayFails     int `json:"replay_fails"`   // replays that fell back to search
+	NodesExplored   int `json:"nodes_explored"` // search states expanded (replays expand none)
+	// Persistent template-library tier: replays served from the loaded
+	// library, template misses while a library was attached, entries
+	// seeded at router construction, and entries rejected (failed audit
+	// or whole-library arch/geometry mismatch).
+	LibraryHits    int `json:"library_hits,omitempty"`
+	LibraryMisses  int `json:"library_misses,omitempty"`
+	LibrarySeeded  int `json:"library_seeded,omitempty"`
+	LibrarySkipped int `json:"library_skipped,omitempty"`
 	// Partition-parallel batch negotiation observability: regions the
 	// batch planner created, nets whose bounding boxes crossed a cut, and
 	// the split of negotiation iterations between region-local loops and
@@ -336,9 +345,10 @@ type FleetStatsMsg struct {
 	HealthProbes     int                      `json:"health_probes"`
 	ProbeFails       int                      `json:"probe_fails"`
 	AdmissionRejects int                      `json:"admission_rejects"`
-	RestoredConns    int                      `json:"restored_conns"` // connections replayed onto spares
-	ReplayedPaths    int                      `json:"replayed_paths"` // restores served by cached-path replay
-	DownSlots        int                      `json:"down_slots"`     // dead slots with no spare left
+	RestoredConns    int                      `json:"restored_conns"`                // connections replayed onto spares
+	ReplayedPaths    int                      `json:"replayed_paths"`                // restores served by cached-path replay
+	RestoreUs        int64                    `json:"failover_restore_us,omitempty"` // cumulative restore-routing time (cores + adoption, excl. push/audit)
+	DownSlots        int                      `json:"down_slots"`                    // dead slots with no spare left
 	Slots            map[string]BoardStatsMsg `json:"slots,omitempty"`
 }
 

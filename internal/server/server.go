@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/core/library"
 	"repro/internal/jbits"
 	"repro/internal/server/protocol"
 	v3 "repro/internal/server/protocol/v3"
@@ -35,6 +36,16 @@ type Options struct {
 	// DisableBinary stops the daemon from advertising (and accepting) the
 	// binary v3 framing; every connection then stays on framed JSON v2.
 	DisableBinary bool
+	// Library, when set, seeds every session router with a persistent
+	// route-template library, shared read-only across all workers. New
+	// audits an unaudited library once so N workers do not each re-sweep
+	// it. See core.Options.Library.
+	Library *library.Library
+	// LibraryPath loads the template library from a file, best-effort: a
+	// missing or unreadable file leaves sessions library-less. Daemons
+	// that must fail loudly (jrouted -library) load the file themselves
+	// and set Library instead. Ignored when Library is set.
+	LibraryPath string
 	// Auth, when set, must map the hello bearer token to a tenant name.
 	// A non-nil error rejects the handshake with CodeUnauthorized. The
 	// resolved tenant is stamped on every request the connection sends
@@ -95,6 +106,22 @@ type Server struct {
 // New creates an empty daemon; add devices with AddDevice (or attach a
 // fleet with SetFleet), then Start.
 func New(opts Options) *Server {
+	if opts.Library == nil && opts.LibraryPath != "" {
+		if lib, _, err := library.Load(opts.LibraryPath); err == nil {
+			opts.Library = lib
+		}
+	}
+	// Audit once here rather than once per worker: every session router
+	// shares the audited copy read-only. An audit failure (unknown arch)
+	// leaves the library unaudited; workers then reject it individually
+	// and count it skipped.
+	if lib := opts.Library; lib != nil && !lib.Audited() {
+		if a, err := archByName(lib.Arch()); err == nil {
+			if audited, _, err := lib.Audit(a); err == nil {
+				opts.Library = audited
+			}
+		}
+	}
 	return &Server{
 		opts:     opts,
 		sessions: make(map[string]*Worker),

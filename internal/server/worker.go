@@ -113,10 +113,15 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		router: core.New(js.Dev,
 			core.WithParallelism(cfg.Opts.Parallelism),
 			core.WithRouteCache(cfg.Opts.RouteCache),
-			core.WithParanoidVerify(cfg.Opts.ParanoidVerify)),
+			core.WithParanoidVerify(cfg.Opts.ParanoidVerify),
+			core.WithLibrary(cfg.Opts.Library)),
 		cores: make(map[string]*coreEntry),
 		m:     newSessionMetrics(),
 	}
+	// Seed the session counters with the router's construction-time stats
+	// (library entries seeded or skipped) — op handlers only fold in
+	// per-op deltas, which would never include them.
+	w.m.addRouterDelta(w.router.Stats(), 0)
 	go w.run()
 	return w, nil
 }
@@ -500,6 +505,16 @@ func makeCore(msg *CoreMsg) (cores.Core, []string, error) {
 			return nil, nil, err
 		}
 		return c, []string{"d", "q"}, nil
+	case "counter":
+		step := uint64(1)
+		if msg.K != nil {
+			step = *msg.K
+		}
+		c, err := cores.NewCounter(msg.Name, msg.Bits, step)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, []string{"q"}, nil
 	default:
 		return nil, nil, fmt.Errorf("server: unknown core kind %q", msg.Kind)
 	}

@@ -22,7 +22,7 @@ func newSim(t *testing.T) (*device.Device, *core.Router) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return d, core.NewRouter(d, core.Options{})
+	return d, core.New(d)
 }
 
 // TestForcedPad checks the virtual-pad mechanism and net value resolution.

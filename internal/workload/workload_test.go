@@ -172,7 +172,7 @@ func TestClusteredRoutes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := core.NewRouter(d, core.Options{Parallelism: 2})
+	r := core.New(d, core.WithParallelism(2))
 	if err := r.RouteBusBatch(srcs, dsts); err != nil {
 		t.Fatalf("clustered batch failed to route: %v", err)
 	}
@@ -219,7 +219,7 @@ func TestChurnExecutes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := core.NewRouter(d, core.Options{})
+	r := core.New(d)
 	g := ForDevice(5, d)
 	ops, err := g.Churn(120, 5, 0.45)
 	if err != nil {
